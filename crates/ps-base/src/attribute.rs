@@ -1,0 +1,453 @@
+//! Attributes and attribute sets.
+//!
+//! Section 2.1 of the paper fixes a finite set of attributes
+//! `𝒰 = {A, B, C, …}`.  Attribute *names* live in a [`Universe`] catalog;
+//! the rest of the workspace manipulates the dense [`Attribute`] ids it
+//! issues.  [`AttrSet`] is the ordered attribute set used for relation
+//! schemes and the left/right sides of functional dependencies.
+
+use std::fmt;
+
+use crate::{BaseError, Interner, Result};
+
+/// An interned attribute identifier (a member of the universe `𝒰`).
+///
+/// `Attribute` is a dense index issued by a [`Universe`]; two attributes
+/// compare equal exactly when they were interned from the same name in the
+/// same universe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Attribute(u32);
+
+impl Attribute {
+    /// Constructs an attribute from a raw index.
+    ///
+    /// Prefer [`Universe::attr`]; this constructor exists for dense-table
+    /// algorithms that enumerate attribute indices directly.
+    pub fn from_index(index: u32) -> Self {
+        Attribute(index)
+    }
+
+    /// The raw dense index of this attribute.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The raw index as `usize`, for vector indexing.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The catalog of attribute names: the finite universe `𝒰` of Section 2.1.
+///
+/// ```
+/// use ps_base::Universe;
+/// let mut u = Universe::new();
+/// let a = u.attr("A");
+/// let b = u.attr("B");
+/// assert_ne!(a, b);
+/// assert_eq!(u.attr("A"), a);
+/// assert_eq!(u.name(a), Some("A"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Universe {
+    interner: Interner,
+}
+
+impl Universe {
+    /// Creates an empty universe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a universe pre-populated with `names`, in order.
+    pub fn with_names<'a, I: IntoIterator<Item = &'a str>>(names: I) -> Self {
+        let mut u = Self::new();
+        for n in names {
+            u.attr(n);
+        }
+        u
+    }
+
+    /// Interns an attribute name, returning its [`Attribute`] id.
+    pub fn attr(&mut self, name: &str) -> Attribute {
+        Attribute(self.interner.intern(name))
+    }
+
+    /// Interns several names at once, returning their ids in order.
+    pub fn attrs<'a, I: IntoIterator<Item = &'a str>>(&mut self, names: I) -> Vec<Attribute> {
+        names.into_iter().map(|n| self.attr(n)).collect()
+    }
+
+    /// Looks up an existing attribute by name without creating it.
+    pub fn lookup(&self, name: &str) -> Result<Attribute> {
+        self.interner
+            .get(name)
+            .map(Attribute)
+            .ok_or_else(|| BaseError::UnknownAttribute(name.to_owned()))
+    }
+
+    /// The name of `attr`, if it belongs to this universe.
+    pub fn name(&self, attr: Attribute) -> Option<&str> {
+        self.interner.resolve(attr.0)
+    }
+
+    /// The name of `attr`, or an error naming the foreign id.
+    pub fn try_name(&self, attr: Attribute) -> Result<&str> {
+        self.name(attr).ok_or(BaseError::ForeignId {
+            kind: "attribute",
+            index: attr.0,
+            len: self.len(),
+        })
+    }
+
+    /// Number of attributes interned so far.
+    pub fn len(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Whether the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.interner.is_empty()
+    }
+
+    /// Iterates over all attributes in the universe, in id order.
+    pub fn iter(&self) -> impl Iterator<Item = Attribute> + '_ {
+        (0..self.len() as u32).map(Attribute)
+    }
+
+    /// The set of *all* attributes currently in the universe (the `U` of
+    /// "union of all attributes in D" in Section 2.1).
+    pub fn all(&self) -> AttrSet {
+        AttrSet::from_iter(self.iter())
+    }
+
+    /// Renders an [`AttrSet`] using this universe's names, e.g. `ABC`.
+    pub fn render_set(&self, set: &AttrSet) -> String {
+        let mut out = String::new();
+        for (i, a) in set.iter().enumerate() {
+            if i > 0 && set.iter().any(|x| self.name(x).is_none_or(|n| n.len() > 1)) {
+                out.push(' ');
+            }
+            match self.name(a) {
+                Some(n) => out.push_str(n),
+                None => out.push_str(&format!("{a}")),
+            }
+        }
+        out
+    }
+}
+
+/// An ordered set of attributes (a relation scheme `U`, or the `X`, `Y` of an
+/// FD `X → Y`).
+///
+/// Stored as a sorted, deduplicated vector of [`Attribute`] ids; all set
+/// operations run in linear time in the sizes of the operands.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrSet {
+    items: Vec<Attribute>,
+}
+
+impl AttrSet {
+    /// Creates an empty attribute set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a singleton set.
+    pub fn singleton(attr: Attribute) -> Self {
+        Self { items: vec![attr] }
+    }
+
+    /// Number of attributes in the set.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether `attr` belongs to the set.
+    pub fn contains(&self, attr: Attribute) -> bool {
+        self.items.binary_search(&attr).is_ok()
+    }
+
+    /// Inserts an attribute; returns `true` if it was not already present.
+    pub fn insert(&mut self, attr: Attribute) -> bool {
+        match self.items.binary_search(&attr) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.items.insert(pos, attr);
+                true
+            }
+        }
+    }
+
+    /// Removes an attribute; returns `true` if it was present.
+    pub fn remove(&mut self, attr: Attribute) -> bool {
+        match self.items.binary_search(&attr) {
+            Ok(pos) => {
+                self.items.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &AttrSet) -> bool {
+        let mut it = other.items.iter().peekable();
+        'outer: for a in &self.items {
+            while let Some(&&b) = it.peek() {
+                if b < *a {
+                    it.next();
+                } else if b == *a {
+                    it.next();
+                    continue 'outer;
+                } else {
+                    return false;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Whether `self` and `other` have no attribute in common.
+    pub fn is_disjoint(&self, other: &AttrSet) -> bool {
+        self.intersection(other).is_empty()
+    }
+
+    /// `self ∪ other`.
+    pub fn union(&self, other: &AttrSet) -> AttrSet {
+        let mut items = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => {
+                    items.push(self.items[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    items.push(other.items[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    items.push(self.items[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        items.extend_from_slice(&self.items[i..]);
+        items.extend_from_slice(&other.items[j..]);
+        AttrSet { items }
+    }
+
+    /// `self ∩ other`.
+    pub fn intersection(&self, other: &AttrSet) -> AttrSet {
+        let mut items = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    items.push(self.items[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        AttrSet { items }
+    }
+
+    /// `self \ other`.
+    pub fn difference(&self, other: &AttrSet) -> AttrSet {
+        let mut items = Vec::new();
+        for &a in &self.items {
+            if !other.contains(a) {
+                items.push(a);
+            }
+        }
+        AttrSet { items }
+    }
+
+    /// Iterates over the attributes in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = Attribute> + '_ {
+        self.items.iter().copied()
+    }
+
+    /// The attributes as a slice (sorted, deduplicated).
+    pub fn as_slice(&self) -> &[Attribute] {
+        &self.items
+    }
+
+    /// The single attribute of a singleton set, if the set has exactly one.
+    pub fn as_singleton(&self) -> Option<Attribute> {
+        if self.items.len() == 1 {
+            Some(self.items[0])
+        } else {
+            None
+        }
+    }
+}
+
+impl FromIterator<Attribute> for AttrSet {
+    fn from_iter<T: IntoIterator<Item = Attribute>>(iter: T) -> Self {
+        let mut items: Vec<Attribute> = iter.into_iter().collect();
+        items.sort_unstable();
+        items.dedup();
+        AttrSet { items }
+    }
+}
+
+impl From<Vec<Attribute>> for AttrSet {
+    fn from(items: Vec<Attribute>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+impl From<&[Attribute]> for AttrSet {
+    fn from(items: &[Attribute]) -> Self {
+        items.iter().copied().collect()
+    }
+}
+
+impl<const N: usize> From<[Attribute; N]> for AttrSet {
+    fn from(items: [Attribute; N]) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+impl fmt::Display for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> (Universe, Attribute, Attribute, Attribute) {
+        let mut u = Universe::new();
+        let a = u.attr("A");
+        let b = u.attr("B");
+        let c = u.attr("C");
+        (u, a, b, c)
+    }
+
+    #[test]
+    fn universe_interns_and_resolves() {
+        let (u, a, b, _) = abc();
+        assert_eq!(u.name(a), Some("A"));
+        assert_eq!(u.name(b), Some("B"));
+        assert_eq!(u.len(), 3);
+        assert_eq!(u.lookup("B").unwrap(), b);
+        assert!(u.lookup("Z").is_err());
+    }
+
+    #[test]
+    fn universe_try_name_rejects_foreign_ids() {
+        let (u, ..) = abc();
+        let foreign = Attribute::from_index(99);
+        assert!(matches!(
+            u.try_name(foreign),
+            Err(BaseError::ForeignId { index: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn universe_all_contains_every_attribute() {
+        let (u, a, b, c) = abc();
+        let all = u.all();
+        assert_eq!(all.len(), 3);
+        for x in [a, b, c] {
+            assert!(all.contains(x));
+        }
+    }
+
+    #[test]
+    fn attrset_insert_remove_contains() {
+        let (_, a, b, c) = abc();
+        let mut s = AttrSet::new();
+        assert!(s.insert(b));
+        assert!(s.insert(a));
+        assert!(!s.insert(a));
+        assert!(s.contains(a) && s.contains(b) && !s.contains(c));
+        assert!(s.remove(a));
+        assert!(!s.remove(a));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn attrset_keeps_sorted_order() {
+        let (_, a, b, c) = abc();
+        let s: AttrSet = vec![c, a, b, a].into();
+        assert_eq!(s.as_slice(), &[a, b, c]);
+    }
+
+    #[test]
+    fn attrset_union_intersection_difference() {
+        let (_, a, b, c) = abc();
+        let ab: AttrSet = vec![a, b].into();
+        let bc: AttrSet = vec![b, c].into();
+        assert_eq!(ab.union(&bc).as_slice(), &[a, b, c]);
+        assert_eq!(ab.intersection(&bc).as_slice(), &[b]);
+        assert_eq!(ab.difference(&bc).as_slice(), &[a]);
+        assert_eq!(bc.difference(&ab).as_slice(), &[c]);
+    }
+
+    #[test]
+    fn attrset_subset_and_disjoint() {
+        let (_, a, b, c) = abc();
+        let ab: AttrSet = vec![a, b].into();
+        let abc_set: AttrSet = vec![a, b, c].into();
+        let c_only = AttrSet::singleton(c);
+        assert!(ab.is_subset(&abc_set));
+        assert!(!abc_set.is_subset(&ab));
+        assert!(AttrSet::new().is_subset(&ab));
+        assert!(ab.is_disjoint(&c_only));
+        assert!(!ab.is_disjoint(&abc_set));
+    }
+
+    #[test]
+    fn attrset_singleton_accessor() {
+        let (_, a, b, _) = abc();
+        assert_eq!(AttrSet::singleton(a).as_singleton(), Some(a));
+        let ab: AttrSet = vec![a, b].into();
+        assert_eq!(ab.as_singleton(), None);
+        assert_eq!(AttrSet::new().as_singleton(), None);
+    }
+
+    #[test]
+    fn render_set_uses_names() {
+        let (u, a, b, c) = abc();
+        let s: AttrSet = vec![c, a, b].into();
+        assert_eq!(u.render_set(&s), "ABC");
+    }
+
+    #[test]
+    fn display_formats() {
+        let (_, a, b, _) = abc();
+        let s: AttrSet = vec![a, b].into();
+        assert_eq!(format!("{s}"), "{#0,#1}");
+        assert_eq!(format!("{a}"), "#0");
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type shared by the base catalogs.
+
+use std::fmt;
+
+/// Errors raised by the identifier catalogs in `ps-base`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaseError {
+    /// A name was looked up in a [`crate::Universe`] that does not contain it.
+    UnknownAttribute(String),
+    /// A name was looked up in a [`crate::SymbolTable`] that does not contain it.
+    UnknownSymbol(String),
+    /// An identifier was used against a catalog that never issued it.
+    ForeignId {
+        /// Human-readable description of the identifier kind (e.g. `"attribute"`).
+        kind: &'static str,
+        /// The raw index that was out of range.
+        index: u32,
+        /// The number of identifiers the catalog has issued.
+        len: usize,
+    },
+}
+
+impl fmt::Display for BaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaseError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            BaseError::UnknownSymbol(name) => write!(f, "unknown symbol `{name}`"),
+            BaseError::ForeignId { kind, index, len } => write!(
+                f,
+                "{kind} id {index} was not issued by this catalog (holds {len} entries)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BaseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_attribute() {
+        let err = BaseError::UnknownAttribute("Salary".to_owned());
+        assert_eq!(err.to_string(), "unknown attribute `Salary`");
+    }
+
+    #[test]
+    fn display_unknown_symbol() {
+        let err = BaseError::UnknownSymbol("alice".to_owned());
+        assert_eq!(err.to_string(), "unknown symbol `alice`");
+    }
+
+    #[test]
+    fn display_foreign_id() {
+        let err = BaseError::ForeignId {
+            kind: "attribute",
+            index: 7,
+            len: 3,
+        };
+        assert!(err.to_string().contains("attribute id 7"));
+        assert!(err.to_string().contains("3 entries"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&BaseError::UnknownSymbol("x".into()));
+    }
+}

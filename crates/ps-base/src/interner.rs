@@ -1,0 +1,124 @@
+//! A small string interner.
+//!
+//! Both the attribute [`Universe`](crate::Universe) and the
+//! [`SymbolTable`](crate::SymbolTable) are thin wrappers around this type.
+//! Interning gives every distinct name a dense `u32` index, which is what the
+//! closure algorithms elsewhere in the workspace index their vectors by.
+
+use std::collections::HashMap;
+
+/// Maps strings to dense `u32` indices and back.
+///
+/// Indices are issued in insertion order starting from zero and are never
+/// reused, so they can be used directly to index side tables.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty interner with capacity for `cap` names.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            names: Vec::with_capacity(cap),
+            index: HashMap::with_capacity(cap),
+        }
+    }
+
+    /// Interns `name`, returning its index.  Repeated calls with the same
+    /// name return the same index.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("interner overflowed u32 indices");
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned name without inserting it.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// Returns the name behind `id`, if `id` was issued by this interner.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct names interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no names have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("A");
+        let b = i.intern("B");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("A"), a);
+        assert_eq!(i.intern("B"), b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_in_insertion_order() {
+        let mut i = Interner::new();
+        for (expected, name) in ["x", "y", "z"].iter().enumerate() {
+            assert_eq!(i.intern(name), expected as u32);
+        }
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::with_capacity(4);
+        let id = i.intern("EmployeeNumber");
+        assert_eq!(i.resolve(id), Some("EmployeeNumber"));
+        assert_eq!(i.resolve(id + 1), None);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("missing"), None);
+        assert!(i.is_empty());
+        i.intern("present");
+        assert_eq!(i.get("present"), Some(0));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_all_pairs() {
+        let mut i = Interner::new();
+        i.intern("A");
+        i.intern("B");
+        let pairs: Vec<_> = i.iter().map(|(id, s)| (id, s.to_owned())).collect();
+        assert_eq!(pairs, vec![(0, "A".to_owned()), (1, "B".to_owned())]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Experiment E7 — ablations of the implementation choices called out in
+//! `DESIGN.md`.
+//!
+//! * ALG saturation strategy: the paper's literal repeat-until-stable loop
+//!   versus the incremental worklist (same closure, different constants and
+//!   growth).
+//! * Partition sum: the paper's chaining definition evaluated literally
+//!   versus the union–find implementation.
+//! * Free-lattice order: memoized recursion versus the constant-auxiliary-
+//!   space variant used for the Theorem 10 logspace argument.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ps_bench::{fpd_chain, identity_workload, random_partitions};
+use ps_lattice::{free_order, word_problem, Algorithm};
+use std::time::Duration;
+
+fn bench_alg_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_ablation/alg_strategy");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for n in [16usize, 32, 64] {
+        let workload = fpd_chain(n);
+        group.bench_with_input(BenchmarkId::new("naive_fixpoint", n), &n, |b, _| {
+            b.iter(|| {
+                word_problem::entails(
+                    &workload.arena,
+                    &workload.equations,
+                    workload.goal,
+                    Algorithm::NaiveFixpoint,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("worklist", n), &n, |b, _| {
+            b.iter(|| {
+                word_problem::entails(
+                    &workload.arena,
+                    &workload.equations,
+                    workload.goal,
+                    Algorithm::Worklist,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition_sum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_ablation/partition_sum");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for population in [64u32, 256, 1024, 4096] {
+        let parts = random_partitions(population, (population / 8).max(2) as usize, 2, 3);
+        let (left, right) = (&parts[0], &parts[1]);
+        group.bench_with_input(
+            BenchmarkId::new("union_find", population),
+            &population,
+            |b, _| b.iter(|| left.sum(right)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("chaining_definition", population),
+            &population,
+            |b, _| b.iter(|| left.sum_by_chaining(right)),
+        );
+        // Product for scale comparison.
+        group.bench_with_input(BenchmarkId::new("product", population), &population, |b, _| {
+            b.iter(|| left.product(right))
+        });
+    }
+    group.finish();
+}
+
+fn bench_free_order_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_ablation/free_order");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for depth in [4usize, 6, 8] {
+        let (_universe, arena, goal) = identity_workload(depth);
+        group.bench_with_input(BenchmarkId::new("memoized", depth), &depth, |b, _| {
+            b.iter(|| free_order::leq_id(&arena, goal.lhs, goal.rhs))
+        });
+        group.bench_with_input(BenchmarkId::new("constant_space", depth), &depth, |b, _| {
+            b.iter(|| free_order::leq_id_constant_space(&arena, goal.lhs, goal.rhs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_alg_strategies,
+    bench_partition_sum,
+    bench_free_order_variants
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Experiment E6 / F3 — Theorem 11: consistency under CAD + EAP is
+//! NP-complete.
+//!
+//! Sweeps the number of NAE-3SAT variables, builds the Figure 3 reduction and
+//! measures the exact CAD solver, contrasted with the polynomial open-world
+//! test on the very same database and constraints.  The reproduced shape: the
+//! closed-world (CAD) cost grows exponentially with the number of variables
+//! while the open-world chase stays polynomial — the complexity cliff the
+//! paper's Section 6 is about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ps_core::cad::{consistent_with_cad_eap, reduce_nae3sat};
+use ps_core::weak_bridge::satisfiable_with_fpds;
+use ps_sat::random_formula;
+use std::time::Duration;
+
+fn bench_cad_vs_open_world(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6_cad_np");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for num_vars in [4usize, 5, 6, 7] {
+        let num_clauses = num_vars + 2;
+        let formula = random_formula(num_vars, num_clauses, 5);
+        let reduction = reduce_nae3sat(&formula);
+
+        group.bench_with_input(
+            BenchmarkId::new("cad_exact_solver", num_vars),
+            &num_vars,
+            |b, _| {
+                b.iter(|| {
+                    consistent_with_cad_eap(&reduction.database, &reduction.fpds)
+                        .unwrap()
+                        .consistent
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("open_world_chase", num_vars),
+            &num_vars,
+            |b, _| {
+                b.iter(|| {
+                    let mut symbols = reduction.symbols.clone();
+                    satisfiable_with_fpds(&reduction.database, &reduction.fpds, &mut symbols)
+                        .unwrap()
+                        .satisfiable
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_reduction_construction(c: &mut Criterion) {
+    // The reduction itself is polynomial (it is part of the NP-hardness
+    // argument, not of the hard search), so it should scale smoothly.
+    let mut group = c.benchmark_group("E6_cad_np/reduction_build");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+    for num_vars in [4usize, 8, 16, 32] {
+        let formula = random_formula(num_vars, 2 * num_vars, 9);
+        group.bench_with_input(BenchmarkId::new("reduce", num_vars), &num_vars, |b, _| {
+            b.iter(|| reduce_nae3sat(&formula))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cad_vs_open_world, bench_reduction_construction);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Experiments F1 and F2 — regenerating the paper's figures from scratch.
+//!
+//! * **Figure 1**: build the interpretation over {1,2,3,4}, check it against
+//!   the database, the dependency set, CAD and EAP, close it into the lattice
+//!   `L(I)` and test distributivity.
+//! * **Figure 2**: build `r1` and `r2`, check the MVD on both, build the two
+//!   canonical-interpretation lattices and test them for isomorphism.
+//!
+//! The point of timing these is to show the whole reproduction is cheap (the
+//! figures are constant-size worked examples), and to keep them exercised so
+//! regressions in any layer show up here too.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ps_base::AttrSet;
+use ps_core::canonical::canonical_interpretation;
+use ps_core::fixtures::{figure1, figure2};
+use ps_core::lattice_of::InterpretationLattice;
+use ps_relation::Mvd;
+use std::time::Duration;
+
+fn bench_figure1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("F1_figure1");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    group.bench_function("build_and_verify", |b| {
+        b.iter(|| {
+            let fig = figure1();
+            assert!(fig.interpretation.satisfies_database(&fig.database).unwrap());
+            assert!(fig
+                .interpretation
+                .satisfies_all_pds(&fig.arena, &fig.dependencies)
+                .unwrap());
+            assert!(fig.interpretation.satisfies_cad(&fig.database).unwrap());
+            assert!(fig.interpretation.satisfies_eap());
+            fig
+        })
+    });
+    group.bench_function("close_into_lattice", |b| {
+        let fig = figure1();
+        b.iter(|| {
+            let lattice = InterpretationLattice::build(&fig.interpretation, 256).unwrap();
+            assert!(!lattice.is_distributive());
+            lattice.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_figure2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("F2_figure2");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    group.bench_function("mvd_and_lattice_isomorphism", |b| {
+        b.iter(|| {
+            let fig = figure2();
+            let a = fig.universe.lookup("A").unwrap();
+            let b_attr = fig.universe.lookup("B").unwrap();
+            let mvd = Mvd::new(AttrSet::singleton(a), AttrSet::singleton(b_attr));
+            assert!(fig.r1.satisfies_mvd(&mvd));
+            assert!(!fig.r2.satisfies_mvd(&mvd));
+            let l1 =
+                InterpretationLattice::build(&canonical_interpretation(&fig.r1).unwrap(), 64)
+                    .unwrap();
+            let l2 =
+                InterpretationLattice::build(&canonical_interpretation(&fig.r2).unwrap(), 64)
+                    .unwrap();
+            assert!(l1.is_isomorphic_to(&l2));
+            (l1.len(), l2.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure1, bench_figure2);
+criterion_main!(benches);

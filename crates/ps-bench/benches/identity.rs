@@ -1,0 +1,51 @@
+//! Experiment E3 — Theorem 10: recognizing PD identities (PDs true in every
+//! interpretation) is solvable in logarithmic space, in contrast to the
+//! polynomial-time-complete general implication problem.
+//!
+//! Measures the free-lattice order check (both the memoized and the
+//! constant-auxiliary-space variants) against running ALG with an empty
+//! constraint set on the same goals.  The reproduced shape: the dedicated
+//! identity check scales far better than the general algorithm as terms grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ps_bench::identity_workload;
+use ps_lattice::{free_order, word_problem, Algorithm};
+use std::time::Duration;
+
+fn bench_identity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3_identity");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for depth in [2usize, 4, 6, 8, 10] {
+        let (_universe, arena, goal) = identity_workload(depth);
+        // The workload really is an identity.
+        assert!(free_order::is_identity(&arena, goal));
+
+        group.bench_with_input(BenchmarkId::new("free_order_memoized", depth), &depth, |b, _| {
+            b.iter(|| free_order::is_identity(&arena, goal))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("free_order_constant_space", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    free_order::leq_id_constant_space(&arena, goal.lhs, goal.rhs)
+                        && free_order::leq_id_constant_space(&arena, goal.rhs, goal.lhs)
+                })
+            },
+        );
+        // ALG on the empty theory answers the same question but builds the
+        // whole derived order over every subexpression.
+        if depth <= 8 {
+            group.bench_with_input(BenchmarkId::new("alg_empty_theory", depth), &depth, |b, _| {
+                b.iter(|| word_problem::entails(&arena, &[], goal, Algorithm::Worklist))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_identity);
+criterion_main!(benches);

@@ -1,0 +1,367 @@
+//! Workload generators shared by the Criterion benchmarks.
+//!
+//! Every generator is deterministic in an explicit seed so benchmark runs are
+//! reproducible.  Each experiment id from `DESIGN.md` maps to one bench
+//! target (see `benches/`):
+//!
+//! | Experiment | Bench target | Paper claim being reproduced |
+//! |---|---|---|
+//! | E1 | `implication` | Theorem 9: PD implication in polynomial time (ALG) |
+//! | E2 | `fd_implication` | Section 5.3: FD implication three ways |
+//! | E3 | `identity` | Theorem 10: identity recognition is cheaper than ALG |
+//! | E4 | `graph_connectivity` | Example e / Theorem 4: PDs express connectivity |
+//! | E5 | `consistency` | Theorems 6, 7, 12: polynomial consistency tests |
+//! | E6 / F3 | `cad_np` | Theorem 11: CAD+EAP consistency is NP-complete |
+//! | F1, F2 | `figures` | Figures 1 and 2 regenerated from scratch |
+//! | E7 | `ablation` | Design-choice ablations (naïve vs worklist ALG, sum via chaining vs union–find) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ps_base::{AttrSet, Attribute, SymbolTable, Universe};
+use ps_core::Fpd;
+use ps_lattice::{Equation, TermArena, TermId};
+use ps_relation::{Database, Fd, Relation, RelationScheme};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A prepared implication instance: a constraint set `E` and a goal.
+pub struct ImplicationWorkload {
+    /// Attribute universe.
+    pub universe: Universe,
+    /// Term arena holding all expressions.
+    pub arena: TermArena,
+    /// The constraint set `E`.
+    pub equations: Vec<Equation>,
+    /// The goal PD (implied by `E` for the chain workloads).
+    pub goal: Equation,
+}
+
+/// A chain of FPDs `A_0 ≤ A_1 ≤ … ≤ A_{n-1}` with the transitive goal
+/// `A_0 ≤ A_{n-1}` — the classic FD-style workload for experiment E1.
+pub fn fpd_chain(n: usize) -> ImplicationWorkload {
+    assert!(n >= 2);
+    let mut universe = Universe::new();
+    let mut arena = TermArena::new();
+    let attrs: Vec<Attribute> = (0..n).map(|i| universe.attr(&format!("A{i}"))).collect();
+    let equations: Vec<Equation> = (0..n - 1)
+        .map(|i| {
+            let a = arena.atom(attrs[i]);
+            let b = arena.atom(attrs[i + 1]);
+            let ab = arena.meet(a, b);
+            Equation::new(a, ab)
+        })
+        .collect();
+    let first = arena.atom(attrs[0]);
+    let last = arena.atom(attrs[n - 1]);
+    let goal_rhs = arena.meet(first, last);
+    let goal = Equation::new(first, goal_rhs);
+    ImplicationWorkload {
+        universe,
+        arena,
+        equations,
+        goal,
+    }
+}
+
+/// A "grid" of mixed product/sum PDs over `n` attributes: each constraint
+/// relates three consecutive attributes with alternating `*` / `+`, and the
+/// goal asks for an order relation between the two ends.  Exercises both
+/// halves of ALG (experiment E1).
+pub fn mixed_pd_grid(n: usize) -> ImplicationWorkload {
+    assert!(n >= 3);
+    let mut universe = Universe::new();
+    let mut arena = TermArena::new();
+    let attrs: Vec<Attribute> = (0..n).map(|i| universe.attr(&format!("A{i}"))).collect();
+    let mut equations = Vec::new();
+    for i in 0..n - 2 {
+        let a = arena.atom(attrs[i]);
+        let b = arena.atom(attrs[i + 1]);
+        let c = arena.atom(attrs[i + 2]);
+        let rhs = if i % 2 == 0 {
+            arena.meet(a, b)
+        } else {
+            arena.join(a, b)
+        };
+        equations.push(Equation::new(c, rhs));
+    }
+    // Goal: adjoining the last attribute to the join of the first two changes
+    // nothing — implied because every later attribute is generated from the
+    // earlier ones by meets and joins.
+    let first = arena.atom(attrs[0]);
+    let second = arena.atom(attrs[1]);
+    let last = arena.atom(attrs[n - 1]);
+    let base = arena.join(first, second);
+    let with_last = arena.join(base, last);
+    let goal = Equation::new(with_last, base);
+    ImplicationWorkload {
+        universe,
+        arena,
+        equations,
+        goal,
+    }
+}
+
+/// Random PDs over `num_attrs` attributes (experiment E1, negative cases).
+pub fn random_pd_set(
+    num_attrs: usize,
+    num_pds: usize,
+    budget: usize,
+    seed: u64,
+) -> ImplicationWorkload {
+    let mut universe = Universe::new();
+    let mut arena = TermArena::new();
+    let attrs: Vec<Attribute> = (0..num_attrs)
+        .map(|i| universe.attr(&format!("A{i}")))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    fn term(arena: &mut TermArena, attrs: &[Attribute], budget: usize, rng: &mut StdRng) -> TermId {
+        if budget <= 1 || rng.gen_bool(0.3) {
+            return arena.atom(attrs[rng.gen_range(0..attrs.len())]);
+        }
+        let left_budget = rng.gen_range(1..budget);
+        let left = term(arena, attrs, left_budget, rng);
+        let right = term(arena, attrs, budget - left_budget, rng);
+        if rng.gen_bool(0.5) {
+            arena.meet(left, right)
+        } else {
+            arena.join(left, right)
+        }
+    }
+    let equations: Vec<Equation> = (0..num_pds)
+        .map(|_| {
+            let lhs = term(&mut arena, &attrs, budget, &mut rng);
+            let rhs = term(&mut arena, &attrs, budget, &mut rng);
+            Equation::new(lhs, rhs)
+        })
+        .collect();
+    let lhs = term(&mut arena, &attrs, budget, &mut rng);
+    let rhs = term(&mut arena, &attrs, budget, &mut rng);
+    let goal = Equation::new(lhs, rhs);
+    ImplicationWorkload {
+        universe,
+        arena,
+        equations,
+        goal,
+    }
+}
+
+/// A random FD workload (experiment E2).
+pub struct FdWorkload {
+    /// Attribute universe.
+    pub universe: Universe,
+    /// The attributes.
+    pub attrs: Vec<Attribute>,
+    /// The FD set.
+    pub fds: Vec<Fd>,
+    /// A goal FD (implied via the embedded chain).
+    pub goal: Fd,
+}
+
+/// Random FDs with 1–2 attribute left-hand sides plus a transitive chain so
+/// that the goal `A_0 → A_{n-1}` is implied.
+pub fn random_fd_workload(num_attrs: usize, num_random: usize, seed: u64) -> FdWorkload {
+    assert!(num_attrs >= 2);
+    let mut universe = Universe::new();
+    let attrs: Vec<Attribute> = (0..num_attrs)
+        .map(|i| universe.attr(&format!("A{i}")))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fds: Vec<Fd> = (0..num_attrs - 1)
+        .map(|i| ps_relation::fd(&[attrs[i]], &[attrs[i + 1]]))
+        .collect();
+    for _ in 0..num_random {
+        let lhs_len = rng.gen_range(1..=2usize);
+        let mut lhs = Vec::new();
+        while lhs.len() < lhs_len {
+            let a = attrs[rng.gen_range(0..attrs.len())];
+            if !lhs.contains(&a) {
+                lhs.push(a);
+            }
+        }
+        let rhs = attrs[rng.gen_range(0..attrs.len())];
+        fds.push(ps_relation::fd(&lhs, &[rhs]));
+    }
+    let goal = ps_relation::fd(&[attrs[0]], &[attrs[num_attrs - 1]]);
+    FdWorkload {
+        universe,
+        attrs,
+        fds,
+        goal,
+    }
+}
+
+/// A balanced lattice term of the given depth over `attrs`, alternating `*`
+/// and `+` by level (experiment E3 workload).
+pub fn balanced_term(
+    arena: &mut TermArena,
+    attrs: &[Attribute],
+    depth: usize,
+    flip: bool,
+) -> TermId {
+    if depth == 0 {
+        return arena.atom(attrs[if flip { 0 } else { attrs.len() - 1 }]);
+    }
+    let left = balanced_term(arena, attrs, depth - 1, flip);
+    let right = balanced_term(arena, attrs, depth - 1, !flip);
+    if flip {
+        arena.meet(left, right)
+    } else {
+        arena.join(left, right)
+    }
+}
+
+/// An identity-recognition workload: the absorption-style identity
+/// `t * (t + u) = t` for balanced terms `t`, `u` of the given depth.
+pub fn identity_workload(depth: usize) -> (Universe, TermArena, Equation) {
+    let mut universe = Universe::new();
+    let mut arena = TermArena::new();
+    let attrs: Vec<Attribute> = (0..4).map(|i| universe.attr(&format!("A{i}"))).collect();
+    let t = balanced_term(&mut arena, &attrs, depth, true);
+    let u = balanced_term(&mut arena, &attrs, depth, false);
+    let tu = arena.join(t, u);
+    let lhs = arena.meet(t, tu);
+    (universe, arena, Equation::new(lhs, t))
+}
+
+/// A multi-relation database workload for the consistency benchmarks
+/// (experiment E5).
+pub struct ConsistencyWorkload {
+    /// Attribute universe.
+    pub universe: Universe,
+    /// Symbol table.
+    pub symbols: SymbolTable,
+    /// Term arena.
+    pub arena: TermArena,
+    /// The database.
+    pub database: Database,
+    /// The FPD constraints.
+    pub fpds: Vec<Fpd>,
+    /// The same constraints as PDs (meet equations).
+    pub pds: Vec<Equation>,
+}
+
+/// Builds a consistent "join path" database R_0[A_0 A_1], R_1[A_1 A_2], …
+/// with `rows` tuples per relation and FPDs `A_i → A_{i+1}`.
+pub fn consistency_workload(relations: usize, rows: usize, seed: u64) -> ConsistencyWorkload {
+    assert!(relations >= 1);
+    let mut universe = Universe::new();
+    let mut symbols = SymbolTable::new();
+    let mut arena = TermArena::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let attrs: Vec<Attribute> = (0..=relations)
+        .map(|i| universe.attr(&format!("A{i}")))
+        .collect();
+    let mut database = Database::new();
+    for r in 0..relations {
+        let scheme = RelationScheme::new(format!("R{r}"), vec![attrs[r], attrs[r + 1]]);
+        let mut relation = Relation::new(scheme.clone());
+        for _ in 0..rows {
+            // Keep A_i → A_{i+1} satisfiable: the right value is a function
+            // of the left value.
+            let left = rng.gen_range(0..rows.max(1));
+            let right = left % 7;
+            let left_symbol = symbols.symbol(&format!("v{r}_{left}"));
+            let right_symbol = symbols.symbol(&format!("v{}_{right}", r + 1));
+            let mut values = vec![left_symbol; 2];
+            values[scheme.position(attrs[r]).unwrap()] = left_symbol;
+            values[scheme.position(attrs[r + 1]).unwrap()] = right_symbol;
+            relation.insert_values(&values).expect("arity matches");
+        }
+        database.add(relation);
+    }
+    let fpds: Vec<Fpd> = (0..relations)
+        .map(|i| Fpd::new(AttrSet::singleton(attrs[i]), AttrSet::singleton(attrs[i + 1])))
+        .collect();
+    let pds: Vec<Equation> = fpds.iter().map(|f| f.as_meet_equation(&mut arena)).collect();
+    ConsistencyWorkload {
+        universe,
+        symbols,
+        arena,
+        database,
+        fpds,
+        pds,
+    }
+}
+
+/// Random partitions over a common population `{0, …, population-1}`, for the
+/// partition-operation ablation (experiment E7).
+pub fn random_partitions(
+    population: u32,
+    blocks: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<ps_partition::Partition> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let assignment: Vec<(ps_partition::Element, usize)> = (0..population)
+                .map(|e| (ps_partition::Element::new(e), rng.gen_range(0..blocks)))
+                .collect();
+            ps_partition::Partition::from_keys(assignment)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_lattice::{free_order, word_problem, Algorithm};
+
+    #[test]
+    fn chain_goals_are_implied_and_grid_goals_too() {
+        for n in [2usize, 5, 17] {
+            let w = fpd_chain(n);
+            assert!(word_problem::entails(&w.arena, &w.equations, w.goal, Algorithm::Worklist));
+        }
+        for n in [3usize, 6, 12] {
+            let w = mixed_pd_grid(n);
+            assert!(word_problem::entails(&w.arena, &w.equations, w.goal, Algorithm::Worklist));
+        }
+    }
+
+    #[test]
+    fn random_pd_sets_are_well_formed() {
+        let w = random_pd_set(5, 6, 5, 99);
+        assert_eq!(w.equations.len(), 6);
+        // Both strategies agree on the random goal.
+        assert_eq!(
+            word_problem::entails(&w.arena, &w.equations, w.goal, Algorithm::Worklist),
+            word_problem::entails(&w.arena, &w.equations, w.goal, Algorithm::NaiveFixpoint)
+        );
+    }
+
+    #[test]
+    fn fd_workload_goal_is_implied() {
+        let w = random_fd_workload(8, 4, 3);
+        assert!(ps_relation::fd_closure::implies(&w.fds, &w.goal));
+    }
+
+    #[test]
+    fn identity_workload_is_an_identity() {
+        for depth in [1usize, 3, 5] {
+            let (_u, arena, eq) = identity_workload(depth);
+            assert!(free_order::is_identity(&arena, eq));
+        }
+    }
+
+    #[test]
+    fn consistency_workload_is_consistent() {
+        let mut w = consistency_workload(4, 16, 7);
+        let fds: Vec<Fd> = w.fpds.iter().map(Fpd::to_fd).collect();
+        assert!(ps_relation::consistency::weak_instance_consistent(
+            &w.database,
+            &fds,
+            &mut w.symbols
+        ));
+    }
+
+    #[test]
+    fn random_partitions_share_a_population() {
+        let parts = random_partitions(32, 4, 3, 1);
+        assert_eq!(parts.len(), 3);
+        assert!(parts
+            .windows(2)
+            .all(|pair| pair[0].population() == pair[1].population()));
+    }
+}

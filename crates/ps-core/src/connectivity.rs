@@ -1,0 +1,476 @@
+//! Partition dependencies and undirected connectivity (Example e of
+//! Section 3.2, characterization (II) of Section 4.1, and Theorem 4 of
+//! Section 4.2).
+//!
+//! Example e encodes an undirected graph as a relation over head `A`, tail
+//! `B` and component `C` (the `ps-graph` crate builds those relations); the
+//! partition dependency `C = A + B` then holds **iff** the `C` column names
+//! exactly the connected components.  Theorem 4 shows that this cannot be
+//! expressed by any set of first-order sentences: its proof uses the growing
+//! "path" relations `r_i`, reproduced here by [`theorem4_path_relation`],
+//! whose extreme tuples are chain-connected only by chains of length `Θ(i)`
+//! ([`tuple_chain_distance`]), defeating every bounded-length test
+//! ([`chain_connected_within`]).
+
+use std::collections::{HashMap, VecDeque};
+
+use ps_base::{Attribute, SymbolTable, Universe};
+use ps_graph::{components_union_find, GraphEncoding, UndirectedGraph};
+use ps_lattice::{Equation, TermArena};
+use ps_partition::UnionFind;
+use ps_relation::{Relation, RelationScheme};
+
+use crate::canonical::{canonical_interpretation, relation_satisfies_pd};
+use crate::Result;
+
+/// Builds the Example e partition dependency `C = A + B` for a graph
+/// encoding.
+pub fn connectivity_pd(arena: &mut TermArena, encoding: &GraphEncoding) -> Equation {
+    connectivity_pd_for(
+        arena,
+        encoding.attr_component,
+        encoding.attr_head,
+        encoding.attr_tail,
+    )
+}
+
+/// Builds the partition dependency `component = head + tail` for arbitrary
+/// attributes.
+pub fn connectivity_pd_for(
+    arena: &mut TermArena,
+    component: Attribute,
+    head: Attribute,
+    tail: Attribute,
+) -> Equation {
+    let c = arena.atom(component);
+    let a = arena.atom(head);
+    let b = arena.atom(tail);
+    let ab = arena.join(a, b);
+    Equation::new(c, ab)
+}
+
+/// Whether the relation's `C` column names exactly the connected components,
+/// decided through partition semantics: `r ⊨ C = A + B` via the canonical
+/// interpretation `I(r)` (Definition 7).
+pub fn relation_encodes_components(
+    relation: &Relation,
+    arena: &mut TermArena,
+    encoding: &GraphEncoding,
+) -> Result<bool> {
+    let pd = connectivity_pd(arena, encoding);
+    relation_satisfies_pd(relation, arena, pd)
+}
+
+/// Whether a vertex labelling is the connected-component labelling of
+/// `graph`, decided with the union–find baseline (the comparison point of
+/// experiment E4).  Two labellings are considered the same when they induce
+/// the same partition of the vertices.
+pub fn labelling_is_components(graph: &UndirectedGraph, labelling: &[usize]) -> bool {
+    assert_eq!(
+        labelling.len(),
+        graph.num_vertices(),
+        "labelling must cover every vertex"
+    );
+    let components = components_union_find(graph);
+    // Same partition ⇔ the two labellings refine each other.
+    let mut label_to_comp: HashMap<usize, usize> = HashMap::new();
+    let mut comp_to_label: HashMap<usize, usize> = HashMap::new();
+    for v in graph.vertices() {
+        if *label_to_comp.entry(labelling[v]).or_insert(components[v]) != components[v] {
+            return false;
+        }
+        if *comp_to_label.entry(components[v]).or_insert(labelling[v]) != labelling[v] {
+            return false;
+        }
+    }
+    true
+}
+
+/// Computes the connected components of a graph *through partition
+/// semantics*: evaluate the expression `A + B` in the canonical
+/// interpretation of the Example e relation and read the component of each
+/// vertex off the block containing its reflexive tuple `v v c`.
+///
+/// Returns one component id per vertex (ids are arbitrary but consistent).
+/// Cross-checked against [`ps_graph::components_union_find`] in tests; used
+/// as the "PD semantics" side of the experiment E4 benchmark.
+pub fn components_via_partition_semantics(
+    relation: &Relation,
+    arena: &mut TermArena,
+    encoding: &GraphEncoding,
+) -> Result<Vec<usize>> {
+    let interpretation = canonical_interpretation(relation)?;
+    if interpretation.is_empty() {
+        // No tuples: every vertex is alone (if there are vertices at all,
+        // they do not occur in the relation, so report one block each).
+        return Ok((0..encoding.vertex_symbols.len()).collect());
+    }
+    let a = arena.atom(encoding.attr_head);
+    let b = arena.atom(encoding.attr_tail);
+    let sum = arena.join(a, b);
+    let partition = interpretation.eval(arena, sum)?;
+
+    // Locate, for every vertex, the reflexive tuple `v v c`.
+    let scheme = relation.scheme();
+    let mut reflexive: HashMap<ps_base::Symbol, usize> = HashMap::new();
+    for (idx, tuple) in relation.iter().enumerate() {
+        let head = tuple.get(scheme, encoding.attr_head)?;
+        let tail = tuple.get(scheme, encoding.attr_tail)?;
+        if head == tail {
+            reflexive.entry(head).or_insert(idx);
+        }
+    }
+
+    let mut next_isolated = partition.num_blocks();
+    let components = encoding
+        .vertex_symbols
+        .iter()
+        .map(|symbol| match reflexive.get(symbol) {
+            Some(&tuple_idx) => partition
+                .block_index_of(ps_partition::Element::new(tuple_idx as u32))
+                .expect("tuple indices populate the canonical interpretation"),
+            None => {
+                // Isolated vertex (no incident edge): it forms its own
+                // component, with an id outside the partition's block range.
+                next_isolated += 1;
+                next_isolated - 1
+            }
+        })
+        .collect();
+    Ok(components)
+}
+
+/// The number of connected components according to partition semantics
+/// (the number of blocks of `A + B` in `I(r)`, plus isolated vertices).
+pub fn num_components_via_partition_semantics(
+    relation: &Relation,
+    arena: &mut TermArena,
+    encoding: &GraphEncoding,
+) -> Result<usize> {
+    let components = components_via_partition_semantics(relation, arena, encoding)?;
+    let mut ids = components;
+    ids.sort_unstable();
+    ids.dedup();
+    Ok(ids.len())
+}
+
+/// The Theorem 4 "path" relation `r_i` (for even `i ≥ 2`):
+///
+/// ```text
+/// r_i = { 1.2.0,  3.2.0,  3.4.0,  5.4.0,  …,  (i-1).i.0,  (i+1).i.0,  (i+1).(i+2).0 }
+/// ```
+///
+/// over attributes `A`, `B`, `C`.  Every tuple carries the same `C` value, and
+/// consecutive tuples share an `A` or a `B` value, so the relation satisfies
+/// `C = A + B`; but the first and last tuples are connected only by the full
+/// chain, whose length grows with `i`.  This is the structure the compactness
+/// argument of Theorem 4 uses to defeat any fixed set of first-order
+/// sentences.
+pub fn theorem4_path_relation(
+    i: usize,
+    universe: &mut Universe,
+    symbols: &mut SymbolTable,
+) -> Relation {
+    assert!(i >= 2 && i.is_multiple_of(2), "Theorem 4 uses even i ≥ 2");
+    let a = universe.attr("A");
+    let b = universe.attr("B");
+    let c = universe.attr("C");
+    let attrs: ps_base::AttrSet = vec![a, b, c].into();
+    let scheme = RelationScheme::new(format!("r{i}"), attrs);
+    let mut relation = Relation::new(scheme.clone());
+    let zero = symbols.symbol("0");
+    let number = |n: usize, symbols: &mut SymbolTable| symbols.symbol(&n.to_string());
+
+    let pos_a = scheme.position(a).expect("A in scheme");
+    let pos_b = scheme.position(b).expect("B in scheme");
+    let pos_c = scheme.position(c).expect("C in scheme");
+    let push = |x: usize, y: usize, symbols: &mut SymbolTable, relation: &mut Relation| {
+        let mut values = vec![zero; 3];
+        values[pos_a] = number(x, symbols);
+        values[pos_b] = number(y, symbols);
+        values[pos_c] = zero;
+        relation
+            .insert_values(&values)
+            .expect("arity matches the scheme");
+    };
+
+    // 1.2.0, then (2k+1).(2k).0 and (2k+1).(2k+2).0 for k = 1 .. i/2.
+    push(1, 2, symbols, &mut relation);
+    for k in 1..=(i / 2) {
+        push(2 * k + 1, 2 * k, symbols, &mut relation);
+        push(2 * k + 1, 2 * k + 2, symbols, &mut relation);
+    }
+    relation
+}
+
+/// Builds the tuple-adjacency structure used by the Theorem 4 chain
+/// arguments: two tuples are adjacent iff they agree on `A` or on `B`
+/// (the chains of characterization (II)).
+fn tuple_adjacency(relation: &Relation, head: Attribute, tail: Attribute) -> Vec<Vec<usize>> {
+    let scheme = relation.scheme();
+    let n = relation.len();
+    let mut by_a: HashMap<ps_base::Symbol, Vec<usize>> = HashMap::new();
+    let mut by_b: HashMap<ps_base::Symbol, Vec<usize>> = HashMap::new();
+    for (idx, tuple) in relation.iter().enumerate() {
+        let a = tuple.get(scheme, head).expect("head attribute in scheme");
+        let b = tuple.get(scheme, tail).expect("tail attribute in scheme");
+        by_a.entry(a).or_default().push(idx);
+        by_b.entry(b).or_default().push(idx);
+    }
+    let mut adjacency = vec![Vec::new(); n];
+    for group in by_a.values().chain(by_b.values()) {
+        for (i, &x) in group.iter().enumerate() {
+            for &y in &group[i + 1..] {
+                adjacency[x].push(y);
+                adjacency[y].push(x);
+            }
+        }
+    }
+    adjacency
+}
+
+/// The length of a shortest tuple chain `t = t_0, …, t_n = h` in which
+/// consecutive tuples agree on `A` or on `B` (characterization (II)), or
+/// `None` if the two tuples are not chain-connected at all.
+pub fn tuple_chain_distance(
+    relation: &Relation,
+    head: Attribute,
+    tail: Attribute,
+    from: usize,
+    to: usize,
+) -> Option<usize> {
+    assert!(from < relation.len() && to < relation.len(), "tuple index out of range");
+    if from == to {
+        return Some(0);
+    }
+    let adjacency = tuple_adjacency(relation, head, tail);
+    let mut distance = vec![usize::MAX; relation.len()];
+    distance[from] = 0;
+    let mut queue = VecDeque::from([from]);
+    while let Some(v) = queue.pop_front() {
+        for &w in &adjacency[v] {
+            if distance[w] == usize::MAX {
+                distance[w] = distance[v] + 1;
+                if w == to {
+                    return Some(distance[w]);
+                }
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+/// Whether tuples `from` and `to` are chain-connected by a chain of length at
+/// most `k` — the bounded-connectivity property the first-order formulas
+/// `φ_k` of the Theorem 4 proof can express.  Theorem 4's point is that no
+/// finite bound `k` suffices: [`theorem4_path_relation`] provides, for every
+/// `k`, a relation satisfying `C = A + B` whose equal-`C` tuples need chains
+/// longer than `k`.
+pub fn chain_connected_within(
+    relation: &Relation,
+    head: Attribute,
+    tail: Attribute,
+    from: usize,
+    to: usize,
+    k: usize,
+) -> bool {
+    matches!(tuple_chain_distance(relation, head, tail, from, to), Some(d) if d <= k)
+}
+
+/// Checks characterization (II) of Section 4.1 directly on a relation —
+/// equal `C` values iff chain-connected on `A`/`B` — without building the
+/// canonical interpretation.  Used to cross-validate
+/// [`relation_encodes_components`] and as a faster baseline in the
+/// experiment E4 benchmark.
+pub fn satisfies_sum_pd_directly(
+    relation: &Relation,
+    component: Attribute,
+    head: Attribute,
+    tail: Attribute,
+) -> bool {
+    let scheme = relation.scheme();
+    let n = relation.len();
+    if n == 0 {
+        return true;
+    }
+    // Chain-connectivity classes via union–find over tuples.
+    let mut uf = UnionFind::new(n);
+    let mut by_a: HashMap<ps_base::Symbol, usize> = HashMap::new();
+    let mut by_b: HashMap<ps_base::Symbol, usize> = HashMap::new();
+    for (idx, tuple) in relation.iter().enumerate() {
+        let a = tuple.get(scheme, head).expect("head attribute in scheme");
+        let b = tuple.get(scheme, tail).expect("tail attribute in scheme");
+        match by_a.get(&a) {
+            Some(&leader) => {
+                uf.union(leader, idx);
+            }
+            None => {
+                by_a.insert(a, idx);
+            }
+        }
+        match by_b.get(&b) {
+            Some(&leader) => {
+                uf.union(leader, idx);
+            }
+            None => {
+                by_b.insert(b, idx);
+            }
+        }
+    }
+    // Equal C ⇔ same chain class.
+    let c_values: Vec<ps_base::Symbol> = relation
+        .iter()
+        .map(|t| t.get(scheme, component).expect("component attribute in scheme"))
+        .collect();
+    let mut class_of_c: HashMap<ps_base::Symbol, usize> = HashMap::new();
+    let mut c_of_class: HashMap<usize, ps_base::Symbol> = HashMap::new();
+    for (idx, &c) in c_values.iter().enumerate() {
+        let class = uf.find(idx);
+        if *class_of_c.entry(c).or_insert(class) != class {
+            return false;
+        }
+        if *c_of_class.entry(class).or_insert(c) != c {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_graph::{component_relation, edge_relation, gnp, path};
+
+    fn setup() -> (Universe, SymbolTable, TermArena) {
+        (Universe::new(), SymbolTable::new(), TermArena::new())
+    }
+
+    #[test]
+    fn component_relation_satisfies_the_connectivity_pd() {
+        let (mut universe, mut symbols, mut arena) = setup();
+        let mut graph = UndirectedGraph::new(6);
+        graph.add_edge(0, 1);
+        graph.add_edge(1, 2);
+        graph.add_edge(3, 4);
+        let (relation, encoding) = component_relation(&graph, &mut universe, &mut symbols, "G");
+        assert!(relation_encodes_components(&relation, &mut arena, &encoding).unwrap());
+        assert!(satisfies_sum_pd_directly(
+            &relation,
+            encoding.attr_component,
+            encoding.attr_head,
+            encoding.attr_tail
+        ));
+    }
+
+    #[test]
+    fn wrong_labelling_violates_the_connectivity_pd() {
+        let (mut universe, mut symbols, mut arena) = setup();
+        let graph = path(4); // one component
+        // Pretend vertices 2, 3 are a separate component.
+        let labelling = vec![0, 0, 1, 1];
+        let (relation, encoding) =
+            edge_relation(&graph, &labelling, &mut universe, &mut symbols, "G");
+        assert!(!relation_encodes_components(&relation, &mut arena, &encoding).unwrap());
+        assert!(!satisfies_sum_pd_directly(
+            &relation,
+            encoding.attr_component,
+            encoding.attr_head,
+            encoding.attr_tail
+        ));
+        assert!(!labelling_is_components(&graph, &labelling));
+        assert!(labelling_is_components(&graph, &[7, 7, 7, 7]));
+    }
+
+    #[test]
+    fn partition_semantics_components_agree_with_union_find() {
+        let (mut universe, mut symbols, mut arena) = setup();
+        for seed in 0..5 {
+            let graph = gnp(24, 0.08, seed);
+            let (relation, encoding) =
+                component_relation(&graph, &mut universe, &mut symbols, "G");
+            let via_pd =
+                components_via_partition_semantics(&relation, &mut arena, &encoding).unwrap();
+            let via_uf = components_union_find(&graph);
+            // Same partition of the vertex set (ids may differ).
+            assert!(labelling_is_components(&graph, &via_pd), "seed {seed}");
+            assert_eq!(via_pd.len(), via_uf.len());
+            assert_eq!(
+                num_components_via_partition_semantics(&relation, &mut arena, &encoding).unwrap(),
+                ps_graph::num_components(&graph),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_get_their_own_components() {
+        let (mut universe, mut symbols, mut arena) = setup();
+        let mut graph = UndirectedGraph::new(5);
+        graph.add_edge(0, 1);
+        // Vertices 2, 3, 4 have no incident edge and never occur in the relation.
+        let (relation, encoding) = component_relation(&graph, &mut universe, &mut symbols, "G");
+        let components =
+            components_via_partition_semantics(&relation, &mut arena, &encoding).unwrap();
+        assert_eq!(components.len(), 5);
+        assert_eq!(components[0], components[1]);
+        assert_ne!(components[2], components[3]);
+        assert_ne!(components[2], components[0]);
+        assert_eq!(
+            num_components_via_partition_semantics(&relation, &mut arena, &encoding).unwrap(),
+            4
+        );
+    }
+
+    #[test]
+    fn theorem4_path_relations_satisfy_the_pd_but_need_long_chains() {
+        let (mut universe, mut symbols, mut arena) = setup();
+        for i in [2usize, 4, 8, 12] {
+            let relation = theorem4_path_relation(i, &mut universe, &mut symbols);
+            assert_eq!(relation.len(), i + 1);
+            let a = universe.lookup("A").unwrap();
+            let b = universe.lookup("B").unwrap();
+            let c = universe.lookup("C").unwrap();
+            let pd = connectivity_pd_for(&mut arena, c, a, b);
+            assert!(relation_satisfies_pd(&relation, &arena, pd).unwrap(), "i = {i}");
+            // The first and last tuples are connected, but only by the full chain.
+            let last = relation.len() - 1;
+            let distance = tuple_chain_distance(&relation, a, b, 0, last).unwrap();
+            assert_eq!(distance, i, "i = {i}");
+            assert!(chain_connected_within(&relation, a, b, 0, last, i));
+            assert!(!chain_connected_within(&relation, a, b, 0, last, i - 1));
+        }
+    }
+
+    #[test]
+    fn chain_distance_handles_disconnected_and_trivial_cases() {
+        let (mut universe, mut symbols, _arena) = setup();
+        let mut graph = UndirectedGraph::new(4);
+        graph.add_edge(0, 1);
+        graph.add_edge(2, 3);
+        let (relation, encoding) = component_relation(&graph, &mut universe, &mut symbols, "G");
+        // A reflexive tuple of vertex 0 and one of vertex 2 are not connected.
+        let scheme = relation.scheme();
+        let idx_of = |v: usize| {
+            relation
+                .iter()
+                .position(|t| {
+                    t.get(scheme, encoding.attr_head).unwrap() == encoding.vertex_symbols[v]
+                        && t.get(scheme, encoding.attr_tail).unwrap() == encoding.vertex_symbols[v]
+                })
+                .unwrap()
+        };
+        let (t0, t2) = (idx_of(0), idx_of(2));
+        assert_eq!(tuple_chain_distance(&relation, encoding.attr_head, encoding.attr_tail, t0, t0), Some(0));
+        assert_eq!(tuple_chain_distance(&relation, encoding.attr_head, encoding.attr_tail, t0, t2), None);
+        assert!(!chain_connected_within(&relation, encoding.attr_head, encoding.attr_tail, t0, t2, 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "even i")]
+    fn theorem4_rejects_odd_parameters() {
+        let mut universe = Universe::new();
+        let mut symbols = SymbolTable::new();
+        let _ = theorem4_path_relation(3, &mut universe, &mut symbols);
+    }
+}

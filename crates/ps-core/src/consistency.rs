@@ -1,0 +1,697 @@
+//! Polynomial-time consistency of a database with a set of partition
+//! dependencies (Section 6.2, Lemma 12.1 and Theorem 12).
+//!
+//! The pipeline follows the paper's transformation exactly:
+//!
+//! 1. **Normalize** `E` into an equivalent set `E′` of PDs of the forms
+//!    `C = A * B`, `C = A + B` and `X = Y` over an extended attribute
+//!    universe `U′` (one new attribute per compound subexpression) —
+//!    [`normalize_pds`].
+//! 2. **Split** into functional partition dependencies (kept as the FD set
+//!    `F`) and residual sum constraints `C ≤ A + B`.
+//! 3. **Close**: compute all consequences `A ≤ B` between attributes with the
+//!    word-problem algorithm of Section 5 and add them to `F`; drop any
+//!    `C ≤ A + B` whose `A ≤ B` or `B ≤ A` is derivable (then `A + B`
+//!    collapses and the constraint becomes an FPD).
+//! 4. **Chase**: by Lemma 12.1, the database is consistent with `E` iff it is
+//!    consistent with the FD set `F` alone, which Honeyman's chase decides in
+//!    polynomial time — [`consistent_with_pds`].
+//!
+//! Lemma 12.1's constructive argument (adding bridging tuples to repair
+//! violated sum constraints) is implemented by [`repair_sum_violations`], so
+//! the tests can exhibit an explicit weak instance satisfying the *whole* of
+//! `E⁺`, not just `F`.
+
+use std::collections::HashMap;
+
+use ps_base::{AttrSet, Attribute, Symbol, SymbolTable, Universe};
+use ps_lattice::{Algorithm, Equation, TermArena, TermNode};
+use ps_partition::UnionFind;
+use ps_relation::{chase_fds_over, fd_closure, ChaseOutcome, Database, Fd, Relation};
+
+use crate::implication::atom_order_closure;
+use crate::Result;
+
+/// A residual sum constraint `target ≤ left + right` (the only non-functional
+/// shape surviving the Section 6.2 transformation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SumConstraint {
+    /// The bounded attribute `C`.
+    pub target: Attribute,
+    /// The left summand `A`.
+    pub left: Attribute,
+    /// The right summand `B`.
+    pub right: Attribute,
+}
+
+impl SumConstraint {
+    /// Renders the constraint as `C<=A+B`.
+    pub fn render(&self, universe: &Universe) -> String {
+        format!(
+            "{}<={}+{}",
+            universe.name(self.target).unwrap_or("?"),
+            universe.name(self.left).unwrap_or("?"),
+            universe.name(self.right).unwrap_or("?")
+        )
+    }
+}
+
+/// The result of normalizing a set of PDs into binary form (step 1 and 2 of
+/// the Section 6.2 pipeline).
+#[derive(Debug, Clone, Default)]
+pub struct NormalizedConstraints {
+    /// Functional dependencies `F` (the FD images of all FPD-shaped pieces).
+    pub fds: Vec<Fd>,
+    /// Residual sum constraints `C ≤ A + B`.
+    pub sums: Vec<SumConstraint>,
+    /// The binary PDs `E′` themselves, as equations (used for the closure).
+    pub equations: Vec<Equation>,
+    /// Every attribute of the extended universe `U′` mentioned by the
+    /// constraints (original attributes plus the definitional ones).
+    pub attributes: AttrSet,
+    /// The definitional attributes introduced for compound subexpressions,
+    /// together with the subexpression they name.
+    pub definitions: Vec<(Attribute, ps_lattice::TermId)>,
+}
+
+fn push_fd(fds: &mut Vec<Fd>, lhs: AttrSet, rhs: AttrSet) {
+    let fd = Fd::new(lhs, rhs);
+    if !fd.is_trivial() && !fds.contains(&fd) {
+        fds.push(fd);
+    }
+}
+
+/// Normalizes a set of PDs into the equivalent binary form of Section 6.2:
+/// every compound subexpression `l op r` receives a fresh definitional
+/// attribute `_t<id>` constrained by `_t<id> = l op r`, and every original
+/// equation becomes an equality between two attributes.
+///
+/// The FD / sum-constraint split is performed at the same time:
+/// `C = A * B` contributes the FDs `C → AB` and `AB → C`; `C = A + B`
+/// contributes the FDs `A → C`, `B → C` and the residual constraint
+/// `C ≤ A + B`; `X = Y` contributes `X → Y` and `Y → X`.
+pub fn normalize_pds(
+    pds: &[Equation],
+    arena: &mut TermArena,
+    universe: &mut Universe,
+) -> NormalizedConstraints {
+    let mut out = NormalizedConstraints::default();
+    let mut attr_of: HashMap<ps_lattice::TermId, Attribute> = HashMap::new();
+
+    // Recursively assign an attribute to a term, emitting the definitional
+    // constraints for compound nodes.
+    fn attr_of_term(
+        term: ps_lattice::TermId,
+        arena: &mut TermArena,
+        universe: &mut Universe,
+        attr_of: &mut HashMap<ps_lattice::TermId, Attribute>,
+        out: &mut NormalizedConstraints,
+    ) -> Attribute {
+        if let Some(&a) = attr_of.get(&term) {
+            return a;
+        }
+        let node = arena.node(term);
+        let attr = match node {
+            TermNode::Atom(a) => a,
+            TermNode::Meet(l, r) => {
+                let la = attr_of_term(l, arena, universe, attr_of, out);
+                let ra = attr_of_term(r, arena, universe, attr_of, out);
+                let fresh = universe.attr(&format!("_t{}", term.index()));
+                out.definitions.push((fresh, term));
+                // fresh = la * ra  ⇒  FDs fresh → {la, ra} and {la, ra} → fresh.
+                let both: AttrSet = vec![la, ra].into();
+                push_fd(&mut out.fds, AttrSet::singleton(fresh), both.clone());
+                push_fd(&mut out.fds, both.clone(), AttrSet::singleton(fresh));
+                // Record the binary equation fresh = la * ra for the closure.
+                let lhs = arena.atom(fresh);
+                let la_t = arena.atom(la);
+                let ra_t = arena.atom(ra);
+                let rhs = arena.meet(la_t, ra_t);
+                out.equations.push(Equation::new(lhs, rhs));
+                fresh
+            }
+            TermNode::Join(l, r) => {
+                let la = attr_of_term(l, arena, universe, attr_of, out);
+                let ra = attr_of_term(r, arena, universe, attr_of, out);
+                let fresh = universe.attr(&format!("_t{}", term.index()));
+                out.definitions.push((fresh, term));
+                // fresh = la + ra  ⇒  FDs la → fresh, ra → fresh plus the
+                // residual constraint fresh ≤ la + ra.
+                push_fd(&mut out.fds, AttrSet::singleton(la), AttrSet::singleton(fresh));
+                push_fd(&mut out.fds, AttrSet::singleton(ra), AttrSet::singleton(fresh));
+                out.sums.push(SumConstraint {
+                    target: fresh,
+                    left: la,
+                    right: ra,
+                });
+                let lhs = arena.atom(fresh);
+                let la_t = arena.atom(la);
+                let ra_t = arena.atom(ra);
+                let rhs = arena.join(la_t, ra_t);
+                out.equations.push(Equation::new(lhs, rhs));
+                fresh
+            }
+        };
+        attr_of.insert(term, attr);
+        out.attributes.insert(attr);
+        attr
+    }
+
+    for pd in pds {
+        let lhs = attr_of_term(pd.lhs, arena, universe, &mut attr_of, &mut out);
+        let rhs = attr_of_term(pd.rhs, arena, universe, &mut attr_of, &mut out);
+        if lhs != rhs {
+            push_fd(&mut out.fds, AttrSet::singleton(lhs), AttrSet::singleton(rhs));
+            push_fd(&mut out.fds, AttrSet::singleton(rhs), AttrSet::singleton(lhs));
+            let l = arena.atom(lhs);
+            let r = arena.atom(rhs);
+            out.equations.push(Equation::new(l, r));
+        }
+        // Original atoms of the PD are part of U′ as well.
+        for a in arena.atoms(pd.lhs).iter().chain(arena.atoms(pd.rhs).iter()) {
+            out.attributes.insert(a);
+        }
+    }
+    out
+}
+
+/// The fully transformed constraint set `E⁺` of Section 6.2: the FD set `F`
+/// enriched with every derivable `A ≤ B` between attributes, and the
+/// surviving sum constraints.
+#[derive(Debug, Clone, Default)]
+pub struct ClosedConstraints {
+    /// The FD set `F` used by the chase.
+    pub fds: Vec<Fd>,
+    /// Sum constraints that could not be reduced to FPDs.
+    pub sums: Vec<SumConstraint>,
+    /// The extended attribute universe `U′`.
+    pub attributes: AttrSet,
+}
+
+/// Computes `E⁺` from a normalized constraint set: adds every derivable
+/// `A ≤ B` (as the FD `A → B`) to `F`, and eliminates each sum constraint
+/// `C ≤ A + B` for which `A ≤ B` or `B ≤ A` is derivable (step 3 of the
+/// pipeline).
+pub fn close_constraints(
+    normalized: &NormalizedConstraints,
+    arena: &mut TermArena,
+    algorithm: Algorithm,
+) -> ClosedConstraints {
+    let attributes: Vec<Attribute> = normalized.attributes.iter().collect();
+    let consequences = atom_order_closure(arena, &normalized.equations, &attributes, algorithm);
+    let leq = |a: Attribute, b: Attribute| consequences.contains(&(a, b));
+
+    let mut fds = normalized.fds.clone();
+    for &(a, b) in &consequences {
+        push_fd(&mut fds, AttrSet::singleton(a), AttrSet::singleton(b));
+    }
+
+    let mut sums = Vec::new();
+    for &sum in &normalized.sums {
+        if leq(sum.left, sum.right) {
+            // A ≤ B collapses A + B to B, so the constraint is C ≤ B.
+            push_fd(&mut fds, AttrSet::singleton(sum.target), AttrSet::singleton(sum.right));
+        } else if leq(sum.right, sum.left) {
+            push_fd(&mut fds, AttrSet::singleton(sum.target), AttrSet::singleton(sum.left));
+        } else {
+            sums.push(sum);
+        }
+    }
+
+    ClosedConstraints {
+        fds,
+        sums,
+        attributes: normalized.attributes.clone(),
+    }
+}
+
+/// The outcome of the Section 6.2 consistency test.
+#[derive(Debug, Clone)]
+pub struct ConsistencyOutcome {
+    /// Whether the database is consistent with the PDs (equivalently: whether
+    /// a weak instance satisfying them — and hence a satisfying partition
+    /// interpretation, Theorem 7 — exists).
+    pub consistent: bool,
+    /// The FD set `F` the chase was run with.
+    pub fds: Vec<Fd>,
+    /// The surviving sum constraints `C ≤ A + B`.
+    pub sums: Vec<SumConstraint>,
+    /// The extended attribute universe `U′`.
+    pub attributes: AttrSet,
+    /// The raw chase outcome.
+    pub chase: ChaseOutcome,
+    /// The representative weak instance produced by the chase, when
+    /// consistent.  It satisfies `F`; apply [`repair_sum_violations`] to also
+    /// satisfy the sum constraints.
+    pub weak_instance: Option<Relation>,
+}
+
+/// Theorem 12: polynomial-time consistency of a database with an arbitrary
+/// set of PDs.  Normalizes, closes and chases in one call.
+pub fn consistent_with_pds(
+    db: &Database,
+    pds: &[Equation],
+    arena: &mut TermArena,
+    universe: &mut Universe,
+    symbols: &mut SymbolTable,
+    algorithm: Algorithm,
+) -> Result<ConsistencyOutcome> {
+    let normalized = normalize_pds(pds, arena, universe);
+    let closed = close_constraints(&normalized, arena, algorithm);
+
+    // The chase runs over the database's attributes together with every
+    // attribute the constraints mention.
+    let mut attrs = db.all_attributes();
+    for a in closed.attributes.iter() {
+        attrs.insert(a);
+    }
+
+    let chase = chase_fds_over(db, &attrs, &closed.fds, symbols);
+    let weak_instance = if chase.consistent {
+        chase.weak_instance("weak_instance", &attrs)
+    } else {
+        None
+    };
+    Ok(ConsistencyOutcome {
+        consistent: chase.consistent,
+        fds: closed.fds,
+        sums: closed.sums,
+        attributes: attrs,
+        chase,
+        weak_instance,
+    })
+}
+
+/// Whether a relation satisfies the *one-directional* sum PD `C ≤ A + B`
+/// under Definition 7: tuples with equal `C` entries must be chain-connected
+/// through shared `A` or `B` entries.
+pub fn relation_satisfies_sum_constraint(relation: &Relation, constraint: SumConstraint) -> bool {
+    let scheme = relation.scheme();
+    if !scheme.contains(constraint.target)
+        || !scheme.contains(constraint.left)
+        || !scheme.contains(constraint.right)
+    {
+        // Attributes outside the scheme denote nothing; the constraint is
+        // vacuous on this relation.
+        return true;
+    }
+    let n = relation.len();
+    if n == 0 {
+        return true;
+    }
+    let mut uf = UnionFind::new(n);
+    let mut by_a: HashMap<Symbol, usize> = HashMap::new();
+    let mut by_b: HashMap<Symbol, usize> = HashMap::new();
+    for (idx, tuple) in relation.iter().enumerate() {
+        let a = tuple.get(scheme, constraint.left).expect("left in scheme");
+        let b = tuple.get(scheme, constraint.right).expect("right in scheme");
+        match by_a.get(&a) {
+            Some(&leader) => {
+                uf.union(leader, idx);
+            }
+            None => {
+                by_a.insert(a, idx);
+            }
+        }
+        match by_b.get(&b) {
+            Some(&leader) => {
+                uf.union(leader, idx);
+            }
+            None => {
+                by_b.insert(b, idx);
+            }
+        }
+    }
+    let mut class_of_c: HashMap<Symbol, usize> = HashMap::new();
+    for (idx, tuple) in relation.iter().enumerate() {
+        let c = tuple.get(scheme, constraint.target).expect("target in scheme");
+        let class = uf.find(idx);
+        if *class_of_c.entry(c).or_insert(class) != class {
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether a relation satisfies every surviving sum constraint.
+pub fn relation_satisfies_sum_constraints(relation: &Relation, sums: &[SumConstraint]) -> bool {
+    sums.iter()
+        .all(|&s| relation_satisfies_sum_constraint(relation, s))
+}
+
+/// The constructive half of Lemma 12.1: starting from a weak instance
+/// satisfying the FD set `F`, repeatedly repair violations of the sum
+/// constraints by inserting bridging tuples (`t[A⁺] = t₁[A⁺]`,
+/// `t[B⁺] = t₂[B⁺]`, fresh elsewhere).  The paper iterates this ω times; in
+/// practice a handful of rounds suffices for finite inputs, so the loop is
+/// bounded by `max_rounds` and the second component of the return value
+/// reports whether a fixpoint (all constraints satisfied) was reached.
+pub fn repair_sum_violations(
+    weak_instance: &Relation,
+    fds: &[Fd],
+    sums: &[SumConstraint],
+    symbols: &mut SymbolTable,
+    max_rounds: usize,
+) -> (Relation, bool) {
+    let mut current = weak_instance.clone();
+    for _ in 0..max_rounds {
+        match first_sum_violation(&current, sums) {
+            None => return (current, true),
+            Some((constraint, t1, t2)) => {
+                let scheme = current.scheme().clone();
+                let a_plus = fd_closure::attribute_closure(fds, &AttrSet::singleton(constraint.left));
+                let b_plus = fd_closure::attribute_closure(fds, &AttrSet::singleton(constraint.right));
+                let row1 = current.tuples()[t1].clone();
+                let row2 = current.tuples()[t2].clone();
+                let values: Vec<Symbol> = scheme
+                    .attrs()
+                    .iter()
+                    .map(|attr| {
+                        if a_plus.contains(attr) {
+                            row1.get(&scheme, attr).expect("attr in scheme")
+                        } else if b_plus.contains(attr) {
+                            row2.get(&scheme, attr).expect("attr in scheme")
+                        } else {
+                            symbols.fresh()
+                        }
+                    })
+                    .collect();
+                current
+                    .insert_values(&values)
+                    .expect("bridging row matches the scheme");
+            }
+        }
+    }
+    let converged = relation_satisfies_sum_constraints(&current, sums);
+    (current, converged)
+}
+
+/// Finds one violated sum constraint together with a witnessing pair of tuple
+/// indices (equal `target` value, different chain classes).
+fn first_sum_violation(
+    relation: &Relation,
+    sums: &[SumConstraint],
+) -> Option<(SumConstraint, usize, usize)> {
+    let scheme = relation.scheme();
+    let n = relation.len();
+    for &constraint in sums {
+        if !scheme.contains(constraint.target)
+            || !scheme.contains(constraint.left)
+            || !scheme.contains(constraint.right)
+        {
+            continue;
+        }
+        let mut uf = UnionFind::new(n);
+        let mut by_a: HashMap<Symbol, usize> = HashMap::new();
+        let mut by_b: HashMap<Symbol, usize> = HashMap::new();
+        for (idx, tuple) in relation.iter().enumerate() {
+            let a = tuple.get(scheme, constraint.left).expect("left in scheme");
+            let b = tuple.get(scheme, constraint.right).expect("right in scheme");
+            match by_a.get(&a) {
+                Some(&leader) => {
+                    uf.union(leader, idx);
+                }
+                None => {
+                    by_a.insert(a, idx);
+                }
+            }
+            match by_b.get(&b) {
+                Some(&leader) => {
+                    uf.union(leader, idx);
+                }
+                None => {
+                    by_b.insert(b, idx);
+                }
+            }
+        }
+        let mut first_with_c: HashMap<Symbol, usize> = HashMap::new();
+        for (idx, tuple) in relation.iter().enumerate() {
+            let c = tuple.get(scheme, constraint.target).expect("target in scheme");
+            match first_with_c.get(&c) {
+                None => {
+                    first_with_c.insert(c, idx);
+                }
+                Some(&other) => {
+                    if uf.find(other) != uf.find(idx) {
+                        return Some((constraint, other, idx));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_lattice::parse_equation;
+    use ps_relation::DatabaseBuilder;
+
+    struct Fixture {
+        universe: Universe,
+        symbols: SymbolTable,
+        arena: TermArena,
+    }
+
+    fn fixture() -> Fixture {
+        Fixture {
+            universe: Universe::new(),
+            symbols: SymbolTable::new(),
+            arena: TermArena::new(),
+        }
+    }
+
+    #[test]
+    fn normalization_splits_meet_join_and_equality() {
+        let mut f = fixture();
+        let pds = vec![
+            parse_equation("C = A*B", &mut f.universe, &mut f.arena).unwrap(),
+            parse_equation("D = A+B", &mut f.universe, &mut f.arena).unwrap(),
+            parse_equation("A = B", &mut f.universe, &mut f.arena).unwrap(),
+        ];
+        let normalized = normalize_pds(&pds, &mut f.arena, &mut f.universe);
+        // C = A*B introduces one definitional attribute with two FDs plus
+        // C ↔ def; D = A+B introduces one with two FDs and a sum constraint.
+        assert_eq!(normalized.definitions.len(), 2);
+        assert_eq!(normalized.sums.len(), 1);
+        assert!(normalized.fds.len() >= 7);
+        assert!(normalized.attributes.len() >= 6);
+        // Every definitional attribute has a name starting with "_t".
+        for &(attr, _) in &normalized.definitions {
+            assert!(f.universe.name(attr).unwrap().starts_with("_t"));
+        }
+    }
+
+    #[test]
+    fn closure_collapses_redundant_sum_constraints() {
+        let mut f = fixture();
+        // A ≤ B (as A = A*B) makes A + B equal to B, so C = A + B reduces to
+        // C = B and the sum constraint disappears.
+        let pds = vec![
+            parse_equation("A = A*B", &mut f.universe, &mut f.arena).unwrap(),
+            parse_equation("C = A+B", &mut f.universe, &mut f.arena).unwrap(),
+        ];
+        let normalized = normalize_pds(&pds, &mut f.arena, &mut f.universe);
+        assert_eq!(normalized.sums.len(), 1);
+        let closed = close_constraints(&normalized, &mut f.arena, Algorithm::Worklist);
+        assert!(closed.sums.is_empty(), "A ≤ B collapses the sum constraint");
+        // And C → B is now derivable from F alone.
+        let b = f.universe.lookup("B").unwrap();
+        let c = f.universe.lookup("C").unwrap();
+        assert!(fd_closure::implies(
+            &closed.fds,
+            &ps_relation::fd(&[c], &[b])
+        ));
+    }
+
+    #[test]
+    fn fpd_only_constraints_reduce_to_the_chase() {
+        let mut f = fixture();
+        let db = DatabaseBuilder::new()
+            .relation(&mut f.universe, &mut f.symbols, "R", &["A", "B"], &[&["a", "b1"], &["a", "b2"]])
+            .unwrap()
+            .build();
+        let violated = vec![parse_equation("A = A*B", &mut f.universe, &mut f.arena).unwrap()];
+        let outcome = consistent_with_pds(
+            &db,
+            &violated,
+            &mut f.arena,
+            &mut f.universe,
+            &mut f.symbols,
+            Algorithm::Worklist,
+        )
+        .unwrap();
+        assert!(!outcome.consistent);
+        assert!(outcome.weak_instance.is_none());
+
+        let satisfied = vec![parse_equation("B = B*A", &mut f.universe, &mut f.arena).unwrap()];
+        let outcome = consistent_with_pds(
+            &db,
+            &satisfied,
+            &mut f.arena,
+            &mut f.universe,
+            &mut f.symbols,
+            Algorithm::Worklist,
+        )
+        .unwrap();
+        assert!(outcome.consistent);
+        let w = outcome.weak_instance.unwrap();
+        assert!(db.has_weak_instance(&w));
+        assert!(w.satisfies_all_fds(&outcome.fds));
+    }
+
+    #[test]
+    fn sum_constraints_never_cause_inconsistency() {
+        // Lemma 12.1: sum constraints alone can always be repaired, so
+        // consistency is governed by the FD part only.
+        let mut f = fixture();
+        let db = DatabaseBuilder::new()
+            .relation(
+                &mut f.universe,
+                &mut f.symbols,
+                "R",
+                &["A", "B", "C"],
+                &[&["a1", "b1", "c"], &["a2", "b2", "c"]],
+            )
+            .unwrap()
+            .build();
+        // C = A + B: the two tuples share a C value but are not chain
+        // connected; still consistent because a bridging tuple can be added.
+        let pds = vec![parse_equation("C = A+B", &mut f.universe, &mut f.arena).unwrap()];
+        let outcome = consistent_with_pds(
+            &db,
+            &pds,
+            &mut f.arena,
+            &mut f.universe,
+            &mut f.symbols,
+            Algorithm::Worklist,
+        )
+        .unwrap();
+        assert!(outcome.consistent);
+        assert!(!outcome.sums.is_empty());
+        let w = outcome.weak_instance.clone().unwrap();
+        // The chased instance satisfies F but may violate the sum constraint…
+        assert!(w.satisfies_all_fds(&outcome.fds));
+        // …which the Lemma 12.1 repair fixes.
+        let (repaired, converged) =
+            repair_sum_violations(&w, &outcome.fds, &outcome.sums, &mut f.symbols, 32);
+        assert!(converged);
+        assert!(relation_satisfies_sum_constraints(&repaired, &outcome.sums));
+        assert!(repaired.satisfies_all_fds(&outcome.fds));
+        assert!(db.has_weak_instance(&repaired));
+        assert!(repaired.len() > w.len());
+    }
+
+    #[test]
+    fn mixed_constraints_detect_fd_level_contradictions() {
+        let mut f = fixture();
+        // D = A + B together with D = D*E and E-values that clash.
+        let db = DatabaseBuilder::new()
+            .relation(
+                &mut f.universe,
+                &mut f.symbols,
+                "R",
+                &["A", "B", "D", "E"],
+                &[&["a1", "b1", "d", "e1"], &["a2", "b2", "d", "e2"]],
+            )
+            .unwrap()
+            .build();
+        let pds = vec![
+            parse_equation("D = A+B", &mut f.universe, &mut f.arena).unwrap(),
+            parse_equation("D = D*E", &mut f.universe, &mut f.arena).unwrap(),
+        ];
+        let outcome = consistent_with_pds(
+            &db,
+            &pds,
+            &mut f.arena,
+            &mut f.universe,
+            &mut f.symbols,
+            Algorithm::Worklist,
+        )
+        .unwrap();
+        // D → E is in F and is violated by the two rows (same d, e1 ≠ e2).
+        assert!(!outcome.consistent);
+    }
+
+    #[test]
+    fn sum_constraint_satisfaction_checks() {
+        let mut f = fixture();
+        let db = DatabaseBuilder::new()
+            .relation(
+                &mut f.universe,
+                &mut f.symbols,
+                "R",
+                &["A", "B", "C"],
+                &[&["a1", "b", "c"], &["a2", "b", "c"], &["a3", "b3", "c2"]],
+            )
+            .unwrap()
+            .build();
+        let r = db.relations()[0].clone();
+        let a = f.universe.lookup("A").unwrap();
+        let b = f.universe.lookup("B").unwrap();
+        let c = f.universe.lookup("C").unwrap();
+        let ok = SumConstraint { target: c, left: a, right: b };
+        assert!(relation_satisfies_sum_constraint(&r, ok));
+        // Swap roles: A ≤ B + C fails because a1/a2 … actually every tuple has
+        // a distinct A value, so A ≤ anything holds; use a constraint whose
+        // target groups unconnected tuples instead.
+        let bad_db = DatabaseBuilder::new()
+            .relation(
+                &mut f.universe,
+                &mut f.symbols,
+                "S",
+                &["A", "B", "C"],
+                &[&["a1", "b1", "c"], &["a2", "b2", "c"]],
+            )
+            .unwrap()
+            .build();
+        let s = bad_db.relations()[0].clone();
+        assert!(!relation_satisfies_sum_constraint(&s, ok));
+        assert!(!relation_satisfies_sum_constraints(&s, &[ok]));
+        // Constraints over attributes missing from the scheme are vacuous.
+        let z = f.universe.attr("Z");
+        let vacuous = SumConstraint { target: z, left: a, right: b };
+        assert!(relation_satisfies_sum_constraint(&s, vacuous));
+        assert_eq!(vacuous.render(&f.universe), "Z<=A+B");
+    }
+
+    #[test]
+    fn repair_handles_overlapping_closures() {
+        let mut f = fixture();
+        // F contains A → Q and B → Q; the sum constraint C ≤ A + B plus equal
+        // Q values in the closure overlap is exactly the delicate case of the
+        // Lemma 12.1 proof.
+        let db = DatabaseBuilder::new()
+            .relation(
+                &mut f.universe,
+                &mut f.symbols,
+                "R",
+                &["A", "B", "C", "Q"],
+                &[&["a1", "b1", "c", "q"], &["a2", "b2", "c", "q"]],
+            )
+            .unwrap()
+            .build();
+        let pds = vec![
+            parse_equation("C = A+B", &mut f.universe, &mut f.arena).unwrap(),
+            parse_equation("A = A*Q", &mut f.universe, &mut f.arena).unwrap(),
+            parse_equation("B = B*Q", &mut f.universe, &mut f.arena).unwrap(),
+        ];
+        let outcome = consistent_with_pds(
+            &db,
+            &pds,
+            &mut f.arena,
+            &mut f.universe,
+            &mut f.symbols,
+            Algorithm::Worklist,
+        )
+        .unwrap();
+        assert!(outcome.consistent);
+        let w = outcome.weak_instance.clone().unwrap();
+        let (repaired, converged) =
+            repair_sum_violations(&w, &outcome.fds, &outcome.sums, &mut f.symbols, 32);
+        assert!(converged);
+        assert!(repaired.satisfies_all_fds(&outcome.fds));
+        assert!(relation_satisfies_sum_constraints(&repaired, &outcome.sums));
+    }
+}

@@ -1,0 +1,157 @@
+//! Partition dependencies and functional partition dependencies
+//! (Section 3.2).
+
+use ps_base::{AttrSet, Universe};
+use ps_lattice::{Equation, TermArena, TermId};
+
+/// A partition dependency is an equation `e = e′` between partition
+/// expressions (Definition 3).  It is represented directly as a
+/// [`ps_lattice::Equation`] over a [`TermArena`].
+pub type Pd = Equation;
+
+/// A **functional partition dependency** (FPD): a PD of the special form
+/// `X = X · Y` for non-empty attribute sets `X`, `Y` (Section 3.2).
+///
+/// By the duality of `*` and `+` it can equivalently be written
+/// `Y = Y + X`, or `X ≤ Y` in the natural partial order; and by Theorem 3 it
+/// is the partition-semantic counterpart of the FD `X → Y`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fpd {
+    /// The "determining" side `X`.
+    pub lhs: AttrSet,
+    /// The "determined" side `Y`.
+    pub rhs: AttrSet,
+}
+
+impl Fpd {
+    /// Creates the FPD `X = X·Y`.
+    ///
+    /// # Panics
+    /// Panics if either side is empty.
+    pub fn new(lhs: AttrSet, rhs: AttrSet) -> Self {
+        assert!(!lhs.is_empty() && !rhs.is_empty(), "FPD sides must be non-empty");
+        Fpd { lhs, rhs }
+    }
+
+    /// The FPD corresponding to the FD `X → Y` (Theorem 3 / Section 5.3).
+    pub fn from_fd(fd: &ps_relation::Fd) -> Self {
+        Fpd::new(fd.lhs.clone(), fd.rhs.clone())
+    }
+
+    /// The FD `X → Y` corresponding to this FPD (the map `E ↦ E_F` of
+    /// Section 4.3).
+    pub fn to_fd(&self) -> ps_relation::Fd {
+        ps_relation::Fd::new(self.lhs.clone(), self.rhs.clone())
+    }
+
+    /// The equation `X = X·Y` (the defining form of the FPD).
+    pub fn as_meet_equation(&self, arena: &mut TermArena) -> Equation {
+        let x = arena.meet_of_attrs(&self.lhs);
+        let y = arena.meet_of_attrs(&self.rhs);
+        let xy = arena.meet(x, y);
+        Equation::new(x, xy)
+    }
+
+    /// The dual equation `Y = Y + X` (equivalent by the lattice duality).
+    pub fn as_join_equation(&self, arena: &mut TermArena) -> Equation {
+        let x = arena.meet_of_attrs(&self.lhs);
+        let y = arena.meet_of_attrs(&self.rhs);
+        let yx = arena.join(y, x);
+        Equation::new(y, yx)
+    }
+
+    /// The two sides as terms, for use with the `≤` order (`X ≤ Y`).
+    pub fn as_leq_terms(&self, arena: &mut TermArena) -> (TermId, TermId) {
+        (arena.meet_of_attrs(&self.lhs), arena.meet_of_attrs(&self.rhs))
+    }
+
+    /// Renders the FPD as `X=X*Y` using attribute names.
+    pub fn render(&self, universe: &Universe) -> String {
+        let x = universe.render_set(&self.lhs);
+        let y = universe.render_set(&self.rhs);
+        format!("{x}={x}*{y}")
+    }
+}
+
+/// Converts a list of FDs into the corresponding FPDs (the map `Σ ↦ E_Σ` of
+/// Section 5.3).
+pub fn fpds_of_fds(fds: &[ps_relation::Fd]) -> Vec<Fpd> {
+    fds.iter().map(Fpd::from_fd).collect()
+}
+
+/// Converts a list of FPDs into the corresponding FDs (the map `E ↦ E_F` of
+/// Section 4.3).
+pub fn fds_of_fpds(fpds: &[Fpd]) -> Vec<ps_relation::Fd> {
+    fpds.iter().map(Fpd::to_fd).collect()
+}
+
+/// Converts FPDs into their defining meet equations, for use with the
+/// implication machinery.
+pub fn equations_of_fpds(fpds: &[Fpd], arena: &mut TermArena) -> Vec<Equation> {
+    fpds.iter().map(|f| f.as_meet_equation(arena)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_relation::fd;
+
+    fn setup() -> (Universe, Vec<ps_base::Attribute>) {
+        let mut u = Universe::new();
+        let attrs = u.attrs(["A", "B", "C"]);
+        (u, attrs)
+    }
+
+    #[test]
+    fn fd_round_trip() {
+        let (_, a) = setup();
+        let original = fd(&[a[0], a[1]], &[a[2]]);
+        let fpd = Fpd::from_fd(&original);
+        assert_eq!(fpd.to_fd(), original);
+        let fpds = fpds_of_fds(std::slice::from_ref(&original));
+        assert_eq!(fds_of_fpds(&fpds), vec![original]);
+    }
+
+    #[test]
+    fn equation_forms() {
+        let (u, a) = setup();
+        let fpd = Fpd::new(AttrSet::singleton(a[0]), AttrSet::singleton(a[1]));
+        let mut arena = TermArena::new();
+        let meet_form = fpd.as_meet_equation(&mut arena);
+        assert_eq!(meet_form.display(&arena, &u), "A=A*B");
+        let join_form = fpd.as_join_equation(&mut arena);
+        assert_eq!(join_form.display(&arena, &u), "B=B+A");
+        let (x, y) = fpd.as_leq_terms(&mut arena);
+        assert_eq!(arena.display(x, &u), "A");
+        assert_eq!(arena.display(y, &u), "B");
+        assert_eq!(fpd.render(&u), "A=A*B");
+    }
+
+    #[test]
+    fn compound_sides_render_as_products() {
+        let (u, a) = setup();
+        let fpd = Fpd::new(vec![a[0], a[1]].into(), AttrSet::singleton(a[2]));
+        assert_eq!(fpd.render(&u), "AB=AB*C");
+        let mut arena = TermArena::new();
+        let eq = fpd.as_meet_equation(&mut arena);
+        assert_eq!(eq.display(&arena, &u), "A*B=A*B*C");
+    }
+
+    #[test]
+    fn equations_of_fpds_builds_one_equation_per_fpd() {
+        let (_, a) = setup();
+        let fpds = vec![
+            Fpd::new(AttrSet::singleton(a[0]), AttrSet::singleton(a[1])),
+            Fpd::new(AttrSet::singleton(a[1]), AttrSet::singleton(a[2])),
+        ];
+        let mut arena = TermArena::new();
+        assert_eq!(equations_of_fpds(&fpds, &mut arena).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sides_are_rejected() {
+        let (_, a) = setup();
+        let _ = Fpd::new(AttrSet::new(), AttrSet::singleton(a[0]));
+    }
+}

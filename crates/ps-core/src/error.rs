@@ -1,0 +1,92 @@
+//! Errors for the partition-semantics core.
+
+use std::fmt;
+
+use ps_base::Attribute;
+
+/// Errors raised by partition-interpretation construction and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// An expression mentions an attribute the interpretation does not
+    /// interpret.
+    UninterpretedAttribute(Attribute),
+    /// The naming function `f_A` supplied for an attribute is not a bijection
+    /// onto the blocks of its atomic partition.
+    InvalidNaming {
+        /// The attribute whose naming is invalid.
+        attribute: Attribute,
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// A population supplied for an attribute is empty (Definition 1 requires
+    /// non-empty populations).
+    EmptyPopulation(Attribute),
+    /// An underlying partition error.
+    Partition(ps_partition::PartitionError),
+    /// An underlying relational error.
+    Relation(ps_relation::RelationError),
+    /// An underlying lattice error.
+    Lattice(ps_lattice::LatticeError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UninterpretedAttribute(a) => {
+                write!(f, "attribute {a} has no interpretation")
+            }
+            CoreError::InvalidNaming { attribute, reason } => {
+                write!(f, "invalid naming function for attribute {attribute}: {reason}")
+            }
+            CoreError::EmptyPopulation(a) => {
+                write!(f, "attribute {a} was given an empty population")
+            }
+            CoreError::Partition(e) => write!(f, "partition error: {e}"),
+            CoreError::Relation(e) => write!(f, "relation error: {e}"),
+            CoreError::Lattice(e) => write!(f, "lattice error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<ps_partition::PartitionError> for CoreError {
+    fn from(e: ps_partition::PartitionError) -> Self {
+        CoreError::Partition(e)
+    }
+}
+
+impl From<ps_relation::RelationError> for CoreError {
+    fn from(e: ps_relation::RelationError) -> Self {
+        CoreError::Relation(e)
+    }
+}
+
+impl From<ps_lattice::LatticeError> for CoreError {
+    fn from(e: ps_lattice::LatticeError) -> Self {
+        CoreError::Lattice(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let a = Attribute::from_index(0);
+        assert!(CoreError::UninterpretedAttribute(a).to_string().contains("no interpretation"));
+        assert!(CoreError::EmptyPopulation(a).to_string().contains("empty population"));
+        let naming = CoreError::InvalidNaming {
+            attribute: a,
+            reason: "block 2 has no name".into(),
+        };
+        assert!(naming.to_string().contains("block 2"));
+        let wrapped: CoreError = ps_partition::PartitionError::EmptyBlock.into();
+        assert!(wrapped.to_string().contains("partition error"));
+        let wrapped: CoreError = ps_relation::RelationError::EmptyAttributeSet("projection").into();
+        assert!(wrapped.to_string().contains("relation error"));
+        let wrapped: CoreError = ps_lattice::LatticeError::NotALattice("x".into()).into();
+        assert!(wrapped.to_string().contains("lattice error"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Ready-made reproductions of the paper's worked examples (Figures 1 and 2
+//! and the examples of Section 3.2), shared by the integration tests, the
+//! examples and the benchmark suite.
+
+use ps_base::{SymbolTable, Universe};
+use ps_lattice::{parse_equation, Equation, TermArena};
+use ps_relation::{Database, DatabaseBuilder, Relation};
+
+use crate::PartitionInterpretation;
+
+/// Everything needed to work with the Figure 1 example: the universe and
+/// symbol table, the database `d`, the dependency set `E`, and the partition
+/// interpretation that satisfies `d`, `E`, CAD and EAP.
+#[derive(Debug)]
+pub struct Figure1 {
+    /// Attribute universe containing `A`, `B`, `C`.
+    pub universe: Universe,
+    /// Symbol table containing the data constants.
+    pub symbols: SymbolTable,
+    /// Term arena holding the dependency expressions.
+    pub arena: TermArena,
+    /// The database `d` of Figure 1 (a single relation over `ABC`).
+    pub database: Database,
+    /// The dependency set `E = {A = A·B, B + C = A + C}`.
+    pub dependencies: Vec<Equation>,
+    /// The satisfying interpretation shown in the figure.
+    pub interpretation: PartitionInterpretation,
+}
+
+/// Builds the Figure 1 example.
+pub fn figure1() -> Figure1 {
+    let mut universe = Universe::new();
+    let mut symbols = SymbolTable::new();
+    let mut arena = TermArena::new();
+    let (a, b, c) = (universe.attr("A"), universe.attr("B"), universe.attr("C"));
+
+    let database = DatabaseBuilder::new()
+        .relation(
+            &mut universe,
+            &mut symbols,
+            "R",
+            &["A", "B", "C"],
+            &[
+                &["a", "b", "c"],
+                &["a2", "b1", "c"],
+                &["a2", "b1", "c1"],
+                &["a1", "b", "c1"],
+            ],
+        )
+        .expect("well-formed Figure 1 relation")
+        .build();
+
+    let dependencies = vec![
+        parse_equation("A = A*B", &mut universe, &mut arena).expect("valid PD"),
+        parse_equation("B + C = A + C", &mut universe, &mut arena).expect("valid PD"),
+    ];
+
+    let mut interpretation = PartitionInterpretation::new();
+    interpretation
+        .set_named_blocks(
+            a,
+            vec![
+                (symbols.symbol("a"), vec![1]),
+                (symbols.symbol("a1"), vec![4]),
+                (symbols.symbol("a2"), vec![2, 3]),
+            ],
+        )
+        .expect("Figure 1 interpretation of A");
+    interpretation
+        .set_named_blocks(
+            b,
+            vec![
+                (symbols.symbol("b"), vec![1, 4]),
+                (symbols.symbol("b1"), vec![2, 3]),
+            ],
+        )
+        .expect("Figure 1 interpretation of B");
+    interpretation
+        .set_named_blocks(
+            c,
+            vec![
+                (symbols.symbol("c"), vec![1, 2]),
+                (symbols.symbol("c1"), vec![3, 4]),
+            ],
+        )
+        .expect("Figure 1 interpretation of C");
+
+    Figure1 {
+        universe,
+        symbols,
+        arena,
+        database,
+        dependencies,
+        interpretation,
+    }
+}
+
+/// The two relations of Figure 2 (used in the proof of Theorem 5): `r1`
+/// satisfies the MVD `A ↠ B`, `r2` violates it, yet their canonical
+/// interpretations generate isomorphic lattices.
+#[derive(Debug)]
+pub struct Figure2 {
+    /// Attribute universe containing `A`, `B`, `C`.
+    pub universe: Universe,
+    /// Symbol table containing the data constants.
+    pub symbols: SymbolTable,
+    /// The relation satisfying the MVD.
+    pub r1: Relation,
+    /// The relation violating the MVD.
+    pub r2: Relation,
+}
+
+/// Builds the Figure 2 example.
+pub fn figure2() -> Figure2 {
+    let mut universe = Universe::new();
+    let mut symbols = SymbolTable::new();
+    let db = DatabaseBuilder::new()
+        .relation(
+            &mut universe,
+            &mut symbols,
+            "r1",
+            &["A", "B", "C"],
+            &[
+                &["a", "b1", "c1"],
+                &["a", "b1", "c2"],
+                &["a", "b2", "c1"],
+                &["a", "b2", "c2"],
+            ],
+        )
+        .expect("well-formed r1")
+        .relation(
+            &mut universe,
+            &mut symbols,
+            "r2",
+            &["A", "B", "C"],
+            &[&["a", "b1", "c1"], &["a", "b2", "c2"], &["a", "b1", "c2"]],
+        )
+        .expect("well-formed r2")
+        .build();
+    let r1 = db.relation_named("r1").expect("r1 exists").clone();
+    let r2 = db.relation_named("r2").expect("r2 exists").clone();
+    Figure2 {
+        universe,
+        symbols,
+        r1,
+        r2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_fixture_is_consistent_with_the_paper() {
+        let fig = figure1();
+        assert_eq!(fig.database.total_tuples(), 4);
+        assert_eq!(fig.dependencies.len(), 2);
+        assert!(fig.interpretation.satisfies_database(&fig.database).unwrap());
+        assert!(fig
+            .interpretation
+            .satisfies_all_pds(&fig.arena, &fig.dependencies)
+            .unwrap());
+        assert!(fig.interpretation.satisfies_cad(&fig.database).unwrap());
+        assert!(fig.interpretation.satisfies_eap());
+    }
+
+    #[test]
+    fn figure2_fixture_matches_mvd_behaviour() {
+        let fig = figure2();
+        let a = fig.universe.lookup("A").unwrap();
+        let b = fig.universe.lookup("B").unwrap();
+        let mvd = ps_relation::Mvd::new(
+            ps_base::AttrSet::singleton(a),
+            ps_base::AttrSet::singleton(b),
+        );
+        assert!(fig.r1.satisfies_mvd(&mvd));
+        assert!(!fig.r2.satisfies_mvd(&mvd));
+        assert_eq!(fig.r1.len(), 4);
+        assert_eq!(fig.r2.len(), 3);
+    }
+}

@@ -1,0 +1,138 @@
+//! Implication of partition dependencies (Section 5).
+//!
+//! Theorem 8 identifies five statements; in particular
+//! `E ⊨_rel δ  ⇔  E ⊨_lat δ`, so PD implication over (finite or infinite)
+//! relations is exactly the uniform word problem for lattices, decided in
+//! polynomial time by algorithm ALG (Theorem 9).  This module is the façade
+//! the rest of the workspace uses:
+//!
+//! * [`pd_implies`] — does `E` imply a PD?
+//! * [`pd_implies_fpd`] — convenience for FPD goals;
+//! * [`is_identity`] — Theorem 10's special case `E = ∅`, decided by the
+//!   free-lattice order;
+//! * [`atom_order_closure`] — all consequences of the form `A ≤ B` between
+//!   attributes, the building block of the Section 6.2 consistency pipeline.
+
+use ps_base::Attribute;
+use ps_lattice::{free_order, word_problem, Algorithm, Equation, TermArena, TermNode};
+
+use crate::dependency::Fpd;
+
+/// Does the set of PDs `e` imply the PD `goal`?  (Theorems 8 and 9.)
+pub fn pd_implies(arena: &TermArena, e: &[Equation], goal: Equation, algorithm: Algorithm) -> bool {
+    word_problem::entails(arena, e, goal, algorithm)
+}
+
+/// Does the set of PDs `e` imply the FPD `goal`?
+pub fn pd_implies_fpd(
+    arena: &mut TermArena,
+    e: &[Equation],
+    goal: &Fpd,
+    algorithm: Algorithm,
+) -> bool {
+    let goal_equation = goal.as_meet_equation(arena);
+    word_problem::entails(arena, e, goal_equation, algorithm)
+}
+
+/// Is the PD an identity — true in every partition interpretation
+/// (equivalently, in every lattice with constants)?  Decided by the
+/// free-lattice order of Theorem 10, without running ALG.
+pub fn is_identity(arena: &TermArena, pd: Equation) -> bool {
+    free_order::is_identity(arena, pd)
+}
+
+/// All pairs of attributes `(A, B)` with `A ≤ B` derivable from `e`
+/// (including any attribute of `extra_attributes` even if it does not occur
+/// in `e`).  This is the closure `E⁺` restricted to atoms used by the
+/// consistency test of Section 6.2.
+pub fn atom_order_closure(
+    arena: &mut TermArena,
+    e: &[Equation],
+    extra_attributes: &[Attribute],
+    algorithm: Algorithm,
+) -> Vec<(Attribute, Attribute)> {
+    let extra_terms: Vec<_> = extra_attributes.iter().map(|&a| arena.atom(a)).collect();
+    let order = word_problem::DerivedOrder::build(arena, e, &extra_terms, algorithm);
+    order
+        .atom_consequences(arena)
+        .into_iter()
+        .map(|(p, q)| {
+            let lhs = match arena.node(p) {
+                TermNode::Atom(a) => a,
+                _ => unreachable!("atom_consequences returns atoms"),
+            };
+            let rhs = match arena.node(q) {
+                TermNode::Atom(a) => a,
+                _ => unreachable!("atom_consequences returns atoms"),
+            };
+            (lhs, rhs)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_base::{AttrSet, Universe};
+    use ps_lattice::parse_equation;
+
+    #[test]
+    fn implication_of_fpds_matches_fd_intuition() {
+        let mut universe = Universe::new();
+        let mut arena = TermArena::new();
+        let e = vec![
+            parse_equation("A = A*B", &mut universe, &mut arena).unwrap(),
+            parse_equation("B = B*C", &mut universe, &mut arena).unwrap(),
+        ];
+        let a = universe.lookup("A").unwrap();
+        let c = universe.lookup("C").unwrap();
+        let goal = Fpd::new(AttrSet::singleton(a), AttrSet::singleton(c));
+        assert!(pd_implies_fpd(&mut arena, &e, &goal, Algorithm::Worklist));
+        let converse = Fpd::new(AttrSet::singleton(c), AttrSet::singleton(a));
+        assert!(!pd_implies_fpd(&mut arena, &e, &converse, Algorithm::Worklist));
+    }
+
+    #[test]
+    fn sum_dependencies_entail_their_component_inequalities() {
+        let mut universe = Universe::new();
+        let mut arena = TermArena::new();
+        let e = vec![parse_equation("C = A + B", &mut universe, &mut arena).unwrap()];
+        let goal = parse_equation("A + C = C", &mut universe, &mut arena).unwrap();
+        assert!(pd_implies(&arena, &e, goal, Algorithm::Worklist));
+        assert!(pd_implies(&arena, &e, goal, Algorithm::NaiveFixpoint));
+    }
+
+    #[test]
+    fn identities_are_recognized_without_constraints() {
+        let mut universe = Universe::new();
+        let mut arena = TermArena::new();
+        let absorption = parse_equation("A*(A+B) = A", &mut universe, &mut arena).unwrap();
+        let distributivity =
+            parse_equation("A*(B+C) = (A*B)+(A*C)", &mut universe, &mut arena).unwrap();
+        assert!(is_identity(&arena, absorption));
+        assert!(!is_identity(&arena, distributivity));
+        // Identity recognition agrees with ALG on the empty constraint set.
+        assert!(pd_implies(&arena, &[], absorption, Algorithm::Worklist));
+        assert!(!pd_implies(&arena, &[], distributivity, Algorithm::Worklist));
+    }
+
+    #[test]
+    fn atom_order_closure_collects_attribute_consequences() {
+        let mut universe = Universe::new();
+        let mut arena = TermArena::new();
+        let e = vec![
+            parse_equation("A = A*B", &mut universe, &mut arena).unwrap(),
+            parse_equation("C = A + B", &mut universe, &mut arena).unwrap(),
+        ];
+        let a = universe.lookup("A").unwrap();
+        let b = universe.lookup("B").unwrap();
+        let c = universe.lookup("C").unwrap();
+        let d = universe.attr("D");
+        let closure = atom_order_closure(&mut arena, &e, &[a, b, c, d], Algorithm::Worklist);
+        assert!(closure.contains(&(a, b)));
+        assert!(closure.contains(&(a, c)));
+        assert!(closure.contains(&(b, c)));
+        assert!(!closure.contains(&(c, a)));
+        assert!(!closure.iter().any(|&(x, y)| x == d || y == d));
+    }
+}

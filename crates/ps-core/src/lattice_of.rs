@@ -1,0 +1,198 @@
+//! The lattice `L(I)` of an interpretation (Theorem 1).
+//!
+//! Closing the atomic partitions of an interpretation under product and sum
+//! yields a lattice with constants over the attribute universe, and a PD
+//! holds in the interpretation iff it holds in that lattice.  This module
+//! materializes `L(I)` as an explicit [`FiniteLattice`] (with the map from
+//! attributes to lattice elements), which is how the Figure 1
+//! (non-distributivity) and Figure 2 / Theorem 5 (isomorphic lattices)
+//! reproductions inspect interpretations.
+
+use std::collections::HashMap;
+
+use ps_base::{Attribute, Universe};
+use ps_lattice::{Equation, FiniteLattice, TermArena};
+use ps_partition::{close_under_ops, ClosureStats, Partition};
+
+use crate::{PartitionInterpretation, Result};
+
+/// The materialized lattice `L(I)` of a partition interpretation.
+#[derive(Debug, Clone)]
+pub struct InterpretationLattice {
+    /// The lattice itself (elements indexed as in `partitions`).
+    pub lattice: FiniteLattice,
+    /// The partition realizing each lattice element.
+    pub partitions: Vec<Partition>,
+    /// The lattice element named by each attribute (its atomic partition).
+    pub constants: HashMap<Attribute, usize>,
+    /// Closure statistics (how many product/sum evaluations were needed).
+    pub stats: ClosureStats,
+}
+
+impl InterpretationLattice {
+    /// Builds `L(I)` by closing the atomic partitions of `interpretation`
+    /// under product and sum.  `max_size` caps the closure size (the
+    /// lattices arising from the paper's interpretations are tiny).
+    pub fn build(interpretation: &PartitionInterpretation, max_size: usize) -> Result<Self> {
+        let attributes: Vec<Attribute> = interpretation.attributes().collect();
+        let generators: Vec<Partition> = attributes
+            .iter()
+            .map(|&a| {
+                interpretation
+                    .require(a)
+                    .map(|interp| interp.atomic().clone())
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let (partitions, stats) = close_under_ops(&generators, max_size);
+        let lattice = FiniteLattice::from_leq(partitions.len(), |i, j| {
+            partitions[i].leq(&partitions[j])
+        })
+        .map_err(crate::CoreError::Lattice)?;
+        let constants = attributes
+            .iter()
+            .map(|&a| {
+                let atomic = interpretation.require(a).expect("checked above").atomic();
+                let idx = partitions
+                    .iter()
+                    .position(|p| p == atomic)
+                    .expect("generators are in the closure");
+                (a, idx)
+            })
+            .collect();
+        Ok(InterpretationLattice {
+            lattice,
+            partitions,
+            constants,
+            stats,
+        })
+    }
+
+    /// Number of elements of `L(I)`.
+    pub fn len(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Whether the lattice is empty (never the case for a non-empty
+    /// interpretation).
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+    }
+
+    /// Whether `L(I)` satisfies the PD under the constant assignment of the
+    /// interpretation (Theorem 1 says this coincides with
+    /// [`PartitionInterpretation::satisfies_pd`]).
+    pub fn satisfies_pd(
+        &self,
+        arena: &TermArena,
+        universe: &Universe,
+        pd: Equation,
+    ) -> Result<bool> {
+        self.lattice
+            .satisfies(arena, pd, &self.constants, universe)
+            .map_err(crate::CoreError::Lattice)
+    }
+
+    /// Whether `L(I)` is distributive (Figure 1's lattice is not).
+    pub fn is_distributive(&self) -> bool {
+        self.lattice.is_distributive()
+    }
+
+    /// Whether `L(I)` is modular.
+    pub fn is_modular(&self) -> bool {
+        self.lattice.is_modular()
+    }
+
+    /// Whether this lattice is isomorphic to another interpretation's lattice
+    /// (used by the Theorem 5 argument).
+    pub fn is_isomorphic_to(&self, other: &InterpretationLattice) -> bool {
+        self.lattice.is_isomorphic_to(&other.lattice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::canonical_interpretation;
+    use crate::fixtures;
+    use ps_lattice::parse_equation;
+
+    #[test]
+    fn figure1_lattice_is_not_distributive_but_satisfies_e() {
+        let mut fig = fixtures::figure1();
+        let lattice = InterpretationLattice::build(&fig.interpretation, 256).unwrap();
+        assert!(!lattice.is_distributive());
+        assert!(!lattice.is_empty());
+        assert!(lattice.len() >= 5);
+        assert_eq!(lattice.constants.len(), 3);
+        // Theorem 1: L(I) satisfies exactly the PDs the interpretation does.
+        for &pd in &fig.dependencies {
+            assert!(lattice.satisfies_pd(&fig.arena, &fig.universe, pd).unwrap());
+            assert!(fig.interpretation.satisfies_pd(&fig.arena, pd).unwrap());
+        }
+        let failing =
+            parse_equation("B*(A+C) = (B*A)+(B*C)", &mut fig.universe, &mut fig.arena).unwrap();
+        assert!(!lattice.satisfies_pd(&fig.arena, &fig.universe, failing).unwrap());
+        assert!(!fig.interpretation.satisfies_pd(&fig.arena, failing).unwrap());
+    }
+
+    #[test]
+    fn theorem1_agreement_on_many_pds() {
+        let mut fig = fixtures::figure1();
+        let lattice = InterpretationLattice::build(&fig.interpretation, 256).unwrap();
+        let pds = [
+            "A = A*B",
+            "B = B*A",
+            "A*B*C = A",
+            "A+B = B",
+            "C+B = A+B+C",
+            "A*C = B*C",
+            "B*(A+C) = B",
+            "A+C = B+C",
+        ];
+        for text in pds {
+            let pd = parse_equation(text, &mut fig.universe, &mut fig.arena).unwrap();
+            assert_eq!(
+                lattice.satisfies_pd(&fig.arena, &fig.universe, pd).unwrap(),
+                fig.interpretation.satisfies_pd(&fig.arena, pd).unwrap(),
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure2_lattices_are_isomorphic_with_four_elements() {
+        let fig = fixtures::figure2();
+        let l1 = InterpretationLattice::build(
+            &canonical_interpretation(&fig.r1).unwrap(),
+            64,
+        )
+        .unwrap();
+        let l2 = InterpretationLattice::build(
+            &canonical_interpretation(&fig.r2).unwrap(),
+            64,
+        )
+        .unwrap();
+        assert_eq!(l1.len(), 4);
+        assert_eq!(l2.len(), 4);
+        assert!(l1.is_isomorphic_to(&l2));
+        assert!(l2.is_isomorphic_to(&l1));
+        // Both are isomorphic to the 2-attribute Boolean lattice (a diamond).
+        assert!(l1.lattice.is_isomorphic_to(&FiniteLattice::boolean(2)));
+    }
+
+    #[test]
+    fn lattice_of_a_single_attribute_interpretation_is_a_point() {
+        let mut universe = ps_base::Universe::new();
+        let mut symbols = ps_base::SymbolTable::new();
+        let a = universe.attr("A");
+        let mut interp = crate::PartitionInterpretation::new();
+        interp
+            .set_named_blocks(a, vec![(symbols.symbol("x"), vec![1, 2]), (symbols.symbol("y"), vec![3])])
+            .unwrap();
+        let lattice = InterpretationLattice::build(&interp, 16).unwrap();
+        assert_eq!(lattice.len(), 1);
+        assert!(lattice.is_distributive());
+        assert!(lattice.is_modular());
+        assert_eq!(lattice.stats.generators, 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! # ps-core
+//!
+//! *Partition semantics for relations* — the primary contribution of
+//! Cosmadakis, Kanellakis and Spyratos (PODS 1985 / JCSS 33, 1986),
+//! implemented on top of the workspace substrates:
+//!
+//! * [`PartitionInterpretation`] — Definition 1: a population `p_A`, an
+//!   atomic partition `π_A` and a naming function `f_A` per attribute;
+//!   evaluation of partition expressions, satisfaction of databases
+//!   (Definition 2), of partition dependencies (Definition 3), and of the
+//!   CAD / EAP assumptions (Definition 4).
+//! * [`Fpd`] and partition dependencies — Section 3.2: a PD is an equation
+//!   between partition expressions ([`Pd`] = [`ps_lattice::Equation`]); an
+//!   FPD `X = X·Y` is the partition-semantic counterpart of the FD `X → Y`.
+//! * [`canonical`] — Definitions 5–7: the canonical interpretation `I(r)` of
+//!   a relation, the canonical relation `R(I)` of an interpretation, and
+//!   PD satisfaction *by a relation* (`r ⊨ δ  ⇔  I(r) ⊨ δ`), with
+//!   Theorem 3 connecting FPDs and FDs.
+//! * [`lattice_of`] — Theorem 1: the lattice `L(I)` obtained by closing the
+//!   atomic partitions under product and sum, materialized as a
+//!   [`ps_lattice::FiniteLattice`].
+//! * [`implication`] — Theorems 8 and 9: PD implication is the uniform word
+//!   problem for lattices; FD implication is the word problem for idempotent
+//!   commutative semigroups; identity recognition (Theorem 10).
+//! * [`weak_bridge`] — Theorems 6 and 7: satisfiability of a database plus
+//!   dependencies by a partition interpretation is equivalent to the
+//!   existence of a weak instance satisfying them.
+//! * [`consistency`] — Section 6.2 / Theorem 12: the polynomial-time
+//!   consistency test for a database and an arbitrary set of PDs.
+//! * [`cad`] — Section 6.1 / Theorem 11: consistency under CAD + EAP, the
+//!   NAE-3SAT reduction of Figure 3 and the exact solver.
+//! * [`connectivity`] — Example e and Theorem 4: partition dependencies
+//!   express undirected connectivity; includes the growing-chain
+//!   construction used in the inexpressibility proof.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cad;
+pub mod canonical;
+pub mod connectivity;
+pub mod consistency;
+pub mod dependency;
+mod error;
+pub mod fd_bridge;
+pub mod fixtures;
+pub mod implication;
+mod interpretation;
+pub mod lattice_of;
+pub mod weak_bridge;
+
+pub use dependency::{equations_of_fpds, fds_of_fpds, fpds_of_fds, Fpd, Pd};
+pub use error::CoreError;
+pub use interpretation::{AttributeInterpretation, PartitionInterpretation};
+
+/// Convenient `Result` alias for fallible operations in this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

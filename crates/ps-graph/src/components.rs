@@ -1,0 +1,122 @@
+//! Connected components.
+
+use std::collections::VecDeque;
+
+use ps_partition::UnionFind;
+
+use crate::UndirectedGraph;
+
+/// Computes, for every vertex, the id of its connected component, using the
+/// union–find structure (the same machinery the partition sum uses).
+/// Component ids are the smallest vertex of each component.
+pub fn components_union_find(graph: &UndirectedGraph) -> Vec<usize> {
+    let mut uf = UnionFind::new(graph.num_vertices());
+    for &(u, v) in graph.edges() {
+        uf.union(u, v);
+    }
+    let mut smallest = vec![usize::MAX; graph.num_vertices()];
+    for v in graph.vertices() {
+        let root = uf.find(v);
+        if v < smallest[root] {
+            smallest[root] = v;
+        }
+    }
+    graph.vertices().map(|v| smallest[uf.find(v)]).collect()
+}
+
+/// Computes the component ids by breadth-first search (reference
+/// implementation; cross-checked against the union–find variant in tests).
+pub fn components_bfs(graph: &UndirectedGraph) -> Vec<usize> {
+    let n = graph.num_vertices();
+    let mut component = vec![usize::MAX; n];
+    for start in 0..n {
+        if component[start] != usize::MAX {
+            continue;
+        }
+        component[start] = start;
+        let mut queue = VecDeque::from([start]);
+        while let Some(v) = queue.pop_front() {
+            for &w in graph.neighbours(v) {
+                if component[w] == usize::MAX {
+                    component[w] = start;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    component
+}
+
+/// Number of connected components.
+pub fn num_components(graph: &UndirectedGraph) -> usize {
+    let comps = components_union_find(graph);
+    let mut ids: Vec<usize> = comps;
+    ids.sort_unstable();
+    ids.dedup();
+    ids.len()
+}
+
+/// Whether `u` and `v` lie in the same connected component.
+pub fn same_component(graph: &UndirectedGraph, u: usize, v: usize) -> bool {
+    let comps = components_union_find(graph);
+    comps[u] == comps[v]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> UndirectedGraph {
+        let mut g = UndirectedGraph::new(7);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(3, 4);
+        g.add_edge(5, 5);
+        g
+    }
+
+    #[test]
+    fn union_find_components() {
+        let g = sample_graph();
+        let c = components_union_find(&g);
+        assert_eq!(c[0], c[1]);
+        assert_eq!(c[1], c[2]);
+        assert_eq!(c[3], c[4]);
+        assert_ne!(c[0], c[3]);
+        assert_ne!(c[0], c[5]);
+        assert_ne!(c[5], c[6]);
+        assert_eq!(num_components(&g), 4); // {0,1,2}, {3,4}, {5}, {6}
+    }
+
+    #[test]
+    fn bfs_agrees_with_union_find() {
+        let g = sample_graph();
+        assert_eq!(components_bfs(&g), components_union_find(&g));
+    }
+
+    #[test]
+    fn same_component_queries() {
+        let g = sample_graph();
+        assert!(same_component(&g, 0, 2));
+        assert!(!same_component(&g, 0, 6));
+        assert!(same_component(&g, 5, 5));
+    }
+
+    #[test]
+    fn empty_graph_has_one_component_per_vertex() {
+        let g = UndirectedGraph::new(3);
+        assert_eq!(num_components(&g), 3);
+        assert_eq!(components_union_find(&g), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn component_ids_are_smallest_members() {
+        let mut g = UndirectedGraph::new(5);
+        g.add_edge(4, 2);
+        g.add_edge(2, 3);
+        let c = components_union_find(&g);
+        assert_eq!(c[2], 2);
+        assert_eq!(c[3], 2);
+        assert_eq!(c[4], 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! Encoding graphs as relations (Example e of the paper).
+//!
+//! For an undirected graph the relation has three attributes: `A` (head),
+//! `B` (tail) and `C` (component).  For every edge `{a, b}` with component
+//! name `c` the relation contains the tuples `abc, bac, aac, bbc` — *and
+//! only those tuples*.  Constructed this way, the relation satisfies the
+//! partition dependency `C = A + B` exactly when the `C` column names the
+//! connected components (Section 4.1, characterization (II)).
+
+use ps_base::{Attribute, Symbol, SymbolTable, Universe};
+use ps_relation::{Relation, RelationScheme};
+
+use crate::{components_union_find, UndirectedGraph};
+
+/// The attributes and symbol mappings used by a graph encoding.
+#[derive(Debug, Clone)]
+pub struct GraphEncoding {
+    /// Head attribute `A`.
+    pub attr_head: Attribute,
+    /// Tail attribute `B`.
+    pub attr_tail: Attribute,
+    /// Component attribute `C`.
+    pub attr_component: Attribute,
+    /// Symbol used for vertex `v` (indexed by vertex id).
+    pub vertex_symbols: Vec<Symbol>,
+    /// Symbol used for the component of vertex `v` (indexed by vertex id).
+    pub component_symbols: Vec<Symbol>,
+}
+
+/// Encodes `graph` as the Example e relation, using the *true* connected
+/// components for the `C` column.  The resulting relation therefore
+/// satisfies `C = A + B`.
+pub fn component_relation(
+    graph: &UndirectedGraph,
+    universe: &mut Universe,
+    symbols: &mut SymbolTable,
+    name: &str,
+) -> (Relation, GraphEncoding) {
+    encode_with_components(graph, &components_union_find(graph), universe, symbols, name)
+}
+
+/// Encodes `graph` with an explicitly supplied component labelling (one
+/// label per vertex).  Passing a labelling that is *not* the connected-
+/// component labelling produces a relation that violates `C = A + B`, which
+/// the tests and benchmarks use as negative instances.
+pub fn edge_relation(
+    graph: &UndirectedGraph,
+    labelling: &[usize],
+    universe: &mut Universe,
+    symbols: &mut SymbolTable,
+    name: &str,
+) -> (Relation, GraphEncoding) {
+    encode_with_components(graph, labelling, universe, symbols, name)
+}
+
+fn encode_with_components(
+    graph: &UndirectedGraph,
+    labelling: &[usize],
+    universe: &mut Universe,
+    symbols: &mut SymbolTable,
+    name: &str,
+) -> (Relation, GraphEncoding) {
+    assert_eq!(
+        labelling.len(),
+        graph.num_vertices(),
+        "labelling must assign a component to every vertex"
+    );
+    let attr_head = universe.attr("A");
+    let attr_tail = universe.attr("B");
+    let attr_component = universe.attr("C");
+
+    let vertex_symbols: Vec<Symbol> = (0..graph.num_vertices())
+        .map(|v| symbols.symbol(&format!("v{v}")))
+        .collect();
+    let component_symbols: Vec<Symbol> = (0..graph.num_vertices())
+        .map(|v| symbols.symbol(&format!("c{}", labelling[v])))
+        .collect();
+
+    let attrs: ps_base::AttrSet = vec![attr_head, attr_tail, attr_component].into();
+    let scheme = RelationScheme::new(name, attrs);
+    let mut relation = Relation::new(scheme.clone());
+    let pos_a = scheme.position(attr_head).expect("A in scheme");
+    let pos_b = scheme.position(attr_tail).expect("B in scheme");
+    let pos_c = scheme.position(attr_component).expect("C in scheme");
+
+    let push = |relation: &mut Relation, a: usize, b: usize, c_owner: usize| {
+        let mut values = vec![Symbol::from_index(0); 3];
+        values[pos_a] = vertex_symbols[a];
+        values[pos_b] = vertex_symbols[b];
+        values[pos_c] = component_symbols[c_owner];
+        relation
+            .insert_values(&values)
+            .expect("arity matches the scheme");
+    };
+
+    for &(a, b) in graph.edges() {
+        // The component label attached to an edge is that of its endpoints
+        // (they coincide when the labelling is the true component map).
+        push(&mut relation, a, b, a);
+        push(&mut relation, b, a, a);
+        push(&mut relation, a, a, a);
+        push(&mut relation, b, b, a);
+    }
+    (
+        relation,
+        GraphEncoding {
+            attr_head,
+            attr_tail,
+            attr_component,
+            vertex_symbols,
+            component_symbols,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path;
+
+    #[test]
+    fn component_relation_has_four_tuples_per_edge() {
+        let mut u = Universe::new();
+        let mut s = SymbolTable::new();
+        let g = path(3); // edges {0,1}, {1,2}
+        let (r, enc) = component_relation(&g, &mut u, &mut s, "G");
+        // 4 tuples per edge, but aac/bbc overlap on shared vertices: edge01
+        // gives 01,10,00,11; edge12 gives 12,21,11,22 — the tuple 11c is shared.
+        assert_eq!(r.len(), 7);
+        assert_eq!(enc.vertex_symbols.len(), 3);
+        // All component symbols are the same because the path is connected.
+        let c_dom = r.active_domain(enc.attr_component).unwrap();
+        assert_eq!(c_dom.len(), 1);
+    }
+
+    #[test]
+    fn disconnected_graph_gets_distinct_component_symbols() {
+        let mut u = Universe::new();
+        let mut s = SymbolTable::new();
+        let mut g = UndirectedGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        let (r, enc) = component_relation(&g, &mut u, &mut s, "G");
+        let c_dom = r.active_domain(enc.attr_component).unwrap();
+        assert_eq!(c_dom.len(), 2);
+        assert_eq!(r.len(), 8);
+    }
+
+    #[test]
+    fn custom_labelling_can_violate_connectivity_semantics() {
+        let mut u = Universe::new();
+        let mut s = SymbolTable::new();
+        let g = path(3);
+        // Label vertices 1 and 2 as if they formed a different component even
+        // though the path is connected: the edges now carry two different
+        // component symbols, so the relation violates C = A + B.
+        let (r, enc) = edge_relation(&g, &[0, 1, 1], &mut u, &mut s, "G");
+        let c_dom = r.active_domain(enc.attr_component).unwrap();
+        assert_eq!(c_dom.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "every vertex")]
+    fn labelling_arity_is_checked() {
+        let mut u = Universe::new();
+        let mut s = SymbolTable::new();
+        let g = path(3);
+        let _ = edge_relation(&g, &[0], &mut u, &mut s, "G");
+    }
+}

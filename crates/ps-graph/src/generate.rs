@@ -1,0 +1,113 @@
+//! Random and structured graph generators for the benchmark workloads
+//! (experiment E4).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::UndirectedGraph;
+
+/// An Erdős–Rényi random graph `G(n, p)`: every edge present independently
+/// with probability `p`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> UndirectedGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = UndirectedGraph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// A uniformly random labelled tree on `n` vertices (random attachment).
+pub fn random_tree(n: usize, seed: u64) -> UndirectedGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = UndirectedGraph::new(n);
+    for v in 1..n {
+        let parent = rng.gen_range(0..v);
+        g.add_edge(parent, v);
+    }
+    g
+}
+
+/// The path `0 – 1 – … – (n-1)`.
+pub fn path(n: usize) -> UndirectedGraph {
+    let mut g = UndirectedGraph::new(n);
+    for v in 1..n {
+        g.add_edge(v - 1, v);
+    }
+    g
+}
+
+/// The cycle on `n ≥ 3` vertices.
+pub fn cycle(n: usize) -> UndirectedGraph {
+    assert!(n >= 3, "a cycle needs at least three vertices");
+    let mut g = path(n);
+    g.add_edge(n - 1, 0);
+    g
+}
+
+/// The `rows × cols` grid graph.
+pub fn grid(rows: usize, cols: usize) -> UndirectedGraph {
+    let mut g = UndirectedGraph::new(rows * cols);
+    let idx = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(idx(r, c), idx(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_edge(idx(r, c), idx(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::num_components;
+
+    #[test]
+    fn path_and_cycle_shapes() {
+        let p = path(5);
+        assert_eq!(p.num_edges(), 4);
+        assert_eq!(num_components(&p), 1);
+        let c = cycle(5);
+        assert_eq!(c.num_edges(), 5);
+        assert_eq!(num_components(&c), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "three vertices")]
+    fn tiny_cycles_are_rejected() {
+        let _ = cycle(2);
+    }
+
+    #[test]
+    fn tree_is_connected_with_n_minus_1_edges() {
+        let t = random_tree(40, 7);
+        assert_eq!(t.num_edges(), 39);
+        assert_eq!(num_components(&t), 1);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4);
+        assert_eq!(num_components(&g), 1);
+    }
+
+    #[test]
+    fn gnp_is_deterministic_for_a_seed_and_respects_extremes() {
+        let a = gnp(20, 0.3, 42);
+        let b = gnp(20, 0.3, 42);
+        assert_eq!(a, b);
+        assert_eq!(gnp(10, 0.0, 1).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, 1).num_edges(), 45);
+    }
+}

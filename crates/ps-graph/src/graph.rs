@@ -1,0 +1,117 @@
+//! Undirected graphs.
+
+use std::collections::HashSet;
+
+/// A simple undirected graph on vertices `0..num_vertices`.
+///
+/// Self-loops are allowed (the Example e encoding produces reflexive tuples
+/// anyway); parallel edges are collapsed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UndirectedGraph {
+    num_vertices: usize,
+    edges: Vec<(usize, usize)>,
+    edge_set: HashSet<(usize, usize)>,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl UndirectedGraph {
+    /// Creates a graph with `num_vertices` vertices and no edges.
+    pub fn new(num_vertices: usize) -> Self {
+        UndirectedGraph {
+            num_vertices,
+            edges: Vec::new(),
+            edge_set: HashSet::new(),
+            adjacency: vec![Vec::new(); num_vertices],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of (distinct) edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the edge `{u, v}`.  Returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is not a vertex.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        assert!(u < self.num_vertices && v < self.num_vertices, "vertex out of range");
+        let key = (u.min(v), u.max(v));
+        if !self.edge_set.insert(key) {
+            return false;
+        }
+        self.edges.push(key);
+        self.adjacency[u].push(v);
+        if u != v {
+            self.adjacency[v].push(u);
+        }
+        true
+    }
+
+    /// Whether the edge `{u, v}` is present.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.edge_set.contains(&(u.min(v), u.max(v)))
+    }
+
+    /// The edges as `(min, max)` pairs, in insertion order.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// The neighbours of `v`.
+    pub fn neighbours(&self, v: usize) -> &[usize] {
+        &self.adjacency[v]
+    }
+
+    /// Iterates over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = usize> {
+        0..self.num_vertices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_deduplicates_and_is_symmetric() {
+        let mut g = UndirectedGraph::new(4);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0));
+        assert!(g.add_edge(2, 3));
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.neighbours(0), &[1]);
+        assert_eq!(g.neighbours(1), &[0]);
+    }
+
+    #[test]
+    fn self_loops_are_allowed() {
+        let mut g = UndirectedGraph::new(2);
+        assert!(g.add_edge(1, 1));
+        assert!(g.has_edge(1, 1));
+        assert_eq!(g.neighbours(1), &[1]);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_vertices_are_rejected() {
+        let mut g = UndirectedGraph::new(2);
+        g.add_edge(0, 5);
+    }
+
+    #[test]
+    fn vertices_iterator_covers_all() {
+        let g = UndirectedGraph::new(3);
+        assert_eq!(g.vertices().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # ps-graph
+//!
+//! Undirected-graph substrate for the connectivity results of the paper.
+//!
+//! Example e (Section 3.2) encodes an undirected graph as a ternary relation
+//! with attributes `A` (head), `B` (tail) and `C` (component): for every
+//! edge `{a, b}` the relation holds the tuples `abc, bac, aac, bbc`, where
+//! `c` names the connected component.  The partition dependency `C = A + B`
+//! then says exactly that `C` is the connected component of the edge —
+//! something Theorem 4 shows no set of first-order sentences (and hence no
+//! relational-algebra query) can express.
+//!
+//! This crate provides the graphs, their connected components (computed with
+//! the union–find of `ps-partition` and with BFS, cross-checked in tests),
+//! random generators for the benchmark workloads, and the Example e encoding
+//! into `ps-relation` relations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod components;
+mod encode;
+mod generate;
+mod graph;
+
+pub use components::{components_bfs, components_union_find, num_components, same_component};
+pub use encode::{component_relation, edge_relation, GraphEncoding};
+pub use generate::{cycle, gnp, grid, path, random_tree};
+pub use graph::UndirectedGraph;

@@ -1,0 +1,168 @@
+//! A compact square bit matrix.
+//!
+//! Algorithm `ALG` (Section 5.2) maintains a set `Γ` of directed arcs over
+//! the subexpression set `V`; the matrix below stores those arcs with one
+//! bit per pair, which keeps the `O(n⁴)` fixpoint loops cache-friendly.
+
+/// A dense `n × n` bit matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero `n × n` matrix.
+    pub fn new(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64);
+        BitMatrix {
+            n,
+            words_per_row,
+            bits: vec![0; n * words_per_row],
+        }
+    }
+
+    /// The dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Reads bit `(row, col)`.
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        debug_assert!(row < self.n && col < self.n);
+        let word = self.bits[row * self.words_per_row + col / 64];
+        (word >> (col % 64)) & 1 == 1
+    }
+
+    /// Sets bit `(row, col)`; returns `true` if it was previously clear.
+    pub fn set(&mut self, row: usize, col: usize) -> bool {
+        debug_assert!(row < self.n && col < self.n);
+        let idx = row * self.words_per_row + col / 64;
+        let mask = 1u64 << (col % 64);
+        let was_clear = self.bits[idx] & mask == 0;
+        self.bits[idx] |= mask;
+        was_clear
+    }
+
+    /// Number of set bits in the whole matrix.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// ORs row `src` into row `dst`; returns `true` if `dst` changed.
+    pub fn or_row_into(&mut self, src: usize, dst: usize) -> bool {
+        if src == dst {
+            return false;
+        }
+        let (src_start, dst_start) = (src * self.words_per_row, dst * self.words_per_row);
+        let mut changed = false;
+        for k in 0..self.words_per_row {
+            let s = self.bits[src_start + k];
+            let d = self.bits[dst_start + k];
+            if d | s != d {
+                self.bits[dst_start + k] = d | s;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Iterates over the column indices of set bits in `row`.
+    pub fn iter_row(&self, row: usize) -> impl Iterator<Item = usize> + '_ {
+        let start = row * self.words_per_row;
+        let n = self.n;
+        (0..self.words_per_row).flat_map(move |k| {
+            let mut word = self.bits[start + k];
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    None
+                } else {
+                    let bit = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    Some(k * 64 + bit)
+                }
+            })
+        })
+        .take_while(move |&c| c < n)
+    }
+
+    /// Computes the reflexive–transitive closure in place (Floyd–Warshall on
+    /// booleans, using word-parallel row ORs).
+    pub fn transitive_closure(&mut self) {
+        for i in 0..self.n {
+            self.set(i, i);
+        }
+        for k in 0..self.n {
+            for i in 0..self.n {
+                if self.get(i, k) {
+                    self.or_row_into(k, i);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get() {
+        let mut m = BitMatrix::new(70);
+        assert!(!m.get(3, 65));
+        assert!(m.set(3, 65));
+        assert!(!m.set(3, 65));
+        assert!(m.get(3, 65));
+        assert_eq!(m.count_ones(), 1);
+        assert_eq!(m.dim(), 70);
+    }
+
+    #[test]
+    fn or_row_into_merges() {
+        let mut m = BitMatrix::new(10);
+        m.set(0, 1);
+        m.set(0, 9);
+        assert!(m.or_row_into(0, 2));
+        assert!(m.get(2, 1) && m.get(2, 9));
+        assert!(!m.or_row_into(0, 2));
+        assert!(!m.or_row_into(5, 5));
+    }
+
+    #[test]
+    fn iter_row_lists_set_columns() {
+        let mut m = BitMatrix::new(130);
+        for c in [0, 63, 64, 129] {
+            m.set(7, c);
+        }
+        let cols: Vec<usize> = m.iter_row(7).collect();
+        assert_eq!(cols, vec![0, 63, 64, 129]);
+        assert!(m.iter_row(8).next().is_none());
+    }
+
+    #[test]
+    fn transitive_closure_of_a_chain() {
+        let mut m = BitMatrix::new(5);
+        for i in 0..4 {
+            m.set(i, i + 1);
+        }
+        m.transitive_closure();
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(m.get(i, j), i <= j, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn transitive_closure_is_idempotent() {
+        let mut m = BitMatrix::new(8);
+        m.set(0, 3);
+        m.set(3, 6);
+        m.set(6, 1);
+        m.transitive_closure();
+        let snapshot = m.clone();
+        m.transitive_closure();
+        assert_eq!(m, snapshot);
+    }
+}

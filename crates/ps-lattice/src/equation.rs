@@ -1,0 +1,99 @@
+//! Equations between lattice terms.
+//!
+//! A *partition dependency* (Definition 3) is precisely an equation
+//! `e = e′` between partition expressions; the implication problem for PDs
+//! is the uniform word problem for lattices over these equations
+//! (Theorem 8).
+
+use ps_base::Universe;
+
+use crate::{TermArena, TermId};
+
+/// An equation `lhs = rhs` between two terms of a [`TermArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Equation {
+    /// Left-hand side.
+    pub lhs: TermId,
+    /// Right-hand side.
+    pub rhs: TermId,
+}
+
+impl Equation {
+    /// Creates the equation `lhs = rhs`.
+    pub fn new(lhs: TermId, rhs: TermId) -> Self {
+        Equation { lhs, rhs }
+    }
+
+    /// The equation with the two sides swapped (equivalent as a constraint).
+    pub fn flipped(self) -> Self {
+        Equation {
+            lhs: self.rhs,
+            rhs: self.lhs,
+        }
+    }
+
+    /// Whether the two sides are the same term (syntactically).
+    pub fn is_trivial(self) -> bool {
+        self.lhs == self.rhs
+    }
+
+    /// Renders the equation with attribute names, e.g. `A=A*B`.
+    pub fn display(self, arena: &TermArena, universe: &Universe) -> String {
+        format!(
+            "{}={}",
+            arena.display(self.lhs, universe),
+            arena.display(self.rhs, universe)
+        )
+    }
+}
+
+/// Builds the pair of equations expressing `lhs ≤ rhs` in the two equivalent
+/// ways of Section 3.2: `lhs = lhs * rhs` and `rhs = rhs + lhs`.
+///
+/// Either one alone already expresses the inequality; both are returned so
+/// callers can pick the form they need (or assert their equivalence in
+/// tests).
+pub fn leq_as_equations(arena: &mut TermArena, lhs: TermId, rhs: TermId) -> (Equation, Equation) {
+    let meet = arena.meet(lhs, rhs);
+    let join = arena.join(rhs, lhs);
+    (Equation::new(lhs, meet), Equation::new(rhs, join))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flipped_and_trivial() {
+        let mut u = Universe::new();
+        let mut arena = TermArena::new();
+        let a = arena.atom(u.attr("A"));
+        let b = arena.atom(u.attr("B"));
+        let eq = Equation::new(a, b);
+        assert_eq!(eq.flipped(), Equation::new(b, a));
+        assert!(!eq.is_trivial());
+        assert!(Equation::new(a, a).is_trivial());
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let mut u = Universe::new();
+        let mut arena = TermArena::new();
+        let a = arena.atom(u.attr("A"));
+        let b = arena.atom(u.attr("B"));
+        let ab = arena.meet(a, b);
+        let eq = Equation::new(a, ab);
+        assert_eq!(eq.display(&arena, &u), "A=A*B");
+    }
+
+    #[test]
+    fn leq_as_equations_builds_both_forms() {
+        let mut u = Universe::new();
+        let mut arena = TermArena::new();
+        let a = arena.atom(u.attr("A"));
+        let b = arena.atom(u.attr("B"));
+        let (meet_form, join_form) = leq_as_equations(&mut arena, a, b);
+        assert_eq!(meet_form.display(&arena, &u), "A=A*B");
+        assert_eq!(join_form.display(&arena, &u), "B=B+A");
+    }
+}

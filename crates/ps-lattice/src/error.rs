@@ -1,0 +1,62 @@
+//! Errors for lattice construction, parsing and solving.
+
+use std::fmt;
+
+/// Errors raised by the lattice machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LatticeError {
+    /// The parser encountered malformed input.
+    Parse {
+        /// Human-readable description of the problem.
+        message: String,
+        /// Byte offset into the input at which the problem was detected.
+        position: usize,
+    },
+    /// A relation passed to [`crate::FiniteLattice::from_leq`] is not a
+    /// partial order, or lacks meets/joins.
+    NotALattice(String),
+    /// A term mentions an attribute with no value in the given assignment.
+    UnassignedAttribute(String),
+    /// A term identifier does not belong to the arena it was used with.
+    ForeignTerm(u32),
+}
+
+impl fmt::Display for LatticeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatticeError::Parse { message, position } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            LatticeError::NotALattice(why) => write!(f, "not a lattice: {why}"),
+            LatticeError::UnassignedAttribute(name) => {
+                write!(f, "attribute `{name}` has no value in the assignment")
+            }
+            LatticeError::ForeignTerm(id) => {
+                write!(f, "term id {id} does not belong to this arena")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LatticeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let p = LatticeError::Parse {
+            message: "unexpected `)`".into(),
+            position: 3,
+        };
+        assert!(p.to_string().contains("byte 3"));
+        assert!(LatticeError::NotALattice("no meet of 1,2".into())
+            .to_string()
+            .contains("no meet"));
+        assert!(LatticeError::UnassignedAttribute("A".into())
+            .to_string()
+            .contains("`A`"));
+        assert!(LatticeError::ForeignTerm(9).to_string().contains("9"));
+    }
+}

@@ -1,0 +1,597 @@
+//! Explicitly tabulated finite lattices.
+//!
+//! The lattice `L(I)` of Theorem 1 — the closure of an interpretation's
+//! atomic partitions under product and sum — is finite whenever the
+//! populations are, and several of the paper's arguments inspect such
+//! lattices directly: Figure 1 exhibits a non-distributive `L(I)`, and the
+//! proof of Theorem 5 (MVDs are not expressible by PDs) rests on two
+//! canonical interpretations whose lattices are *isomorphic*.  This module
+//! provides the finite-lattice value type used for those reproductions and
+//! for finite model checking of the symbolic algorithms.
+
+use std::collections::HashMap;
+
+use ps_base::{Attribute, Universe};
+
+use crate::{Equation, LatticeError, Result, TermArena, TermId, TermNode};
+
+/// A finite lattice on elements `0..len`, with tabulated order, meet and
+/// join.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FiniteLattice {
+    n: usize,
+    leq: Vec<bool>,
+    meet: Vec<u32>,
+    join: Vec<u32>,
+}
+
+impl FiniteLattice {
+    /// Builds a lattice from an order relation given as a predicate on
+    /// element indices.
+    ///
+    /// Verifies that the relation is a partial order and that every pair of
+    /// elements has a greatest lower bound and a least upper bound; returns
+    /// [`LatticeError::NotALattice`] otherwise.
+    pub fn from_leq(n: usize, leq: impl Fn(usize, usize) -> bool) -> Result<Self> {
+        let mut table = vec![false; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                table[i * n + j] = leq(i, j);
+            }
+        }
+        Self::from_leq_table(n, table)
+    }
+
+    /// Builds a lattice from a row-major `n × n` boolean order table.
+    pub fn from_leq_table(n: usize, leq: Vec<bool>) -> Result<Self> {
+        assert_eq!(leq.len(), n * n, "order table must be n*n");
+        let le = |i: usize, j: usize| leq[i * n + j];
+        // Partial-order checks.
+        for i in 0..n {
+            if !le(i, i) {
+                return Err(LatticeError::NotALattice(format!(
+                    "order is not reflexive at element {i}"
+                )));
+            }
+            for j in 0..n {
+                if i != j && le(i, j) && le(j, i) {
+                    return Err(LatticeError::NotALattice(format!(
+                        "order is not antisymmetric on {i}, {j}"
+                    )));
+                }
+                for k in 0..n {
+                    if le(i, j) && le(j, k) && !le(i, k) {
+                        return Err(LatticeError::NotALattice(format!(
+                            "order is not transitive on {i}, {j}, {k}"
+                        )));
+                    }
+                }
+            }
+        }
+        // Meets and joins.
+        let mut meet = vec![0u32; n * n];
+        let mut join = vec![0u32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let lower: Vec<usize> = (0..n).filter(|&k| le(k, i) && le(k, j)).collect();
+                let glb = lower
+                    .iter()
+                    .copied()
+                    .find(|&g| lower.iter().all(|&k| le(k, g)));
+                let upper: Vec<usize> = (0..n).filter(|&k| le(i, k) && le(j, k)).collect();
+                let lub = upper
+                    .iter()
+                    .copied()
+                    .find(|&g| upper.iter().all(|&k| le(g, k)));
+                match (glb, lub) {
+                    (Some(m), Some(s)) => {
+                        meet[i * n + j] = m as u32;
+                        join[i * n + j] = s as u32;
+                    }
+                    (None, _) => {
+                        return Err(LatticeError::NotALattice(format!(
+                            "elements {i} and {j} have no meet"
+                        )))
+                    }
+                    (_, None) => {
+                        return Err(LatticeError::NotALattice(format!(
+                            "elements {i} and {j} have no join"
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(FiniteLattice {
+            n,
+            leq,
+            meet,
+            join,
+        })
+    }
+
+    /// The `n`-element chain `0 < 1 < … < n-1`.
+    pub fn chain(n: usize) -> Self {
+        Self::from_leq(n, |i, j| i <= j).expect("a chain is a lattice")
+    }
+
+    /// The diamond `M₃`: bottom, three incomparable atoms, top.  The smallest
+    /// non-distributive (but modular) lattice.
+    pub fn m3() -> Self {
+        // 0 = bottom, 1,2,3 = atoms, 4 = top.
+        Self::from_leq(5, |i, j| i == j || i == 0 || j == 4).expect("M3 is a lattice")
+    }
+
+    /// The pentagon `N₅`: the smallest non-modular lattice.
+    pub fn n5() -> Self {
+        // 0 = bottom, 4 = top; chain 0 < 1 < 2 < 4 and 0 < 3 < 4.
+        Self::from_leq(5, |i, j| {
+            i == j || i == 0 || j == 4 || (i == 1 && j == 2)
+        })
+        .expect("N5 is a lattice")
+    }
+
+    /// The Boolean lattice of subsets of a `k`-element set (2^k elements,
+    /// ordered by inclusion of bit masks).
+    pub fn boolean(k: u32) -> Self {
+        let n = 1usize << k;
+        Self::from_leq(n, |i, j| i & j == i).expect("the subset order is a lattice")
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the lattice has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The order relation.
+    pub fn leq(&self, i: usize, j: usize) -> bool {
+        self.leq[i * self.n + j]
+    }
+
+    /// The meet (greatest lower bound) of `i` and `j`.
+    pub fn meet(&self, i: usize, j: usize) -> usize {
+        self.meet[i * self.n + j] as usize
+    }
+
+    /// The join (least upper bound) of `i` and `j`.
+    pub fn join(&self, i: usize, j: usize) -> usize {
+        self.join[i * self.n + j] as usize
+    }
+
+    /// The greatest element.
+    pub fn top(&self) -> usize {
+        (0..self.n)
+            .find(|&t| (0..self.n).all(|i| self.leq(i, t)))
+            .expect("a non-empty lattice has a top")
+    }
+
+    /// The least element.
+    pub fn bottom(&self) -> usize {
+        (0..self.n)
+            .find(|&b| (0..self.n).all(|i| self.leq(b, i)))
+            .expect("a non-empty lattice has a bottom")
+    }
+
+    /// The covering pairs `(i, j)` (`i < j` with nothing strictly between):
+    /// the edges of the Hasse diagram.
+    pub fn covers(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i == j || !self.leq(i, j) {
+                    continue;
+                }
+                let has_middle = (0..self.n)
+                    .any(|k| k != i && k != j && self.leq(i, k) && self.leq(k, j));
+                if !has_middle {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Verifies the lattice axioms LA (associativity, commutativity,
+    /// idempotence, absorption) directly on the tables.  Always succeeds for
+    /// lattices built by [`FiniteLattice::from_leq`]; useful as a sanity
+    /// check in tests and on hand-built tables.
+    pub fn check_axioms(&self) -> std::result::Result<(), String> {
+        let n = self.n;
+        for x in 0..n {
+            for y in 0..n {
+                if self.meet(x, y) != self.meet(y, x) {
+                    return Err(format!("meet not commutative on {x},{y}"));
+                }
+                if self.join(x, y) != self.join(y, x) {
+                    return Err(format!("join not commutative on {x},{y}"));
+                }
+                if self.join(x, self.meet(x, y)) != x {
+                    return Err(format!("absorption x+(x*y) fails on {x},{y}"));
+                }
+                if self.meet(x, self.join(x, y)) != x {
+                    return Err(format!("absorption x*(x+y) fails on {x},{y}"));
+                }
+                for z in 0..n {
+                    if self.meet(self.meet(x, y), z) != self.meet(x, self.meet(y, z)) {
+                        return Err(format!("meet not associative on {x},{y},{z}"));
+                    }
+                    if self.join(self.join(x, y), z) != self.join(x, self.join(y, z)) {
+                        return Err(format!("join not associative on {x},{y},{z}"));
+                    }
+                }
+            }
+            if self.meet(x, x) != x || self.join(x, x) != x {
+                return Err(format!("idempotence fails on {x}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the distributive law `x*(y+z) = (x*y)+(x*z)` holds for all
+    /// elements.
+    pub fn is_distributive(&self) -> bool {
+        let n = self.n;
+        for x in 0..n {
+            for y in 0..n {
+                for z in 0..n {
+                    if self.meet(x, self.join(y, z)) != self.join(self.meet(x, y), self.meet(x, z))
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether the modular law (`x ≤ z` implies `x+(y*z) = (x+y)*z`) holds.
+    pub fn is_modular(&self) -> bool {
+        let n = self.n;
+        for x in 0..n {
+            for y in 0..n {
+                for z in 0..n {
+                    if self.leq(x, z)
+                        && self.join(x, self.meet(y, z)) != self.meet(self.join(x, y), z)
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The sublattice generated by `generators`: the smallest subset
+    /// containing them and closed under meet and join.  Returned as a sorted
+    /// list of element indices.
+    pub fn sublattice_generated_by(&self, generators: &[usize]) -> Vec<usize> {
+        let mut in_set = vec![false; self.n];
+        let mut elements: Vec<usize> = Vec::new();
+        for &g in generators {
+            if !in_set[g] {
+                in_set[g] = true;
+                elements.push(g);
+            }
+        }
+        loop {
+            let mut fresh = Vec::new();
+            for (idx, &x) in elements.iter().enumerate() {
+                for &y in &elements[idx..] {
+                    for candidate in [self.meet(x, y), self.join(x, y)] {
+                        if !in_set[candidate] {
+                            in_set[candidate] = true;
+                            fresh.push(candidate);
+                        }
+                    }
+                }
+            }
+            if fresh.is_empty() {
+                break;
+            }
+            elements.extend(fresh);
+        }
+        elements.sort_unstable();
+        elements
+    }
+
+    /// Evaluates a term under an assignment of lattice elements to
+    /// attributes.
+    pub fn evaluate(
+        &self,
+        arena: &TermArena,
+        term: TermId,
+        assignment: &HashMap<Attribute, usize>,
+        universe: &Universe,
+    ) -> Result<usize> {
+        match arena.node(term) {
+            TermNode::Atom(a) => assignment.get(&a).copied().ok_or_else(|| {
+                LatticeError::UnassignedAttribute(
+                    universe.name(a).unwrap_or("<unknown>").to_owned(),
+                )
+            }),
+            TermNode::Meet(l, r) => Ok(self.meet(
+                self.evaluate(arena, l, assignment, universe)?,
+                self.evaluate(arena, r, assignment, universe)?,
+            )),
+            TermNode::Join(l, r) => Ok(self.join(
+                self.evaluate(arena, l, assignment, universe)?,
+                self.evaluate(arena, r, assignment, universe)?,
+            )),
+        }
+    }
+
+    /// Whether the lattice satisfies `eq` under the given assignment of
+    /// elements to attributes (this is satisfaction "as a lattice with
+    /// constants", Section 2.2).
+    pub fn satisfies(
+        &self,
+        arena: &TermArena,
+        eq: Equation,
+        assignment: &HashMap<Attribute, usize>,
+        universe: &Universe,
+    ) -> Result<bool> {
+        Ok(self.evaluate(arena, eq.lhs, assignment, universe)?
+            == self.evaluate(arena, eq.rhs, assignment, universe)?)
+    }
+
+    /// Whether `eq` holds under **every** assignment of lattice elements to
+    /// the attributes occurring in it (identity checking by finite model
+    /// inspection; exponential in the number of attributes).
+    pub fn satisfies_identity(
+        &self,
+        arena: &TermArena,
+        eq: Equation,
+        universe: &Universe,
+    ) -> Result<bool> {
+        let attrs: Vec<Attribute> = arena
+            .atoms(eq.lhs)
+            .union(&arena.atoms(eq.rhs))
+            .iter()
+            .collect();
+        let mut assignment: HashMap<Attribute, usize> = HashMap::new();
+        self.check_all_assignments(arena, eq, universe, &attrs, 0, &mut assignment)
+    }
+
+    fn check_all_assignments(
+        &self,
+        arena: &TermArena,
+        eq: Equation,
+        universe: &Universe,
+        attrs: &[Attribute],
+        next: usize,
+        assignment: &mut HashMap<Attribute, usize>,
+    ) -> Result<bool> {
+        if next == attrs.len() {
+            return self.satisfies(arena, eq, assignment, universe);
+        }
+        for value in 0..self.n {
+            assignment.insert(attrs[next], value);
+            if !self.check_all_assignments(arena, eq, universe, attrs, next + 1, assignment)? {
+                return Ok(false);
+            }
+        }
+        assignment.remove(&attrs[next]);
+        Ok(true)
+    }
+
+    /// Whether there is an order- (hence meet- and join-) preserving
+    /// bijection between the two lattices.  Backtracking search with a
+    /// signature-based pruning; intended for the small lattices arising from
+    /// canonical interpretations (Figure 2 / Theorem 5).
+    pub fn is_isomorphic_to(&self, other: &FiniteLattice) -> bool {
+        if self.n != other.n {
+            return false;
+        }
+        let sig = |lat: &FiniteLattice, x: usize| -> (usize, usize) {
+            (
+                (0..lat.n).filter(|&y| lat.leq(y, x)).count(),
+                (0..lat.n).filter(|&y| lat.leq(x, y)).count(),
+            )
+        };
+        let self_sigs: Vec<_> = (0..self.n).map(|x| sig(self, x)).collect();
+        let other_sigs: Vec<_> = (0..other.n).map(|x| sig(other, x)).collect();
+        {
+            let mut a = self_sigs.clone();
+            let mut b = other_sigs.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            if a != b {
+                return false;
+            }
+        }
+        let mut mapping: Vec<Option<usize>> = vec![None; self.n];
+        let mut used = vec![false; self.n];
+        self.extend_isomorphism(other, &self_sigs, &other_sigs, &mut mapping, &mut used, 0)
+    }
+
+    fn extend_isomorphism(
+        &self,
+        other: &FiniteLattice,
+        self_sigs: &[(usize, usize)],
+        other_sigs: &[(usize, usize)],
+        mapping: &mut Vec<Option<usize>>,
+        used: &mut Vec<bool>,
+        next: usize,
+    ) -> bool {
+        if next == self.n {
+            return true;
+        }
+        for candidate in 0..self.n {
+            if used[candidate] || self_sigs[next] != other_sigs[candidate] {
+                continue;
+            }
+            // Check order compatibility with everything already mapped.
+            let compatible = (0..next).all(|prev| {
+                let img = mapping[prev].expect("mapped");
+                self.leq(prev, next) == other.leq(img, candidate)
+                    && self.leq(next, prev) == other.leq(candidate, img)
+            });
+            if !compatible {
+                continue;
+            }
+            mapping[next] = Some(candidate);
+            used[candidate] = true;
+            if self.extend_isomorphism(other, self_sigs, other_sigs, mapping, used, next + 1) {
+                return true;
+            }
+            mapping[next] = None;
+            used[candidate] = false;
+        }
+        false
+    }
+
+    /// Verifies that `map` (from this lattice's elements to `other`'s) is a
+    /// lattice homomorphism: it preserves meets and joins.
+    pub fn is_homomorphism(&self, other: &FiniteLattice, map: &[usize]) -> bool {
+        if map.len() != self.n || map.iter().any(|&m| m >= other.n) {
+            return false;
+        }
+        for x in 0..self.n {
+            for y in 0..self.n {
+                if map[self.meet(x, y)] != other.meet(map[x], map[y])
+                    || map[self.join(x, y)] != other.join(map[x], map[y])
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_equation;
+
+    #[test]
+    fn chain_is_distributive_and_modular() {
+        let c = FiniteLattice::chain(4);
+        assert!(c.check_axioms().is_ok());
+        assert!(c.is_distributive());
+        assert!(c.is_modular());
+        assert_eq!(c.top(), 3);
+        assert_eq!(c.bottom(), 0);
+        assert_eq!(c.meet(1, 3), 1);
+        assert_eq!(c.join(1, 3), 3);
+        assert_eq!(c.covers(), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn m3_is_modular_but_not_distributive() {
+        let m3 = FiniteLattice::m3();
+        assert!(m3.check_axioms().is_ok());
+        assert!(!m3.is_distributive());
+        assert!(m3.is_modular());
+    }
+
+    #[test]
+    fn n5_is_not_modular() {
+        let n5 = FiniteLattice::n5();
+        assert!(n5.check_axioms().is_ok());
+        assert!(!n5.is_modular());
+        assert!(!n5.is_distributive());
+    }
+
+    #[test]
+    fn boolean_lattice_is_distributive() {
+        let b3 = FiniteLattice::boolean(3);
+        assert_eq!(b3.len(), 8);
+        assert!(b3.is_distributive());
+        assert_eq!(b3.meet(0b101, 0b110), 0b100);
+        assert_eq!(b3.join(0b101, 0b110), 0b111);
+    }
+
+    #[test]
+    fn from_leq_rejects_non_lattices() {
+        // Two incomparable maximal elements: no join.
+        let err = FiniteLattice::from_leq(3, |i, j| i == j || i == 0).unwrap_err();
+        assert!(matches!(err, LatticeError::NotALattice(_)));
+        // Not antisymmetric.
+        let err = FiniteLattice::from_leq(2, |_, _| true).unwrap_err();
+        assert!(matches!(err, LatticeError::NotALattice(_)));
+    }
+
+    #[test]
+    fn sublattice_generation() {
+        let b3 = FiniteLattice::boolean(3);
+        // Two atoms generate {bottom, a, b, a∨b}.
+        let sub = b3.sublattice_generated_by(&[0b001, 0b010]);
+        assert_eq!(sub, vec![0b000, 0b001, 0b010, 0b011]);
+        // Generators are deduplicated.
+        let sub2 = b3.sublattice_generated_by(&[0b001, 0b001]);
+        assert_eq!(sub2, vec![0b001]);
+    }
+
+    #[test]
+    fn evaluation_and_satisfaction() {
+        let mut u = Universe::new();
+        let mut arena = TermArena::new();
+        let eq = parse_equation("A*(B+C)=(A*B)+(A*C)", &mut u, &mut arena).unwrap();
+        let m3 = FiniteLattice::m3();
+        // Distributivity fails on M3 for the three atoms…
+        let a = u.lookup("A").unwrap();
+        let b = u.lookup("B").unwrap();
+        let c = u.lookup("C").unwrap();
+        let mut assignment = HashMap::new();
+        assignment.insert(a, 1);
+        assignment.insert(b, 2);
+        assignment.insert(c, 3);
+        assert!(!m3.satisfies(&arena, eq, &assignment, &u).unwrap());
+        assert!(!m3.satisfies_identity(&arena, eq, &u).unwrap());
+        // …but holds on a chain.
+        let chain = FiniteLattice::chain(3);
+        assert!(chain.satisfies_identity(&arena, eq, &u).unwrap());
+        // Unassigned attributes are reported.
+        assignment.remove(&c);
+        assert!(matches!(
+            m3.satisfies(&arena, eq, &assignment, &u),
+            Err(LatticeError::UnassignedAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn absorption_is_an_identity_in_every_finite_lattice() {
+        let mut u = Universe::new();
+        let mut arena = TermArena::new();
+        let eq = parse_equation("A+(A*B)=A", &mut u, &mut arena).unwrap();
+        for lattice in [
+            FiniteLattice::chain(4),
+            FiniteLattice::m3(),
+            FiniteLattice::n5(),
+            FiniteLattice::boolean(2),
+        ] {
+            assert!(lattice.satisfies_identity(&arena, eq, &u).unwrap());
+        }
+    }
+
+    #[test]
+    fn isomorphism_detects_equal_and_different_shapes() {
+        assert!(FiniteLattice::m3().is_isomorphic_to(&FiniteLattice::m3()));
+        assert!(!FiniteLattice::m3().is_isomorphic_to(&FiniteLattice::n5()));
+        assert!(!FiniteLattice::chain(3).is_isomorphic_to(&FiniteLattice::chain(4)));
+        assert!(FiniteLattice::boolean(2).is_isomorphic_to(
+            &FiniteLattice::from_leq(4, |i, j| i & j == i).unwrap()
+        ));
+        // The 4-element chain is not isomorphic to the 4-element Boolean
+        // lattice (diamond) even though the sizes match.
+        assert!(!FiniteLattice::chain(4).is_isomorphic_to(&FiniteLattice::boolean(2)));
+    }
+
+    #[test]
+    fn homomorphism_check() {
+        let chain2 = FiniteLattice::chain(2);
+        let chain3 = FiniteLattice::chain(3);
+        // Collapsing map 0,1,2 -> 0,0,1 is a homomorphism chain3 -> chain2.
+        assert!(chain3.is_homomorphism(&chain2, &[0, 0, 1]));
+        // Map that breaks joins is rejected.
+        let m3 = FiniteLattice::m3();
+        assert!(!m3.is_homomorphism(&chain2, &[0, 0, 1, 1, 0]));
+        // Wrong arity is rejected.
+        assert!(!m3.is_homomorphism(&chain2, &[0, 0]));
+    }
+}

@@ -1,0 +1,238 @@
+//! The free-lattice order `≤_id` and PD-identity recognition (Theorem 10).
+//!
+//! Section 5.1 of the paper defines `≤_id` by five inference rules (the "ID
+//! rules"); `p =_id q` iff `p ≤_id q` and `q ≤_id p`, and Lemma 8.2 states
+//! that `p = q` holds in **all** lattices with constants (i.e. is a PD
+//! *identity*) iff `p =_id q`.  Theorem 10 observes that `≤_id` can be
+//! decided by a simple structural recursion — Whitman's condition — using
+//! only logarithmic auxiliary space.
+//!
+//! Two implementations are provided:
+//!
+//! * [`leq_id`] — the structural recursion with memoization on pairs of
+//!   hash-consed subterms (linear number of distinct pairs, so polynomial
+//!   time; this is the one to use in practice);
+//! * [`leq_id_constant_space`] — the same recursion *without* any memo
+//!   table, mirroring the logspace argument of Theorem 10 (the only state is
+//!   the recursion itself, which visits pairs of subterm positions).
+
+use std::collections::HashMap;
+
+use crate::{Equation, TermArena, TermId, TermNode};
+
+/// Decides `p ≤_id q`: does `p ≤ q` hold in every lattice with constants
+/// (under every interpretation of the attributes)?
+///
+/// Memoized on pairs of (hash-consed) subterms.
+pub fn leq_id(arena: &TermArena, p: TermId, q: TermId) -> bool {
+    let mut memo: HashMap<(TermId, TermId), bool> = HashMap::new();
+    leq_id_memo(arena, p, q, &mut memo)
+}
+
+fn leq_id_memo(
+    arena: &TermArena,
+    p: TermId,
+    q: TermId,
+    memo: &mut HashMap<(TermId, TermId), bool>,
+) -> bool {
+    if let Some(&cached) = memo.get(&(p, q)) {
+        return cached;
+    }
+    let result = decide(arena, p, q, &mut |a, pp, qq| leq_id_memo(a, pp, qq, memo));
+    memo.insert((p, q), result);
+    result
+}
+
+/// Decides `p ≤_id q` by the same recursion but with no memo table: the only
+/// auxiliary state is the recursion stack, mirroring the logarithmic-space
+/// procedure in the proof of Theorem 10.  Exponential time in the worst case
+/// (shared subterms are revisited), so use it only on small terms — its role
+/// is to witness the space/time trade-off in experiment E3.
+pub fn leq_id_constant_space(arena: &TermArena, p: TermId, q: TermId) -> bool {
+    decide(arena, p, q, &mut |a, pp, qq| {
+        leq_id_constant_space(a, pp, qq)
+    })
+}
+
+/// One step of the structural case analysis from the proof of Theorem 10.
+/// `recurse` decides the subgoals.
+fn decide(
+    arena: &TermArena,
+    p: TermId,
+    q: TermId,
+    recurse: &mut impl FnMut(&TermArena, TermId, TermId) -> bool,
+) -> bool {
+    use TermNode::{Atom, Join, Meet};
+    match (arena.node(p), arena.node(q)) {
+        // 1. A ≤_id A' iff A and A' are the same attribute.
+        (Atom(a), Atom(b)) => a == b,
+        // 7. p+q ≤_id e' iff p ≤_id e' and q ≤_id e'.
+        (Join(p1, p2), _) => recurse(arena, p1, q) && recurse(arena, p2, q),
+        // 2./5. e ≤_id p'*q' iff e ≤_id p' and e ≤_id q'.
+        (_, Meet(q1, q2)) => recurse(arena, p, q1) && recurse(arena, p, q2),
+        // 3. A ≤_id p'+q' iff A ≤_id p' or A ≤_id q'.
+        (Atom(_), Join(q1, q2)) => recurse(arena, p, q1) || recurse(arena, p, q2),
+        // 4. p*q ≤_id A' iff p ≤_id A' or q ≤_id A'.
+        (Meet(p1, p2), Atom(_)) => recurse(arena, p1, q) || recurse(arena, p2, q),
+        // 6. p*q ≤_id p'+q' iff p ≤_id p'+q' or q ≤_id p'+q'
+        //    or p*q ≤_id p' or p*q ≤_id q'   (Whitman's condition).
+        (Meet(p1, p2), Join(q1, q2)) => {
+            recurse(arena, p1, q)
+                || recurse(arena, p2, q)
+                || recurse(arena, p, q1)
+                || recurse(arena, p, q2)
+        }
+    }
+}
+
+/// Decides whether the equation `e = e′` is a **PD identity**: true in every
+/// lattice with constants, hence in every partition interpretation
+/// (Lemma 8.2a).
+pub fn is_identity(arena: &TermArena, eq: Equation) -> bool {
+    leq_id(arena, eq.lhs, eq.rhs) && leq_id(arena, eq.rhs, eq.lhs)
+}
+
+/// Equality in the free lattice: `p =_id q`.
+pub fn eq_id(arena: &TermArena, p: TermId, q: TermId) -> bool {
+    leq_id(arena, p, q) && leq_id(arena, q, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_term;
+    use ps_base::Universe;
+
+    struct Fixture {
+        universe: Universe,
+        arena: TermArena,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            Fixture {
+                universe: Universe::new(),
+                arena: TermArena::new(),
+            }
+        }
+        fn t(&mut self, s: &str) -> TermId {
+            parse_term(s, &mut self.universe, &mut self.arena).unwrap()
+        }
+    }
+
+    #[test]
+    fn atoms_compare_by_identity() {
+        let mut f = Fixture::new();
+        let a = f.t("A");
+        let b = f.t("B");
+        assert!(leq_id(&f.arena, a, a));
+        assert!(!leq_id(&f.arena, a, b));
+    }
+
+    #[test]
+    fn meet_is_below_and_join_is_above() {
+        let mut f = Fixture::new();
+        let a = f.t("A");
+        let b = f.t("B");
+        let ab = f.t("A*B");
+        let a_plus_b = f.t("A+B");
+        assert!(leq_id(&f.arena, ab, a));
+        assert!(leq_id(&f.arena, ab, b));
+        assert!(leq_id(&f.arena, a, a_plus_b));
+        assert!(leq_id(&f.arena, b, a_plus_b));
+        assert!(leq_id(&f.arena, ab, a_plus_b));
+        assert!(!leq_id(&f.arena, a_plus_b, ab));
+        assert!(!leq_id(&f.arena, a, b));
+    }
+
+    #[test]
+    fn lattice_axioms_are_identities() {
+        let mut f = Fixture::new();
+        let axioms = [
+            ("(A*B)*C", "A*(B*C)"),
+            ("(A+B)+C", "A+(B+C)"),
+            ("A*B", "B*A"),
+            ("A+B", "B+A"),
+            ("A*A", "A"),
+            ("A+A", "A"),
+            ("A+(A*B)", "A"),
+            ("A*(A+B)", "A"),
+        ];
+        for (lhs, rhs) in axioms {
+            let l = f.t(lhs);
+            let r = f.t(rhs);
+            assert!(eq_id(&f.arena, l, r), "{lhs} = {rhs} should be an identity");
+            assert!(is_identity(&f.arena, Equation::new(l, r)));
+        }
+    }
+
+    #[test]
+    fn distributive_and_modular_laws_are_not_identities() {
+        let mut f = Fixture::new();
+        // Distributivity fails in the free lattice (and in Figure 1's L(I)).
+        let l = f.t("A*(B+C)");
+        let r = f.t("(A*B)+(A*C)");
+        assert!(leq_id(&f.arena, r, l), "one inequality always holds");
+        assert!(!leq_id(&f.arena, l, r), "the other direction is not an identity");
+        assert!(!eq_id(&f.arena, l, r));
+        // Modular law: A*(B+(A*C)) = (A*B)+(A*C) is not an identity either.
+        let ml = f.t("A*(B+(A*C))");
+        let mr = f.t("(A*B)+(A*C)");
+        assert!(!eq_id(&f.arena, ml, mr));
+        assert!(leq_id(&f.arena, mr, ml));
+    }
+
+    #[test]
+    fn semidistributive_inequalities() {
+        let mut f = Fixture::new();
+        // (A*B)+(A*C) ≤ A*(B+C) is an identity.
+        let lo = f.t("(A*B)+(A*C)");
+        let hi = f.t("A*(B+C)");
+        assert!(leq_id(&f.arena, lo, hi));
+        // (A+B)*(A+C) ≥ A+(B*C) is an identity.
+        let lo2 = f.t("A+(B*C)");
+        let hi2 = f.t("(A+B)*(A+C)");
+        assert!(leq_id(&f.arena, lo2, hi2));
+        assert!(!leq_id(&f.arena, hi2, lo2));
+    }
+
+    #[test]
+    fn constant_space_variant_agrees() {
+        let mut f = Fixture::new();
+        let pairs = [
+            ("A*(B+C)", "(A*B)+(A*C)"),
+            ("(A*B)+(A*C)", "A*(B+C)"),
+            ("A+(B*(C+A))", "A+B"),
+            ("A+B", "A+(B*(C+A))"),
+            ("(A+B)*(C+D)", "(A*C)+(B*D)"),
+            ("(A*C)+(B*D)", "(A+B)*(C+D)"),
+        ];
+        for (lhs, rhs) in pairs {
+            let l = f.t(lhs);
+            let r = f.t(rhs);
+            assert_eq!(
+                leq_id(&f.arena, l, r),
+                leq_id_constant_space(&f.arena, l, r),
+                "{lhs} ≤ {rhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn whitman_case_examples() {
+        let mut f = Fixture::new();
+        // A*B ≤ A+B holds because A*B ≤ A ≤ A+B.
+        let l = f.t("A*B");
+        let r = f.t("A+B");
+        assert!(leq_id(&f.arena, l, r));
+        // A*B ≤ C+D fails: no common attribute.
+        let l2 = f.t("A*B");
+        let r2 = f.t("C+D");
+        assert!(!leq_id(&f.arena, l2, r2));
+        // (A+B)*(A+C) ≤ A+(B*C) is exactly the failing direction of
+        // distributivity for joins.
+        let l3 = f.t("(A+B)*(A+C)");
+        let r3 = f.t("A+(B*C)");
+        assert!(!leq_id(&f.arena, l3, r3));
+    }
+}

@@ -1,0 +1,231 @@
+//! A parser for partition expressions and partition dependencies.
+//!
+//! Concrete syntax (attributes are identifiers; `*` binds tighter than `+`;
+//! both operators are left-associative):
+//!
+//! ```text
+//! expr     := sum
+//! sum      := product ('+' product)*
+//! product  := factor ('*' factor)*
+//! factor   := IDENT | '(' expr ')'
+//! equation := expr '=' expr
+//! ```
+//!
+//! ```
+//! use ps_base::Universe;
+//! use ps_lattice::{parse_equation, TermArena};
+//! let mut universe = Universe::new();
+//! let mut arena = TermArena::new();
+//! let eq = parse_equation("C = A + B", &mut universe, &mut arena).unwrap();
+//! assert_eq!(eq.display(&arena, &universe), "C=A+B");
+//! ```
+
+use ps_base::Universe;
+
+use crate::{Equation, LatticeError, Result, TermArena, TermId};
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    universe: &'a mut Universe,
+    arena: &'a mut TermArena,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str, universe: &'a mut Universe, arena: &'a mut TermArena) -> Self {
+        Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+            universe,
+            arena,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> LatticeError {
+        LatticeError::Parse {
+            message: message.into(),
+            position: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn expect(&mut self, expected: u8) -> Result<()> {
+        match self.bump() {
+            Some(c) if c == expected => Ok(()),
+            Some(c) => Err(self.error(format!(
+                "expected `{}`, found `{}`",
+                expected as char, c as char
+            ))),
+            None => Err(self.error(format!("expected `{}`, found end of input", expected as char))),
+        }
+    }
+
+    fn parse_ident(&mut self) -> Result<TermId> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && (self.bytes[self.pos].is_ascii_alphanumeric() || self.bytes[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.error("expected an attribute name"));
+        }
+        let name = &self.input[start..self.pos];
+        let attr = self.universe.attr(name);
+        Ok(self.arena.atom(attr))
+    }
+
+    fn parse_factor(&mut self) -> Result<TermId> {
+        match self.peek() {
+            Some(b'(') => {
+                self.bump();
+                let inner = self.parse_sum()?;
+                self.expect(b')')?;
+                Ok(inner)
+            }
+            Some(c) if c.is_ascii_alphanumeric() || c == b'_' => self.parse_ident(),
+            Some(c) => Err(self.error(format!("unexpected character `{}`", c as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_product(&mut self) -> Result<TermId> {
+        let mut acc = self.parse_factor()?;
+        while self.peek() == Some(b'*') {
+            self.bump();
+            let rhs = self.parse_factor()?;
+            acc = self.arena.meet(acc, rhs);
+        }
+        Ok(acc)
+    }
+
+    fn parse_sum(&mut self) -> Result<TermId> {
+        let mut acc = self.parse_product()?;
+        while self.peek() == Some(b'+') {
+            self.bump();
+            let rhs = self.parse_product()?;
+            acc = self.arena.join(acc, rhs);
+        }
+        Ok(acc)
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.peek().is_none()
+    }
+}
+
+/// Parses a single partition expression such as `A*(B+C)`.
+///
+/// New attribute names are interned into `universe` on the fly.
+pub fn parse_term(input: &str, universe: &mut Universe, arena: &mut TermArena) -> Result<TermId> {
+    let mut parser = Parser::new(input, universe, arena);
+    let term = parser.parse_sum()?;
+    if !parser.at_end() {
+        return Err(parser.error("trailing input after expression"));
+    }
+    Ok(term)
+}
+
+/// Parses a partition dependency such as `C = A + B`.
+pub fn parse_equation(
+    input: &str,
+    universe: &mut Universe,
+    arena: &mut TermArena,
+) -> Result<Equation> {
+    let mut parser = Parser::new(input, universe, arena);
+    let lhs = parser.parse_sum()?;
+    parser.expect(b'=')?;
+    let rhs = parser.parse_sum()?;
+    if !parser.at_end() {
+        return Err(parser.error("trailing input after equation"));
+    }
+    Ok(Equation::new(lhs, rhs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(s: &str) -> String {
+        let mut u = Universe::new();
+        let mut arena = TermArena::new();
+        let t = parse_term(s, &mut u, &mut arena).unwrap();
+        arena.display(t, &u)
+    }
+
+    #[test]
+    fn parses_atoms_and_operators() {
+        assert_eq!(parse_ok("A"), "A");
+        assert_eq!(parse_ok("A*B"), "A*B");
+        assert_eq!(parse_ok("A+B"), "A+B");
+        assert_eq!(parse_ok("A * B * C"), "A*B*C");
+    }
+
+    #[test]
+    fn star_binds_tighter_than_plus() {
+        assert_eq!(parse_ok("A+B*C"), "A+B*C");
+        assert_eq!(parse_ok("(A+B)*C"), "(A+B)*C");
+        assert_eq!(parse_ok("A*(B+C)"), "A*(B+C)");
+    }
+
+    #[test]
+    fn multi_character_attribute_names() {
+        assert_eq!(parse_ok("Emp*Mgr"), "Emp*Mgr");
+        assert_eq!(parse_ok("A1+A_2"), "A1+A_2");
+    }
+
+    #[test]
+    fn parse_equation_round_trips() {
+        let mut u = Universe::new();
+        let mut arena = TermArena::new();
+        let eq = parse_equation("A = A*B", &mut u, &mut arena).unwrap();
+        assert_eq!(eq.display(&arena, &u), "A=A*B");
+        // The same attribute name maps to the same atom.
+        let eq2 = parse_equation("B = B + A", &mut u, &mut arena).unwrap();
+        assert_eq!(eq2.display(&arena, &u), "B=B+A");
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn reports_errors_with_positions() {
+        let mut u = Universe::new();
+        let mut arena = TermArena::new();
+        for bad in ["", "A+", "*A", "(A+B", "A)B", "A B", "A=+B", "A==B", "A=B=C"] {
+            let term_err = parse_term(bad, &mut u, &mut arena).is_err();
+            let eq_err = parse_equation(bad, &mut u, &mut arena).is_err();
+            assert!(term_err || eq_err, "input {bad:?} should fail at least one parser");
+        }
+        let err = parse_term("A&B", &mut u, &mut arena).unwrap_err();
+        assert!(matches!(err, LatticeError::Parse { .. }));
+    }
+
+    #[test]
+    fn shared_subterms_are_hash_consed() {
+        let mut u = Universe::new();
+        let mut arena = TermArena::new();
+        let t1 = parse_term("A*B", &mut u, &mut arena).unwrap();
+        let t2 = parse_term("A*B", &mut u, &mut arena).unwrap();
+        assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,155 @@
+//! The uniform word problem for idempotent commutative semigroups.
+//!
+//! Section 5.3 of the paper observes that implication of functional
+//! dependencies is exactly the uniform word problem for *idempotent
+//! commutative semigroups* (structures with a single associative,
+//! commutative, idempotent operation `*`): the FD `X → Y` corresponds to the
+//! equation `X = X·Y`, and a word over such a semigroup is determined by the
+//! **set** of generators occurring in it.  Words are therefore represented
+//! here as non-empty [`AttrSet`]s, and the word problem is solved by the
+//! same closure computation that solves FD implication (Armstrong
+//! closure), which is also how the correspondence is exercised in the
+//! benchmarks (experiment E2).
+
+use ps_base::AttrSet;
+
+/// An equation `lhs = rhs` between two words of an idempotent commutative
+/// semigroup, each word written as the set of generators it multiplies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WordEquation {
+    /// Generators of the left word.
+    pub lhs: AttrSet,
+    /// Generators of the right word.
+    pub rhs: AttrSet,
+}
+
+impl WordEquation {
+    /// Creates the equation `lhs = rhs`.
+    pub fn new(lhs: AttrSet, rhs: AttrSet) -> Self {
+        WordEquation { lhs, rhs }
+    }
+
+    /// The FD-style inequality `sub ≤ sup` (i.e. `sub = sub · sup`), the
+    /// semigroup form of the FD `sub → sup`.
+    pub fn from_fd(sub: AttrSet, sup: AttrSet) -> Self {
+        WordEquation {
+            lhs: sub.clone(),
+            rhs: sub.union(&sup),
+        }
+    }
+}
+
+/// Computes the closure of `start` under the equations: the largest word `W`
+/// such that `start = W` is derivable — equivalently the Armstrong closure
+/// of `start` under the FDs `{lhs → rhs, rhs → lhs}` for each equation.
+pub fn word_closure(equations: &[WordEquation], start: &AttrSet) -> AttrSet {
+    let mut closure = start.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for eq in equations {
+            if eq.lhs.is_subset(&closure) && !eq.rhs.is_subset(&closure) {
+                closure = closure.union(&eq.rhs);
+                changed = true;
+            }
+            if eq.rhs.is_subset(&closure) && !eq.lhs.is_subset(&closure) {
+                closure = closure.union(&eq.lhs);
+                changed = true;
+            }
+        }
+    }
+    closure
+}
+
+/// Decides the uniform word problem: does every idempotent commutative
+/// semigroup (with the attributes as constants) satisfying `equations` also
+/// satisfy `goal`?
+///
+/// Two words are equal under `E` iff each side's generators are contained in
+/// the closure of the other side.
+pub fn entails(equations: &[WordEquation], goal: &WordEquation) -> bool {
+    let lhs_closure = word_closure(equations, &goal.lhs);
+    let rhs_closure = word_closure(equations, &goal.rhs);
+    goal.rhs.is_subset(&lhs_closure) && goal.lhs.is_subset(&rhs_closure)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_base::Universe;
+
+    fn setup() -> (Universe, Vec<ps_base::Attribute>) {
+        let mut u = Universe::new();
+        let attrs = u.attrs(["A", "B", "C", "D"]);
+        (u, attrs)
+    }
+
+    fn set(attrs: &[ps_base::Attribute]) -> AttrSet {
+        attrs.iter().copied().collect()
+    }
+
+    #[test]
+    fn closure_of_fd_chain() {
+        let (_, a) = setup();
+        // A→B, B→C as word equations.
+        let eqs = vec![
+            WordEquation::from_fd(set(&[a[0]]), set(&[a[1]])),
+            WordEquation::from_fd(set(&[a[1]]), set(&[a[2]])),
+        ];
+        let closure = word_closure(&eqs, &set(&[a[0]]));
+        assert_eq!(closure, set(&[a[0], a[1], a[2]]));
+        let closure_b = word_closure(&eqs, &set(&[a[1]]));
+        assert_eq!(closure_b, set(&[a[1], a[2]]));
+    }
+
+    #[test]
+    fn entailment_of_transitive_fd() {
+        let (_, a) = setup();
+        let eqs = vec![
+            WordEquation::from_fd(set(&[a[0]]), set(&[a[1]])),
+            WordEquation::from_fd(set(&[a[1]]), set(&[a[2]])),
+        ];
+        // A = A·C should follow; C = C·A should not.
+        assert!(entails(&eqs, &WordEquation::from_fd(set(&[a[0]]), set(&[a[2]]))));
+        assert!(!entails(&eqs, &WordEquation::from_fd(set(&[a[2]]), set(&[a[0]]))));
+    }
+
+    #[test]
+    fn symmetric_equations_merge_both_ways() {
+        let (_, a) = setup();
+        // AB = CD makes the closures of AB and CD equal.
+        let eqs = vec![WordEquation::new(set(&[a[0], a[1]]), set(&[a[2], a[3]]))];
+        let closure = word_closure(&eqs, &set(&[a[0], a[1]]));
+        assert!(set(&[a[2], a[3]]).is_subset(&closure));
+        let closure_rev = word_closure(&eqs, &set(&[a[2], a[3]]));
+        assert!(set(&[a[0], a[1]]).is_subset(&closure_rev));
+        // But A alone does not trigger the equation.
+        assert_eq!(word_closure(&eqs, &set(&[a[0]])), set(&[a[0]]));
+    }
+
+    #[test]
+    fn goal_with_compound_sides() {
+        let (_, a) = setup();
+        // A→BC entails AB = A and A = A·C.
+        let eqs = vec![WordEquation::from_fd(set(&[a[0]]), set(&[a[1], a[2]]))];
+        assert!(entails(
+            &eqs,
+            &WordEquation::new(set(&[a[0], a[1]]), set(&[a[0]]))
+        ));
+        assert!(entails(
+            &eqs,
+            &WordEquation::new(set(&[a[0]]), set(&[a[0], a[2]]))
+        ));
+        assert!(!entails(
+            &eqs,
+            &WordEquation::new(set(&[a[1]]), set(&[a[1], a[2]]))
+        ));
+    }
+
+    #[test]
+    fn trivial_goals_hold_without_equations() {
+        let (_, a) = setup();
+        assert!(entails(&[], &WordEquation::new(set(&[a[0]]), set(&[a[0]]))));
+        assert!(!entails(&[], &WordEquation::new(set(&[a[0]]), set(&[a[1]]))));
+    }
+}

@@ -1,0 +1,408 @@
+//! Lattice terms (partition expressions) and the hash-consing arena.
+//!
+//! The paper's `W(𝒰)` is the set of finite expressions built from attributes
+//! with the uninterpreted binary operators `*` and `+` (Section 2.2).  Terms
+//! are stored in a [`TermArena`]: structurally identical terms share a single
+//! [`TermId`], so the subterm collections used by algorithm `ALG`
+//! (Section 5.2) can be represented as dense id sets.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ps_base::{AttrSet, Attribute, Universe};
+
+/// Identifier of a term inside a [`TermArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(u32);
+
+impl TermId {
+    /// The raw arena index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The raw arena index as `usize`.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A single term node: an attribute, a meet (`*`) or a join (`+`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TermNode {
+    /// A generator: an attribute of the universe `𝒰`.
+    Atom(Attribute),
+    /// `lhs * rhs` — meet; interpreted as partition product.
+    Meet(TermId, TermId),
+    /// `lhs + rhs` — join; interpreted as partition sum.
+    Join(TermId, TermId),
+}
+
+/// A hash-consing arena for lattice terms.
+///
+/// ```
+/// use ps_base::Universe;
+/// use ps_lattice::TermArena;
+/// let mut u = Universe::new();
+/// let (a, b) = (u.attr("A"), u.attr("B"));
+/// let mut arena = TermArena::new();
+/// let ta = arena.atom(a);
+/// let tb = arena.atom(b);
+/// let t1 = arena.meet(ta, tb);
+/// assert_eq!(arena.display(t1, &u), "A*B");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TermArena {
+    nodes: Vec<TermNode>,
+    index: HashMap<TermNode, TermId>,
+}
+
+impl TermArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn intern(&mut self, node: TermNode) -> TermId {
+        if let Some(&id) = self.index.get(&node) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.nodes.len()).expect("term arena overflow"));
+        self.nodes.push(node);
+        self.index.insert(node, id);
+        id
+    }
+
+    /// Interns the atom term for `attr`.
+    pub fn atom(&mut self, attr: Attribute) -> TermId {
+        self.intern(TermNode::Atom(attr))
+    }
+
+    /// Looks up the atom term for `attr`, panicking if it was never interned.
+    ///
+    /// Useful in contexts holding only a shared reference to the arena.
+    pub fn atom_of(&self, attr: Attribute) -> TermId {
+        *self
+            .index
+            .get(&TermNode::Atom(attr))
+            .unwrap_or_else(|| panic!("atom for attribute {attr} was never interned"))
+    }
+
+    /// Interns `lhs * rhs`.
+    pub fn meet(&mut self, lhs: TermId, rhs: TermId) -> TermId {
+        self.intern(TermNode::Meet(lhs, rhs))
+    }
+
+    /// Interns `lhs + rhs`.
+    pub fn join(&mut self, lhs: TermId, rhs: TermId) -> TermId {
+        self.intern(TermNode::Join(lhs, rhs))
+    }
+
+    /// Interns the left-associated meet `A₁ * A₂ * … * A_k` of a non-empty
+    /// attribute set.  This is the paper's convention for writing a set of
+    /// attributes `U` as a partition expression (Section 3.2), and therefore
+    /// the meaning of a relation scheme `R[U]`.
+    ///
+    /// # Panics
+    /// Panics if `attrs` is empty.
+    pub fn meet_of_attrs(&mut self, attrs: &AttrSet) -> TermId {
+        assert!(!attrs.is_empty(), "a relation scheme has at least one attribute");
+        let mut iter = attrs.iter();
+        let first = iter.next().expect("non-empty");
+        let mut acc = self.atom(first);
+        for a in iter {
+            let rhs = self.atom(a);
+            acc = self.meet(acc, rhs);
+        }
+        acc
+    }
+
+    /// Interns the left-associated join `A₁ + A₂ + … + A_k` of a non-empty
+    /// attribute set.
+    ///
+    /// # Panics
+    /// Panics if `attrs` is empty.
+    pub fn join_of_attrs(&mut self, attrs: &AttrSet) -> TermId {
+        assert!(!attrs.is_empty(), "cannot join an empty attribute set");
+        let mut iter = attrs.iter();
+        let first = iter.next().expect("non-empty");
+        let mut acc = self.atom(first);
+        for a in iter {
+            let rhs = self.atom(a);
+            acc = self.join(acc, rhs);
+        }
+        acc
+    }
+
+    /// The node behind `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not issued by this arena.
+    pub fn node(&self, id: TermId) -> TermNode {
+        self.nodes[id.as_usize()]
+    }
+
+    /// The node behind `id`, or `None` for foreign ids.
+    pub fn get(&self, id: TermId) -> Option<TermNode> {
+        self.nodes.get(id.as_usize()).copied()
+    }
+
+    /// Number of distinct terms interned.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `id` denotes an atom.
+    pub fn is_atom(&self, id: TermId) -> bool {
+        matches!(self.node(id), TermNode::Atom(_))
+    }
+
+    /// The set of attributes occurring in the term.
+    pub fn atoms(&self, id: TermId) -> AttrSet {
+        let mut set = AttrSet::new();
+        self.visit_subterms(id, &mut |node| {
+            if let TermNode::Atom(a) = node {
+                set.insert(a);
+            }
+        });
+        set
+    }
+
+    /// All subterms of `id` (including `id` itself), deduplicated, in
+    /// post-order (children before parents).
+    pub fn subterms(&self, id: TermId) -> Vec<TermId> {
+        let mut seen: Vec<bool> = vec![false; self.nodes.len()];
+        let mut out = Vec::new();
+        self.collect_subterms(id, &mut seen, &mut out);
+        out
+    }
+
+    fn collect_subterms(&self, id: TermId, seen: &mut Vec<bool>, out: &mut Vec<TermId>) {
+        if seen[id.as_usize()] {
+            return;
+        }
+        seen[id.as_usize()] = true;
+        match self.node(id) {
+            TermNode::Atom(_) => {}
+            TermNode::Meet(l, r) | TermNode::Join(l, r) => {
+                self.collect_subterms(l, seen, out);
+                self.collect_subterms(r, seen, out);
+            }
+        }
+        out.push(id);
+    }
+
+    fn visit_subterms(&self, id: TermId, f: &mut impl FnMut(TermNode)) {
+        let node = self.node(id);
+        f(node);
+        match node {
+            TermNode::Atom(_) => {}
+            TermNode::Meet(l, r) | TermNode::Join(l, r) => {
+                self.visit_subterms(l, f);
+                self.visit_subterms(r, f);
+            }
+        }
+    }
+
+    /// The *complexity* of a term: the number of `*`/`+` occurrences
+    /// (counting the term as a tree, i.e. shared subterms are counted once
+    /// per occurrence).  This is the measure used in the finite-model
+    /// argument of Theorem 8.
+    pub fn complexity(&self, id: TermId) -> usize {
+        match self.node(id) {
+            TermNode::Atom(_) => 0,
+            TermNode::Meet(l, r) | TermNode::Join(l, r) => {
+                1 + self.complexity(l) + self.complexity(r)
+            }
+        }
+    }
+
+    /// The size of the term as a tree (number of nodes, atoms included).
+    pub fn size(&self, id: TermId) -> usize {
+        match self.node(id) {
+            TermNode::Atom(_) => 1,
+            TermNode::Meet(l, r) | TermNode::Join(l, r) => 1 + self.size(l) + self.size(r),
+        }
+    }
+
+    /// The depth of the term as a tree (an atom has depth 0).
+    pub fn depth(&self, id: TermId) -> usize {
+        match self.node(id) {
+            TermNode::Atom(_) => 0,
+            TermNode::Meet(l, r) | TermNode::Join(l, r) => 1 + self.depth(l).max(self.depth(r)),
+        }
+    }
+
+    /// Renders a term using attribute names from `universe`, inserting only
+    /// the parentheses needed for the result to re-parse to the same term,
+    /// e.g. `A*(B+C)` or `A*B*C`.
+    pub fn display(&self, id: TermId, universe: &Universe) -> String {
+        fn go(
+            arena: &TermArena,
+            id: TermId,
+            universe: &Universe,
+            parent: Option<u8>,
+            is_right_child: bool,
+        ) -> String {
+            match arena.node(id) {
+                TermNode::Atom(a) => universe
+                    .name(a)
+                    .map(str::to_owned)
+                    .unwrap_or_else(|| format!("{a}")),
+                TermNode::Meet(l, r) => {
+                    let body = format!(
+                        "{}*{}",
+                        go(arena, l, universe, Some(b'*'), false),
+                        go(arena, r, universe, Some(b'*'), true)
+                    );
+                    // `*` binds tightest; parentheses are only needed to keep
+                    // a right-nested meet from re-associating to the left.
+                    if parent == Some(b'*') && is_right_child {
+                        format!("({body})")
+                    } else {
+                        body
+                    }
+                }
+                TermNode::Join(l, r) => {
+                    let body = format!(
+                        "{}+{}",
+                        go(arena, l, universe, Some(b'+'), false),
+                        go(arena, r, universe, Some(b'+'), true)
+                    );
+                    let needs_parens =
+                        parent == Some(b'*') || (parent == Some(b'+') && is_right_child);
+                    if needs_parens {
+                        format!("({body})")
+                    } else {
+                        body
+                    }
+                }
+            }
+        }
+        go(self, id, universe, None, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Universe, TermArena, Attribute, Attribute, Attribute) {
+        let mut u = Universe::new();
+        let a = u.attr("A");
+        let b = u.attr("B");
+        let c = u.attr("C");
+        (u, TermArena::new(), a, b, c)
+    }
+
+    #[test]
+    fn hash_consing_shares_structurally_equal_terms() {
+        let (_, mut arena, a, b, _) = setup();
+        let ta = arena.atom(a);
+        let tb = arena.atom(b);
+        let m1 = arena.meet(ta, tb);
+        let m2 = arena.meet(ta, tb);
+        assert_eq!(m1, m2);
+        assert_eq!(arena.len(), 3);
+        // But *syntactically* different terms are distinct (no AC rewriting).
+        let m3 = arena.meet(tb, ta);
+        assert_ne!(m1, m3);
+    }
+
+    #[test]
+    fn atom_of_finds_existing_atoms() {
+        let (_, mut arena, a, _, _) = setup();
+        let ta = arena.atom(a);
+        assert_eq!(arena.atom_of(a), ta);
+    }
+
+    #[test]
+    #[should_panic(expected = "never interned")]
+    fn atom_of_panics_on_missing_atom() {
+        let (_, arena, a, _, _) = setup();
+        let _ = arena.atom_of(a);
+    }
+
+    #[test]
+    fn meet_of_attrs_builds_left_associated_product() {
+        let (u, mut arena, a, b, c) = setup();
+        let set: AttrSet = vec![a, b, c].into();
+        let t = arena.meet_of_attrs(&set);
+        assert_eq!(arena.display(t, &u), "A*B*C");
+        assert_eq!(arena.complexity(t), 2);
+        assert_eq!(arena.atoms(t), set);
+    }
+
+    #[test]
+    fn join_of_attrs_builds_left_associated_sum() {
+        let (u, mut arena, a, b, _) = setup();
+        let set: AttrSet = vec![a, b].into();
+        let t = arena.join_of_attrs(&set);
+        assert_eq!(arena.display(t, &u), "A+B");
+    }
+
+    #[test]
+    fn subterms_are_postorder_and_deduplicated() {
+        let (_, mut arena, a, b, _) = setup();
+        let ta = arena.atom(a);
+        let tb = arena.atom(b);
+        let m = arena.meet(ta, tb);
+        let j = arena.join(m, ta); // shares ta and m
+        let subs = arena.subterms(j);
+        assert_eq!(subs.len(), 4);
+        assert_eq!(*subs.last().unwrap(), j);
+        assert!(subs.iter().position(|&t| t == ta).unwrap() < subs.iter().position(|&t| t == m).unwrap());
+    }
+
+    #[test]
+    fn size_depth_complexity() {
+        let (_, mut arena, a, b, c) = setup();
+        let ta = arena.atom(a);
+        let tb = arena.atom(b);
+        let tc = arena.atom(c);
+        let sum = arena.join(tb, tc);
+        let t = arena.meet(ta, sum); // A*(B+C)
+        assert_eq!(arena.size(t), 5);
+        assert_eq!(arena.depth(t), 2);
+        assert_eq!(arena.complexity(t), 2);
+        assert!(arena.is_atom(ta));
+        assert!(!arena.is_atom(t));
+    }
+
+    #[test]
+    fn display_parenthesizes_joins_under_meets() {
+        let (u, mut arena, a, b, c) = setup();
+        let ta = arena.atom(a);
+        let tb = arena.atom(b);
+        let tc = arena.atom(c);
+        let sum = arena.join(tb, tc);
+        let t = arena.meet(ta, sum);
+        assert_eq!(arena.display(t, &u), "A*(B+C)");
+        let t2 = arena.join(sum, ta);
+        assert_eq!(arena.display(t2, &u), "B+C+A");
+        let t3 = arena.join(ta, sum);
+        assert_eq!(arena.display(t3, &u), "A+(B+C)");
+        let bc = arena.meet(tb, tc);
+        let t4 = arena.meet(ta, bc);
+        assert_eq!(arena.display(t4, &u), "A*(B*C)");
+    }
+
+    #[test]
+    fn get_handles_foreign_ids() {
+        let (_, mut arena, a, _, _) = setup();
+        let ta = arena.atom(a);
+        assert!(arena.get(ta).is_some());
+        assert!(arena.get(TermId(99)).is_none());
+    }
+}

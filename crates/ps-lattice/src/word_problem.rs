@@ -1,0 +1,577 @@
+//! Algorithm `ALG`: the uniform word problem for lattices (Section 5.2).
+//!
+//! Given a finite set of equations `E` between lattice terms and a goal
+//! equation `e = e′`, decide whether every lattice with constants satisfying
+//! `E` also satisfies the goal.  By Theorem 8 this single relation captures
+//! implication of partition dependencies over lattices, over all relations,
+//! and over finite relations alike.
+//!
+//! The algorithm constructs the set `V` of all subexpressions of `E`, `e`
+//! and `e′`, and saturates a set `Γ ⊆ V × V` of arcs `(p, q)` meaning
+//! "`p ≤_E q` is derivable" under the rules:
+//!
+//! 1. reflexivity `(v, v)`;
+//! 2. `(p,s), (q,s) ⟹ (p+q, s)` when `p+q ∈ V`;
+//! 3. `(p,s) or (q,s) ⟹ (p*q, s)` when `p*q ∈ V`;
+//! 4. `(s,p), (s,q) ⟹ (s, p*q)` when `p*q ∈ V`;
+//! 5. `(s,p) or (s,q) ⟹ (s, p+q)` when `p+q ∈ V`;
+//! 6. `(p,q), (q,p)` for every equation `p = q` in `E`;
+//! 7. transitivity.
+//!
+//! Lemma 9.2 shows that for `p, q ∈ V`, `p ≤_E q` iff `(p, q)` ends up in
+//! `Γ`.  Two saturation strategies are provided (see [`Algorithm`]): the
+//! paper's literal repeat-until-no-change fixpoint (`O(n⁴)` with the
+//! straightforward implementation) and an incremental worklist propagation
+//! that fires only the rule instances affected by each newly added arc.
+//! They compute the same closure; the benchmark suite compares them
+//! (experiment E7).
+
+use std::collections::HashMap;
+
+use ps_base::Universe;
+
+use crate::{BitMatrix, Equation, TermArena, TermId, TermNode};
+
+/// Saturation strategy for algorithm `ALG`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// The paper's literal "repeat until no new arcs are added" loop, scanning
+    /// all rule instances each round.  Straightforward `O(n⁴)`.
+    NaiveFixpoint,
+    /// Incremental worklist propagation: each newly inserted arc triggers only
+    /// the rule instances it can participate in.  Same closure, lower constant
+    /// and better asymptotics in practice.
+    #[default]
+    Worklist,
+}
+
+/// The saturated derived order `≤_E` restricted to the subexpression set `V`.
+///
+/// Build it once per constraint set (plus any goal terms of interest) with
+/// [`DerivedOrder::build`], then query arbitrarily many pairs with
+/// [`DerivedOrder::leq`] / [`DerivedOrder::entails`].
+#[derive(Debug, Clone)]
+pub struct DerivedOrder {
+    /// The terms making up `V`, in dense order.
+    terms: Vec<TermId>,
+    /// Map from term id to dense index in `terms`.
+    dense: HashMap<TermId, usize>,
+    /// `gamma[i][j]` iff `terms[i] ≤_E terms[j]` is derivable.
+    gamma: BitMatrix,
+    /// Number of saturation rounds (naïve) or processed arcs (worklist).
+    work: usize,
+}
+
+impl DerivedOrder {
+    /// Runs algorithm `ALG` for the equations `E = equations`, making sure
+    /// every term in `extra_terms` (e.g. the two sides of a goal equation)
+    /// is included in the subexpression set `V`.
+    pub fn build(
+        arena: &TermArena,
+        equations: &[Equation],
+        extra_terms: &[TermId],
+        algorithm: Algorithm,
+    ) -> Self {
+        // --- Collect V: all subterms of E and the extra terms. ---
+        let mut terms: Vec<TermId> = Vec::new();
+        let mut dense: HashMap<TermId, usize> = HashMap::new();
+        let add_subterms = |root: TermId, terms: &mut Vec<TermId>, dense: &mut HashMap<TermId, usize>| {
+            for t in arena.subterms(root) {
+                dense.entry(t).or_insert_with(|| {
+                    terms.push(t);
+                    terms.len() - 1
+                });
+            }
+        };
+        for eq in equations {
+            add_subterms(eq.lhs, &mut terms, &mut dense);
+            add_subterms(eq.rhs, &mut terms, &mut dense);
+        }
+        for &t in extra_terms {
+            add_subterms(t, &mut terms, &mut dense);
+        }
+
+        let n = terms.len();
+        let mut gamma = BitMatrix::new(n);
+
+        // Seed rule 1 (reflexivity) and rule 6 (the equations of E).
+        for i in 0..n {
+            gamma.set(i, i);
+        }
+        let mut seeds: Vec<(usize, usize)> = Vec::new();
+        for eq in equations {
+            let (i, j) = (dense[&eq.lhs], dense[&eq.rhs]);
+            seeds.push((i, j));
+            seeds.push((j, i));
+        }
+
+        let work = match algorithm {
+            Algorithm::NaiveFixpoint => {
+                for (i, j) in seeds {
+                    gamma.set(i, j);
+                }
+                saturate_naive(arena, &terms, &dense, &mut gamma)
+            }
+            Algorithm::Worklist => saturate_worklist(arena, &terms, &dense, &mut gamma, seeds),
+        };
+
+        DerivedOrder {
+            terms,
+            dense,
+            gamma,
+            work,
+        }
+    }
+
+    /// Whether `lhs ≤_E rhs` is derivable.  Both terms must be members of
+    /// the subexpression set `V` this order was built over (pass them as
+    /// `extra_terms` to [`DerivedOrder::build`]); foreign terms yield
+    /// `None`.
+    pub fn leq(&self, lhs: TermId, rhs: TermId) -> Option<bool> {
+        let (&i, &j) = (self.dense.get(&lhs)?, self.dense.get(&rhs)?);
+        Some(self.gamma.get(i, j))
+    }
+
+    /// Whether the equation `goal` is entailed: both `lhs ≤_E rhs` and
+    /// `rhs ≤_E lhs`.
+    pub fn entails(&self, goal: Equation) -> Option<bool> {
+        Some(self.leq(goal.lhs, goal.rhs)? && self.leq(goal.rhs, goal.lhs)?)
+    }
+
+    /// The subexpression set `V` (dense order).
+    pub fn terms(&self) -> &[TermId] {
+        &self.terms
+    }
+
+    /// Number of derived arcs in `Γ`.
+    pub fn num_arcs(&self) -> usize {
+        self.gamma.count_ones()
+    }
+
+    /// A rough work counter (rounds for the naïve strategy, processed arcs
+    /// for the worklist strategy); exposed for the benchmark reports.
+    pub fn work(&self) -> usize {
+        self.work
+    }
+
+    /// All pairs of *atoms* `(A, B)` with `A ≤_E B`; used by the consistency
+    /// pipeline of Section 6.2 to compute the closure `E⁺`.
+    pub fn atom_consequences(&self, arena: &TermArena) -> Vec<(TermId, TermId)> {
+        let mut out = Vec::new();
+        for (i, &p) in self.terms.iter().enumerate() {
+            if !arena.is_atom(p) {
+                continue;
+            }
+            for j in self.gamma.iter_row(i) {
+                let q = self.terms[j];
+                if i != j && arena.is_atom(q) {
+                    out.push((p, q));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the derived order as a list of `p ≤ q` lines (for debugging
+    /// and the examples).
+    pub fn render(&self, arena: &TermArena, universe: &Universe) -> String {
+        let mut lines = Vec::new();
+        for (i, &p) in self.terms.iter().enumerate() {
+            for j in self.gamma.iter_row(i) {
+                if i == j {
+                    continue;
+                }
+                let q = self.terms[j];
+                lines.push(format!(
+                    "{} <= {}",
+                    arena.display(p, universe),
+                    arena.display(q, universe)
+                ));
+            }
+        }
+        lines.join("\n")
+    }
+}
+
+/// The paper's repeat-until-stable saturation.  Returns the number of rounds.
+fn saturate_naive(
+    arena: &TermArena,
+    terms: &[TermId],
+    dense: &HashMap<TermId, usize>,
+    gamma: &mut BitMatrix,
+) -> usize {
+    let n = terms.len();
+    // Pre-resolve the children of every composite term in V.
+    let composites: Vec<(usize, usize, usize, bool)> = terms
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &t)| match arena.node(t) {
+            TermNode::Meet(l, r) => Some((i, dense[&l], dense[&r], true)),
+            TermNode::Join(l, r) => Some((i, dense[&l], dense[&r], false)),
+            TermNode::Atom(_) => None,
+        })
+        .collect();
+
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let before = gamma.count_ones();
+
+        // Rules 2–5: scan every composite against every s ∈ V.
+        for &(c, l, r, is_meet) in &composites {
+            for s in 0..n {
+                if is_meet {
+                    // rule 3: (l,s) or (r,s) ⟹ (c,s)
+                    if gamma.get(l, s) || gamma.get(r, s) {
+                        gamma.set(c, s);
+                    }
+                    // rule 4: (s,l) and (s,r) ⟹ (s,c)
+                    if gamma.get(s, l) && gamma.get(s, r) {
+                        gamma.set(s, c);
+                    }
+                } else {
+                    // rule 2: (l,s) and (r,s) ⟹ (c,s)
+                    if gamma.get(l, s) && gamma.get(r, s) {
+                        gamma.set(c, s);
+                    }
+                    // rule 5: (s,l) or (s,r) ⟹ (s,c)
+                    if gamma.get(s, l) || gamma.get(s, r) {
+                        gamma.set(s, c);
+                    }
+                }
+            }
+        }
+
+        // Rule 7: transitivity.
+        gamma.transitive_closure();
+
+        if gamma.count_ones() == before {
+            return rounds;
+        }
+    }
+}
+
+/// Incremental worklist saturation.  Returns the number of arcs processed.
+fn saturate_worklist(
+    arena: &TermArena,
+    terms: &[TermId],
+    dense: &HashMap<TermId, usize>,
+    gamma: &mut BitMatrix,
+    seeds: Vec<(usize, usize)>,
+) -> usize {
+    let n = terms.len();
+
+    // For every term index, the composite terms it occurs in as a direct child.
+    #[derive(Default, Clone)]
+    struct Occurrences {
+        /// (composite, sibling) pairs where the composite is a meet.
+        meets: Vec<(usize, usize)>,
+        /// (composite, sibling) pairs where the composite is a join.
+        joins: Vec<(usize, usize)>,
+    }
+    let mut occ: Vec<Occurrences> = vec![Occurrences::default(); n];
+    for (i, &t) in terms.iter().enumerate() {
+        match arena.node(t) {
+            TermNode::Meet(l, r) => {
+                let (dl, dr) = (dense[&l], dense[&r]);
+                occ[dl].meets.push((i, dr));
+                occ[dr].meets.push((i, dl));
+            }
+            TermNode::Join(l, r) => {
+                let (dl, dr) = (dense[&l], dense[&r]);
+                occ[dl].joins.push((i, dr));
+                occ[dr].joins.push((i, dl));
+            }
+            TermNode::Atom(_) => {}
+        }
+    }
+
+    let mut queue: Vec<(usize, usize)> = Vec::new();
+    let push = |gamma: &mut BitMatrix, queue: &mut Vec<(usize, usize)>, u: usize, v: usize| {
+        if gamma.set(u, v) {
+            queue.push((u, v));
+        }
+    };
+
+    // Reflexive arcs already set by the caller; enqueue them so rules can fire.
+    for i in 0..n {
+        queue.push((i, i));
+    }
+    for (u, v) in seeds {
+        push(gamma, &mut queue, u, v);
+    }
+
+    let mut processed = 0;
+    while let Some((u, v)) = queue.pop() {
+        processed += 1;
+
+        // Rule 7 (transitivity): (u,v) with existing (v,w) gives (u,w);
+        // existing (w,u) gives (w,v).
+        let succs: Vec<usize> = gamma.iter_row(v).collect();
+        for w in succs {
+            push(gamma, &mut queue, u, w);
+        }
+        for w in 0..n {
+            if gamma.get(w, u) {
+                push(gamma, &mut queue, w, v);
+            }
+        }
+
+        // Rules 3 & 2: u is a child of a composite; the new arc (u, v) may
+        // let the composite reach v.
+        for &(c, _sibling) in &occ[u].meets {
+            // rule 3: (u,v) ⟹ (c,v) for meets c = u*sibling (either child suffices).
+            push(gamma, &mut queue, c, v);
+        }
+        for &(c, sibling) in &occ[u].joins {
+            // rule 2: (u,v) and (sibling,v) ⟹ (c,v) for joins.
+            if gamma.get(sibling, v) {
+                push(gamma, &mut queue, c, v);
+            }
+        }
+
+        // Rules 5 & 4: v is a child of a composite; the new arc (u, v) may
+        // let u reach the composite.
+        for &(c, _sibling) in &occ[v].joins {
+            // rule 5: (u,v) ⟹ (u,c) for joins c = v+sibling.
+            push(gamma, &mut queue, u, c);
+        }
+        for &(c, sibling) in &occ[v].meets {
+            // rule 4: (u,v) and (u,sibling) ⟹ (u,c) for meets.
+            if gamma.get(u, sibling) {
+                push(gamma, &mut queue, u, c);
+            }
+        }
+    }
+    processed
+}
+
+/// Convenience: does `E` entail the equation `goal` (the uniform word
+/// problem / PD implication, Theorem 8)?
+pub fn entails(
+    arena: &TermArena,
+    equations: &[Equation],
+    goal: Equation,
+    algorithm: Algorithm,
+) -> bool {
+    DerivedOrder::build(arena, equations, &[goal.lhs, goal.rhs], algorithm)
+        .entails(goal)
+        .expect("goal terms are in V by construction")
+}
+
+/// Convenience: does `E` entail `lhs ≤ rhs`?
+pub fn entails_leq(
+    arena: &TermArena,
+    equations: &[Equation],
+    lhs: TermId,
+    rhs: TermId,
+    algorithm: Algorithm,
+) -> bool {
+    DerivedOrder::build(arena, equations, &[lhs, rhs], algorithm)
+        .leq(lhs, rhs)
+        .expect("goal terms are in V by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{free_order, parse_equation, parse_term};
+    use ps_base::Universe;
+
+    struct Fixture {
+        universe: Universe,
+        arena: TermArena,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            Fixture {
+                universe: Universe::new(),
+                arena: TermArena::new(),
+            }
+        }
+        fn eq(&mut self, s: &str) -> Equation {
+            parse_equation(s, &mut self.universe, &mut self.arena).unwrap()
+        }
+        fn t(&mut self, s: &str) -> TermId {
+            parse_term(s, &mut self.universe, &mut self.arena).unwrap()
+        }
+    }
+
+    const BOTH: [Algorithm; 2] = [Algorithm::NaiveFixpoint, Algorithm::Worklist];
+
+    #[test]
+    fn empty_e_entails_exactly_the_identities() {
+        let mut f = Fixture::new();
+        let identity = f.eq("A*(A+B)=A");
+        let non_identity = f.eq("A*(B+C)=(A*B)+(A*C)");
+        for algo in BOTH {
+            assert!(entails(&f.arena, &[], identity, algo));
+            assert!(!entails(&f.arena, &[], non_identity, algo));
+        }
+    }
+
+    #[test]
+    fn fd_style_transitivity() {
+        // A=A*B (A→B) and B=B*C (B→C) entail A=A*C (A→C).
+        let mut f = Fixture::new();
+        let e = vec![f.eq("A=A*B"), f.eq("B=B*C")];
+        let goal = f.eq("A=A*C");
+        let non_goal = f.eq("C=C*A");
+        for algo in BOTH {
+            assert!(entails(&f.arena, &e, goal, algo));
+            assert!(!entails(&f.arena, &e, non_goal, algo));
+        }
+    }
+
+    #[test]
+    fn fpd_duality_meet_and_join_forms() {
+        // A = A*B is equivalent to B = B+A: each entails the other.
+        let mut f = Fixture::new();
+        let meet_form = f.eq("A=A*B");
+        let join_form = f.eq("B=B+A");
+        for algo in BOTH {
+            assert!(entails(&f.arena, &[meet_form], join_form, algo));
+            assert!(entails(&f.arena, &[join_form], meet_form, algo));
+        }
+    }
+
+    #[test]
+    fn sum_dependency_consequences() {
+        // From C = A + B we get A ≤ C and B ≤ C, i.e. A = A*C and B = B*C.
+        let mut f = Fixture::new();
+        let e = vec![f.eq("C=A+B")];
+        let a_leq_c = f.eq("A=A*C");
+        let b_leq_c = f.eq("B=B*C");
+        let c_leq_a = f.eq("C=C*A");
+        for algo in BOTH {
+            assert!(entails(&f.arena, &e, a_leq_c, algo));
+            assert!(entails(&f.arena, &e, b_leq_c, algo));
+            assert!(!entails(&f.arena, &e, c_leq_a, algo));
+        }
+    }
+
+    #[test]
+    fn example_f_product_equation_decomposition() {
+        // Example f: X = Y*Z is equivalent to {X = X*(Y*Z), Y*Z = Y*Z*X}.
+        let mut f = Fixture::new();
+        let original = f.eq("X=Y*Z");
+        let dec1 = f.eq("X=X*(Y*Z)");
+        let dec2 = f.eq("Y*Z=Y*Z*X");
+        for algo in BOTH {
+            assert!(entails(&f.arena, &[original], dec1, algo));
+            assert!(entails(&f.arena, &[original], dec2, algo));
+            assert!(entails(&f.arena, &[dec1, dec2], original, algo));
+        }
+    }
+
+    #[test]
+    fn theorem4_remark_sum_equation_decomposes_into_fpds() {
+        // C = A+B entails A=A*C, B=B*C and C=C*(A+B);
+        // and conversely {A=A*C, B=B*C, C=C*(A+B)} entails C=A+B.
+        let mut f = Fixture::new();
+        let sum_eq = f.eq("C=A+B");
+        let fpd_a = f.eq("A=A*C");
+        let fpd_b = f.eq("B=B*C");
+        let c_below = f.eq("C=C*(A+B)");
+        for algo in BOTH {
+            assert!(entails(&f.arena, &[sum_eq], fpd_a, algo));
+            assert!(entails(&f.arena, &[sum_eq], fpd_b, algo));
+            assert!(entails(&f.arena, &[sum_eq], c_below, algo));
+            assert!(entails(&f.arena, &[fpd_a, fpd_b, c_below], sum_eq, algo));
+        }
+    }
+
+    #[test]
+    fn equations_propagate_through_contexts() {
+        // From A = B we should get A+C = B+C and A*C = B*C.
+        let mut f = Fixture::new();
+        let e = vec![f.eq("A=B")];
+        let joins = f.eq("A+C=B+C");
+        let meets = f.eq("A*C=B*C");
+        for algo in BOTH {
+            assert!(entails(&f.arena, &e, joins, algo));
+            assert!(entails(&f.arena, &e, meets, algo));
+        }
+    }
+
+    #[test]
+    fn naive_and_worklist_agree_on_random_style_inputs() {
+        let mut f = Fixture::new();
+        let e = vec![
+            f.eq("A=A*B"),
+            f.eq("C=B+D"),
+            f.eq("D=D*(A+C)"),
+            f.eq("E=A*C"),
+        ];
+        let goals = vec![
+            f.eq("A=A*C"),
+            f.eq("B=B*C"),
+            f.eq("D=D*C"),
+            f.eq("E=E*B"),
+            f.eq("A+D=C+A"),
+            f.eq("E=A"),
+        ];
+        for goal in goals {
+            let naive = entails(&f.arena, &e, goal, Algorithm::NaiveFixpoint);
+            let fast = entails(&f.arena, &e, goal, Algorithm::Worklist);
+            assert_eq!(naive, fast, "{}", goal.display(&f.arena, &f.universe));
+        }
+    }
+
+    #[test]
+    fn derived_order_exposes_atom_consequences() {
+        let mut f = Fixture::new();
+        let e = vec![f.eq("A=A*B"), f.eq("B=B*C")];
+        let a = f.t("A");
+        let b = f.t("B");
+        let c = f.t("C");
+        let order = DerivedOrder::build(&f.arena, &e, &[a, b, c], Algorithm::Worklist);
+        let consequences = order.atom_consequences(&f.arena);
+        assert!(consequences.contains(&(a, b)));
+        assert!(consequences.contains(&(a, c)));
+        assert!(consequences.contains(&(b, c)));
+        assert!(!consequences.contains(&(c, a)));
+        assert!(order.num_arcs() > 0);
+        assert!(order.work() > 0);
+        assert!(!order.render(&f.arena, &f.universe).is_empty());
+        assert_eq!(order.leq(a, b), Some(true));
+        assert_eq!(order.leq(c, a), Some(false));
+    }
+
+    #[test]
+    fn entailment_is_sound_with_respect_to_the_free_order() {
+        // With E = ∅, ≤_E coincides with ≤_id on the terms of V.
+        let mut f = Fixture::new();
+        let pairs = [
+            ("A*(B+C)", "(A*B)+(A*C)"),
+            ("(A*B)+(A*C)", "A*(B+C)"),
+            ("A*B*C", "A+B"),
+            ("A+B", "A*B*C"),
+            ("(A+B)*(A+C)", "A+(B*C)"),
+            ("A+(B*C)", "(A+B)*(A+C)"),
+        ];
+        for (l, r) in pairs {
+            let lt = f.t(l);
+            let rt = f.t(r);
+            for algo in BOTH {
+                assert_eq!(
+                    entails_leq(&f.arena, &[], lt, rt, algo),
+                    free_order::leq_id(&f.arena, lt, rt),
+                    "{l} <= {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn goal_terms_outside_v_are_rejected_gracefully() {
+        let mut f = Fixture::new();
+        let e = vec![f.eq("A=A*B")];
+        let a = f.t("A");
+        let stranger = f.t("X+Y");
+        let order = DerivedOrder::build(&f.arena, &e, &[], Algorithm::Worklist);
+        assert_eq!(order.leq(a, stranger), None);
+        assert_eq!(order.entails(Equation::new(a, stranger)), None);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the uniform word problem for lattices.
+//!
+//! Three families of properties:
+//!
+//! 1. the two saturation strategies of algorithm ALG compute the same
+//!    entailment relation;
+//! 2. with `E = ∅`, ALG agrees with the free-lattice order `≤_id`
+//!    (Lemma 8.2 / Lemma 9.2);
+//! 3. **soundness against finite models**: if every equation of `E` holds in
+//!    a concrete finite lattice under a concrete assignment, then every
+//!    equation ALG derives from `E` also holds there (Theorem 8, the
+//!    "only lattices that satisfy E matter" direction).
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use ps_base::{Attribute, Universe};
+use ps_lattice::{free_order, word_problem, Algorithm, Equation, FiniteLattice, TermArena, TermId};
+
+/// A small fixed universe of four attributes shared by all generated terms.
+fn universe() -> (Universe, Vec<Attribute>) {
+    let mut u = Universe::new();
+    let attrs = u.attrs(["A", "B", "C", "D"]);
+    (u, attrs)
+}
+
+/// A strategy producing random term *shapes*: 0 = atom, 1 = meet, 2 = join,
+/// encoded as a recursive tree.
+#[derive(Debug, Clone)]
+enum Shape {
+    Atom(u8),
+    Meet(Box<Shape>, Box<Shape>),
+    Join(Box<Shape>, Box<Shape>),
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    let leaf = (0u8..4).prop_map(Shape::Atom);
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Shape::Meet(Box::new(l), Box::new(r))),
+            (inner.clone(), inner).prop_map(|(l, r)| Shape::Join(Box::new(l), Box::new(r))),
+        ]
+    })
+}
+
+fn build(shape: &Shape, attrs: &[Attribute], arena: &mut TermArena) -> TermId {
+    match shape {
+        Shape::Atom(i) => arena.atom(attrs[*i as usize % attrs.len()]),
+        Shape::Meet(l, r) => {
+            let lt = build(l, attrs, arena);
+            let rt = build(r, attrs, arena);
+            arena.meet(lt, rt)
+        }
+        Shape::Join(l, r) => {
+            let lt = build(l, attrs, arena);
+            let rt = build(r, attrs, arena);
+            arena.join(lt, rt)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn naive_and_worklist_agree(
+        eq_shapes in prop::collection::vec((arb_shape(), arb_shape()), 0..4),
+        goal in (arb_shape(), arb_shape()),
+    ) {
+        let (_, attrs) = universe();
+        let mut arena = TermArena::new();
+        let equations: Vec<Equation> = eq_shapes
+            .iter()
+            .map(|(l, r)| Equation::new(build(l, &attrs, &mut arena), build(r, &attrs, &mut arena)))
+            .collect();
+        let goal = Equation::new(build(&goal.0, &attrs, &mut arena), build(&goal.1, &attrs, &mut arena));
+        let naive = word_problem::entails(&arena, &equations, goal, Algorithm::NaiveFixpoint);
+        let fast = word_problem::entails(&arena, &equations, goal, Algorithm::Worklist);
+        prop_assert_eq!(naive, fast);
+    }
+
+    #[test]
+    fn empty_e_matches_the_free_order(lhs in arb_shape(), rhs in arb_shape()) {
+        let (_, attrs) = universe();
+        let mut arena = TermArena::new();
+        let l = build(&lhs, &attrs, &mut arena);
+        let r = build(&rhs, &attrs, &mut arena);
+        for algo in [Algorithm::NaiveFixpoint, Algorithm::Worklist] {
+            prop_assert_eq!(
+                word_problem::entails_leq(&arena, &[], l, r, algo),
+                free_order::leq_id(&arena, l, r)
+            );
+        }
+    }
+
+    #[test]
+    fn derived_equations_hold_in_finite_models_satisfying_e(
+        term_shapes in prop::collection::vec(arb_shape(), 2..6),
+        goal_pair in (0usize..6, 0usize..6),
+        assignment_seed in prop::collection::vec(0usize..5, 4),
+        lattice_choice in 0usize..3,
+    ) {
+        let (u, attrs) = universe();
+        let mut arena = TermArena::new();
+        let lattice = match lattice_choice {
+            0 => FiniteLattice::m3(),
+            1 => FiniteLattice::n5(),
+            _ => FiniteLattice::chain(5),
+        };
+        // A concrete assignment of lattice elements to the four attributes.
+        let assignment: HashMap<Attribute, usize> = attrs
+            .iter()
+            .zip(assignment_seed.iter())
+            .map(|(&a, &v)| (a, v % lattice.len()))
+            .collect();
+        // Build terms and evaluate them in the model.
+        let terms: Vec<TermId> = term_shapes.iter().map(|s| build(s, &attrs, &mut arena)).collect();
+        let values: Vec<usize> = terms
+            .iter()
+            .map(|&t| lattice.evaluate(&arena, t, &assignment, &u).unwrap())
+            .collect();
+        // E consists of every equation between generated terms that happens
+        // to hold in the model, so the model satisfies E by construction.
+        let mut equations = Vec::new();
+        for i in 0..terms.len() {
+            for j in (i + 1)..terms.len() {
+                if values[i] == values[j] {
+                    equations.push(Equation::new(terms[i], terms[j]));
+                }
+            }
+        }
+        // Pick a goal among the generated terms; if ALG derives it from E it
+        // must hold in the model (soundness).
+        let gi = goal_pair.0 % terms.len();
+        let gj = goal_pair.1 % terms.len();
+        let goal = Equation::new(terms[gi], terms[gj]);
+        for algo in [Algorithm::NaiveFixpoint, Algorithm::Worklist] {
+            if word_problem::entails(&arena, &equations, goal, algo) {
+                prop_assert!(
+                    lattice.satisfies(&arena, goal, &assignment, &u).unwrap(),
+                    "ALG derived an equation that fails in a model satisfying E"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identities_hold_in_every_finite_model(lhs in arb_shape(), rhs in arb_shape()) {
+        // If e = e' is recognized as an identity (Theorem 10 machinery), it
+        // must hold in every finite lattice under every assignment.
+        let (u, attrs) = universe();
+        let mut arena = TermArena::new();
+        let l = build(&lhs, &attrs, &mut arena);
+        let r = build(&rhs, &attrs, &mut arena);
+        if free_order::eq_id(&arena, l, r) {
+            let eq = Equation::new(l, r);
+            for lattice in [FiniteLattice::m3(), FiniteLattice::n5(), FiniteLattice::chain(4)] {
+                prop_assert!(lattice.satisfies_identity(&arena, eq, &u).unwrap());
+            }
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Closing a family of partitions under product and sum.
+//!
+//! Theorem 1 of the paper: for a partition interpretation `I`, the set of
+//! partitions obtained by closing the atomic partitions `π_A` under `*` and
+//! `+` is a lattice `L(I)` with constants over the attribute universe.
+//! [`close_under_ops`] computes this closure for any finite family of
+//! partitions (the generating family is small in all of the paper's uses —
+//! one partition per attribute).
+
+use std::collections::HashSet;
+
+use crate::Partition;
+
+/// Statistics about a closure computation, returned alongside the closure by
+/// [`close_under_ops`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClosureStats {
+    /// Number of generator partitions supplied.
+    pub generators: usize,
+    /// Number of distinct partitions in the closure.
+    pub size: usize,
+    /// Number of product/sum evaluations performed.
+    pub operations: usize,
+    /// Number of saturation rounds until fixpoint.
+    pub rounds: usize,
+}
+
+/// Closes `generators` under partition product and sum.
+///
+/// Returns the closure (with the generators first, in their given order,
+/// followed by newly generated partitions in discovery order) and statistics
+/// about the computation.
+///
+/// The closure of `k` partitions of an `n`-element population has at most as
+/// many elements as the full partition lattice of the population, but in the
+/// paper's uses (atomic partitions of small interpretations, Figures 1 and 2)
+/// it stays tiny.  A `max_size` cap guards against pathological inputs; the
+/// function panics if the cap is exceeded, since all callers in this
+/// workspace use it on small interpretations.
+pub fn close_under_ops(generators: &[Partition], max_size: usize) -> (Vec<Partition>, ClosureStats) {
+    let mut stats = ClosureStats {
+        generators: generators.len(),
+        ..ClosureStats::default()
+    };
+    let mut elements: Vec<Partition> = Vec::new();
+    let mut seen: HashSet<Partition> = HashSet::new();
+    for g in generators {
+        if seen.insert(g.clone()) {
+            elements.push(g.clone());
+        }
+    }
+    loop {
+        stats.rounds += 1;
+        let mut fresh: Vec<Partition> = Vec::new();
+        let len = elements.len();
+        for i in 0..len {
+            for j in i..len {
+                let prod = elements[i].product(&elements[j]);
+                let sum = elements[i].sum(&elements[j]);
+                stats.operations += 2;
+                for candidate in [prod, sum] {
+                    if !seen.contains(&candidate) {
+                        seen.insert(candidate.clone());
+                        fresh.push(candidate);
+                    }
+                }
+            }
+        }
+        if fresh.is_empty() {
+            break;
+        }
+        elements.extend(fresh);
+        assert!(
+            elements.len() <= max_size,
+            "partition closure exceeded the size cap of {max_size} elements"
+        );
+    }
+    stats.size = elements.len();
+    (elements, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn part(blocks: Vec<Vec<u32>>) -> Partition {
+        Partition::from_blocks(blocks).unwrap()
+    }
+
+    #[test]
+    fn closure_of_single_partition_is_itself() {
+        let p = part(vec![vec![1, 2], vec![3]]);
+        let (closure, stats) = close_under_ops(std::slice::from_ref(&p), 100);
+        assert_eq!(closure, vec![p]);
+        assert_eq!(stats.size, 1);
+        assert_eq!(stats.generators, 1);
+    }
+
+    #[test]
+    fn closure_is_closed_under_both_operations() {
+        let gens = vec![
+            part(vec![vec![1], vec![4], vec![2, 3]]),
+            part(vec![vec![1, 4], vec![2, 3]]),
+            part(vec![vec![1, 2], vec![3, 4]]),
+        ];
+        let (closure, _) = close_under_ops(&gens, 1000);
+        let set: HashSet<_> = closure.iter().cloned().collect();
+        for a in &closure {
+            for b in &closure {
+                assert!(set.contains(&a.product(b)), "closure not closed under product");
+                assert!(set.contains(&a.sum(b)), "closure not closed under sum");
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_closure_contains_top_and_generators() {
+        let pi_a = part(vec![vec![1], vec![4], vec![2, 3]]);
+        let pi_b = part(vec![vec![1, 4], vec![2, 3]]);
+        let pi_c = part(vec![vec![1, 2], vec![3, 4]]);
+        let (closure, stats) = close_under_ops(&[pi_a.clone(), pi_b.clone(), pi_c.clone()], 1000);
+        let top = part(vec![vec![1, 2, 3, 4]]);
+        assert!(closure.contains(&top));
+        assert!(closure.contains(&pi_a));
+        assert!(closure.contains(&pi_b));
+        assert!(closure.contains(&pi_c));
+        assert_eq!(stats.size, closure.len());
+        assert!(stats.rounds >= 1);
+    }
+
+    #[test]
+    fn figure2_closures_have_four_elements() {
+        // L(I(r1)) from Figure 2: π_A = top, π_B, π_C, and π_B*π_C = bottom.
+        let pi_a = part(vec![vec![1, 2, 3, 4]]);
+        let pi_b = part(vec![vec![1, 2], vec![3, 4]]);
+        let pi_c = part(vec![vec![1, 3], vec![2, 4]]);
+        let (closure, _) = close_under_ops(&[pi_a, pi_b, pi_c], 100);
+        assert_eq!(closure.len(), 4);
+    }
+
+    #[test]
+    fn duplicate_generators_are_deduplicated() {
+        let p = part(vec![vec![1, 2]]);
+        let (closure, stats) = close_under_ops(&[p.clone(), p.clone(), p], 10);
+        assert_eq!(closure.len(), 1);
+        assert_eq!(stats.generators, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "size cap")]
+    fn cap_is_enforced() {
+        // Generators whose closure has more than 2 elements, with a cap of 2.
+        let gens = vec![
+            part(vec![vec![1], vec![2], vec![3, 4]]),
+            part(vec![vec![1, 2], vec![3], vec![4]]),
+            part(vec![vec![1, 3], vec![2], vec![4]]),
+        ];
+        let _ = close_under_ops(&gens, 2);
+    }
+}

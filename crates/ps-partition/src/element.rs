@@ -1,0 +1,245 @@
+//! Population elements.
+//!
+//! The paper's partition interpretations assign to each attribute `A` a
+//! *population* `p_A`: a non-empty set of objects (individuals).  Elements of
+//! populations are opaque identifiers; [`Population`] is an ordered set of
+//! them with the usual set operations (product needs `p ∩ p′`, sum needs
+//! `p ∪ p′`).
+
+use std::fmt;
+
+/// An element of a population (an "object" or "individual").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Element(u32);
+
+impl Element {
+    /// Creates an element with the given raw id.
+    pub fn new(id: u32) -> Self {
+        Element(id)
+    }
+
+    /// The raw id of this element.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// The raw id as `usize`, for vector indexing.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for Element {
+    fn from(id: u32) -> Self {
+        Element(id)
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An ordered set of [`Element`]s — the population of a partition.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Population {
+    items: Vec<Element>,
+}
+
+impl Population {
+    /// Creates an empty population.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the population `{0, 1, …, n-1}`.
+    pub fn range(n: u32) -> Self {
+        Population {
+            items: (0..n).map(Element::new).collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether `e` belongs to the population.
+    pub fn contains(&self, e: Element) -> bool {
+        self.items.binary_search(&e).is_ok()
+    }
+
+    /// Inserts an element; returns `true` if it was not already present.
+    pub fn insert(&mut self, e: Element) -> bool {
+        match self.items.binary_search(&e) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.items.insert(pos, e);
+                true
+            }
+        }
+    }
+
+    /// `self ∩ other`.
+    pub fn intersection(&self, other: &Population) -> Population {
+        let mut items = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    items.push(self.items[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Population { items }
+    }
+
+    /// `self ∪ other`.
+    pub fn union(&self, other: &Population) -> Population {
+        let mut items = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => {
+                    items.push(self.items[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    items.push(other.items[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    items.push(self.items[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        items.extend_from_slice(&self.items[i..]);
+        items.extend_from_slice(&other.items[j..]);
+        Population { items }
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &Population) -> bool {
+        self.items.iter().all(|e| other.contains(*e))
+    }
+
+    /// Whether the two populations share no element.
+    pub fn is_disjoint(&self, other: &Population) -> bool {
+        self.intersection(other).is_empty()
+    }
+
+    /// Iterates over the elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Element> + '_ {
+        self.items.iter().copied()
+    }
+
+    /// The elements as a sorted slice.
+    pub fn as_slice(&self) -> &[Element] {
+        &self.items
+    }
+}
+
+impl FromIterator<Element> for Population {
+    fn from_iter<T: IntoIterator<Item = Element>>(iter: T) -> Self {
+        let mut items: Vec<Element> = iter.into_iter().collect();
+        items.sort_unstable();
+        items.dedup();
+        Population { items }
+    }
+}
+
+impl FromIterator<u32> for Population {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        iter.into_iter().map(Element::new).collect()
+    }
+}
+
+impl From<Vec<u32>> for Population {
+    fn from(v: Vec<u32>) -> Self {
+        v.into_iter().collect()
+    }
+}
+
+impl fmt::Display for Population {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, e) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_population() {
+        let p = Population::range(4);
+        assert_eq!(p.len(), 4);
+        for i in 0..4 {
+            assert!(p.contains(Element::new(i)));
+        }
+        assert!(!p.contains(Element::new(4)));
+    }
+
+    #[test]
+    fn insert_dedups_and_sorts() {
+        let mut p = Population::new();
+        assert!(p.insert(Element::new(5)));
+        assert!(p.insert(Element::new(1)));
+        assert!(!p.insert(Element::new(5)));
+        assert_eq!(p.as_slice(), &[Element::new(1), Element::new(5)]);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a: Population = vec![1u32, 2, 3].into();
+        let b: Population = vec![3u32, 4].into();
+        assert_eq!(a.union(&b), vec![1u32, 2, 3, 4].into());
+        assert_eq!(a.intersection(&b), vec![3u32].into());
+        assert!(a.intersection(&b).is_subset(&a));
+        assert!(!a.is_disjoint(&b));
+        let c: Population = vec![9u32].into();
+        assert!(a.is_disjoint(&c));
+    }
+
+    #[test]
+    fn subset_checks() {
+        let a: Population = vec![1u32, 2].into();
+        let b: Population = vec![1u32, 2, 3].into();
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(Population::new().is_subset(&a));
+    }
+
+    #[test]
+    fn display_is_braced_list() {
+        let p: Population = vec![2u32, 1].into();
+        assert_eq!(format!("{p}"), "{1,2}");
+    }
+
+    #[test]
+    fn from_iter_of_elements_dedups() {
+        let p: Population = [Element::new(3), Element::new(3), Element::new(1)]
+            .into_iter()
+            .collect();
+        assert_eq!(p.len(), 2);
+    }
+}

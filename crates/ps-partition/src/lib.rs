@@ -1,0 +1,46 @@
+//! # ps-partition
+//!
+//! Set-theoretic partitions: the semantic substrate of *partition semantics
+//! for relations* (Cosmadakis, Kanellakis, Spyratos; Section 3.1 of the
+//! paper).
+//!
+//! A [`Partition`] is a family of non-empty, pairwise disjoint sets
+//! (*blocks*) whose union is a *population* of objects.  Two natural
+//! operations make the set of partitions (of all subsets of a universe of
+//! elements) into a lattice-like structure:
+//!
+//! * **product** `π * π′` — the coarsest common refinement, defined on the
+//!   population `p ∩ p′` as the non-empty pairwise intersections of blocks;
+//! * **sum** `π + π′` — the finest common generalization, defined on the
+//!   population `p ∪ p′` by chaining: two elements are in the same block of
+//!   the sum iff they are linked by a chain of overlapping blocks of
+//!   `π ∪ π′`.
+//!
+//! Both operations are associative, commutative and idempotent, and satisfy
+//! the absorption laws, so closing any finite family of partitions under them
+//! yields a lattice ([`close_under_ops`]) — this is the lattice `L(I)` of
+//! Theorem 1.  The refinement order `π ≤ π′` (`π = π * π′`, equivalently
+//! `π′ = π′ + π`) is provided by [`Partition::leq`].
+//!
+//! The crate also ships the [`UnionFind`] disjoint-set structure, used both
+//! as the fast implementation of the partition sum and by the graph substrate
+//! for connected components (Example e of the paper).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod closure;
+mod element;
+mod error;
+mod ops;
+mod partition;
+mod union_find;
+
+pub use closure::{close_under_ops, ClosureStats};
+pub use element::{Element, Population};
+pub use error::PartitionError;
+pub use partition::Partition;
+pub use union_find::UnionFind;
+
+/// Convenient `Result` alias for fallible operations in this crate.
+pub type Result<T> = std::result::Result<T, PartitionError>;

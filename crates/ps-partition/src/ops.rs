@@ -1,0 +1,279 @@
+//! Partition product, sum and the refinement order.
+//!
+//! Section 3.1 of the paper defines, for partitions `π` of `p` and `π′` of
+//! `p′`:
+//!
+//! * `π * π′ = { x | x = y ∩ z ≠ ∅, y ∈ π, z ∈ π′ }`, a partition of
+//!   `p ∩ p′` (the coarsest common refinement when `p = p′`);
+//! * `π + π′` = the partition of `p ∪ p′` whose blocks are the connected
+//!   components of the "overlap" relation on `π ∪ π′`: two elements are
+//!   together iff a chain of pairwise-overlapping blocks links them.
+//!
+//! Both are associative, commutative and idempotent and satisfy absorption,
+//! so any family of partitions closed under them forms a lattice.  The
+//! natural order is `π ≤ π′  ⇔  π = π * π′  ⇔  π′ = π′ + π`
+//! ([`Partition::leq`]); Theorem 2 of the paper characterizes it as "every
+//! block of `π` is contained in a block of `π′`, and `p ⊆ p′`".
+
+use std::collections::HashMap;
+
+use crate::{Element, Partition, UnionFind};
+
+impl Partition {
+    /// The partition product `self * other`: non-empty pairwise block
+    /// intersections, a partition of the intersection of the populations.
+    pub fn product(&self, other: &Partition) -> Partition {
+        // Index other's elements by block for O(1) membership tests.
+        let other_index = other.block_index_map();
+        let mut groups: HashMap<(usize, usize), Vec<Element>> = HashMap::new();
+        for (i, block) in self.blocks().iter().enumerate() {
+            for &e in block {
+                if let Some(&j) = other_index.get(&e) {
+                    groups.entry((i, j)).or_default().push(e);
+                }
+            }
+        }
+        let blocks: Vec<Vec<Element>> = groups.into_values().collect();
+        Partition::from_element_blocks(blocks)
+            .expect("pairwise intersections of disjoint blocks are disjoint")
+    }
+
+    /// The partition sum `self + other`, computed with a union–find over the
+    /// union of the populations (the efficient implementation).
+    pub fn sum(&self, other: &Partition) -> Partition {
+        let union_pop = self.population().union(other.population());
+        if union_pop.is_empty() {
+            return Partition::empty();
+        }
+        // Dense re-indexing of the union population.
+        let elems: Vec<Element> = union_pop.iter().collect();
+        let index: HashMap<Element, usize> =
+            elems.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+        let mut uf = UnionFind::new(elems.len());
+        for block in self.blocks().iter().chain(other.blocks().iter()) {
+            let first = index[&block[0]];
+            for &e in &block[1..] {
+                uf.union(first, index[&e]);
+            }
+        }
+        let blocks: Vec<Vec<Element>> = uf
+            .groups()
+            .into_iter()
+            .map(|g| g.into_iter().map(|i| elems[i]).collect())
+            .collect();
+        Partition::from_element_blocks(blocks).expect("union-find groups are disjoint")
+    }
+
+    /// The partition sum computed by the paper's literal *chaining*
+    /// definition: repeatedly merge blocks of `π ∪ π′` that overlap, until a
+    /// fixpoint.  Quadratic in the number of blocks; retained as a reference
+    /// implementation and for the ablation benchmark (experiment E7).
+    pub fn sum_by_chaining(&self, other: &Partition) -> Partition {
+        let mut blocks: Vec<Vec<Element>> = self
+            .blocks()
+            .iter()
+            .chain(other.blocks().iter())
+            .cloned()
+            .collect();
+        if blocks.is_empty() {
+            return Partition::empty();
+        }
+        loop {
+            let mut merged_any = false;
+            'outer: for i in 0..blocks.len() {
+                for j in (i + 1)..blocks.len() {
+                    if overlap(&blocks[i], &blocks[j]) {
+                        let other_block = blocks.swap_remove(j);
+                        let target = &mut blocks[i];
+                        target.extend(other_block);
+                        target.sort_unstable();
+                        target.dedup();
+                        merged_any = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if !merged_any {
+                break;
+            }
+        }
+        Partition::from_element_blocks(blocks).expect("merged overlapping blocks are disjoint")
+    }
+
+    /// The natural lattice order: `self ≤ other` iff `self = self * other`,
+    /// equivalently (Theorem 2) every block of `self` is contained in a block
+    /// of `other` and the population of `self` is contained in that of
+    /// `other`.
+    pub fn leq(&self, other: &Partition) -> bool {
+        if !self.population().is_subset(other.population()) {
+            return false;
+        }
+        let other_index = other.block_index_map();
+        for block in self.blocks() {
+            let Some(&j) = other_index.get(&block[0]) else {
+                return false;
+            };
+            if block[1..].iter().any(|e| other_index.get(e) != Some(&j)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether `self ≤ other` holds *by the defining equation* `self = self * other`.
+    /// Semantically identical to [`Partition::leq`]; exposed so tests can
+    /// cross-validate the two characterizations (Theorem 2).
+    pub fn leq_by_product(&self, other: &Partition) -> bool {
+        self.product(other) == *self
+    }
+
+    /// Whether `self ≤ other` holds by the dual equation `other = other + self`.
+    pub fn leq_by_sum(&self, other: &Partition) -> bool {
+        other.sum(self) == *other
+    }
+
+    /// Restricts the partition to the elements of `keep ∩ population`,
+    /// dropping emptied blocks.
+    pub fn restrict(&self, keep: &crate::Population) -> Partition {
+        let blocks: Vec<Vec<Element>> = self
+            .blocks()
+            .iter()
+            .map(|b| b.iter().copied().filter(|e| keep.contains(*e)).collect())
+            .filter(|b: &Vec<Element>| !b.is_empty())
+            .collect();
+        Partition::from_element_blocks(blocks).expect("restriction preserves disjointness")
+    }
+}
+
+fn overlap(a: &[Element], b: &[Element]) -> bool {
+    // Both slices are sorted.
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Population;
+
+    fn part(blocks: Vec<Vec<u32>>) -> Partition {
+        Partition::from_blocks(blocks).unwrap()
+    }
+
+    #[test]
+    fn product_on_equal_populations() {
+        // Figure 1: π_B * π_A = π_A.
+        let pi_a = part(vec![vec![1], vec![4], vec![2, 3]]);
+        let pi_b = part(vec![vec![1, 4], vec![2, 3]]);
+        assert_eq!(pi_b.product(&pi_a), pi_a);
+        assert_eq!(pi_a.product(&pi_b), pi_a);
+    }
+
+    #[test]
+    fn product_on_different_populations_intersects() {
+        let p = part(vec![vec![1, 2], vec![3]]);
+        let q = part(vec![vec![2, 3], vec![4]]);
+        let prod = p.product(&q);
+        assert_eq!(prod.population(), &Population::from(vec![2u32, 3]));
+        assert_eq!(prod, part(vec![vec![2], vec![3]]));
+    }
+
+    #[test]
+    fn product_with_disjoint_population_is_empty() {
+        let p = part(vec![vec![1, 2]]);
+        let q = part(vec![vec![5, 6]]);
+        assert!(p.product(&q).is_empty());
+    }
+
+    #[test]
+    fn sum_merges_via_chains() {
+        // Figure 1: π_A + π_C = the indiscrete partition of {1,2,3,4}.
+        let pi_a = part(vec![vec![1], vec![4], vec![2, 3]]);
+        let pi_c = part(vec![vec![1, 2], vec![3, 4]]);
+        let expect = part(vec![vec![1, 2, 3, 4]]);
+        assert_eq!(pi_a.sum(&pi_c), expect);
+        assert_eq!(pi_a.sum_by_chaining(&pi_c), expect);
+    }
+
+    #[test]
+    fn sum_on_disjoint_populations_is_union_of_blocks() {
+        // Example c of the paper: if the populations are disjoint the sum is
+        // simply the union of the two families of blocks.
+        let cars = part(vec![vec![1, 2], vec![3]]);
+        let bikes = part(vec![vec![10], vec![11, 12]]);
+        let sum = cars.sum(&bikes);
+        assert_eq!(sum, part(vec![vec![1, 2], vec![3], vec![10], vec![11, 12]]));
+    }
+
+    #[test]
+    fn sum_by_chaining_agrees_with_union_find() {
+        let p = part(vec![vec![0, 1], vec![2, 3], vec![4]]);
+        let q = part(vec![vec![1, 2], vec![3, 4], vec![5, 6]]);
+        assert_eq!(p.sum(&q), p.sum_by_chaining(&q));
+    }
+
+    #[test]
+    fn figure1_non_distributivity() {
+        // B*(A+C) ≠ (B*A)+(B*C) for the Figure 1 interpretation.
+        let pi_a = part(vec![vec![1], vec![4], vec![2, 3]]);
+        let pi_b = part(vec![vec![1, 4], vec![2, 3]]);
+        let pi_c = part(vec![vec![1, 2], vec![3, 4]]);
+        let lhs = pi_b.product(&pi_a.sum(&pi_c));
+        let rhs = pi_b.product(&pi_a).sum(&pi_b.product(&pi_c));
+        assert_ne!(lhs, rhs);
+        assert_eq!(lhs, pi_b);
+        assert_eq!(rhs, pi_a);
+    }
+
+    #[test]
+    fn leq_characterizations_agree() {
+        let fine = part(vec![vec![1], vec![2], vec![3, 4]]);
+        let coarse = part(vec![vec![1, 2], vec![3, 4]]);
+        assert!(fine.leq(&coarse));
+        assert!(fine.leq_by_product(&coarse));
+        assert!(fine.leq_by_sum(&coarse));
+        assert!(!coarse.leq(&fine));
+        assert!(!coarse.leq_by_product(&fine));
+        assert!(!coarse.leq_by_sum(&fine));
+    }
+
+    #[test]
+    fn leq_requires_population_containment() {
+        // Example a: A = A*B forces p_A ⊆ p_B.
+        let small = part(vec![vec![1, 2]]);
+        let large = part(vec![vec![1, 2, 3]]);
+        assert!(small.leq(&large));
+        assert!(!large.leq(&small));
+        let elsewhere = part(vec![vec![9]]);
+        assert!(!small.leq(&elsewhere));
+    }
+
+    #[test]
+    fn absorption_laws_hold_on_examples() {
+        let x = part(vec![vec![1, 2], vec![3]]);
+        let y = part(vec![vec![2, 3], vec![4]]);
+        assert_eq!(x.sum(&x.product(&y)), x);
+        assert_eq!(x.product(&x.sum(&y)), x);
+    }
+
+    #[test]
+    fn restrict_drops_elements_outside_keep() {
+        let p = part(vec![vec![1, 2], vec![3, 4]]);
+        let keep = Population::from(vec![2u32, 3]);
+        assert_eq!(p.restrict(&keep), part(vec![vec![2], vec![3]]));
+    }
+
+    #[test]
+    fn product_and_sum_are_idempotent() {
+        let p = part(vec![vec![1, 5], vec![2], vec![3, 4]]);
+        assert_eq!(p.product(&p), p);
+        assert_eq!(p.sum(&p), p);
+    }
+}

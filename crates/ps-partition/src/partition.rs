@@ -1,0 +1,329 @@
+//! The [`Partition`] type: a family of non-empty, disjoint blocks whose
+//! union is a population (Definition 1 of the paper calls the per-attribute
+//! instance `π_A` the *atomic partition* of `A`).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{Element, PartitionError, Population, Result};
+
+/// A partition of a population: non-empty, pairwise disjoint *blocks* whose
+/// union is the population.
+///
+/// The representation is canonical: each block is sorted ascending and blocks
+/// are ordered by their smallest element, so structural equality (`==`,
+/// `Hash`) coincides with mathematical equality of partitions.
+///
+/// ```
+/// use ps_partition::{Partition, Population};
+/// let pop = Population::range(4);
+/// let p = Partition::from_blocks(vec![vec![0, 1], vec![2, 3]]).unwrap();
+/// assert_eq!(p.population(), &pop);
+/// assert_eq!(p.num_blocks(), 2);
+/// assert!(p.same_block(0.into(), 1.into()));
+/// assert!(!p.same_block(1.into(), 2.into()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Partition {
+    blocks: Vec<Vec<Element>>,
+    population: Population,
+}
+
+impl Partition {
+    /// The *discrete* (finest) partition of `pop`: every element is its own
+    /// block.
+    pub fn discrete(pop: &Population) -> Self {
+        let blocks = pop.iter().map(|e| vec![e]).collect();
+        Partition {
+            blocks,
+            population: pop.clone(),
+        }
+    }
+
+    /// The *indiscrete* (coarsest) partition of `pop`: a single block (or no
+    /// block if the population is empty).
+    pub fn indiscrete(pop: &Population) -> Self {
+        let blocks = if pop.is_empty() {
+            Vec::new()
+        } else {
+            vec![pop.iter().collect()]
+        };
+        Partition {
+            blocks,
+            population: pop.clone(),
+        }
+    }
+
+    /// The empty partition (of the empty population).  This is the meaning of
+    /// an expression whose populations have empty intersection.
+    pub fn empty() -> Self {
+        Partition {
+            blocks: Vec::new(),
+            population: Population::new(),
+        }
+    }
+
+    /// Builds a partition from explicit blocks given as raw element ids.
+    ///
+    /// Fails if any block is empty or two blocks overlap.  The population is
+    /// the union of the blocks.
+    pub fn from_blocks<I, B>(blocks: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = B>,
+        B: IntoIterator<Item = u32>,
+    {
+        let element_blocks: Vec<Vec<Element>> = blocks
+            .into_iter()
+            .map(|b| b.into_iter().map(Element::new).collect())
+            .collect();
+        Self::from_element_blocks(element_blocks)
+    }
+
+    /// Builds a partition from explicit blocks of [`Element`]s.
+    pub fn from_element_blocks(blocks: Vec<Vec<Element>>) -> Result<Self> {
+        let mut canon: Vec<Vec<Element>> = Vec::with_capacity(blocks.len());
+        for mut b in blocks {
+            if b.is_empty() {
+                return Err(PartitionError::EmptyBlock);
+            }
+            b.sort_unstable();
+            b.dedup();
+            canon.push(b);
+        }
+        canon.sort_by_key(|b| b[0]);
+        // Check disjointness and build the population.
+        let mut seen: HashMap<Element, ()> = HashMap::new();
+        let mut pop = Vec::new();
+        for b in &canon {
+            for &e in b {
+                if seen.insert(e, ()).is_some() {
+                    return Err(PartitionError::OverlappingBlocks(e));
+                }
+                pop.push(e);
+            }
+        }
+        Ok(Partition {
+            blocks: canon,
+            population: pop.into_iter().collect(),
+        })
+    }
+
+    /// Builds a partition by grouping the elements of `pairs` by key: two
+    /// elements end up in the same block iff they are paired with equal keys.
+    ///
+    /// This is how the naming functions `f_A` of Definition 1 induce the
+    /// atomic partition `π_A`: elements mapped to the same symbol share a
+    /// block.
+    pub fn from_keys<K, I>(pairs: I) -> Self
+    where
+        K: std::hash::Hash + Eq,
+        I: IntoIterator<Item = (Element, K)>,
+    {
+        let mut groups: HashMap<K, Vec<Element>> = HashMap::new();
+        for (e, k) in pairs {
+            groups.entry(k).or_default().push(e);
+        }
+        let blocks: Vec<Vec<Element>> = groups.into_values().collect();
+        Self::from_element_blocks(blocks)
+            .expect("grouping by key cannot produce overlapping blocks")
+    }
+
+    /// The population of the partition.
+    pub fn population(&self) -> &Population {
+        &self.population
+    }
+
+    /// The blocks, each sorted ascending, ordered by smallest element.
+    pub fn blocks(&self) -> &[Vec<Element>] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the partition has an empty population (and hence no blocks).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The index of the block containing `e`, if `e` is in the population.
+    pub fn block_index_of(&self, e: Element) -> Option<usize> {
+        self.blocks.iter().position(|b| b.binary_search(&e).is_ok())
+    }
+
+    /// The block containing `e`, if any.
+    pub fn block_of(&self, e: Element) -> Option<&[Element]> {
+        self.block_index_of(e).map(|i| self.blocks[i].as_slice())
+    }
+
+    /// Whether `a` and `b` lie in the same block.  Elements outside the
+    /// population are never in any block.
+    pub fn same_block(&self, a: Element, b: Element) -> bool {
+        match (self.block_index_of(a), self.block_index_of(b)) {
+            (Some(i), Some(j)) => i == j,
+            _ => false,
+        }
+    }
+
+    /// A dense map from element to block index, usable for O(1) lookups when
+    /// a partition is queried repeatedly.
+    pub fn block_index_map(&self) -> HashMap<Element, usize> {
+        let mut map = HashMap::with_capacity(self.population.len());
+        for (i, b) in self.blocks.iter().enumerate() {
+            for &e in b {
+                map.insert(e, i);
+            }
+        }
+        map
+    }
+
+    /// Whether the partition is the discrete partition of its population.
+    pub fn is_discrete(&self) -> bool {
+        self.blocks.iter().all(|b| b.len() == 1)
+    }
+
+    /// Whether the partition is the indiscrete partition of its population.
+    pub fn is_indiscrete(&self) -> bool {
+        self.blocks.len() <= 1
+    }
+
+    /// Validates the internal invariants (blocks non-empty, disjoint,
+    /// union = population, canonical ordering).  Mostly useful in tests.
+    pub fn validate(&self) -> Result<()> {
+        let mut pop = Vec::new();
+        for b in &self.blocks {
+            if b.is_empty() {
+                return Err(PartitionError::EmptyBlock);
+            }
+            pop.extend_from_slice(b);
+        }
+        let mut sorted = pop.clone();
+        sorted.sort_unstable();
+        let before = sorted.len();
+        sorted.dedup();
+        if sorted.len() != before {
+            // Find the duplicate for a helpful message.
+            let mut seen = std::collections::HashSet::new();
+            for e in pop {
+                if !seen.insert(e) {
+                    return Err(PartitionError::OverlappingBlocks(e));
+                }
+            }
+        }
+        let union: Population = sorted.into_iter().collect();
+        if union != self.population {
+            return Err(PartitionError::PopulationMismatch);
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, b) in self.blocks.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{{")?;
+            for (j, e) in b.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{e}")?;
+            }
+            write!(f, "}}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discrete_and_indiscrete() {
+        let pop = Population::range(3);
+        let d = Partition::discrete(&pop);
+        let i = Partition::indiscrete(&pop);
+        assert_eq!(d.num_blocks(), 3);
+        assert!(d.is_discrete());
+        assert_eq!(i.num_blocks(), 1);
+        assert!(i.is_indiscrete());
+        assert!(d.validate().is_ok());
+        assert!(i.validate().is_ok());
+    }
+
+    #[test]
+    fn empty_partition() {
+        let p = Partition::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.num_blocks(), 0);
+        assert!(p.validate().is_ok());
+        assert!(p.is_discrete() && p.is_indiscrete());
+    }
+
+    #[test]
+    fn from_blocks_canonicalizes() {
+        let p = Partition::from_blocks(vec![vec![3, 2], vec![0, 1]]).unwrap();
+        assert_eq!(p.blocks()[0], vec![Element::new(0), Element::new(1)]);
+        assert_eq!(p.blocks()[1], vec![Element::new(2), Element::new(3)]);
+        let q = Partition::from_blocks(vec![vec![0, 1], vec![2, 3]]).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn from_blocks_rejects_empty_and_overlap() {
+        assert_eq!(
+            Partition::from_blocks(vec![vec![], vec![1u32]]).unwrap_err(),
+            PartitionError::EmptyBlock
+        );
+        assert_eq!(
+            Partition::from_blocks(vec![vec![0, 1], vec![1, 2]]).unwrap_err(),
+            PartitionError::OverlappingBlocks(Element::new(1))
+        );
+    }
+
+    #[test]
+    fn from_keys_groups_correctly() {
+        // Figure 1's π_A = {{1},{4},{2,3}} induced by f_A.
+        let p = Partition::from_keys(vec![
+            (Element::new(1), "a"),
+            (Element::new(4), "a1"),
+            (Element::new(2), "a2"),
+            (Element::new(3), "a2"),
+        ]);
+        assert_eq!(
+            p,
+            Partition::from_blocks(vec![vec![1], vec![4], vec![2, 3]]).unwrap()
+        );
+    }
+
+    #[test]
+    fn block_lookup_and_same_block() {
+        let p = Partition::from_blocks(vec![vec![1, 2], vec![3]]).unwrap();
+        assert_eq!(p.block_of(Element::new(2)).unwrap(), &[Element::new(1), Element::new(2)]);
+        assert_eq!(p.block_of(Element::new(9)), None);
+        assert!(p.same_block(Element::new(1), Element::new(2)));
+        assert!(!p.same_block(Element::new(1), Element::new(3)));
+        assert!(!p.same_block(Element::new(1), Element::new(9)));
+        let map = p.block_index_map();
+        assert_eq!(map[&Element::new(3)], 1);
+    }
+
+    #[test]
+    fn display_formats_blocks() {
+        let p = Partition::from_blocks(vec![vec![1], vec![2, 3]]).unwrap();
+        assert_eq!(format!("{p}"), "{{1}, {2,3}}");
+    }
+
+    #[test]
+    fn validate_detects_population_mismatch() {
+        let mut p = Partition::from_blocks(vec![vec![1, 2]]).unwrap();
+        p.population.insert(Element::new(7));
+        assert_eq!(p.validate().unwrap_err(), PartitionError::PopulationMismatch);
+    }
+}

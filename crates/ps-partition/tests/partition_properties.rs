@@ -1,0 +1,117 @@
+//! Property-based tests for the partition algebra.
+//!
+//! These check that partition product and sum satisfy the lattice axioms
+//! listed in Section 3.2 of the paper (associativity, commutativity,
+//! idempotence, absorption) on *randomly generated* partitions over randomly
+//! chosen — and possibly different — populations, plus the duality between
+//! the two characterizations of the refinement order (Theorem 2).
+
+use proptest::prelude::*;
+use ps_partition::{Element, Partition, Population};
+
+/// Strategy: a random partition of a random subset of {0, …, universe-1}.
+///
+/// Each element of the universe is either absent or assigned to one of
+/// `max_blocks` abstract block keys; the non-empty keys become blocks.
+fn arb_partition(universe: u32, max_blocks: u32) -> impl Strategy<Value = Partition> {
+    prop::collection::vec(0..=max_blocks, universe as usize).prop_map(move |assignment| {
+        let pairs: Vec<(Element, u32)> = assignment
+            .into_iter()
+            .enumerate()
+            .filter(|(_, key)| *key != 0) // key 0 means "not in the population"
+            .map(|(elem, key)| (Element::new(elem as u32), key))
+            .collect();
+        Partition::from_keys(pairs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn product_is_commutative(p in arb_partition(12, 4), q in arb_partition(12, 4)) {
+        prop_assert_eq!(p.product(&q), q.product(&p));
+    }
+
+    #[test]
+    fn sum_is_commutative(p in arb_partition(12, 4), q in arb_partition(12, 4)) {
+        prop_assert_eq!(p.sum(&q), q.sum(&p));
+    }
+
+    #[test]
+    fn product_is_associative(
+        p in arb_partition(10, 3),
+        q in arb_partition(10, 3),
+        r in arb_partition(10, 3),
+    ) {
+        prop_assert_eq!(p.product(&q).product(&r), p.product(&q.product(&r)));
+    }
+
+    #[test]
+    fn sum_is_associative(
+        p in arb_partition(10, 3),
+        q in arb_partition(10, 3),
+        r in arb_partition(10, 3),
+    ) {
+        prop_assert_eq!(p.sum(&q).sum(&r), p.sum(&q.sum(&r)));
+    }
+
+    #[test]
+    fn product_and_sum_are_idempotent(p in arb_partition(12, 4)) {
+        prop_assert_eq!(p.product(&p), p.clone());
+        prop_assert_eq!(p.sum(&p), p);
+    }
+
+    #[test]
+    fn absorption_laws(p in arb_partition(12, 4), q in arb_partition(12, 4)) {
+        // x + (x * y) = x   and   x * (x + y) = x.
+        prop_assert_eq!(p.sum(&p.product(&q)), p.clone());
+        prop_assert_eq!(p.product(&p.sum(&q)), p);
+    }
+
+    #[test]
+    fn sum_implementations_agree(p in arb_partition(12, 4), q in arb_partition(12, 4)) {
+        prop_assert_eq!(p.sum(&q), p.sum_by_chaining(&q));
+    }
+
+    #[test]
+    fn order_characterizations_agree(p in arb_partition(10, 4), q in arb_partition(10, 4)) {
+        // π ≤ π′ iff π = π*π′ iff π′ = π′+π (the duality of Section 3.2).
+        let by_blocks = p.leq(&q);
+        prop_assert_eq!(by_blocks, p.leq_by_product(&q));
+        prop_assert_eq!(by_blocks, p.leq_by_sum(&q));
+    }
+
+    #[test]
+    fn product_is_a_lower_bound_and_sum_an_upper_bound(
+        p in arb_partition(10, 4),
+        q in arb_partition(10, 4),
+    ) {
+        let prod = p.product(&q);
+        let sum = p.sum(&q);
+        prop_assert!(prod.leq(&p));
+        prop_assert!(prod.leq(&q));
+        prop_assert!(p.leq(&sum));
+        prop_assert!(q.leq(&sum));
+    }
+
+    #[test]
+    fn product_population_is_intersection_and_sum_population_is_union(
+        p in arb_partition(12, 4),
+        q in arb_partition(12, 4),
+    ) {
+        let expected_prod: Population = p.population().intersection(q.population());
+        let expected_sum: Population = p.population().union(q.population());
+        let prod = p.product(&q);
+        let sum = p.sum(&q);
+        prop_assert_eq!(prod.population(), &expected_prod);
+        prop_assert_eq!(sum.population(), &expected_sum);
+    }
+
+    #[test]
+    fn generated_partitions_are_valid(p in arb_partition(16, 5), q in arb_partition(16, 5)) {
+        prop_assert!(p.validate().is_ok());
+        prop_assert!(p.product(&q).validate().is_ok());
+        prop_assert!(p.sum(&q).validate().is_ok());
+    }
+}

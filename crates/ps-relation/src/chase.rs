@@ -1,0 +1,340 @@
+//! The chase with functional dependencies (Honeyman's weak-satisfaction
+//! test).
+//!
+//! Given a database `d` and a set of FDs `Σ` over the union `U` of its
+//! attributes, `d` is *consistent with `Σ` under the weak instance
+//! assumption* iff there is a weak instance for `d` satisfying `Σ`
+//! (Section 2.1).  The test builds the padded tableau of `d`
+//! ([`crate::Tableau`]) and repeatedly applies the FDs: whenever two rows
+//! agree on `X`, their `Y`-entries are equated.  Equating two *distinct
+//! constants* is a contradiction; otherwise the chase terminates with a
+//! representative weak instance.
+//!
+//! This is the polynomial-time workhorse behind Theorems 6, 7 and 12 of the
+//! paper (experiment E5).
+
+use std::collections::HashMap;
+
+use ps_base::{AttrSet, Symbol, SymbolTable};
+
+use crate::{Database, Fd, Relation, RelationScheme, Tableau};
+
+/// The outcome of chasing a tableau with FDs.
+#[derive(Debug, Clone)]
+pub struct ChaseOutcome {
+    /// Whether the chase finished without equating two distinct constants.
+    pub consistent: bool,
+    /// Number of equate operations performed.
+    pub steps: usize,
+    /// Number of passes over the FD set.
+    pub rounds: usize,
+    /// If consistent, the chased tableau rows with every symbol replaced by
+    /// its representative.
+    pub rows: Option<Vec<Vec<Symbol>>>,
+}
+
+impl ChaseOutcome {
+    /// Converts the chased rows into a representative weak-instance relation
+    /// over `attrs` named `name`.  Returns `None` if the chase found an
+    /// inconsistency.
+    pub fn weak_instance(&self, name: &str, attrs: &AttrSet) -> Option<Relation> {
+        let rows = self.rows.as_ref()?;
+        let scheme = RelationScheme::new(name, attrs.clone());
+        let mut relation = Relation::new(scheme);
+        for row in rows {
+            relation
+                .insert_values(row)
+                .expect("chased rows match the attribute set");
+        }
+        Some(relation)
+    }
+}
+
+/// Union–find over symbols in which constants can never be merged with each
+/// other.
+struct SymbolClasses<'a> {
+    parent: HashMap<Symbol, Symbol>,
+    symbols: &'a SymbolTable,
+}
+
+impl<'a> SymbolClasses<'a> {
+    fn new(symbols: &'a SymbolTable) -> Self {
+        SymbolClasses {
+            parent: HashMap::new(),
+            symbols,
+        }
+    }
+
+    fn find(&mut self, s: Symbol) -> Symbol {
+        let p = *self.parent.get(&s).unwrap_or(&s);
+        if p == s {
+            return s;
+        }
+        let root = self.find(p);
+        self.parent.insert(s, root);
+        root
+    }
+
+    /// Merges the classes of `a` and `b`.  Returns `Ok(true)` if a merge
+    /// happened, `Ok(false)` if they were already equal, and `Err(())` if
+    /// both classes are rooted at distinct constants.
+    fn union(&mut self, a: Symbol, b: Symbol) -> Result<bool, ()> {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return Ok(false);
+        }
+        match (self.symbols.is_constant(ra), self.symbols.is_constant(rb)) {
+            (true, true) => Err(()),
+            (true, false) => {
+                self.parent.insert(rb, ra);
+                Ok(true)
+            }
+            _ => {
+                // rb is a constant (keep it as root) or both are nulls.
+                self.parent.insert(ra, rb);
+                Ok(true)
+            }
+        }
+    }
+}
+
+/// Chases `tableau` with `fds`.  `symbols` is used only to distinguish
+/// constants from nulls.
+pub fn chase_tableau(tableau: &Tableau, fds: &[Fd], symbols: &SymbolTable) -> ChaseOutcome {
+    let mut classes = SymbolClasses::new(symbols);
+    let mut steps = 0usize;
+    let mut rounds = 0usize;
+
+    // Pre-compute, for each FD, the column indices of its lhs/rhs attributes
+    // that actually occur in the tableau.
+    let fd_columns: Vec<(Vec<usize>, Vec<usize>)> = fds
+        .iter()
+        .map(|fd| {
+            let lhs: Vec<usize> = fd.lhs.iter().filter_map(|a| tableau.position(a)).collect();
+            let rhs: Vec<usize> = fd.rhs.iter().filter_map(|a| tableau.position(a)).collect();
+            (lhs, rhs)
+        })
+        .collect();
+
+    loop {
+        rounds += 1;
+        let mut changed = false;
+        for (fd_idx, fd) in fds.iter().enumerate() {
+            let (lhs_cols, rhs_cols) = &fd_columns[fd_idx];
+            // If some lhs attribute is missing from the tableau entirely the
+            // FD can never fire (no two rows can agree on a column that does
+            // not exist); skip it.
+            if lhs_cols.len() != fd.lhs.len() {
+                continue;
+            }
+            // Group rows by the representative vector of their lhs columns.
+            let mut groups: HashMap<Vec<Symbol>, usize> = HashMap::new();
+            for (row_idx, row) in tableau.rows().iter().enumerate() {
+                let key: Vec<Symbol> = lhs_cols.iter().map(|&c| classes.find(row[c])).collect();
+                match groups.get(&key) {
+                    None => {
+                        groups.insert(key, row_idx);
+                    }
+                    Some(&leader) => {
+                        // Equate the rhs entries of `row_idx` with the leader's.
+                        for &c in rhs_cols {
+                            let a = tableau.rows()[leader][c];
+                            let b = row[c];
+                            match classes.union(a, b) {
+                                Ok(true) => {
+                                    steps += 1;
+                                    changed = true;
+                                }
+                                Ok(false) => {}
+                                Err(()) => {
+                                    return ChaseOutcome {
+                                        consistent: false,
+                                        steps,
+                                        rounds,
+                                        rows: None,
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let rows = tableau
+        .rows()
+        .iter()
+        .map(|row| row.iter().map(|&s| classes.find(s)).collect())
+        .collect();
+    ChaseOutcome {
+        consistent: true,
+        steps,
+        rounds,
+        rows: Some(rows),
+    }
+}
+
+/// Chases the padded tableau of `db` with `fds` over the union of the
+/// database's attributes (Honeyman's test).
+pub fn chase_fds(db: &Database, fds: &[Fd], symbols: &mut SymbolTable) -> ChaseOutcome {
+    let tableau = Tableau::from_database(db, symbols);
+    chase_tableau(&tableau, fds, symbols)
+}
+
+/// Chases the padded tableau of `db` over an explicit attribute universe
+/// (which may strictly contain the database's own attributes, as happens in
+/// the Section 6.2 pipeline where constraints introduce new attributes).
+pub fn chase_fds_over(
+    db: &Database,
+    attrs: &AttrSet,
+    fds: &[Fd],
+    symbols: &mut SymbolTable,
+) -> ChaseOutcome {
+    let tableau = Tableau::from_database_over(db, attrs, symbols);
+    chase_tableau(&tableau, fds, symbols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::DatabaseBuilder;
+    use crate::fd::fd;
+    use ps_base::Universe;
+
+    struct Fixture {
+        universe: Universe,
+        symbols: SymbolTable,
+    }
+
+    fn fixture() -> Fixture {
+        Fixture {
+            universe: Universe::new(),
+            symbols: SymbolTable::new(),
+        }
+    }
+
+    #[test]
+    fn consistent_database_produces_a_weak_instance() {
+        let mut f = fixture();
+        // R1[AB], R2[BC] with B→C; consistent.
+        let db = DatabaseBuilder::new()
+            .relation(&mut f.universe, &mut f.symbols, "R1", &["A", "B"], &[&["a1", "b"], &["a2", "b"]])
+            .unwrap()
+            .relation(&mut f.universe, &mut f.symbols, "R2", &["B", "C"], &[&["b", "c"]])
+            .unwrap()
+            .build();
+        let b = f.universe.lookup("B").unwrap();
+        let c = f.universe.lookup("C").unwrap();
+        let fds = vec![fd(&[b], &[c])];
+        let outcome = chase_fds(&db, &fds, &mut f.symbols);
+        assert!(outcome.consistent);
+        let w = outcome.weak_instance("W", &db.all_attributes()).unwrap();
+        assert_eq!(w.len(), 3);
+        assert!(db.has_weak_instance(&w));
+        assert!(w.satisfies_all_fds(&fds));
+        // All three rows agree on B, so the chase propagated the constant c
+        // into the rows coming from R1.
+        let c_domain = w.active_domain(c).unwrap();
+        assert_eq!(c_domain.len(), 1);
+        assert!(f.symbols.is_constant(c_domain[0]));
+    }
+
+    #[test]
+    fn inconsistent_database_is_detected() {
+        let mut f = fixture();
+        // Two R1 tuples with the same A but different B, plus FD A→B.
+        let db = DatabaseBuilder::new()
+            .relation(&mut f.universe, &mut f.symbols, "R1", &["A", "B"], &[&["a", "b1"], &["a", "b2"]])
+            .unwrap()
+            .build();
+        let a = f.universe.lookup("A").unwrap();
+        let b = f.universe.lookup("B").unwrap();
+        let outcome = chase_fds(&db, &[fd(&[a], &[b])], &mut f.symbols);
+        assert!(!outcome.consistent);
+        assert!(outcome.rows.is_none());
+        assert!(outcome.weak_instance("W", &db.all_attributes()).is_none());
+    }
+
+    #[test]
+    fn cross_relation_inconsistency_via_nulls() {
+        let mut f = fixture();
+        // R1[AB]: (a,b1); R2[AC]: (a,c1), (a2,c2); FDs A→B and C→B force
+        // nothing inconsistent... but A→C plus the two relations below does.
+        let db = DatabaseBuilder::new()
+            .relation(&mut f.universe, &mut f.symbols, "R1", &["A", "C"], &[&["a", "c1"]])
+            .unwrap()
+            .relation(&mut f.universe, &mut f.symbols, "R2", &["A", "C"], &[&["a", "c2"]])
+            .unwrap()
+            .build();
+        let a = f.universe.lookup("A").unwrap();
+        let c = f.universe.lookup("C").unwrap();
+        let outcome = chase_fds(&db, &[fd(&[a], &[c])], &mut f.symbols);
+        assert!(!outcome.consistent);
+    }
+
+    #[test]
+    fn chase_propagates_transitively_through_nulls() {
+        let mut f = fixture();
+        // R1[AB]: (a,b); R2[BC]: (b,c); R3[AC]: (a,c2).
+        // FDs A→B, B→C make the null C of row 1 equal to c, and then A→C
+        // forces c = c2: inconsistent.
+        let db = DatabaseBuilder::new()
+            .relation(&mut f.universe, &mut f.symbols, "R1", &["A", "B"], &[&["a", "b"]])
+            .unwrap()
+            .relation(&mut f.universe, &mut f.symbols, "R2", &["B", "C"], &[&["b", "c"]])
+            .unwrap()
+            .relation(&mut f.universe, &mut f.symbols, "R3", &["A", "C"], &[&["a", "c2"]])
+            .unwrap()
+            .build();
+        let a = f.universe.lookup("A").unwrap();
+        let b = f.universe.lookup("B").unwrap();
+        let c = f.universe.lookup("C").unwrap();
+        let fds = vec![fd(&[a], &[b]), fd(&[b], &[c]), fd(&[a], &[c])];
+        let outcome = chase_fds(&db, &fds, &mut f.symbols);
+        assert!(!outcome.consistent);
+        // Without the contradicting R3 tuple it is consistent.
+        let db2 = DatabaseBuilder::new()
+            .relation(&mut f.universe, &mut f.symbols, "R1", &["A", "B"], &[&["a", "b"]])
+            .unwrap()
+            .relation(&mut f.universe, &mut f.symbols, "R2", &["B", "C"], &[&["b", "c"]])
+            .unwrap()
+            .build();
+        let outcome2 = chase_fds(&db2, &fds, &mut f.symbols);
+        assert!(outcome2.consistent);
+        let w = outcome2.weak_instance("W", &db2.all_attributes()).unwrap();
+        assert!(w.satisfies_all_fds(&fds));
+    }
+
+    #[test]
+    fn empty_fd_set_is_always_consistent() {
+        let mut f = fixture();
+        let db = DatabaseBuilder::new()
+            .relation(&mut f.universe, &mut f.symbols, "R", &["A", "B"], &[&["a", "b1"], &["a", "b2"]])
+            .unwrap()
+            .build();
+        let outcome = chase_fds(&db, &[], &mut f.symbols);
+        assert!(outcome.consistent);
+        assert_eq!(outcome.steps, 0);
+    }
+
+    #[test]
+    fn chase_over_extra_attributes() {
+        let mut f = fixture();
+        let db = DatabaseBuilder::new()
+            .relation(&mut f.universe, &mut f.symbols, "R", &["A"], &[&["a"]])
+            .unwrap()
+            .build();
+        let b = f.universe.attr("B");
+        let a = f.universe.lookup("A").unwrap();
+        let mut attrs = db.all_attributes();
+        attrs.insert(b);
+        let outcome = chase_fds_over(&db, &attrs, &[fd(&[a], &[b])], &mut f.symbols);
+        assert!(outcome.consistent);
+        let w = outcome.weak_instance("W", &attrs).unwrap();
+        assert_eq!(w.scheme().arity(), 2);
+    }
+}

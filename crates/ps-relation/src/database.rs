@@ -1,0 +1,286 @@
+//! Databases: collections of relations over a database scheme.
+
+use std::collections::HashSet;
+
+use ps_base::{AttrSet, Attribute, Symbol, SymbolTable, Universe};
+
+use crate::{DatabaseScheme, Relation, Result};
+
+/// A database `d = {r₁, …, r_n}`: one relation per relation scheme.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Database {
+    relations: Vec<Relation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a relation.
+    pub fn add(&mut self, relation: Relation) {
+        self.relations.push(relation);
+    }
+
+    /// The relations, in insertion order.
+    pub fn relations(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// Mutable access to the relations.
+    pub fn relations_mut(&mut self) -> &mut [Relation] {
+        &mut self.relations
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the database has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// The database scheme `D` induced by the relations.
+    pub fn scheme(&self) -> DatabaseScheme {
+        DatabaseScheme::from_schemes(self.relations.iter().map(|r| r.scheme().clone()).collect())
+    }
+
+    /// The union of all attributes appearing in the database (the `U` over
+    /// which weak instances are taken).
+    pub fn all_attributes(&self) -> AttrSet {
+        self.relations
+            .iter()
+            .fold(AttrSet::new(), |acc, r| acc.union(r.scheme().attrs()))
+    }
+
+    /// The set `d[A]`: all symbols appearing under columns headed by `attr`
+    /// anywhere in the database.
+    pub fn active_domain(&self, attr: Attribute) -> Vec<Symbol> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for r in &self.relations {
+            if r.scheme().contains(attr) {
+                for s in r.active_domain(attr).expect("attribute is in the scheme") {
+                    if seen.insert(s) {
+                        out.push(s);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Finds a relation by its scheme name.
+    pub fn relation_named(&self, name: &str) -> Option<&Relation> {
+        self.relations.iter().find(|r| r.scheme().name() == name)
+    }
+
+    /// Whether `w` is a **weak instance** for this database: `w` is a
+    /// relation over (at least) all of the database's attributes and the
+    /// projection of `w` onto each relation scheme contains that relation
+    /// (Section 2.1).
+    pub fn has_weak_instance(&self, w: &Relation) -> bool {
+        let all = self.all_attributes();
+        if !all.is_subset(w.scheme().attrs()) {
+            return false;
+        }
+        for r in &self.relations {
+            let proj = match w.project("w_proj", r.scheme().attrs()) {
+                Ok(p) => p,
+                Err(_) => return false,
+            };
+            for t in r.iter() {
+                let projected_values = t.project(r.scheme(), r.scheme().attrs());
+                let as_tuple = crate::Tuple::from_values(projected_values);
+                if !proj.contains(&as_tuple) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Renders all relations as tables.
+    pub fn render(&self, universe: &Universe, symbols: &SymbolTable) -> String {
+        self.relations
+            .iter()
+            .map(|r| r.render(universe, symbols))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// A convenience builder for constructing databases in tests, examples and
+/// benchmarks from string names.
+#[derive(Debug, Default)]
+pub struct DatabaseBuilder {
+    relations: Vec<Relation>,
+}
+
+impl DatabaseBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a relation with the given name, attribute names and rows of
+    /// symbol names.
+    pub fn relation(
+        mut self,
+        universe: &mut Universe,
+        symbols: &mut SymbolTable,
+        name: &str,
+        attr_names: &[&str],
+        rows: &[&[&str]],
+    ) -> Result<Self> {
+        let attrs: AttrSet = universe.attrs(attr_names.iter().copied()).into();
+        let scheme = crate::RelationScheme::new(name, attrs.clone());
+        // Rows are given in the order of `attr_names`; re-order the values to
+        // the scheme's sorted column order.
+        let positions: Vec<usize> = attr_names
+            .iter()
+            .map(|n| {
+                let attr = universe.lookup(n).expect("just interned");
+                scheme.position(attr).expect("attribute belongs to scheme")
+            })
+            .collect();
+        let mut relation = Relation::new(scheme);
+        for row in rows {
+            assert_eq!(row.len(), attr_names.len(), "row arity must match attributes");
+            let mut values = vec![Symbol::from_index(0); row.len()];
+            for (value_name, &pos) in row.iter().zip(positions.iter()) {
+                values[pos] = symbols.symbol(value_name);
+            }
+            relation.insert_values(&values)?;
+        }
+        self.relations.push(relation);
+        Ok(self)
+    }
+
+    /// Finishes building the database.
+    pub fn build(self) -> Database {
+        let mut db = Database::new();
+        for r in self.relations {
+            db.add(r);
+        }
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RelationScheme;
+
+    fn figure1_database() -> (Universe, SymbolTable, Database) {
+        let mut u = Universe::new();
+        let mut s = SymbolTable::new();
+        let db = DatabaseBuilder::new()
+            .relation(
+                &mut u,
+                &mut s,
+                "R",
+                &["A", "B", "C"],
+                &[
+                    &["a", "b", "c"],
+                    &["a2", "b1", "c"],
+                    &["a2", "b1", "c1"],
+                    &["a1", "b", "c1"],
+                ],
+            )
+            .unwrap()
+            .build();
+        (u, s, db)
+    }
+
+    #[test]
+    fn builder_builds_and_counts() {
+        let (u, _, db) = figure1_database();
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.total_tuples(), 4);
+        assert_eq!(db.all_attributes().len(), 3);
+        assert!(db.relation_named("R").is_some());
+        assert!(db.relation_named("S").is_none());
+        assert_eq!(db.scheme().len(), 1);
+        assert_eq!(db.scheme().schemes()[0].render(&u), "R[ABC]");
+    }
+
+    #[test]
+    fn active_domain_spans_all_relations() {
+        let mut u = Universe::new();
+        let mut s = SymbolTable::new();
+        let db = DatabaseBuilder::new()
+            .relation(&mut u, &mut s, "R1", &["A", "B"], &[&["x", "y"]])
+            .unwrap()
+            .relation(&mut u, &mut s, "R2", &["B", "C"], &[&["y2", "z"], &["y", "z"]])
+            .unwrap()
+            .build();
+        let b = u.lookup("B").unwrap();
+        let dom = db.active_domain(b);
+        assert_eq!(dom.len(), 2); // y and y2
+        let a = u.lookup("A").unwrap();
+        assert_eq!(db.active_domain(a).len(), 1);
+    }
+
+    #[test]
+    fn weak_instance_check_accepts_supersets_and_rejects_gaps() {
+        let (mut u, mut s, db) = figure1_database();
+        // A copy of R over ABC is itself a weak instance (single relation).
+        let r = db.relations()[0].clone();
+        assert!(db.has_weak_instance(&r));
+        // Removing a tuple breaks the property.
+        let mut partial = Relation::new(r.scheme().clone());
+        for t in r.iter().skip(1) {
+            partial.insert(t.clone()).unwrap();
+        }
+        assert!(!db.has_weak_instance(&partial));
+        // A relation over fewer attributes can never be a weak instance.
+        let ab: AttrSet = vec![u.lookup("A").unwrap(), u.lookup("B").unwrap()].into();
+        let small = Relation::new(RelationScheme::new("W", ab));
+        assert!(!db.has_weak_instance(&small));
+        // A relation over more attributes works as long as projections cover.
+        let d = u.attr("D");
+        let mut wide_attrs = r.scheme().attrs().clone();
+        wide_attrs.insert(d);
+        let mut wide = Relation::new(RelationScheme::new("W", wide_attrs));
+        let filler = s.symbol("filler");
+        for t in r.iter() {
+            let mut vals = t.values().to_vec();
+            vals.push(filler); // D is the largest attribute id, so it sorts last.
+            wide.insert_values(&vals).unwrap();
+        }
+        assert!(db.has_weak_instance(&wide));
+    }
+
+    #[test]
+    fn builder_reorders_columns_to_scheme_order() {
+        // Attributes given out of order must still land in the right columns.
+        let mut u = Universe::new();
+        let mut s = SymbolTable::new();
+        let db = DatabaseBuilder::new()
+            .relation(&mut u, &mut s, "R", &["B", "A"], &[&["b", "a"]])
+            .unwrap()
+            .build();
+        let a = u.lookup("A").unwrap();
+        let b = u.lookup("B").unwrap();
+        let r = db.relation_named("R").unwrap();
+        assert_eq!(s.render(r.value(0, a).unwrap()), "a");
+        assert_eq!(s.render(r.value(0, b).unwrap()), "b");
+    }
+
+    #[test]
+    fn render_includes_all_relations() {
+        let (u, s, db) = figure1_database();
+        let text = db.render(&u, &s);
+        assert!(text.contains("R[ABC]"));
+        assert!(text.contains("a2"));
+    }
+}

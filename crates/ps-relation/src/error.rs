@@ -1,0 +1,94 @@
+//! Errors for the relational substrate.
+
+use std::fmt;
+
+use ps_base::Attribute;
+
+/// Errors raised by relation and database manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError {
+    /// A tuple has a different number of values than its scheme has
+    /// attributes.
+    ArityMismatch {
+        /// Name of the relation scheme involved.
+        scheme: String,
+        /// Number of attributes in the scheme.
+        expected: usize,
+        /// Number of values supplied.
+        found: usize,
+    },
+    /// An attribute was used with a relation whose scheme does not contain
+    /// it.
+    AttributeNotInScheme {
+        /// Name of the relation scheme involved.
+        scheme: String,
+        /// The offending attribute.
+        attribute: Attribute,
+    },
+    /// A projection or dependency mentioned an empty attribute set where a
+    /// non-empty one is required.
+    EmptyAttributeSet(&'static str),
+    /// Two relations were combined with an operation that requires equal
+    /// schemes.
+    SchemeMismatch {
+        /// Name of the left relation scheme.
+        left: String,
+        /// Name of the right relation scheme.
+        right: String,
+    },
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::ArityMismatch {
+                scheme,
+                expected,
+                found,
+            } => write!(
+                f,
+                "tuple arity mismatch for scheme `{scheme}`: expected {expected} values, found {found}"
+            ),
+            RelationError::AttributeNotInScheme { scheme, attribute } => {
+                write!(f, "attribute {attribute} is not in scheme `{scheme}`")
+            }
+            RelationError::EmptyAttributeSet(what) => {
+                write!(f, "{what} requires a non-empty attribute set")
+            }
+            RelationError::SchemeMismatch { left, right } => write!(
+                f,
+                "operation requires identical schemes, got `{left}` and `{right}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = RelationError::ArityMismatch {
+            scheme: "R".into(),
+            expected: 3,
+            found: 2,
+        };
+        assert!(e.to_string().contains("expected 3"));
+        let e = RelationError::AttributeNotInScheme {
+            scheme: "R".into(),
+            attribute: Attribute::from_index(1),
+        };
+        assert!(e.to_string().contains("not in scheme"));
+        assert!(RelationError::EmptyAttributeSet("projection")
+            .to_string()
+            .contains("non-empty"));
+        let e = RelationError::SchemeMismatch {
+            left: "R".into(),
+            right: "S".into(),
+        };
+        assert!(e.to_string().contains("identical schemes"));
+    }
+}

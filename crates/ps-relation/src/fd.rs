@@ -1,0 +1,109 @@
+//! Functional dependencies.
+
+use std::fmt;
+
+use ps_base::{AttrSet, Universe};
+
+/// A functional dependency `X → Y` over a relation scheme (Section 2.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fd {
+    /// Determinant `X`.
+    pub lhs: AttrSet,
+    /// Dependent `Y`.
+    pub rhs: AttrSet,
+}
+
+impl Fd {
+    /// Creates the FD `lhs → rhs`.
+    ///
+    /// # Panics
+    /// Panics if either side is empty (the paper requires non-empty sides).
+    pub fn new(lhs: AttrSet, rhs: AttrSet) -> Self {
+        assert!(!lhs.is_empty() && !rhs.is_empty(), "FD sides must be non-empty");
+        Fd { lhs, rhs }
+    }
+
+    /// Whether the FD is trivial (`Y ⊆ X`), i.e. satisfied by every relation.
+    pub fn is_trivial(&self) -> bool {
+        self.rhs.is_subset(&self.lhs)
+    }
+
+    /// The set of attributes mentioned by the FD.
+    pub fn attributes(&self) -> AttrSet {
+        self.lhs.union(&self.rhs)
+    }
+
+    /// Splits the FD into one FD per right-hand-side attribute (the
+    /// "canonical" form used by minimal covers).
+    pub fn split_rhs(&self) -> Vec<Fd> {
+        self.rhs
+            .iter()
+            .map(|a| Fd::new(self.lhs.clone(), AttrSet::singleton(a)))
+            .collect()
+    }
+
+    /// Renders the FD as `X->Y` using attribute names.
+    pub fn render(&self, universe: &Universe) -> String {
+        format!(
+            "{}->{}",
+            universe.render_set(&self.lhs),
+            universe.render_set(&self.rhs)
+        )
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.lhs, self.rhs)
+    }
+}
+
+/// Builds an FD from attribute slices (convenience for tests and examples).
+pub fn fd(lhs: &[ps_base::Attribute], rhs: &[ps_base::Attribute]) -> Fd {
+    Fd::new(lhs.iter().copied().collect(), rhs.iter().copied().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs() -> (Universe, Vec<ps_base::Attribute>) {
+        let mut u = Universe::new();
+        let a = u.attrs(["A", "B", "C"]);
+        (u, a)
+    }
+
+    #[test]
+    fn construction_and_display() {
+        let (u, a) = attrs();
+        let d = fd(&[a[0], a[1]], &[a[2]]);
+        assert_eq!(d.render(&u), "AB->C");
+        assert!(!d.is_trivial());
+        assert_eq!(d.attributes().len(), 3);
+        assert!(format!("{d}").contains("->"));
+    }
+
+    #[test]
+    fn trivial_fds() {
+        let (_, a) = attrs();
+        assert!(fd(&[a[0], a[1]], &[a[0]]).is_trivial());
+        assert!(!fd(&[a[0]], &[a[0], a[1]]).is_trivial());
+    }
+
+    #[test]
+    fn split_rhs_produces_singletons() {
+        let (_, a) = attrs();
+        let d = fd(&[a[0]], &[a[1], a[2]]);
+        let split = d.split_rhs();
+        assert_eq!(split.len(), 2);
+        assert!(split.iter().all(|f| f.rhs.len() == 1));
+        assert!(split.iter().all(|f| f.lhs == d.lhs));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sides_are_rejected() {
+        let (_, a) = attrs();
+        let _ = Fd::new(AttrSet::new(), AttrSet::singleton(a[0]));
+    }
+}

@@ -1,0 +1,74 @@
+//! Multivalued dependencies.
+//!
+//! Theorem 5 of the paper shows that even the simplest MVD cannot be
+//! expressed by any set of partition dependencies; this module provides the
+//! MVD type and its standard relational satisfaction (checked by
+//! [`crate::Relation::satisfies_mvd`]), which the reproduction of Figure 2
+//! uses.
+
+use std::fmt;
+
+use ps_base::{AttrSet, Universe};
+
+/// A multivalued dependency `X ↠ Y` (written here `X ->> Y`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Mvd {
+    /// Determinant `X`.
+    pub lhs: AttrSet,
+    /// Dependent `Y`.
+    pub rhs: AttrSet,
+}
+
+impl Mvd {
+    /// Creates the MVD `lhs ↠ rhs`.
+    ///
+    /// # Panics
+    /// Panics if either side is empty.
+    pub fn new(lhs: AttrSet, rhs: AttrSet) -> Self {
+        assert!(!lhs.is_empty() && !rhs.is_empty(), "MVD sides must be non-empty");
+        Mvd { lhs, rhs }
+    }
+
+    /// The attributes mentioned by the MVD.
+    pub fn attributes(&self) -> AttrSet {
+        self.lhs.union(&self.rhs)
+    }
+
+    /// Renders the MVD as `X->>Y` using attribute names.
+    pub fn render(&self, universe: &Universe) -> String {
+        format!(
+            "{}->>{}",
+            universe.render_set(&self.lhs),
+            universe.render_set(&self.rhs)
+        )
+    }
+}
+
+impl fmt::Display for Mvd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->>{}", self.lhs, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_rendering() {
+        let mut u = Universe::new();
+        let a = u.attrs(["A", "B"]);
+        let mvd = Mvd::new(AttrSet::singleton(a[0]), AttrSet::singleton(a[1]));
+        assert_eq!(mvd.render(&u), "A->>B");
+        assert_eq!(mvd.attributes().len(), 2);
+        assert!(format!("{mvd}").contains("->>"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sides_rejected() {
+        let mut u = Universe::new();
+        let a = u.attr("A");
+        let _ = Mvd::new(AttrSet::new(), AttrSet::singleton(a));
+    }
+}

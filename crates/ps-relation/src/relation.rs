@@ -1,0 +1,331 @@
+//! Relations: finite sets of tuples over a relation scheme.
+
+use std::collections::HashSet;
+
+use ps_base::{AttrSet, Attribute, Symbol, SymbolTable, Universe};
+
+use crate::{Fd, Mvd, RelationError, RelationScheme, Result, Tuple};
+
+/// A finite relation `r` over a scheme `R[U]`: a set of tuples.
+///
+/// Tuples are deduplicated (a relation is a *set*), and insertion order is
+/// preserved for deterministic iteration and display.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    scheme: RelationScheme,
+    tuples: Vec<Tuple>,
+    seen: HashSet<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation over `scheme`.
+    pub fn new(scheme: RelationScheme) -> Self {
+        Relation {
+            scheme,
+            tuples: Vec::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// The relation's scheme.
+    pub fn scheme(&self) -> &RelationScheme {
+        &self.scheme
+    }
+
+    /// Number of (distinct) tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Inserts a tuple; returns `true` if it was not already present.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<bool> {
+        if tuple.values().len() != self.scheme.arity() {
+            return Err(RelationError::ArityMismatch {
+                scheme: self.scheme.name().to_owned(),
+                expected: self.scheme.arity(),
+                found: tuple.values().len(),
+            });
+        }
+        if self.seen.contains(&tuple) {
+            return Ok(false);
+        }
+        self.seen.insert(tuple.clone());
+        self.tuples.push(tuple);
+        Ok(true)
+    }
+
+    /// Inserts a tuple given as a value slice in scheme column order.
+    pub fn insert_values(&mut self, values: &[Symbol]) -> Result<bool> {
+        self.insert(Tuple::new(&self.scheme, values.to_vec())?)
+    }
+
+    /// Whether the relation contains the tuple.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.seen.contains(tuple)
+    }
+
+    /// Iterates over the tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// The tuples as a slice.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// The value `t[A]` of the `idx`-th tuple.
+    pub fn value(&self, idx: usize, attr: Attribute) -> Result<Symbol> {
+        self.tuples[idx].get(&self.scheme, attr)
+    }
+
+    /// The projection `r[X]` onto `attrs ∩ U` (Section 2.1), as a new
+    /// relation named `name`.
+    pub fn project(&self, name: impl Into<String>, attrs: &AttrSet) -> Result<Relation> {
+        let kept = attrs.intersection(self.scheme.attrs());
+        if kept.is_empty() {
+            return Err(RelationError::EmptyAttributeSet("projection"));
+        }
+        let scheme = RelationScheme::new(name, kept.clone());
+        let mut out = Relation::new(scheme);
+        for t in &self.tuples {
+            let vals = t.project(&self.scheme, &kept);
+            out.insert(Tuple::from_values(vals))?;
+        }
+        Ok(out)
+    }
+
+    /// The set of symbols appearing under attribute `attr` — the active
+    /// domain of that column, written `d[A]` in the paper.
+    pub fn active_domain(&self, attr: Attribute) -> Result<Vec<Symbol>> {
+        let pos = self
+            .scheme
+            .position(attr)
+            .ok_or(RelationError::AttributeNotInScheme {
+                scheme: self.scheme.name().to_owned(),
+                attribute: attr,
+            })?;
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for t in &self.tuples {
+            let v = t.values()[pos];
+            if seen.insert(v) {
+                out.push(v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether the relation satisfies the functional dependency `X → Y`
+    /// (Section 2.1): any two tuples agreeing on `X` agree on `Y`.
+    pub fn satisfies_fd(&self, fd: &Fd) -> bool {
+        let lhs = &fd.lhs;
+        let rhs = &fd.rhs;
+        // Only attributes within the scheme participate; attributes outside
+        // the scheme make the FD vacuously about the projection that exists.
+        for i in 0..self.tuples.len() {
+            for j in (i + 1)..self.tuples.len() {
+                let ti = &self.tuples[i];
+                let tj = &self.tuples[j];
+                if ti.project(&self.scheme, lhs) == tj.project(&self.scheme, lhs)
+                    && ti.project(&self.scheme, rhs) != tj.project(&self.scheme, rhs)
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether the relation satisfies every FD in `fds`.
+    pub fn satisfies_all_fds(&self, fds: &[Fd]) -> bool {
+        fds.iter().all(|fd| self.satisfies_fd(fd))
+    }
+
+    /// Whether the relation satisfies the multivalued dependency
+    /// `X ↠ Y` (Section 4.2): whenever two tuples agree on `X`, the tuple
+    /// combining the first's `Y`-values with the second's remaining values is
+    /// also present.
+    pub fn satisfies_mvd(&self, mvd: &Mvd) -> bool {
+        let x = &mvd.lhs;
+        let y = &mvd.rhs;
+        let u = self.scheme.attrs().clone();
+        let z = u.difference(&x.union(y));
+        for t in &self.tuples {
+            for h in &self.tuples {
+                if t.project(&self.scheme, x) != h.project(&self.scheme, x) {
+                    continue;
+                }
+                // Need a tuple w with w[X]=t[X], w[Y]=t[Y], w[Z]=h[Z].
+                let exists = self.tuples.iter().any(|w| {
+                    w.project(&self.scheme, x) == t.project(&self.scheme, x)
+                        && w.project(&self.scheme, y) == t.project(&self.scheme, y)
+                        && w.project(&self.scheme, &z) == h.project(&self.scheme, &z)
+                });
+                if !exists {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Renders the relation as a small table using attribute and symbol
+    /// names.
+    pub fn render(&self, universe: &Universe, symbols: &SymbolTable) -> String {
+        let mut out = String::new();
+        out.push_str(&self.scheme.render(universe));
+        out.push('\n');
+        let header: Vec<String> = self
+            .scheme
+            .attrs()
+            .iter()
+            .map(|a| universe.name(a).unwrap_or("?").to_owned())
+            .collect();
+        out.push_str(&header.join("\t"));
+        out.push('\n');
+        for t in &self.tuples {
+            let row: Vec<String> = t.values().iter().map(|&s| symbols.render(s)).collect();
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixture {
+        universe: Universe,
+        symbols: SymbolTable,
+        attrs: Vec<Attribute>,
+    }
+
+    fn setup() -> Fixture {
+        let mut universe = Universe::new();
+        let attrs = universe.attrs(["A", "B", "C"]);
+        Fixture {
+            universe,
+            symbols: SymbolTable::new(),
+            attrs,
+        }
+    }
+
+    fn relation_abc(f: &mut Fixture, rows: &[[&str; 3]]) -> Relation {
+        let scheme = RelationScheme::new("R", f.attrs.clone());
+        let mut r = Relation::new(scheme);
+        for row in rows {
+            let vals: Vec<Symbol> = row.iter().map(|s| f.symbols.symbol(s)).collect();
+            r.insert_values(&vals).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut f = setup();
+        let mut r = relation_abc(&mut f, &[["a", "b", "c"]]);
+        let vals: Vec<Symbol> = ["a", "b", "c"].iter().map(|s| f.symbols.symbol(s)).collect();
+        assert!(!r.insert_values(&vals).unwrap());
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+        assert!(r.contains(&Tuple::new(r.scheme(), vals).unwrap()));
+    }
+
+    #[test]
+    fn insert_rejects_wrong_arity() {
+        let mut f = setup();
+        let mut r = relation_abc(&mut f, &[]);
+        let vals: Vec<Symbol> = ["a", "b"].iter().map(|s| f.symbols.symbol(s)).collect();
+        assert!(matches!(
+            r.insert_values(&vals),
+            Err(RelationError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn projection_and_active_domain() {
+        let mut f = setup();
+        let r = relation_abc(&mut f, &[["a", "b", "c"], ["a", "b2", "c"], ["a2", "b", "c1"]]);
+        let ab: AttrSet = vec![f.attrs[0], f.attrs[1]].into();
+        let proj = r.project("P", &ab).unwrap();
+        assert_eq!(proj.len(), 3);
+        assert_eq!(proj.scheme().arity(), 2);
+        let a_dom = r.active_domain(f.attrs[0]).unwrap();
+        assert_eq!(a_dom.len(), 2);
+        let c_dom = r.active_domain(f.attrs[2]).unwrap();
+        assert_eq!(c_dom.len(), 2);
+        // Projection onto an attribute outside the scheme is empty → error.
+        let mut u2 = f.universe.clone();
+        let d = u2.attr("D");
+        assert!(r.project("P", &AttrSet::singleton(d)).is_err());
+        assert!(r.active_domain(d).is_err());
+    }
+
+    #[test]
+    fn projection_deduplicates_tuples() {
+        let mut f = setup();
+        let r = relation_abc(&mut f, &[["a", "b", "c"], ["a", "b", "c2"]]);
+        let ab: AttrSet = vec![f.attrs[0], f.attrs[1]].into();
+        assert_eq!(r.project("P", &ab).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn fd_satisfaction() {
+        let mut f = setup();
+        let r = relation_abc(&mut f, &[["a", "b", "c"], ["a", "b", "c2"], ["a2", "b2", "c"]]);
+        let a_to_b = Fd::new(
+            AttrSet::singleton(f.attrs[0]),
+            AttrSet::singleton(f.attrs[1]),
+        );
+        let a_to_c = Fd::new(
+            AttrSet::singleton(f.attrs[0]),
+            AttrSet::singleton(f.attrs[2]),
+        );
+        assert!(r.satisfies_fd(&a_to_b));
+        assert!(!r.satisfies_fd(&a_to_c));
+        assert!(!r.satisfies_all_fds(&[a_to_b, a_to_c]));
+    }
+
+    #[test]
+    fn mvd_satisfaction_figure2() {
+        // Figure 2: r1 satisfies A ↠ B, r2 does not.
+        let mut f = setup();
+        let r1 = relation_abc(
+            &mut f,
+            &[["a", "b1", "c1"], ["a", "b1", "c2"], ["a", "b2", "c1"], ["a", "b2", "c2"]],
+        );
+        let r2 = relation_abc(&mut f, &[["a", "b1", "c1"], ["a", "b2", "c2"], ["a", "b1", "c2"]]);
+        let mvd = Mvd::new(
+            AttrSet::singleton(f.attrs[0]),
+            AttrSet::singleton(f.attrs[1]),
+        );
+        assert!(r1.satisfies_mvd(&mvd));
+        assert!(!r2.satisfies_mvd(&mvd));
+    }
+
+    #[test]
+    fn render_contains_header_and_rows() {
+        let mut f = setup();
+        let r = relation_abc(&mut f, &[["a", "b", "c"]]);
+        let rendered = r.render(&f.universe, &f.symbols);
+        assert!(rendered.contains("R[ABC]"));
+        assert!(rendered.contains("A\tB\tC"));
+        assert!(rendered.contains("a\tb\tc"));
+    }
+
+    #[test]
+    fn value_accessor() {
+        let mut f = setup();
+        let r = relation_abc(&mut f, &[["a", "b", "c"]]);
+        let b = f.symbols.lookup("b").unwrap();
+        assert_eq!(r.value(0, f.attrs[1]).unwrap(), b);
+    }
+}

@@ -1,0 +1,177 @@
+//! Relation schemes and database schemes (Section 2.1).
+
+use std::fmt;
+
+use ps_base::{AttrSet, Attribute, Universe};
+
+/// A relation scheme `R[U]`: a name `R` and a set of attributes `U`.
+///
+/// Tuples of relations over this scheme store their values in the order of
+/// `U`'s sorted attribute ids; [`RelationScheme::position`] maps an
+/// attribute to its column index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RelationScheme {
+    name: String,
+    attrs: AttrSet,
+}
+
+impl RelationScheme {
+    /// Creates a scheme with the given name and attributes.
+    ///
+    /// # Panics
+    /// Panics if `attrs` is empty: the paper's relation schemes always have
+    /// at least one attribute.
+    pub fn new(name: impl Into<String>, attrs: impl Into<AttrSet>) -> Self {
+        let attrs = attrs.into();
+        assert!(!attrs.is_empty(), "a relation scheme needs at least one attribute");
+        RelationScheme {
+            name: name.into(),
+            attrs,
+        }
+    }
+
+    /// The scheme's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The scheme's attribute set `U`.
+    pub fn attrs(&self) -> &AttrSet {
+        &self.attrs
+    }
+
+    /// Number of attributes (the arity of tuples over this scheme).
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The column index of `attr` within this scheme, if present.
+    pub fn position(&self, attr: Attribute) -> Option<usize> {
+        self.attrs.as_slice().binary_search(&attr).ok()
+    }
+
+    /// Whether the scheme contains `attr`.
+    pub fn contains(&self, attr: Attribute) -> bool {
+        self.attrs.contains(attr)
+    }
+
+    /// Renders the scheme as `R[ABC]` using attribute names.
+    pub fn render(&self, universe: &Universe) -> String {
+        format!("{}[{}]", self.name, universe.render_set(&self.attrs))
+    }
+}
+
+impl fmt::Display for RelationScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.name, self.attrs)
+    }
+}
+
+/// A database scheme `D = {R₁[U₁], …, R_n[U_n]}`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DatabaseScheme {
+    schemes: Vec<RelationScheme>,
+}
+
+impl DatabaseScheme {
+    /// Creates an empty database scheme.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a database scheme from a list of relation schemes.
+    pub fn from_schemes(schemes: Vec<RelationScheme>) -> Self {
+        DatabaseScheme { schemes }
+    }
+
+    /// Adds a relation scheme.
+    pub fn add(&mut self, scheme: RelationScheme) {
+        self.schemes.push(scheme);
+    }
+
+    /// The relation schemes, in insertion order.
+    pub fn schemes(&self) -> &[RelationScheme] {
+        &self.schemes
+    }
+
+    /// Number of relation schemes.
+    pub fn len(&self) -> usize {
+        self.schemes.len()
+    }
+
+    /// Whether the database scheme has no relation schemes.
+    pub fn is_empty(&self) -> bool {
+        self.schemes.is_empty()
+    }
+
+    /// The union `U` of all attributes appearing in the database scheme —
+    /// the universe over which weak instances live.
+    pub fn all_attributes(&self) -> AttrSet {
+        self.schemes
+            .iter()
+            .fold(AttrSet::new(), |acc, s| acc.union(s.attrs()))
+    }
+
+    /// Looks up a relation scheme by name.
+    pub fn scheme_named(&self, name: &str) -> Option<&RelationScheme> {
+        self.schemes.iter().find(|s| s.name() == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Universe, Vec<Attribute>) {
+        let mut u = Universe::new();
+        let attrs = u.attrs(["A", "B", "C"]);
+        (u, attrs)
+    }
+
+    #[test]
+    fn scheme_positions_follow_sorted_attribute_order() {
+        let (_, a) = setup();
+        let scheme = RelationScheme::new("R", vec![a[2], a[0]]);
+        assert_eq!(scheme.arity(), 2);
+        assert_eq!(scheme.position(a[0]), Some(0));
+        assert_eq!(scheme.position(a[2]), Some(1));
+        assert_eq!(scheme.position(a[1]), None);
+        assert!(scheme.contains(a[0]));
+        assert!(!scheme.contains(a[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attribute")]
+    fn empty_scheme_is_rejected() {
+        let _ = RelationScheme::new("R", AttrSet::new());
+    }
+
+    #[test]
+    fn render_uses_attribute_names() {
+        let (u, a) = setup();
+        let scheme = RelationScheme::new("Emp", vec![a[0], a[1]]);
+        assert_eq!(scheme.render(&u), "Emp[AB]");
+        assert_eq!(scheme.name(), "Emp");
+        assert_eq!(format!("{scheme}"), "Emp{#0,#1}");
+    }
+
+    #[test]
+    fn database_scheme_collects_all_attributes() {
+        let (_, a) = setup();
+        let mut db = DatabaseScheme::new();
+        assert!(db.is_empty());
+        db.add(RelationScheme::new("R1", vec![a[0], a[1]]));
+        db.add(RelationScheme::new("R2", vec![a[1], a[2]]));
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.all_attributes(), vec![a[0], a[1], a[2]].into());
+        assert_eq!(db.scheme_named("R2").unwrap().arity(), 2);
+        assert!(db.scheme_named("missing").is_none());
+    }
+
+    #[test]
+    fn from_schemes_constructor() {
+        let (_, a) = setup();
+        let db = DatabaseScheme::from_schemes(vec![RelationScheme::new("R", vec![a[0]])]);
+        assert_eq!(db.schemes().len(), 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Tuples over a relation scheme.
+
+use std::fmt;
+
+use ps_base::{Symbol, SymbolTable};
+
+use crate::{RelationError, RelationScheme, Result};
+
+/// A tuple over a relation scheme: one [`Symbol`] per attribute, stored in
+/// the scheme's column order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    values: Vec<Symbol>,
+}
+
+impl Tuple {
+    /// Creates a tuple from values listed in the scheme's column order.
+    pub fn new(scheme: &RelationScheme, values: Vec<Symbol>) -> Result<Self> {
+        if values.len() != scheme.arity() {
+            return Err(RelationError::ArityMismatch {
+                scheme: scheme.name().to_owned(),
+                expected: scheme.arity(),
+                found: values.len(),
+            });
+        }
+        Ok(Tuple { values })
+    }
+
+    /// Creates a tuple without checking the arity (internal use).
+    pub(crate) fn from_values(values: Vec<Symbol>) -> Self {
+        Tuple { values }
+    }
+
+    /// The value under attribute `attr` (i.e. `t[A]`).
+    pub fn get(&self, scheme: &RelationScheme, attr: ps_base::Attribute) -> Result<Symbol> {
+        let pos = scheme
+            .position(attr)
+            .ok_or(RelationError::AttributeNotInScheme {
+                scheme: scheme.name().to_owned(),
+                attribute: attr,
+            })?;
+        Ok(self.values[pos])
+    }
+
+    /// The raw values in scheme column order.
+    pub fn values(&self) -> &[Symbol] {
+        &self.values
+    }
+
+    /// The restriction `t[X]` of the tuple to the attributes `X ∩ scheme`,
+    /// in sorted attribute order.
+    pub fn project(&self, scheme: &RelationScheme, attrs: &ps_base::AttrSet) -> Vec<Symbol> {
+        attrs
+            .iter()
+            .filter_map(|a| scheme.position(a).map(|p| self.values[p]))
+            .collect()
+    }
+
+    /// Renders the tuple using a symbol table, e.g. `(a, b1, c)`.
+    pub fn render(&self, symbols: &SymbolTable) -> String {
+        let parts: Vec<String> = self.values.iter().map(|&s| symbols.render(s)).collect();
+        format!("({})", parts.join(", "))
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_base::Universe;
+
+    fn setup() -> (Universe, SymbolTable, RelationScheme) {
+        let mut u = Universe::new();
+        let attrs = u.attrs(["A", "B", "C"]);
+        let scheme = RelationScheme::new("R", attrs);
+        (u, SymbolTable::new(), scheme)
+    }
+
+    #[test]
+    fn new_checks_arity() {
+        let (_, mut syms, scheme) = setup();
+        let vals = syms.symbols(["a", "b", "c"]);
+        assert!(Tuple::new(&scheme, vals.clone()).is_ok());
+        assert!(matches!(
+            Tuple::new(&scheme, vals[..2].to_vec()),
+            Err(RelationError::ArityMismatch { expected: 3, found: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn get_and_project() {
+        let (mut u, mut syms, scheme) = setup();
+        let vals = syms.symbols(["a", "b", "c"]);
+        let t = Tuple::new(&scheme, vals.clone()).unwrap();
+        let a = u.attr("A");
+        let c = u.attr("C");
+        let d = u.attr("D");
+        assert_eq!(t.get(&scheme, a).unwrap(), vals[0]);
+        assert_eq!(t.get(&scheme, c).unwrap(), vals[2]);
+        assert!(matches!(
+            t.get(&scheme, d),
+            Err(RelationError::AttributeNotInScheme { .. })
+        ));
+        let ac: ps_base::AttrSet = vec![a, c].into();
+        assert_eq!(t.project(&scheme, &ac), vec![vals[0], vals[2]]);
+        // Projection silently ignores attributes outside the scheme.
+        let ad: ps_base::AttrSet = vec![a, d].into();
+        assert_eq!(t.project(&scheme, &ad), vec![vals[0]]);
+    }
+
+    #[test]
+    fn render_and_display() {
+        let (_, mut syms, scheme) = setup();
+        let vals = syms.symbols(["a", "b", "c"]);
+        let t = Tuple::new(&scheme, vals).unwrap();
+        assert_eq!(t.render(&syms), "(a, b, c)");
+        assert_eq!(format!("{t}"), "($0,$1,$2)");
+    }
+}

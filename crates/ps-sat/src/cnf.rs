@@ -1,0 +1,160 @@
+//! 3CNF formulas.
+
+use std::fmt;
+
+/// A literal: a variable index together with a polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Literal {
+    /// Zero-based variable index.
+    pub var: usize,
+    /// `true` for the positive literal `x`, `false` for `¬x`.
+    pub positive: bool,
+}
+
+impl Literal {
+    /// The positive literal of variable `var`.
+    pub fn pos(var: usize) -> Self {
+        Literal { var, positive: true }
+    }
+
+    /// The negative literal of variable `var`.
+    pub fn neg(var: usize) -> Self {
+        Literal {
+            var,
+            positive: false,
+        }
+    }
+
+    /// Evaluates the literal under an assignment.
+    pub fn eval(self, assignment: &[bool]) -> bool {
+        assignment[self.var] == self.positive
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "x{}", self.var)
+        } else {
+            write!(f, "¬x{}", self.var)
+        }
+    }
+}
+
+/// A clause of exactly three literals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Clause(pub [Literal; 3]);
+
+impl Clause {
+    /// The three literals.
+    pub fn literals(&self) -> &[Literal; 3] {
+        &self.0
+    }
+
+    /// Whether the clause is *not-all-equal* satisfied: at least one literal
+    /// true and at least one false.
+    pub fn nae_satisfied(&self, assignment: &[bool]) -> bool {
+        let values: Vec<bool> = self.0.iter().map(|l| l.eval(assignment)).collect();
+        values.iter().any(|&v| v) && values.iter().any(|&v| !v)
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} ∨ {} ∨ {})", self.0[0], self.0[1], self.0[2])
+    }
+}
+
+/// A 3CNF formula: a number of variables and a list of clauses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Formula {
+    /// Number of variables (`x0 … x(n-1)`).
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl Formula {
+    /// Creates a formula, checking that every literal's variable is in range.
+    pub fn new(num_vars: usize, clauses: Vec<Clause>) -> Self {
+        assert!(
+            clauses
+                .iter()
+                .all(|c| c.0.iter().all(|l| l.var < num_vars)),
+            "clause mentions a variable outside the declared range"
+        );
+        Formula { num_vars, clauses }
+    }
+
+    /// Whether `assignment` NAE-satisfies every clause.
+    pub fn nae_satisfied(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.num_vars, "assignment arity mismatch");
+        self.clauses.iter().all(|c| c.nae_satisfied(assignment))
+    }
+
+    /// The Figure 3 example clause `c₁ = x₁ ∨ x₂ ∨ ¬x₃` over four variables
+    /// (one-based in the paper; zero-based here).
+    pub fn figure3_example() -> Self {
+        Formula::new(
+            4,
+            vec![Clause([Literal::pos(0), Literal::pos(1), Literal::neg(2)])],
+        )
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.clauses.iter().map(|c| c.to_string()).collect();
+        write!(f, "{}", parts.join(" ∧ "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_evaluation() {
+        let assignment = vec![true, false];
+        assert!(Literal::pos(0).eval(&assignment));
+        assert!(!Literal::neg(0).eval(&assignment));
+        assert!(!Literal::pos(1).eval(&assignment));
+        assert!(Literal::neg(1).eval(&assignment));
+        assert_eq!(Literal::pos(0).to_string(), "x0");
+        assert_eq!(Literal::neg(1).to_string(), "¬x1");
+    }
+
+    #[test]
+    fn clause_nae_satisfaction() {
+        let clause = Clause([Literal::pos(0), Literal::pos(1), Literal::neg(2)]);
+        // All literals true: not NAE-satisfied.
+        assert!(!clause.nae_satisfied(&[true, true, false]));
+        // All literals false: not NAE-satisfied.
+        assert!(!clause.nae_satisfied(&[false, false, true]));
+        // Mixed: NAE-satisfied.
+        assert!(clause.nae_satisfied(&[true, false, false]));
+        assert!(clause.to_string().contains("∨"));
+    }
+
+    #[test]
+    fn formula_satisfaction_and_display() {
+        let formula = Formula::figure3_example();
+        assert_eq!(formula.num_vars, 4);
+        assert!(formula.nae_satisfied(&[true, false, false, false]));
+        assert!(!formula.nae_satisfied(&[true, true, false, false]));
+        assert!(formula.to_string().contains("∨"));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the declared range")]
+    fn out_of_range_variables_are_rejected() {
+        let _ = Formula::new(1, vec![Clause([Literal::pos(0), Literal::pos(1), Literal::pos(0)])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn assignment_arity_is_checked() {
+        let formula = Formula::figure3_example();
+        let _ = formula.nae_satisfied(&[true]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Random NAE-3SAT instance generation for the benchmarks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Clause, Formula, Literal};
+
+/// Generates a random 3CNF formula with `num_vars` variables and
+/// `num_clauses` clauses; each clause picks three distinct variables and
+/// random polarities.
+///
+/// # Panics
+/// Panics if `num_vars < 3`.
+pub fn random_formula(num_vars: usize, num_clauses: usize, seed: u64) -> Formula {
+    assert!(num_vars >= 3, "need at least three variables for 3-literal clauses");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let clauses = (0..num_clauses)
+        .map(|_| {
+            // Three distinct variables.
+            let mut vars = Vec::with_capacity(3);
+            while vars.len() < 3 {
+                let v = rng.gen_range(0..num_vars);
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+            let lit = |var: usize, rng: &mut StdRng| {
+                if rng.gen_bool(0.5) {
+                    Literal::pos(var)
+                } else {
+                    Literal::neg(var)
+                }
+            };
+            Clause([
+                lit(vars[0], &mut rng),
+                lit(vars[1], &mut rng),
+                lit(vars[2], &mut rng),
+            ])
+        })
+        .collect();
+    Formula::new(num_vars, clauses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{nae_satisfiable, nae_satisfiable_brute_force};
+
+    #[test]
+    fn generated_formulas_are_well_formed_and_deterministic() {
+        let f1 = random_formula(6, 10, 99);
+        let f2 = random_formula(6, 10, 99);
+        assert_eq!(f1, f2);
+        assert_eq!(f1.clauses.len(), 10);
+        assert!(f1
+            .clauses
+            .iter()
+            .all(|c| c.literals().iter().all(|l| l.var < 6)));
+        // Clauses use three distinct variables.
+        for c in &f1.clauses {
+            let vars: std::collections::HashSet<_> = c.literals().iter().map(|l| l.var).collect();
+            assert_eq!(vars.len(), 3);
+        }
+    }
+
+    #[test]
+    fn solvers_agree_on_random_instances() {
+        for seed in 0..12 {
+            let formula = random_formula(5, 8, seed);
+            assert_eq!(
+                nae_satisfiable(&formula),
+                nae_satisfiable_brute_force(&formula),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "three variables")]
+    fn too_few_variables_rejected() {
+        let _ = random_formula(2, 1, 0);
+    }
+}

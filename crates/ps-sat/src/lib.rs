@@ -1,0 +1,25 @@
+//! # ps-sat
+//!
+//! A small NOT-ALL-EQUAL-3SAT substrate.
+//!
+//! Theorem 11 of the paper proves that testing consistency of a database and
+//! a set of functional partition dependencies under the complete-atomic-data
+//! and equal-atomic-population assumptions is NP-complete, by reduction from
+//! NOT-ALL-EQUAL-3SAT: given a 3CNF formula, is there a truth assignment
+//! under which every clause has at least one true and at least one false
+//! literal?
+//!
+//! This crate provides the formula types, exact solvers (exhaustive and
+//! backtracking, cross-checked in tests) and random instance generators used
+//! by the Figure 3 reproduction and the experiment E6 benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cnf;
+mod generate;
+mod solver;
+
+pub use cnf::{Clause, Formula, Literal};
+pub use generate::random_formula;
+pub use solver::{nae_satisfiable, nae_satisfiable_brute_force, nae_witness};

@@ -1,0 +1,144 @@
+//! Exact NAE-3SAT solvers.
+
+use crate::Formula;
+
+/// Decides NAE-satisfiability by trying all `2^n` assignments.  Reference
+/// implementation for the property tests; use [`nae_satisfiable`] elsewhere.
+pub fn nae_satisfiable_brute_force(formula: &Formula) -> bool {
+    let n = formula.num_vars;
+    assert!(n < usize::BITS as usize, "too many variables for brute force");
+    (0u64..(1u64 << n)).any(|mask| {
+        let assignment: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
+        formula.nae_satisfied(&assignment)
+    })
+}
+
+/// Decides NAE-satisfiability by backtracking with clause-violation pruning,
+/// and returns a witness assignment if one exists.
+pub fn nae_witness(formula: &Formula) -> Option<Vec<bool>> {
+    let mut assignment: Vec<Option<bool>> = vec![None; formula.num_vars];
+    if extend(formula, &mut assignment, 0) {
+        Some(assignment.into_iter().map(|v| v.unwrap_or(false)).collect())
+    } else {
+        None
+    }
+}
+
+/// Decides NAE-satisfiability (backtracking solver).
+pub fn nae_satisfiable(formula: &Formula) -> bool {
+    nae_witness(formula).is_some()
+}
+
+/// Whether some clause is already *definitely* not-NAE under the partial
+/// assignment (all three literals assigned and all equal).
+fn definitely_violated(formula: &Formula, assignment: &[Option<bool>]) -> bool {
+    formula.clauses.iter().any(|clause| {
+        let values: Vec<Option<bool>> = clause
+            .literals()
+            .iter()
+            .map(|l| assignment[l.var].map(|v| v == l.positive))
+            .collect();
+        values.iter().all(|v| v.is_some())
+            && (values.iter().all(|v| *v == Some(true)) || values.iter().all(|v| *v == Some(false)))
+    })
+}
+
+fn extend(formula: &Formula, assignment: &mut Vec<Option<bool>>, var: usize) -> bool {
+    if definitely_violated(formula, assignment) {
+        return false;
+    }
+    if var == formula.num_vars {
+        return true;
+    }
+    for value in [false, true] {
+        assignment[var] = Some(value);
+        if extend(formula, assignment, var + 1) {
+            return true;
+        }
+    }
+    assignment[var] = None;
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Clause, Literal};
+
+    #[test]
+    fn figure3_clause_is_nae_satisfiable() {
+        let formula = Formula::figure3_example();
+        assert!(nae_satisfiable_brute_force(&formula));
+        let witness = nae_witness(&formula).unwrap();
+        assert!(formula.nae_satisfied(&witness));
+    }
+
+    #[test]
+    fn unsatisfiable_instance() {
+        // x0 ∨ x0 ∨ x0 can never have both a true and a false literal.
+        let formula = Formula::new(
+            1,
+            vec![Clause([Literal::pos(0), Literal::pos(0), Literal::pos(0)])],
+        );
+        assert!(!nae_satisfiable_brute_force(&formula));
+        assert!(!nae_satisfiable(&formula));
+        assert!(nae_witness(&formula).is_none());
+    }
+
+    #[test]
+    fn complementary_pair_is_always_nae() {
+        // x0 ∨ ¬x0 ∨ x1 always has one true and one false among the first two.
+        let formula = Formula::new(
+            2,
+            vec![Clause([Literal::pos(0), Literal::neg(0), Literal::pos(1)])],
+        );
+        assert!(nae_satisfiable(&formula));
+        assert!(nae_satisfiable_brute_force(&formula));
+    }
+
+    #[test]
+    fn nae_is_symmetric_under_complement() {
+        // If an assignment works, its complement works too; a quick sanity
+        // check that our satisfaction test respects NAE symmetry.
+        let formula = Formula::new(
+            3,
+            vec![
+                Clause([Literal::pos(0), Literal::pos(1), Literal::pos(2)]),
+                Clause([Literal::neg(0), Literal::pos(1), Literal::neg(2)]),
+            ],
+        );
+        if let Some(witness) = nae_witness(&formula) {
+            let complement: Vec<bool> = witness.iter().map(|v| !v).collect();
+            assert!(formula.nae_satisfied(&complement));
+        }
+    }
+
+    #[test]
+    fn solvers_agree_on_small_instances() {
+        // A handful of structured instances.
+        let instances = vec![
+            Formula::new(
+                3,
+                vec![
+                    Clause([Literal::pos(0), Literal::pos(1), Literal::pos(2)]),
+                    Clause([Literal::neg(0), Literal::neg(1), Literal::neg(2)]),
+                ],
+            ),
+            Formula::new(
+                2,
+                vec![
+                    Clause([Literal::pos(0), Literal::pos(0), Literal::pos(1)]),
+                    Clause([Literal::pos(0), Literal::pos(0), Literal::neg(1)]),
+                ],
+            ),
+            Formula::figure3_example(),
+        ];
+        for formula in instances {
+            assert_eq!(
+                nae_satisfiable(&formula),
+                nae_satisfiable_brute_force(&formula),
+                "{formula}"
+            );
+        }
+    }
+}

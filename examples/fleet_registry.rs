@@ -1,0 +1,171 @@
+//! A small "fleet registry" modelled with partition semantics — the worked
+//! Examples a–d of Section 3.2 rolled into one scenario.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example fleet_registry
+//! ```
+//!
+//! The registry tracks vehicles, cars, bicycles, employees and managers:
+//!
+//! * **Example a** — every employee has exactly one manager:
+//!   `Emp = Emp*Mgr` (the FPD counterpart of the FD `Emp → Mgr`).
+//! * **Example b** — every car *is a* vehicle: `Car = Car*Veh`.
+//! * **Example c** — every vehicle is either a car or a bicycle:
+//!   `Veh = Car + Bike`.
+//! * **Example d** — a car is a complex object determined by its registration
+//!   and serial numbers: `Car = Reg*Serial`.
+//!
+//! The example checks which constraints a concrete registry satisfies,
+//! queries the implication closure, and runs the Theorem 12 consistency test
+//! for the whole constraint set.
+
+use partition_semantics::prelude::*;
+
+fn main() {
+    let mut universe = Universe::new();
+    let mut symbols = SymbolTable::new();
+    let mut arena = TermArena::new();
+
+    let constraints = vec![
+        parse_equation("Emp = Emp*Mgr", &mut universe, &mut arena).unwrap(), // Example a
+        parse_equation("Car = Car*Veh", &mut universe, &mut arena).unwrap(), // Example b
+        parse_equation("Veh = Car+Bike", &mut universe, &mut arena).unwrap(), // Example c
+        parse_equation("Car = Reg*Serial", &mut universe, &mut arena).unwrap(), // Example d
+    ];
+    println!("Fleet-registry constraint set E:");
+    for pd in &constraints {
+        println!("  {}", pd.display(&arena, &universe));
+    }
+
+    // ------------------------------------------------------------------
+    // Implication queries over E (Theorems 8, 9).
+    // ------------------------------------------------------------------
+    println!("\nImplication closure samples:");
+    let queries = [
+        // Cars determine vehicles and registrations transitively.
+        "Car = Car*Reg",
+        // Every car is a vehicle and every vehicle is a car or bike, so
+        // Car ≤ Car + Bike (trivially) and Car ≤ Veh.
+        "Car+Veh = Veh",
+        // But vehicles do not determine cars.
+        "Veh = Veh*Car",
+    ];
+    for text in queries {
+        let goal = parse_equation(text, &mut universe, &mut arena).unwrap();
+        println!(
+            "  E ⊨ {:<18} {}",
+            goal.display(&arena, &universe),
+            pd_implies(&arena, &constraints, goal, Algorithm::Worklist)
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // A concrete registry.
+    // ------------------------------------------------------------------
+    let db = DatabaseBuilder::new()
+        .relation(
+            &mut universe,
+            &mut symbols,
+            "Staff",
+            &["Emp", "Mgr"],
+            &[&["alice", "dana"], &["bob", "dana"], &["carol", "erin"]],
+        )
+        .unwrap()
+        .relation(
+            &mut universe,
+            &mut symbols,
+            "Cars",
+            &["Car", "Veh", "Reg", "Serial"],
+            &[
+                &["car1", "veh1", "reg1", "sn1"],
+                &["car2", "veh2", "reg2", "sn2"],
+            ],
+        )
+        .unwrap()
+        .relation(
+            &mut universe,
+            &mut symbols,
+            "Bikes",
+            &["Bike", "Veh"],
+            &[&["bike1", "veh3"]],
+        )
+        .unwrap()
+        .build();
+    println!("\nRegistry database:");
+    println!("{}", db.render(&universe, &symbols));
+
+    // Per-relation satisfaction (Definition 7) for the constraints whose
+    // attributes the relation covers.
+    let staff = db.relation_named("Staff").unwrap();
+    println!(
+        "Staff ⊨ Emp = Emp*Mgr?  {}",
+        relation_satisfies_pd(staff, &arena, constraints[0]).unwrap()
+    );
+    let cars = db.relation_named("Cars").unwrap();
+    println!(
+        "Cars ⊨ Car = Car*Veh?   {}",
+        relation_satisfies_pd(cars, &arena, constraints[1]).unwrap()
+    );
+    println!(
+        "Cars ⊨ Car = Reg*Serial? {}",
+        relation_satisfies_pd(cars, &arena, constraints[3]).unwrap()
+    );
+
+    // ------------------------------------------------------------------
+    // Whole-database consistency with E (Theorem 12) and the witnessing
+    // interpretation (Theorem 7).
+    // ------------------------------------------------------------------
+    let outcome = consistent_with_pds(
+        &db,
+        &constraints,
+        &mut arena,
+        &mut universe,
+        &mut symbols,
+        Algorithm::Worklist,
+    )
+    .unwrap();
+    println!("\nDatabase consistent with E?  {}", outcome.consistent);
+    if let Some(weak) = &outcome.weak_instance {
+        let (repaired, converged) =
+            repair_sum_violations(weak, &outcome.fds, &outcome.sums, &mut symbols, 16);
+        println!(
+            "weak instance: {} rows before repair, {} after (converged: {converged})",
+            weak.len(),
+            repaired.len()
+        );
+        let interpretation = interpretation_from_weak_instance(&repaired).unwrap();
+        println!(
+            "I(w) satisfies the database: {}",
+            interpretation.satisfies_database(&db).unwrap()
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // An update that breaks Example a: one employee, two managers.
+    // ------------------------------------------------------------------
+    let broken = DatabaseBuilder::new()
+        .relation(
+            &mut universe,
+            &mut symbols,
+            "Staff",
+            &["Emp", "Mgr"],
+            &[&["alice", "dana"], &["alice", "erin"]],
+        )
+        .unwrap()
+        .build();
+    let outcome = consistent_with_pds(
+        &broken,
+        &constraints,
+        &mut arena,
+        &mut universe,
+        &mut symbols,
+        Algorithm::Worklist,
+    )
+    .unwrap();
+    println!(
+        "\nAfter giving alice two managers, still consistent?  {}",
+        outcome.consistent
+    );
+}

@@ -1,0 +1,137 @@
+//! A tiny command-line front end for the PD implication engine.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example pd_repl -- "A=A*B" "B=B*C" -- "A=A*C"
+//! cargo run --example pd_repl            # uses a built-in demonstration set
+//! ```
+//!
+//! Everything before the `--` separator is a constraint (a PD in the concrete
+//! syntax `expr = expr`, with `*`, `+` and parentheses); everything after it
+//! is a goal to test.  For every goal the program reports whether it follows
+//! from the constraints (Theorems 8/9), whether it is an identity that holds
+//! with no constraints at all (Theorem 10), and the derived order statistics
+//! of algorithm ALG.
+
+use std::env;
+use std::process::ExitCode;
+
+use partition_semantics::core::implication::is_identity;
+use partition_semantics::lattice::{word_problem::DerivedOrder, Equation};
+use partition_semantics::prelude::*;
+
+fn parse_all(
+    texts: &[String],
+    universe: &mut Universe,
+    arena: &mut TermArena,
+) -> Result<Vec<Equation>, String> {
+    texts
+        .iter()
+        .map(|text| {
+            parse_equation(text, universe, arena).map_err(|e| format!("cannot parse `{text}`: {e}"))
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let (constraint_texts, goal_texts): (Vec<String>, Vec<String>) =
+        match args.iter().position(|a| a == "--") {
+            Some(split) => (
+                args[..split].to_vec(),
+                args[split + 1..].to_vec(),
+            ),
+            None if args.is_empty() => (
+                vec!["A=A*B".into(), "B=B*C".into(), "D=A+C".into()],
+                vec![
+                    "A=A*C".into(),
+                    "C=C*A".into(),
+                    "A+D=D".into(),
+                    "A*(A+B)=A".into(),
+                    "A*(B+C)=(A*B)+(A*C)".into(),
+                ],
+            ),
+            None => (args.clone(), Vec::new()),
+        };
+
+    let mut universe = Universe::new();
+    let mut arena = TermArena::new();
+
+    let constraints = match parse_all(&constraint_texts, &mut universe, &mut arena) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let goals = match parse_all(&goal_texts, &mut universe, &mut arena) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("Constraints E ({}):", constraints.len());
+    for pd in &constraints {
+        println!("  {}", pd.display(&arena, &universe));
+    }
+
+    // Build the derived order once over all goal terms (the intended usage
+    // pattern for batches of queries).
+    let goal_terms: Vec<TermId> = goals.iter().flat_map(|g| [g.lhs, g.rhs]).collect();
+    let order = DerivedOrder::build(&arena, &constraints, &goal_terms, Algorithm::Worklist);
+    println!(
+        "\nALG: |V| = {} subexpressions, {} derived arcs, {} worklist steps",
+        order.terms().len(),
+        order.num_arcs(),
+        order.work()
+    );
+
+    if goals.is_empty() {
+        println!("\n(no goals given — pass them after a `--` separator)");
+        return ExitCode::SUCCESS;
+    }
+
+    println!("\nGoals:");
+    for &goal in &goals {
+        let entailed = order.entails(goal).unwrap_or_else(|| {
+            // Terms outside V (cannot happen here, but stay safe).
+            pd_implies(&arena, &constraints, goal, Algorithm::Worklist)
+        });
+        let identity = is_identity(&arena, goal);
+        println!(
+            "  {:<28} E ⊨ δ: {:<5}  identity: {}",
+            goal.display(&arena, &universe),
+            entailed,
+            identity
+        );
+        if !entailed {
+            // Theorem 8's finite controllability: try to exhibit a finite
+            // lattice with constants satisfying E but violating the goal.
+            let model = partition_semantics::lattice::finite_countermodel(
+                &mut arena,
+                &universe,
+                &constraints,
+                goal,
+                10,
+                Algorithm::Worklist,
+            );
+            match model {
+                Some(model) => println!(
+                    "      countermodel: a {}-element lattice (constants: {})",
+                    model.lattice.len(),
+                    model
+                        .assignment
+                        .iter()
+                        .map(|(&a, &e)| format!("{}↦e{e}", universe.name(a).unwrap_or("?")))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                None => println!("      countermodel: not found by the restricted construction"),
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,134 @@
+//! Weak instances and partition interpretations (Section 4.3, Theorems 6
+//! and 7), plus the open-world / closed-world contrast of Section 6.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example weak_instances
+//! ```
+//!
+//! A hospital keeps three relations — admissions, treatments and staffing —
+//! whose schemes overlap.  Under the *weak instance assumption* the database
+//! is meaningful iff some universal relation over all the attributes projects
+//! onto (a superset of) each relation and satisfies the constraints.  The
+//! paper shows this is exactly the question "is there a partition
+//! interpretation satisfying d and E?", and that the open-world variant is
+//! polynomial (Theorem 6a / Theorem 12) while the closed-world (CAD) variant
+//! is NP-complete (Theorem 11).
+
+use partition_semantics::core::cad::consistent_with_cad_eap;
+use partition_semantics::core::canonical::relation_satisfies_all_pds;
+use partition_semantics::core::dependency::fpds_of_fds;
+use partition_semantics::prelude::*;
+
+fn main() {
+    let mut universe = Universe::new();
+    let mut symbols = SymbolTable::new();
+    let mut arena = TermArena::new();
+
+    // Patient → Ward, Ward → Nurse, Patient → Doctor.
+    let db = DatabaseBuilder::new()
+        .relation(
+            &mut universe,
+            &mut symbols,
+            "Admissions",
+            &["Patient", "Ward"],
+            &[&["p1", "w1"], &["p2", "w1"], &["p3", "w2"]],
+        )
+        .unwrap()
+        .relation(
+            &mut universe,
+            &mut symbols,
+            "Treatments",
+            &["Patient", "Doctor"],
+            &[&["p1", "drX"], &["p3", "drY"]],
+        )
+        .unwrap()
+        .relation(
+            &mut universe,
+            &mut symbols,
+            "Staffing",
+            &["Ward", "Nurse"],
+            &[&["w1", "n1"], &["w2", "n2"]],
+        )
+        .unwrap()
+        .build();
+    println!("Hospital database:");
+    println!("{}", db.render(&universe, &symbols));
+
+    let patient = universe.lookup("Patient").unwrap();
+    let ward = universe.lookup("Ward").unwrap();
+    let nurse = universe.lookup("Nurse").unwrap();
+    let doctor = universe.lookup("Doctor").unwrap();
+    let fds = vec![
+        fd(&[patient], &[ward]),
+        fd(&[ward], &[nurse]),
+        fd(&[patient], &[doctor]),
+    ];
+    let fpds = fpds_of_fds(&fds);
+    println!("Constraints (as FPDs):");
+    for fpd in &fpds {
+        println!("  {}", fpd.render(&universe));
+    }
+
+    // ------------------------------------------------------------------
+    // Open world: Theorem 6a — interpretation ⇔ weak instance ⇔ chase.
+    // ------------------------------------------------------------------
+    let witness = satisfiable_with_fpds(&db, &fpds, &mut symbols).unwrap();
+    println!("\nOpen-world consistent (Theorem 6a)?  {}", witness.satisfiable);
+    if let Some(weak) = &witness.weak_instance {
+        println!("representative weak instance ({} rows):", weak.len());
+        println!("{}", weak.render(&universe, &symbols));
+        let pds: Vec<Equation> = fpds
+            .iter()
+            .map(|f| f.as_meet_equation(&mut arena))
+            .collect();
+        println!(
+            "weak instance ⊨ E (as PDs, Definition 7)?  {}",
+            relation_satisfies_all_pds(weak, &arena, &pds).unwrap()
+        );
+        let interpretation = witness.interpretation.as_ref().unwrap();
+        println!(
+            "I(w) satisfies d?  {}   EAP?  {}",
+            interpretation.satisfies_database(&db).unwrap(),
+            interpretation.satisfies_eap()
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Closed world: CAD + EAP (Theorem 6b / Theorem 11).
+    // ------------------------------------------------------------------
+    let cad = consistent_with_cad_eap(&db, &fpds).unwrap();
+    println!(
+        "\nClosed-world (CAD+EAP) consistent?  {}   (search: {} assignments, {} backtracks)",
+        cad.consistent, cad.stats.assignments, cad.stats.backtracks
+    );
+    if let Some(w) = &cad.witness {
+        println!("CAD witness (only database constants are used):");
+        println!("{}", w.render(&universe, &symbols));
+    } else {
+        println!(
+            "No CAD witness: the chase needs nulls (e.g. p2 has no doctor on record, \
+             and no recorded doctor can be forced onto p2 without violating a constraint)."
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Making the database inconsistent even in the open world.
+    // ------------------------------------------------------------------
+    let broken = DatabaseBuilder::new()
+        .relation(
+            &mut universe,
+            &mut symbols,
+            "Admissions",
+            &["Patient", "Ward"],
+            &[&["p1", "w1"], &["p1", "w2"]],
+        )
+        .unwrap()
+        .build();
+    let witness = satisfiable_with_fpds(&broken, &fpds, &mut symbols).unwrap();
+    println!(
+        "\nAfter admitting p1 to two wards, open-world consistent?  {}",
+        witness.satisfiable
+    );
+}

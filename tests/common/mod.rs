@@ -1,0 +1,181 @@
+//! Shared workload generators for the integration tests.
+//!
+//! Everything is deterministic in a `u64` seed so failures reproduce exactly.
+
+#![allow(dead_code)]
+
+use partition_semantics::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A bundle of the mutable catalogs every test needs.
+pub struct World {
+    pub universe: Universe,
+    pub symbols: SymbolTable,
+    pub arena: TermArena,
+}
+
+impl World {
+    pub fn new() -> Self {
+        World {
+            universe: Universe::new(),
+            symbols: SymbolTable::new(),
+            arena: TermArena::new(),
+        }
+    }
+
+    /// Interns `n` attributes named `A0 … A(n-1)` and returns them.
+    pub fn attrs(&mut self, n: usize) -> Vec<Attribute> {
+        (0..n).map(|i| self.universe.attr(&format!("A{i}"))).collect()
+    }
+}
+
+/// A random relation over `attrs` with `rows` tuples whose entries are drawn
+/// from a per-column domain of `domain_size` symbols.
+pub fn random_relation(
+    world: &mut World,
+    name: &str,
+    attrs: &[Attribute],
+    rows: usize,
+    domain_size: usize,
+    seed: u64,
+) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let scheme = RelationScheme::new(name, attrs.to_vec());
+    let mut relation = Relation::new(scheme.clone());
+    for _ in 0..rows {
+        let values: Vec<Symbol> = attrs
+            .iter()
+            .enumerate()
+            .map(|(col, _)| {
+                let v = rng.gen_range(0..domain_size);
+                world.symbols.symbol(&format!("{name}_c{col}_v{v}"))
+            })
+            .collect();
+        // Re-order the values to the scheme's canonical column order.
+        let mut ordered = vec![values[0]; attrs.len()];
+        for (value, &attr) in values.iter().zip(attrs.iter()) {
+            ordered[scheme.position(attr).unwrap()] = *value;
+        }
+        relation.insert_values(&ordered).expect("arity matches");
+    }
+    relation
+}
+
+/// A random database: `relations` relations, each over a random subset of
+/// `attrs` (of size 2 or 3), with `rows` tuples each.
+pub fn random_database(
+    world: &mut World,
+    attrs: &[Attribute],
+    relations: usize,
+    rows: usize,
+    domain_size: usize,
+    seed: u64,
+) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    for r in 0..relations {
+        let arity = rng.gen_range(2..=3.min(attrs.len()));
+        let mut chosen: Vec<Attribute> = Vec::new();
+        while chosen.len() < arity {
+            let a = attrs[rng.gen_range(0..attrs.len())];
+            if !chosen.contains(&a) {
+                chosen.push(a);
+            }
+        }
+        let relation = random_relation(
+            world,
+            &format!("R{r}"),
+            &chosen,
+            rows,
+            domain_size,
+            seed.wrapping_mul(31).wrapping_add(r as u64),
+        );
+        db.add(relation);
+    }
+    db
+}
+
+/// A random set of FDs over `attrs`: each FD has a 1–2 attribute lhs and a
+/// single-attribute rhs.
+pub fn random_fds(attrs: &[Attribute], count: usize, seed: u64) -> Vec<Fd> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let lhs_len = rng.gen_range(1..=2usize);
+            let mut lhs = Vec::new();
+            while lhs.len() < lhs_len {
+                let a = attrs[rng.gen_range(0..attrs.len())];
+                if !lhs.contains(&a) {
+                    lhs.push(a);
+                }
+            }
+            let rhs = attrs[rng.gen_range(0..attrs.len())];
+            fd(&lhs, &[rhs])
+        })
+        .collect()
+}
+
+/// A random partition expression over `attrs` with the given node budget.
+pub fn random_term(
+    arena: &mut TermArena,
+    attrs: &[Attribute],
+    budget: usize,
+    rng: &mut StdRng,
+) -> TermId {
+    if budget <= 1 || rng.gen_bool(0.3) {
+        return arena.atom(attrs[rng.gen_range(0..attrs.len())]);
+    }
+    let left_budget = rng.gen_range(1..budget);
+    let left = random_term(arena, attrs, left_budget, rng);
+    let right = random_term(arena, attrs, budget - left_budget, rng);
+    if rng.gen_bool(0.5) {
+        arena.meet(left, right)
+    } else {
+        arena.join(left, right)
+    }
+}
+
+/// A random PD (an equation between two random expressions).
+pub fn random_pd(
+    arena: &mut TermArena,
+    attrs: &[Attribute],
+    budget: usize,
+    seed: u64,
+) -> Equation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lhs = random_term(arena, attrs, budget, &mut rng);
+    let rhs = random_term(arena, attrs, budget, &mut rng);
+    Equation::new(lhs, rhs)
+}
+
+/// A random partition interpretation over `attrs`, all sharing the population
+/// `{0, …, population-1}` (so it satisfies EAP), with every block named by a
+/// fresh symbol.
+pub fn random_interpretation(
+    world: &mut World,
+    attrs: &[Attribute],
+    population: u32,
+    seed: u64,
+) -> PartitionInterpretation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut interpretation = PartitionInterpretation::new();
+    for (i, &attr) in attrs.iter().enumerate() {
+        let num_blocks = rng.gen_range(1..=population.max(1));
+        // Assign every element to a random block, then drop empty blocks.
+        let mut blocks: Vec<Vec<u32>> = vec![Vec::new(); num_blocks as usize];
+        for e in 0..population {
+            blocks[rng.gen_range(0..num_blocks) as usize].push(e);
+        }
+        let named: Vec<(Symbol, Vec<u32>)> = blocks
+            .into_iter()
+            .filter(|b| !b.is_empty())
+            .enumerate()
+            .map(|(b, block)| (world.symbols.symbol(&format!("s{seed}_{i}_{b}")), block))
+            .collect();
+        interpretation
+            .set_named_blocks(attr, named)
+            .expect("non-empty random blocks");
+    }
+    interpretation
+}
