@@ -77,7 +77,10 @@ impl SymbolTable {
     /// Interns a named constant.
     pub fn symbol(&mut self, name: &str) -> Symbol {
         let id = self.interner.intern(name);
-        assert!(id < FRESH_TAG, "symbol table overflowed the constant namespace");
+        assert!(
+            id < FRESH_TAG,
+            "symbol table overflowed the constant namespace"
+        );
         Symbol(id)
     }
 

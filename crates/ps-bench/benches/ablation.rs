@@ -66,9 +66,11 @@ fn bench_partition_sum(c: &mut Criterion) {
             |b, _| b.iter(|| left.sum_by_chaining(right)),
         );
         // Product for scale comparison.
-        group.bench_with_input(BenchmarkId::new("product", population), &population, |b, _| {
-            b.iter(|| left.product(right))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("product", population),
+            &population,
+            |b, _| b.iter(|| left.product(right)),
+        );
     }
     group.finish();
 }

@@ -69,5 +69,9 @@ fn bench_reduction_construction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cad_vs_open_world, bench_reduction_construction);
+criterion_group!(
+    benches,
+    bench_cad_vs_open_world,
+    bench_reduction_construction
+);
 criterion_main!(benches);

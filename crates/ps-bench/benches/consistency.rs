@@ -30,29 +30,37 @@ fn bench_consistency(c: &mut Criterion) {
         let workload = consistency_workload(relations, rows, 31);
         let fds: Vec<Fd> = workload.fpds.iter().map(Fpd::to_fd).collect();
 
-        group.bench_with_input(BenchmarkId::new("honeyman_chase", tuples), &tuples, |b, _| {
-            b.iter(|| {
-                let mut symbols = workload.symbols.clone();
-                weak_instance_consistent(&workload.database, &fds, &mut symbols)
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("theorem12_pipeline", tuples), &tuples, |b, _| {
-            b.iter(|| {
-                let mut arena = workload.arena.clone();
-                let mut universe = workload.universe.clone();
-                let mut symbols = workload.symbols.clone();
-                consistent_with_pds(
-                    &workload.database,
-                    &workload.pds,
-                    &mut arena,
-                    &mut universe,
-                    &mut symbols,
-                    Algorithm::Worklist,
-                )
-                .unwrap()
-                .consistent
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("honeyman_chase", tuples),
+            &tuples,
+            |b, _| {
+                b.iter(|| {
+                    let mut symbols = workload.symbols.clone();
+                    weak_instance_consistent(&workload.database, &fds, &mut symbols)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("theorem12_pipeline", tuples),
+            &tuples,
+            |b, _| {
+                b.iter(|| {
+                    let mut arena = workload.arena.clone();
+                    let mut universe = workload.universe.clone();
+                    let mut symbols = workload.symbols.clone();
+                    consistent_with_pds(
+                        &workload.database,
+                        &workload.pds,
+                        &mut arena,
+                        &mut universe,
+                        &mut symbols,
+                        Algorithm::Worklist,
+                    )
+                    .unwrap()
+                    .consistent
+                })
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("theorem6a_with_witness", tuples),
             &tuples,

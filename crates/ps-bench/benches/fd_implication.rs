@@ -26,7 +26,10 @@ fn bench_fd_routes(c: &mut Criterion) {
         // Sanity: the three routes agree before we time them.
         let expected = fd_closure::implies(&workload.fds, &workload.goal);
         assert!(expected);
-        assert_eq!(expected, fd_implies_via_semigroup(&workload.fds, &workload.goal));
+        assert_eq!(
+            expected,
+            fd_implies_via_semigroup(&workload.fds, &workload.goal)
+        );
         if n <= 32 {
             assert_eq!(
                 expected,
@@ -42,7 +45,9 @@ fn bench_fd_routes(c: &mut Criterion) {
         });
         if n <= 32 {
             group.bench_with_input(BenchmarkId::new("lattice_word_problem", n), &n, |b, _| {
-                b.iter(|| fd_implies_via_lattice(&workload.fds, &workload.goal, Algorithm::Worklist))
+                b.iter(|| {
+                    fd_implies_via_lattice(&workload.fds, &workload.goal, Algorithm::Worklist)
+                })
             });
         }
     }

@@ -27,7 +27,10 @@ fn bench_figure1(c: &mut Criterion) {
     group.bench_function("build_and_verify", |b| {
         b.iter(|| {
             let fig = figure1();
-            assert!(fig.interpretation.satisfies_database(&fig.database).unwrap());
+            assert!(fig
+                .interpretation
+                .satisfies_database(&fig.database)
+                .unwrap());
             assert!(fig
                 .interpretation
                 .satisfies_all_pds(&fig.arena, &fig.dependencies)
@@ -62,12 +65,10 @@ fn bench_figure2(c: &mut Criterion) {
             let mvd = Mvd::new(AttrSet::singleton(a), AttrSet::singleton(b_attr));
             assert!(fig.r1.satisfies_mvd(&mvd));
             assert!(!fig.r2.satisfies_mvd(&mvd));
-            let l1 =
-                InterpretationLattice::build(&canonical_interpretation(&fig.r1).unwrap(), 64)
-                    .unwrap();
-            let l2 =
-                InterpretationLattice::build(&canonical_interpretation(&fig.r2).unwrap(), 64)
-                    .unwrap();
+            let l1 = InterpretationLattice::build(&canonical_interpretation(&fig.r1).unwrap(), 64)
+                .unwrap();
+            let l2 = InterpretationLattice::build(&canonical_interpretation(&fig.r2).unwrap(), 64)
+                .unwrap();
             assert!(l1.is_isomorphic_to(&l2));
             (l1.len(), l2.len())
         })

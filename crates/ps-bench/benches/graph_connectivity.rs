@@ -43,16 +43,20 @@ fn bench_connectivity_check(c: &mut Criterion) {
                 })
             },
         );
-        group.bench_with_input(BenchmarkId::new("direct_characterization", n), &n, |b, _| {
-            b.iter(|| {
-                satisfies_sum_pd_directly(
-                    &relation,
-                    encoding.attr_component,
-                    encoding.attr_head,
-                    encoding.attr_tail,
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("direct_characterization", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    satisfies_sum_pd_directly(
+                        &relation,
+                        encoding.attr_component,
+                        encoding.attr_head,
+                        encoding.attr_tail,
+                    )
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("union_find_baseline", n), &n, |b, _| {
             b.iter(|| components_union_find(&graph))
         });
@@ -81,12 +85,18 @@ fn bench_component_computation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("union_find", n), &n, |b, _| {
             b.iter(|| components_union_find(&graph))
         });
-        group.bench_with_input(BenchmarkId::new("canonical_interpretation_only", n), &n, |b, _| {
-            b.iter(|| canonical_interpretation(&relation).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("canonical_interpretation_only", n),
+            &n,
+            |b, _| b.iter(|| canonical_interpretation(&relation).unwrap()),
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_connectivity_check, bench_component_computation);
+criterion_group!(
+    benches,
+    bench_connectivity_check,
+    bench_component_computation
+);
 criterion_main!(benches);

@@ -23,9 +23,11 @@ fn bench_identity(c: &mut Criterion) {
         // The workload really is an identity.
         assert!(free_order::is_identity(&arena, goal));
 
-        group.bench_with_input(BenchmarkId::new("free_order_memoized", depth), &depth, |b, _| {
-            b.iter(|| free_order::is_identity(&arena, goal))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("free_order_memoized", depth),
+            &depth,
+            |b, _| b.iter(|| free_order::is_identity(&arena, goal)),
+        );
         group.bench_with_input(
             BenchmarkId::new("free_order_constant_space", depth),
             &depth,
@@ -39,9 +41,11 @@ fn bench_identity(c: &mut Criterion) {
         // ALG on the empty theory answers the same question but builds the
         // whole derived order over every subexpression.
         if depth <= 8 {
-            group.bench_with_input(BenchmarkId::new("alg_empty_theory", depth), &depth, |b, _| {
-                b.iter(|| word_problem::entails(&arena, &[], goal, Algorithm::Worklist))
-            });
+            group.bench_with_input(
+                BenchmarkId::new("alg_empty_theory", depth),
+                &depth,
+                |b, _| b.iter(|| word_problem::entails(&arena, &[], goal, Algorithm::Worklist)),
+            );
         }
     }
     group.finish();

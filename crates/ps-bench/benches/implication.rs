@@ -21,7 +21,10 @@ fn bench_chains(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(600));
     for n in [8usize, 16, 32, 64, 128] {
         let workload = fpd_chain(n);
-        for (label, algorithm) in [("worklist", Algorithm::Worklist), ("naive", Algorithm::NaiveFixpoint)] {
+        for (label, algorithm) in [
+            ("worklist", Algorithm::Worklist),
+            ("naive", Algorithm::NaiveFixpoint),
+        ] {
             group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
                 b.iter(|| {
                     word_problem::entails(
@@ -45,7 +48,10 @@ fn bench_grids(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(600));
     for n in [8usize, 16, 32, 64] {
         let workload = mixed_pd_grid(n);
-        for (label, algorithm) in [("worklist", Algorithm::Worklist), ("naive", Algorithm::NaiveFixpoint)] {
+        for (label, algorithm) in [
+            ("worklist", Algorithm::Worklist),
+            ("naive", Algorithm::NaiveFixpoint),
+        ] {
             group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
                 b.iter(|| {
                     word_problem::entails(

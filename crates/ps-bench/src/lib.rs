@@ -271,9 +271,17 @@ pub fn consistency_workload(relations: usize, rows: usize, seed: u64) -> Consist
         database.add(relation);
     }
     let fpds: Vec<Fpd> = (0..relations)
-        .map(|i| Fpd::new(AttrSet::singleton(attrs[i]), AttrSet::singleton(attrs[i + 1])))
+        .map(|i| {
+            Fpd::new(
+                AttrSet::singleton(attrs[i]),
+                AttrSet::singleton(attrs[i + 1]),
+            )
+        })
         .collect();
-    let pds: Vec<Equation> = fpds.iter().map(|f| f.as_meet_equation(&mut arena)).collect();
+    let pds: Vec<Equation> = fpds
+        .iter()
+        .map(|f| f.as_meet_equation(&mut arena))
+        .collect();
     ConsistencyWorkload {
         universe,
         symbols,
@@ -312,11 +320,21 @@ mod tests {
     fn chain_goals_are_implied_and_grid_goals_too() {
         for n in [2usize, 5, 17] {
             let w = fpd_chain(n);
-            assert!(word_problem::entails(&w.arena, &w.equations, w.goal, Algorithm::Worklist));
+            assert!(word_problem::entails(
+                &w.arena,
+                &w.equations,
+                w.goal,
+                Algorithm::Worklist
+            ));
         }
         for n in [3usize, 6, 12] {
             let w = mixed_pd_grid(n);
-            assert!(word_problem::entails(&w.arena, &w.equations, w.goal, Algorithm::Worklist));
+            assert!(word_problem::entails(
+                &w.arena,
+                &w.equations,
+                w.goal,
+                Algorithm::Worklist
+            ));
         }
     }
 

@@ -116,12 +116,20 @@ pub fn reduce_nae3sat(formula: &Formula) -> Nae3SatReduction {
     let mut seen: Vec<Vec<(usize, bool)>> = Vec::new();
     for &clause in &formula.clauses {
         assert!(
-            clause.literals().iter().map(|l| l.var).collect::<std::collections::HashSet<_>>().len()
+            clause
+                .literals()
+                .iter()
+                .map(|l| l.var)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
                 == 3,
             "Figure 3 requires three distinct variables per clause"
         );
-        let mut key: Vec<(usize, bool)> =
-            clause.literals().iter().map(|l| (l.var, l.positive)).collect();
+        let mut key: Vec<(usize, bool)> = clause
+            .literals()
+            .iter()
+            .map(|l| (l.var, l.positive))
+            .collect();
         key.sort_unstable();
         if !seen.contains(&key) {
             seen.push(key);
@@ -219,10 +227,20 @@ pub fn reduce_nae3sat(formula: &Formula) -> Nae3SatReduction {
     // The FPDs:  B_i = B_i · A_i  for every variable, and for every clause
     // over variables {p, q, r}:  B_p·B_q·B_r = B_p·B_q·B_r·A.
     let mut fpds: Vec<Fpd> = (0..n)
-        .map(|i| Fpd::new(AttrSet::singleton(b_attrs[i]), AttrSet::singleton(var_attrs[i])))
+        .map(|i| {
+            Fpd::new(
+                AttrSet::singleton(b_attrs[i]),
+                AttrSet::singleton(var_attrs[i]),
+            )
+        })
         .collect();
     for clause in &clauses {
-        let lhs: AttrSet = clause.literals().iter().map(|l| b_attrs[l.var]).collect::<Vec<_>>().into();
+        let lhs: AttrSet = clause
+            .literals()
+            .iter()
+            .map(|l| b_attrs[l.var])
+            .collect::<Vec<_>>()
+            .into();
         fpds.push(Fpd::new(lhs, AttrSet::singleton(attr_a)));
     }
 
@@ -248,7 +266,9 @@ pub fn nae3sat_via_cad(formula: &Formula) -> Result<(bool, Option<Vec<bool>>)> {
     if !outcome.consistent {
         return Ok((false, None));
     }
-    let witness = outcome.witness.expect("consistent searches return a witness");
+    let witness = outcome
+        .witness
+        .expect("consistent searches return a witness");
     let assignment = decode_assignment(&reduction, &witness);
     Ok((true, Some(assignment)))
 }
@@ -275,7 +295,11 @@ pub fn decode_assignment(reduction: &Nae3SatReduction, witness: &Relation) -> Ve
             .symbols
             .lookup(&format!("u{i}"))
             .expect("the reduction interns every u_i");
-        debug_assert_eq!(t1.get(scheme, var_attr).ok(), Some(u_i), "row 0 is the u-row");
+        debug_assert_eq!(
+            t1.get(scheme, var_attr).ok(),
+            Some(u_i),
+            "row 0 is the u-row"
+        );
     }
     reduction
         .b_attrs
@@ -345,9 +369,21 @@ mod tests {
         let mut universe = Universe::new();
         let mut symbols = SymbolTable::new();
         let db = DatabaseBuilder::new()
-            .relation(&mut universe, &mut symbols, "R1", &["A", "B"], &[&["a", "b"]])
+            .relation(
+                &mut universe,
+                &mut symbols,
+                "R1",
+                &["A", "B"],
+                &[&["a", "b"]],
+            )
             .unwrap()
-            .relation(&mut universe, &mut symbols, "R2", &["B", "C"], &[&["b", "c"]])
+            .relation(
+                &mut universe,
+                &mut symbols,
+                "R2",
+                &["B", "C"],
+                &[&["b", "c"]],
+            )
             .unwrap()
             .build();
         let b = universe.lookup("B").unwrap();
@@ -403,7 +439,10 @@ mod tests {
                 break;
             }
         }
-        assert!(found_unsat, "no unsatisfiable instance found in the seed range");
+        assert!(
+            found_unsat,
+            "no unsatisfiable instance found in the seed range"
+        );
     }
 
     #[test]
@@ -444,9 +483,21 @@ mod tests {
         let mut universe = Universe::new();
         let mut symbols = SymbolTable::new();
         let db = DatabaseBuilder::new()
-            .relation(&mut universe, &mut symbols, "R1", &["A", "B"], &[&["a", "b1"], &["a2", "b2"]])
+            .relation(
+                &mut universe,
+                &mut symbols,
+                "R1",
+                &["A", "B"],
+                &[&["a", "b1"], &["a2", "b2"]],
+            )
             .unwrap()
-            .relation(&mut universe, &mut symbols, "R2", &["A", "C"], &[&["a", "c"]])
+            .relation(
+                &mut universe,
+                &mut symbols,
+                "R2",
+                &["A", "C"],
+                &[&["a", "c"]],
+            )
             .unwrap()
             .build();
         let a = universe.lookup("A").unwrap();
@@ -462,8 +513,7 @@ mod tests {
         assert!(outcome.witness.is_none());
         assert!(outcome.stats.assignments > 0);
         // Open world (Theorem 6a / chase) says yes.
-        let witness =
-            crate::weak_bridge::satisfiable_with_fpds(&db, &fpds, &mut symbols).unwrap();
+        let witness = crate::weak_bridge::satisfiable_with_fpds(&db, &fpds, &mut symbols).unwrap();
         assert!(witness.satisfiable);
     }
 }

@@ -133,7 +133,13 @@ mod tests {
     fn relation(f: &mut Fixture, rows: &[[&str; 3]]) -> Relation {
         let rows_ref: Vec<&[&str]> = rows.iter().map(|r| r.as_slice()).collect();
         DatabaseBuilder::new()
-            .relation(&mut f.universe, &mut f.symbols, "R", &["A", "B", "C"], &rows_ref)
+            .relation(
+                &mut f.universe,
+                &mut f.symbols,
+                "R",
+                &["A", "B", "C"],
+                &rows_ref,
+            )
             .unwrap()
             .build()
             .relations()[0]
@@ -145,7 +151,12 @@ mod tests {
         let mut f = fixture();
         let r1 = relation(
             &mut f,
-            &[["a", "b1", "c1"], ["a", "b1", "c2"], ["a", "b2", "c1"], ["a", "b2", "c2"]],
+            &[
+                ["a", "b1", "c1"],
+                ["a", "b1", "c2"],
+                ["a", "b2", "c1"],
+                ["a", "b2", "c2"],
+            ],
         );
         let interp = canonical_interpretation(&r1).unwrap();
         assert!(interp.satisfies_eap());
@@ -167,7 +178,10 @@ mod tests {
     fn theorem3b_fd_satisfaction_coincides_with_fpd_satisfaction() {
         let mut f = fixture();
         // r satisfies A→B but not A→C.
-        let r = relation(&mut f, &[["a", "b", "c1"], ["a", "b", "c2"], ["a2", "b2", "c1"]]);
+        let r = relation(
+            &mut f,
+            &[["a", "b", "c1"], ["a", "b", "c2"], ["a2", "b2", "c1"]],
+        );
         let a = f.universe.lookup("A").unwrap();
         let b = f.universe.lookup("B").unwrap();
         let c = f.universe.lookup("C").unwrap();
@@ -176,8 +190,14 @@ mod tests {
         let bad_fd = fd(&[a], &[c]);
         let good_pd = Fpd::from_fd(&good_fd).as_meet_equation(&mut arena);
         let bad_pd = Fpd::from_fd(&bad_fd).as_meet_equation(&mut arena);
-        assert_eq!(r.satisfies_fd(&good_fd), relation_satisfies_pd(&r, &arena, good_pd).unwrap());
-        assert_eq!(r.satisfies_fd(&bad_fd), relation_satisfies_pd(&r, &arena, bad_pd).unwrap());
+        assert_eq!(
+            r.satisfies_fd(&good_fd),
+            relation_satisfies_pd(&r, &arena, good_pd).unwrap()
+        );
+        assert_eq!(
+            r.satisfies_fd(&bad_fd),
+            relation_satisfies_pd(&r, &arena, bad_pd).unwrap()
+        );
         assert!(r.satisfies_fd(&good_fd));
         assert!(!r.satisfies_fd(&bad_fd));
         // The dual join form is satisfied exactly when the meet form is.
@@ -189,7 +209,10 @@ mod tests {
     fn round_trip_r_of_i_of_r_is_r() {
         // Because I(r) satisfies EAP, R(I(r)) = r (Section 4.1).
         let mut f = fixture();
-        let r = relation(&mut f, &[["a", "b", "c"], ["a2", "b", "c1"], ["a", "b2", "c"]]);
+        let r = relation(
+            &mut f,
+            &[["a", "b", "c"], ["a2", "b", "c1"], ["a", "b2", "c"]],
+        );
         let interp = canonical_interpretation(&r).unwrap();
         let back = canonical_relation(&interp, &mut f.symbols, "R").unwrap();
         assert_eq!(back.len(), r.len());
@@ -293,7 +316,12 @@ mod tests {
         let mut f = fixture();
         let good = relation(
             &mut f,
-            &[["a1", "b1", "c1"], ["a1", "b2", "c2"], ["a2", "b1", "c3"], ["a1", "b1", "c1"]],
+            &[
+                ["a1", "b1", "c1"],
+                ["a1", "b2", "c2"],
+                ["a2", "b1", "c3"],
+                ["a1", "b1", "c1"],
+            ],
         );
         let mut arena = TermArena::new();
         let pd = {

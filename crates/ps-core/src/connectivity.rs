@@ -239,7 +239,10 @@ pub fn tuple_chain_distance(
     from: usize,
     to: usize,
 ) -> Option<usize> {
-    assert!(from < relation.len() && to < relation.len(), "tuple index out of range");
+    assert!(
+        from < relation.len() && to < relation.len(),
+        "tuple index out of range"
+    );
     if from == to {
         return Some(0);
     }
@@ -321,7 +324,10 @@ pub fn satisfies_sum_pd_directly(
     // Equal C ⇔ same chain class.
     let c_values: Vec<ps_base::Symbol> = relation
         .iter()
-        .map(|t| t.get(scheme, component).expect("component attribute in scheme"))
+        .map(|t| {
+            t.get(scheme, component)
+                .expect("component attribute in scheme")
+        })
         .collect();
     let mut class_of_c: HashMap<ps_base::Symbol, usize> = HashMap::new();
     let mut c_of_class: HashMap<usize, ps_base::Symbol> = HashMap::new();
@@ -367,6 +373,7 @@ mod tests {
     fn wrong_labelling_violates_the_connectivity_pd() {
         let (mut universe, mut symbols, mut arena) = setup();
         let graph = path(4); // one component
+
         // Pretend vertices 2, 3 are a separate component.
         let labelling = vec![0, 0, 1, 1];
         let (relation, encoding) =
@@ -387,8 +394,7 @@ mod tests {
         let (mut universe, mut symbols, mut arena) = setup();
         for seed in 0..5 {
             let graph = gnp(24, 0.08, seed);
-            let (relation, encoding) =
-                component_relation(&graph, &mut universe, &mut symbols, "G");
+            let (relation, encoding) = component_relation(&graph, &mut universe, &mut symbols, "G");
             let via_pd =
                 components_via_partition_semantics(&relation, &mut arena, &encoding).unwrap();
             let via_uf = components_union_find(&graph);
@@ -432,7 +438,10 @@ mod tests {
             let b = universe.lookup("B").unwrap();
             let c = universe.lookup("C").unwrap();
             let pd = connectivity_pd_for(&mut arena, c, a, b);
-            assert!(relation_satisfies_pd(&relation, &arena, pd).unwrap(), "i = {i}");
+            assert!(
+                relation_satisfies_pd(&relation, &arena, pd).unwrap(),
+                "i = {i}"
+            );
             // The first and last tuples are connected, but only by the full chain.
             let last = relation.len() - 1;
             let distance = tuple_chain_distance(&relation, a, b, 0, last).unwrap();
@@ -461,9 +470,22 @@ mod tests {
                 .unwrap()
         };
         let (t0, t2) = (idx_of(0), idx_of(2));
-        assert_eq!(tuple_chain_distance(&relation, encoding.attr_head, encoding.attr_tail, t0, t0), Some(0));
-        assert_eq!(tuple_chain_distance(&relation, encoding.attr_head, encoding.attr_tail, t0, t2), None);
-        assert!(!chain_connected_within(&relation, encoding.attr_head, encoding.attr_tail, t0, t2, 100));
+        assert_eq!(
+            tuple_chain_distance(&relation, encoding.attr_head, encoding.attr_tail, t0, t0),
+            Some(0)
+        );
+        assert_eq!(
+            tuple_chain_distance(&relation, encoding.attr_head, encoding.attr_tail, t0, t2),
+            None
+        );
+        assert!(!chain_connected_within(
+            &relation,
+            encoding.attr_head,
+            encoding.attr_tail,
+            t0,
+            t2,
+            100
+        ));
     }
 
     #[test]

@@ -137,8 +137,16 @@ pub fn normalize_pds(
                 out.definitions.push((fresh, term));
                 // fresh = la + ra  ⇒  FDs la → fresh, ra → fresh plus the
                 // residual constraint fresh ≤ la + ra.
-                push_fd(&mut out.fds, AttrSet::singleton(la), AttrSet::singleton(fresh));
-                push_fd(&mut out.fds, AttrSet::singleton(ra), AttrSet::singleton(fresh));
+                push_fd(
+                    &mut out.fds,
+                    AttrSet::singleton(la),
+                    AttrSet::singleton(fresh),
+                );
+                push_fd(
+                    &mut out.fds,
+                    AttrSet::singleton(ra),
+                    AttrSet::singleton(fresh),
+                );
                 out.sums.push(SumConstraint {
                     target: fresh,
                     left: la,
@@ -161,8 +169,16 @@ pub fn normalize_pds(
         let lhs = attr_of_term(pd.lhs, arena, universe, &mut attr_of, &mut out);
         let rhs = attr_of_term(pd.rhs, arena, universe, &mut attr_of, &mut out);
         if lhs != rhs {
-            push_fd(&mut out.fds, AttrSet::singleton(lhs), AttrSet::singleton(rhs));
-            push_fd(&mut out.fds, AttrSet::singleton(rhs), AttrSet::singleton(lhs));
+            push_fd(
+                &mut out.fds,
+                AttrSet::singleton(lhs),
+                AttrSet::singleton(rhs),
+            );
+            push_fd(
+                &mut out.fds,
+                AttrSet::singleton(rhs),
+                AttrSet::singleton(lhs),
+            );
             let l = arena.atom(lhs);
             let r = arena.atom(rhs);
             out.equations.push(Equation::new(l, r));
@@ -210,9 +226,17 @@ pub fn close_constraints(
     for &sum in &normalized.sums {
         if leq(sum.left, sum.right) {
             // A ≤ B collapses A + B to B, so the constraint is C ≤ B.
-            push_fd(&mut fds, AttrSet::singleton(sum.target), AttrSet::singleton(sum.right));
+            push_fd(
+                &mut fds,
+                AttrSet::singleton(sum.target),
+                AttrSet::singleton(sum.right),
+            );
         } else if leq(sum.right, sum.left) {
-            push_fd(&mut fds, AttrSet::singleton(sum.target), AttrSet::singleton(sum.left));
+            push_fd(
+                &mut fds,
+                AttrSet::singleton(sum.target),
+                AttrSet::singleton(sum.left),
+            );
         } else {
             sums.push(sum);
         }
@@ -304,7 +328,9 @@ pub fn relation_satisfies_sum_constraint(relation: &Relation, constraint: SumCon
     let mut by_b: HashMap<Symbol, usize> = HashMap::new();
     for (idx, tuple) in relation.iter().enumerate() {
         let a = tuple.get(scheme, constraint.left).expect("left in scheme");
-        let b = tuple.get(scheme, constraint.right).expect("right in scheme");
+        let b = tuple
+            .get(scheme, constraint.right)
+            .expect("right in scheme");
         match by_a.get(&a) {
             Some(&leader) => {
                 uf.union(leader, idx);
@@ -324,7 +350,9 @@ pub fn relation_satisfies_sum_constraint(relation: &Relation, constraint: SumCon
     }
     let mut class_of_c: HashMap<Symbol, usize> = HashMap::new();
     for (idx, tuple) in relation.iter().enumerate() {
-        let c = tuple.get(scheme, constraint.target).expect("target in scheme");
+        let c = tuple
+            .get(scheme, constraint.target)
+            .expect("target in scheme");
         let class = uf.find(idx);
         if *class_of_c.entry(c).or_insert(class) != class {
             return false;
@@ -359,8 +387,10 @@ pub fn repair_sum_violations(
             None => return (current, true),
             Some((constraint, t1, t2)) => {
                 let scheme = current.scheme().clone();
-                let a_plus = fd_closure::attribute_closure(fds, &AttrSet::singleton(constraint.left));
-                let b_plus = fd_closure::attribute_closure(fds, &AttrSet::singleton(constraint.right));
+                let a_plus =
+                    fd_closure::attribute_closure(fds, &AttrSet::singleton(constraint.left));
+                let b_plus =
+                    fd_closure::attribute_closure(fds, &AttrSet::singleton(constraint.right));
                 let row1 = current.tuples()[t1].clone();
                 let row2 = current.tuples()[t2].clone();
                 let values: Vec<Symbol> = scheme
@@ -406,7 +436,9 @@ fn first_sum_violation(
         let mut by_b: HashMap<Symbol, usize> = HashMap::new();
         for (idx, tuple) in relation.iter().enumerate() {
             let a = tuple.get(scheme, constraint.left).expect("left in scheme");
-            let b = tuple.get(scheme, constraint.right).expect("right in scheme");
+            let b = tuple
+                .get(scheme, constraint.right)
+                .expect("right in scheme");
             match by_a.get(&a) {
                 Some(&leader) => {
                     uf.union(leader, idx);
@@ -426,7 +458,9 @@ fn first_sum_violation(
         }
         let mut first_with_c: HashMap<Symbol, usize> = HashMap::new();
         for (idx, tuple) in relation.iter().enumerate() {
-            let c = tuple.get(scheme, constraint.target).expect("target in scheme");
+            let c = tuple
+                .get(scheme, constraint.target)
+                .expect("target in scheme");
             match first_with_c.get(&c) {
                 None => {
                     first_with_c.insert(c, idx);
@@ -509,7 +543,13 @@ mod tests {
     fn fpd_only_constraints_reduce_to_the_chase() {
         let mut f = fixture();
         let db = DatabaseBuilder::new()
-            .relation(&mut f.universe, &mut f.symbols, "R", &["A", "B"], &[&["a", "b1"], &["a", "b2"]])
+            .relation(
+                &mut f.universe,
+                &mut f.symbols,
+                "R",
+                &["A", "B"],
+                &[&["a", "b1"], &["a", "b2"]],
+            )
             .unwrap()
             .build();
         let violated = vec![parse_equation("A = A*B", &mut f.universe, &mut f.arena).unwrap()];
@@ -631,7 +671,11 @@ mod tests {
         let a = f.universe.lookup("A").unwrap();
         let b = f.universe.lookup("B").unwrap();
         let c = f.universe.lookup("C").unwrap();
-        let ok = SumConstraint { target: c, left: a, right: b };
+        let ok = SumConstraint {
+            target: c,
+            left: a,
+            right: b,
+        };
         assert!(relation_satisfies_sum_constraint(&r, ok));
         // Swap roles: A ≤ B + C fails because a1/a2 … actually every tuple has
         // a distinct A value, so A ≤ anything holds; use a constraint whose
@@ -651,7 +695,11 @@ mod tests {
         assert!(!relation_satisfies_sum_constraints(&s, &[ok]));
         // Constraints over attributes missing from the scheme are vacuous.
         let z = f.universe.attr("Z");
-        let vacuous = SumConstraint { target: z, left: a, right: b };
+        let vacuous = SumConstraint {
+            target: z,
+            left: a,
+            right: b,
+        };
         assert!(relation_satisfies_sum_constraint(&s, vacuous));
         assert_eq!(vacuous.render(&f.universe), "Z<=A+B");
     }

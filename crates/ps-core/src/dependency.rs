@@ -29,7 +29,10 @@ impl Fpd {
     /// # Panics
     /// Panics if either side is empty.
     pub fn new(lhs: AttrSet, rhs: AttrSet) -> Self {
-        assert!(!lhs.is_empty() && !rhs.is_empty(), "FPD sides must be non-empty");
+        assert!(
+            !lhs.is_empty() && !rhs.is_empty(),
+            "FPD sides must be non-empty"
+        );
         Fpd { lhs, rhs }
     }
 
@@ -62,7 +65,10 @@ impl Fpd {
 
     /// The two sides as terms, for use with the `≤` order (`X ≤ Y`).
     pub fn as_leq_terms(&self, arena: &mut TermArena) -> (TermId, TermId) {
-        (arena.meet_of_attrs(&self.lhs), arena.meet_of_attrs(&self.rhs))
+        (
+            arena.meet_of_attrs(&self.lhs),
+            arena.meet_of_attrs(&self.rhs),
+        )
     }
 
     /// Renders the FPD as `X=X*Y` using attribute names.

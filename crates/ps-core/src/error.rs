@@ -36,7 +36,10 @@ impl fmt::Display for CoreError {
                 write!(f, "attribute {a} has no interpretation")
             }
             CoreError::InvalidNaming { attribute, reason } => {
-                write!(f, "invalid naming function for attribute {attribute}: {reason}")
+                write!(
+                    f,
+                    "invalid naming function for attribute {attribute}: {reason}"
+                )
             }
             CoreError::EmptyPopulation(a) => {
                 write!(f, "attribute {a} was given an empty population")
@@ -75,8 +78,12 @@ mod tests {
     #[test]
     fn display_variants() {
         let a = Attribute::from_index(0);
-        assert!(CoreError::UninterpretedAttribute(a).to_string().contains("no interpretation"));
-        assert!(CoreError::EmptyPopulation(a).to_string().contains("empty population"));
+        assert!(CoreError::UninterpretedAttribute(a)
+            .to_string()
+            .contains("no interpretation"));
+        assert!(CoreError::EmptyPopulation(a)
+            .to_string()
+            .contains("empty population"));
         let naming = CoreError::InvalidNaming {
             attribute: a,
             reason: "block 2 has no name".into(),

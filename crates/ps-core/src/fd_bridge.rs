@@ -90,7 +90,11 @@ mod tests {
         for goal in cases {
             let by_closure = fd_closure::implies(&fds, &goal);
             for algo in [Algorithm::NaiveFixpoint, Algorithm::Worklist] {
-                assert_eq!(by_closure, fd_implies_via_lattice(&fds, &goal, algo), "{goal}");
+                assert_eq!(
+                    by_closure,
+                    fd_implies_via_lattice(&fds, &goal, algo),
+                    "{goal}"
+                );
             }
             assert_eq!(by_closure, fd_implies_via_semigroup(&fds, &goal), "{goal}");
         }

@@ -156,7 +156,10 @@ mod tests {
         let fig = figure1();
         assert_eq!(fig.database.total_tuples(), 4);
         assert_eq!(fig.dependencies.len(), 2);
-        assert!(fig.interpretation.satisfies_database(&fig.database).unwrap());
+        assert!(fig
+            .interpretation
+            .satisfies_database(&fig.database)
+            .unwrap());
         assert!(fig
             .interpretation
             .satisfies_all_pds(&fig.arena, &fig.dependencies)

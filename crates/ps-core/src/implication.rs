@@ -89,7 +89,12 @@ mod tests {
         let goal = Fpd::new(AttrSet::singleton(a), AttrSet::singleton(c));
         assert!(pd_implies_fpd(&mut arena, &e, &goal, Algorithm::Worklist));
         let converse = Fpd::new(AttrSet::singleton(c), AttrSet::singleton(a));
-        assert!(!pd_implies_fpd(&mut arena, &e, &converse, Algorithm::Worklist));
+        assert!(!pd_implies_fpd(
+            &mut arena,
+            &e,
+            &converse,
+            Algorithm::Worklist
+        ));
     }
 
     #[test]
@@ -113,7 +118,12 @@ mod tests {
         assert!(!is_identity(&arena, distributivity));
         // Identity recognition agrees with ALG on the empty constraint set.
         assert!(pd_implies(&arena, &[], absorption, Algorithm::Worklist));
-        assert!(!pd_implies(&arena, &[], distributivity, Algorithm::Worklist));
+        assert!(!pd_implies(
+            &arena,
+            &[],
+            distributivity,
+            Algorithm::Worklist
+        ));
     }
 
     #[test]

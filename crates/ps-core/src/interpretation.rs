@@ -205,11 +205,9 @@ impl PartitionInterpretation {
     /// partitions of its attributes (Section 3.1).
     pub fn meaning_of_scheme(&self, attrs: &ps_base::AttrSet) -> Result<Partition> {
         let mut iter = attrs.iter();
-        let first = iter
-            .next()
-            .ok_or(CoreError::Relation(ps_relation::RelationError::EmptyAttributeSet(
-                "relation scheme",
-            )))?;
+        let first = iter.next().ok_or(CoreError::Relation(
+            ps_relation::RelationError::EmptyAttributeSet("relation scheme"),
+        ))?;
         let mut acc = self.require(first)?.atomic().clone();
         for a in iter {
             acc = acc.product(self.require(a)?.atomic());
@@ -414,10 +412,7 @@ mod tests {
         (universe, symbols, interp)
     }
 
-    fn figure1_database(
-        universe: &mut Universe,
-        symbols: &mut SymbolTable,
-    ) -> Database {
+    fn figure1_database(universe: &mut Universe, symbols: &mut SymbolTable) -> Database {
         DatabaseBuilder::new()
             .relation(
                 universe,
@@ -478,7 +473,10 @@ mod tests {
         good.insert(symbols.symbol("x"), 0);
         good.insert(symbols.symbol("y"), 1);
         let interp = AttributeInterpretation::new(a, partition, good).unwrap();
-        assert_eq!(interp.symbol_of_block(0), Some(symbols.lookup("x").unwrap()));
+        assert_eq!(
+            interp.symbol_of_block(0),
+            Some(symbols.lookup("x").unwrap())
+        );
         assert_eq!(interp.symbol_of_block(7), None);
     }
 
@@ -489,7 +487,10 @@ mod tests {
         assert!(interp.satisfies_database(&db).unwrap());
         assert!(interp.satisfies_cad(&db).unwrap());
         assert!(interp.satisfies_eap());
-        assert_eq!(interp.total_population(), Population::range(5).iter().skip(1).collect());
+        assert_eq!(
+            interp.total_population(),
+            Population::range(5).iter().skip(1).collect()
+        );
         assert_eq!(interp.len(), 3);
         assert!(!interp.is_empty());
         let rendered = interp.render(&universe, &symbols);
@@ -516,7 +517,13 @@ mod tests {
         let (mut universe, mut symbols, interp) = figure1();
         // A database with a symbol the interpretation gives no meaning.
         let db = DatabaseBuilder::new()
-            .relation(&mut universe, &mut symbols, "R", &["A", "B", "C"], &[&["zzz", "b", "c"]])
+            .relation(
+                &mut universe,
+                &mut symbols,
+                "R",
+                &["A", "B", "C"],
+                &[&["zzz", "b", "c"]],
+            )
             .unwrap()
             .build();
         assert!(!interp.satisfies_database(&db).unwrap());
@@ -531,7 +538,9 @@ mod tests {
         // A = A*B holds (every A-block refines a B-block).
         let lhs = parse_term("A", &mut universe, &mut arena).unwrap();
         let rhs = parse_term("A*B", &mut universe, &mut arena).unwrap();
-        assert!(interp.satisfies_pd(&arena, Equation::new(lhs, rhs)).unwrap());
+        assert!(interp
+            .satisfies_pd(&arena, Equation::new(lhs, rhs))
+            .unwrap());
         // B + C = A + C (both are the indiscrete partition of {1,2,3,4}).
         let l2 = parse_term("B+C", &mut universe, &mut arena).unwrap();
         let r2 = parse_term("A+C", &mut universe, &mut arena).unwrap();
@@ -555,7 +564,9 @@ mod tests {
         let mut arena = TermArena::new();
         let lhs = parse_term("B*(A+C)", &mut universe, &mut arena).unwrap();
         let rhs = parse_term("(B*A)+(B*C)", &mut universe, &mut arena).unwrap();
-        assert!(!interp.satisfies_pd(&arena, Equation::new(lhs, rhs)).unwrap());
+        assert!(!interp
+            .satisfies_pd(&arena, Equation::new(lhs, rhs))
+            .unwrap());
     }
 
     #[test]
@@ -597,19 +608,28 @@ mod tests {
         // of the two block families.
         let mut universe = Universe::new();
         let mut symbols = SymbolTable::new();
-        let (car, bike, veh) =
-            (universe.attr("Car"), universe.attr("Bike"), universe.attr("Veh"));
+        let (car, bike, veh) = (
+            universe.attr("Car"),
+            universe.attr("Bike"),
+            universe.attr("Veh"),
+        );
         let mut interp = PartitionInterpretation::new();
         interp
             .set_named_blocks(
                 car,
-                vec![(symbols.symbol("c1"), vec![1, 2]), (symbols.symbol("c2"), vec![3])],
+                vec![
+                    (symbols.symbol("c1"), vec![1, 2]),
+                    (symbols.symbol("c2"), vec![3]),
+                ],
             )
             .unwrap();
         interp
             .set_named_blocks(
                 bike,
-                vec![(symbols.symbol("b1"), vec![10]), (symbols.symbol("b2"), vec![11, 12])],
+                vec![
+                    (symbols.symbol("b1"), vec![10]),
+                    (symbols.symbol("b2"), vec![11, 12]),
+                ],
             )
             .unwrap();
         interp
@@ -625,12 +645,16 @@ mod tests {
             .unwrap();
         assert!(interp.populations_disjoint(car, bike).unwrap());
         assert!(!interp.populations_disjoint(car, veh).unwrap());
-        assert!(interp.populations_disjoint(universe.attr("Car"), bike).unwrap());
+        assert!(interp
+            .populations_disjoint(universe.attr("Car"), bike)
+            .unwrap());
         // Veh = Car + Bike holds, and the sum has exactly the four blocks.
         let mut arena = TermArena::new();
         let lhs = parse_term("Veh", &mut universe, &mut arena).unwrap();
         let rhs = parse_term("Car+Bike", &mut universe, &mut arena).unwrap();
-        assert!(interp.satisfies_pd(&arena, Equation::new(lhs, rhs)).unwrap());
+        assert!(interp
+            .satisfies_pd(&arena, Equation::new(lhs, rhs))
+            .unwrap());
         let sum = interp.eval(&arena, rhs).unwrap();
         assert_eq!(sum.num_blocks(), 4);
         // Unknown attributes are reported as errors.
@@ -656,7 +680,9 @@ mod tests {
         let mut arena = TermArena::new();
         let lhs = parse_term("A", &mut universe, &mut arena).unwrap();
         let rhs = parse_term("A*B", &mut universe, &mut arena).unwrap();
-        assert!(interp.satisfies_pd(&arena, Equation::new(lhs, rhs)).unwrap());
+        assert!(interp
+            .satisfies_pd(&arena, Equation::new(lhs, rhs))
+            .unwrap());
         // The dual form A+B = B holds as well (Section 3.2).
         let l2 = parse_term("A+B", &mut universe, &mut arena).unwrap();
         let r2 = parse_term("B", &mut universe, &mut arena).unwrap();

@@ -44,10 +44,9 @@ impl InterpretationLattice {
             })
             .collect::<Result<Vec<_>>>()?;
         let (partitions, stats) = close_under_ops(&generators, max_size);
-        let lattice = FiniteLattice::from_leq(partitions.len(), |i, j| {
-            partitions[i].leq(&partitions[j])
-        })
-        .map_err(crate::CoreError::Lattice)?;
+        let lattice =
+            FiniteLattice::from_leq(partitions.len(), |i, j| partitions[i].leq(&partitions[j]))
+                .map_err(crate::CoreError::Lattice)?;
         let constants = attributes
             .iter()
             .map(|&a| {
@@ -131,8 +130,13 @@ mod tests {
         }
         let failing =
             parse_equation("B*(A+C) = (B*A)+(B*C)", &mut fig.universe, &mut fig.arena).unwrap();
-        assert!(!lattice.satisfies_pd(&fig.arena, &fig.universe, failing).unwrap());
-        assert!(!fig.interpretation.satisfies_pd(&fig.arena, failing).unwrap());
+        assert!(!lattice
+            .satisfies_pd(&fig.arena, &fig.universe, failing)
+            .unwrap());
+        assert!(!fig
+            .interpretation
+            .satisfies_pd(&fig.arena, failing)
+            .unwrap());
     }
 
     #[test]
@@ -162,16 +166,10 @@ mod tests {
     #[test]
     fn figure2_lattices_are_isomorphic_with_four_elements() {
         let fig = fixtures::figure2();
-        let l1 = InterpretationLattice::build(
-            &canonical_interpretation(&fig.r1).unwrap(),
-            64,
-        )
-        .unwrap();
-        let l2 = InterpretationLattice::build(
-            &canonical_interpretation(&fig.r2).unwrap(),
-            64,
-        )
-        .unwrap();
+        let l1 =
+            InterpretationLattice::build(&canonical_interpretation(&fig.r1).unwrap(), 64).unwrap();
+        let l2 =
+            InterpretationLattice::build(&canonical_interpretation(&fig.r2).unwrap(), 64).unwrap();
         assert_eq!(l1.len(), 4);
         assert_eq!(l2.len(), 4);
         assert!(l1.is_isomorphic_to(&l2));
@@ -187,7 +185,13 @@ mod tests {
         let a = universe.attr("A");
         let mut interp = crate::PartitionInterpretation::new();
         interp
-            .set_named_blocks(a, vec![(symbols.symbol("x"), vec![1, 2]), (symbols.symbol("y"), vec![3])])
+            .set_named_blocks(
+                a,
+                vec![
+                    (symbols.symbol("x"), vec![1, 2]),
+                    (symbols.symbol("y"), vec![3]),
+                ],
+            )
             .unwrap();
         let lattice = InterpretationLattice::build(&interp, 16).unwrap();
         assert_eq!(lattice.len(), 1);

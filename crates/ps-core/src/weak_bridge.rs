@@ -24,7 +24,9 @@ use crate::{PartitionInterpretation, Result};
 
 /// Builds a partition interpretation satisfying `d` from a weak instance `w`
 /// for `d` (the "⇐" directions of Theorems 6 and 7): simply `I(w)`.
-pub fn interpretation_from_weak_instance(weak_instance: &Relation) -> Result<PartitionInterpretation> {
+pub fn interpretation_from_weak_instance(
+    weak_instance: &Relation,
+) -> Result<PartitionInterpretation> {
     canonical_interpretation(weak_instance)
 }
 
@@ -117,9 +119,21 @@ mod tests {
         let mut universe = ps_base::Universe::new();
         let mut symbols = ps_base::SymbolTable::new();
         let db = DatabaseBuilder::new()
-            .relation(&mut universe, &mut symbols, "R1", &["A", "B"], &[&["a1", "b"], &["a2", "b"]])
+            .relation(
+                &mut universe,
+                &mut symbols,
+                "R1",
+                &["A", "B"],
+                &[&["a1", "b"], &["a2", "b"]],
+            )
             .unwrap()
-            .relation(&mut universe, &mut symbols, "R2", &["B", "C"], &[&["b", "c"]])
+            .relation(
+                &mut universe,
+                &mut symbols,
+                "R2",
+                &["B", "C"],
+                &[&["b", "c"]],
+            )
             .unwrap()
             .build();
         let b = universe.lookup("B").unwrap();
@@ -144,7 +158,13 @@ mod tests {
         let mut universe = ps_base::Universe::new();
         let mut symbols = ps_base::SymbolTable::new();
         let db = DatabaseBuilder::new()
-            .relation(&mut universe, &mut symbols, "R", &["A", "B"], &[&["a", "b1"], &["a", "b2"]])
+            .relation(
+                &mut universe,
+                &mut symbols,
+                "R",
+                &["A", "B"],
+                &[&["a", "b1"], &["a", "b2"]],
+            )
             .unwrap()
             .build();
         let a = universe.lookup("A").unwrap();
@@ -175,6 +195,8 @@ mod tests {
         )
         .unwrap();
         assert!(back.satisfies_database(&fig.database).unwrap());
-        assert!(back.satisfies_all_pds(&fig.arena, &fig.dependencies).unwrap());
+        assert!(back
+            .satisfies_all_pds(&fig.arena, &fig.dependencies)
+            .unwrap());
     }
 }

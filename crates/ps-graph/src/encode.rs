@@ -36,7 +36,13 @@ pub fn component_relation(
     symbols: &mut SymbolTable,
     name: &str,
 ) -> (Relation, GraphEncoding) {
-    encode_with_components(graph, &components_union_find(graph), universe, symbols, name)
+    encode_with_components(
+        graph,
+        &components_union_find(graph),
+        universe,
+        symbols,
+        name,
+    )
 }
 
 /// Encodes `graph` with an explicitly supplied component labelling (one

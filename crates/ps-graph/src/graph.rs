@@ -40,7 +40,10 @@ impl UndirectedGraph {
     /// # Panics
     /// Panics if `u` or `v` is not a vertex.
     pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
-        assert!(u < self.num_vertices && v < self.num_vertices, "vertex out of range");
+        assert!(
+            u < self.num_vertices && v < self.num_vertices,
+            "vertex out of range"
+        );
         let key = (u.min(v), u.max(v));
         if !self.edge_set.insert(key) {
             return false;

@@ -72,19 +72,20 @@ impl BitMatrix {
     pub fn iter_row(&self, row: usize) -> impl Iterator<Item = usize> + '_ {
         let start = row * self.words_per_row;
         let n = self.n;
-        (0..self.words_per_row).flat_map(move |k| {
-            let mut word = self.bits[start + k];
-            std::iter::from_fn(move || {
-                if word == 0 {
-                    None
-                } else {
-                    let bit = word.trailing_zeros() as usize;
-                    word &= word - 1;
-                    Some(k * 64 + bit)
-                }
+        (0..self.words_per_row)
+            .flat_map(move |k| {
+                let mut word = self.bits[start + k];
+                std::iter::from_fn(move || {
+                    if word == 0 {
+                        None
+                    } else {
+                        let bit = word.trailing_zeros() as usize;
+                        word &= word - 1;
+                        Some(k * 64 + bit)
+                    }
+                })
             })
-        })
-        .take_while(move |&c| c < n)
+            .take_while(move |&c| c < n)
     }
 
     /// Computes the reflexive–transitive closure in place (Floyd–Warshall on

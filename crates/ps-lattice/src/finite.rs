@@ -101,12 +101,7 @@ impl FiniteLattice {
                 }
             }
         }
-        Ok(FiniteLattice {
-            n,
-            leq,
-            meet,
-            join,
-        })
+        Ok(FiniteLattice { n, leq, meet, join })
     }
 
     /// The `n`-element chain `0 < 1 < … < n-1`.
@@ -124,10 +119,8 @@ impl FiniteLattice {
     /// The pentagon `N₅`: the smallest non-modular lattice.
     pub fn n5() -> Self {
         // 0 = bottom, 4 = top; chain 0 < 1 < 2 < 4 and 0 < 3 < 4.
-        Self::from_leq(5, |i, j| {
-            i == j || i == 0 || j == 4 || (i == 1 && j == 2)
-        })
-        .expect("N5 is a lattice")
+        Self::from_leq(5, |i, j| i == j || i == 0 || j == 4 || (i == 1 && j == 2))
+            .expect("N5 is a lattice")
     }
 
     /// The Boolean lattice of subsets of a `k`-element set (2^k elements,
@@ -185,8 +178,8 @@ impl FiniteLattice {
                 if i == j || !self.leq(i, j) {
                     continue;
                 }
-                let has_middle = (0..self.n)
-                    .any(|k| k != i && k != j && self.leq(i, k) && self.leq(k, j));
+                let has_middle =
+                    (0..self.n).any(|k| k != i && k != j && self.leq(i, k) && self.leq(k, j));
                 if !has_middle {
                     out.push((i, j));
                 }
@@ -574,9 +567,8 @@ mod tests {
         assert!(FiniteLattice::m3().is_isomorphic_to(&FiniteLattice::m3()));
         assert!(!FiniteLattice::m3().is_isomorphic_to(&FiniteLattice::n5()));
         assert!(!FiniteLattice::chain(3).is_isomorphic_to(&FiniteLattice::chain(4)));
-        assert!(FiniteLattice::boolean(2).is_isomorphic_to(
-            &FiniteLattice::from_leq(4, |i, j| i & j == i).unwrap()
-        ));
+        assert!(FiniteLattice::boolean(2)
+            .is_isomorphic_to(&FiniteLattice::from_leq(4, |i, j| i & j == i).unwrap()));
         // The 4-element chain is not isomorphic to the 4-element Boolean
         // lattice (diamond) even though the sizes match.
         assert!(!FiniteLattice::chain(4).is_isomorphic_to(&FiniteLattice::boolean(2)));

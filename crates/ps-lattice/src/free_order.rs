@@ -173,7 +173,10 @@ mod tests {
         let l = f.t("A*(B+C)");
         let r = f.t("(A*B)+(A*C)");
         assert!(leq_id(&f.arena, r, l), "one inequality always holds");
-        assert!(!leq_id(&f.arena, l, r), "the other direction is not an identity");
+        assert!(
+            !leq_id(&f.arena, l, r),
+            "the other direction is not an identity"
+        );
         assert!(!eq_id(&f.arena, l, r));
         // Modular law: A*(B+(A*C)) = (A*B)+(A*C) is not an identity either.
         let ml = f.t("A*(B+(A*C))");

@@ -76,7 +76,10 @@ impl<'a> Parser<'a> {
                 "expected `{}`, found `{}`",
                 expected as char, c as char
             ))),
-            None => Err(self.error(format!("expected `{}`, found end of input", expected as char))),
+            None => Err(self.error(format!(
+                "expected `{}`, found end of input",
+                expected as char
+            ))),
         }
     }
 
@@ -211,10 +214,15 @@ mod tests {
     fn reports_errors_with_positions() {
         let mut u = Universe::new();
         let mut arena = TermArena::new();
-        for bad in ["", "A+", "*A", "(A+B", "A)B", "A B", "A=+B", "A==B", "A=B=C"] {
+        for bad in [
+            "", "A+", "*A", "(A+B", "A)B", "A B", "A=+B", "A==B", "A=B=C",
+        ] {
             let term_err = parse_term(bad, &mut u, &mut arena).is_err();
             let eq_err = parse_equation(bad, &mut u, &mut arena).is_err();
-            assert!(term_err || eq_err, "input {bad:?} should fail at least one parser");
+            assert!(
+                term_err || eq_err,
+                "input {bad:?} should fail at least one parser"
+            );
         }
         let err = parse_term("A&B", &mut u, &mut arena).unwrap_err();
         assert!(matches!(err, LatticeError::Parse { .. }));

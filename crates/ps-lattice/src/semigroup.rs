@@ -110,8 +110,14 @@ mod tests {
             WordEquation::from_fd(set(&[a[1]]), set(&[a[2]])),
         ];
         // A = A·C should follow; C = C·A should not.
-        assert!(entails(&eqs, &WordEquation::from_fd(set(&[a[0]]), set(&[a[2]]))));
-        assert!(!entails(&eqs, &WordEquation::from_fd(set(&[a[2]]), set(&[a[0]]))));
+        assert!(entails(
+            &eqs,
+            &WordEquation::from_fd(set(&[a[0]]), set(&[a[2]]))
+        ));
+        assert!(!entails(
+            &eqs,
+            &WordEquation::from_fd(set(&[a[2]]), set(&[a[0]]))
+        ));
     }
 
     #[test]
@@ -150,6 +156,9 @@ mod tests {
     fn trivial_goals_hold_without_equations() {
         let (_, a) = setup();
         assert!(entails(&[], &WordEquation::new(set(&[a[0]]), set(&[a[0]]))));
-        assert!(!entails(&[], &WordEquation::new(set(&[a[0]]), set(&[a[1]]))));
+        assert!(!entails(
+            &[],
+            &WordEquation::new(set(&[a[0]]), set(&[a[1]]))
+        ));
     }
 }

@@ -112,7 +112,10 @@ impl TermArena {
     /// # Panics
     /// Panics if `attrs` is empty.
     pub fn meet_of_attrs(&mut self, attrs: &AttrSet) -> TermId {
-        assert!(!attrs.is_empty(), "a relation scheme has at least one attribute");
+        assert!(
+            !attrs.is_empty(),
+            "a relation scheme has at least one attribute"
+        );
         let mut iter = attrs.iter();
         let first = iter.next().expect("non-empty");
         let mut acc = self.atom(first);
@@ -362,7 +365,10 @@ mod tests {
         let subs = arena.subterms(j);
         assert_eq!(subs.len(), 4);
         assert_eq!(*subs.last().unwrap(), j);
-        assert!(subs.iter().position(|&t| t == ta).unwrap() < subs.iter().position(|&t| t == m).unwrap());
+        assert!(
+            subs.iter().position(|&t| t == ta).unwrap()
+                < subs.iter().position(|&t| t == m).unwrap()
+        );
     }
 
     #[test]

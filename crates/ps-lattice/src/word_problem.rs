@@ -75,14 +75,15 @@ impl DerivedOrder {
         // --- Collect V: all subterms of E and the extra terms. ---
         let mut terms: Vec<TermId> = Vec::new();
         let mut dense: HashMap<TermId, usize> = HashMap::new();
-        let add_subterms = |root: TermId, terms: &mut Vec<TermId>, dense: &mut HashMap<TermId, usize>| {
-            for t in arena.subterms(root) {
-                dense.entry(t).or_insert_with(|| {
-                    terms.push(t);
-                    terms.len() - 1
-                });
-            }
-        };
+        let add_subterms =
+            |root: TermId, terms: &mut Vec<TermId>, dense: &mut HashMap<TermId, usize>| {
+                for t in arena.subterms(root) {
+                    dense.entry(t).or_insert_with(|| {
+                        terms.push(t);
+                        terms.len() - 1
+                    });
+                }
+            };
         for eq in equations {
             add_subterms(eq.lhs, &mut terms, &mut dense);
             add_subterms(eq.rhs, &mut terms, &mut dense);

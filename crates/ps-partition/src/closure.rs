@@ -37,7 +37,10 @@ pub struct ClosureStats {
 /// it stays tiny.  A `max_size` cap guards against pathological inputs; the
 /// function panics if the cap is exceeded, since all callers in this
 /// workspace use it on small interpretations.
-pub fn close_under_ops(generators: &[Partition], max_size: usize) -> (Vec<Partition>, ClosureStats) {
+pub fn close_under_ops(
+    generators: &[Partition],
+    max_size: usize,
+) -> (Vec<Partition>, ClosureStats) {
     let mut stats = ClosureStats {
         generators: generators.len(),
         ..ClosureStats::default()
@@ -107,7 +110,10 @@ mod tests {
         let set: HashSet<_> = closure.iter().cloned().collect();
         for a in &closure {
             for b in &closure {
-                assert!(set.contains(&a.product(b)), "closure not closed under product");
+                assert!(
+                    set.contains(&a.product(b)),
+                    "closure not closed under product"
+                );
                 assert!(set.contains(&a.sum(b)), "closure not closed under sum");
             }
         }

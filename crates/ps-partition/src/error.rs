@@ -29,7 +29,10 @@ impl fmt::Display for PartitionError {
                 write!(f, "element {e} is not in the partition's population")
             }
             PartitionError::PopulationMismatch => {
-                write!(f, "the union of the blocks does not equal the stated population")
+                write!(
+                    f,
+                    "the union of the blocks does not equal the stated population"
+                )
             }
         }
     }

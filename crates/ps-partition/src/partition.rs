@@ -305,7 +305,10 @@ mod tests {
     #[test]
     fn block_lookup_and_same_block() {
         let p = Partition::from_blocks(vec![vec![1, 2], vec![3]]).unwrap();
-        assert_eq!(p.block_of(Element::new(2)).unwrap(), &[Element::new(1), Element::new(2)]);
+        assert_eq!(
+            p.block_of(Element::new(2)).unwrap(),
+            &[Element::new(1), Element::new(2)]
+        );
         assert_eq!(p.block_of(Element::new(9)), None);
         assert!(p.same_block(Element::new(1), Element::new(2)));
         assert!(!p.same_block(Element::new(1), Element::new(3)));
@@ -324,6 +327,9 @@ mod tests {
     fn validate_detects_population_mismatch() {
         let mut p = Partition::from_blocks(vec![vec![1, 2]]).unwrap();
         p.population.insert(Element::new(7));
-        assert_eq!(p.validate().unwrap_err(), PartitionError::PopulationMismatch);
+        assert_eq!(
+            p.validate().unwrap_err(),
+            PartitionError::PopulationMismatch
+        );
     }
 }

@@ -170,7 +170,12 @@ mod tests {
     fn natural_join_combines_on_shared_attributes() {
         let mut f = fixture();
         let r = relation(&mut f, "R", &["A", "B"], &[&["a1", "b1"], &["a2", "b2"]]);
-        let s = relation(&mut f, "S", &["B", "C"], &[&["b1", "c1"], &["b1", "c2"], &["b3", "c3"]]);
+        let s = relation(
+            &mut f,
+            "S",
+            &["B", "C"],
+            &[&["b1", "c1"], &["b1", "c2"], &["b3", "c3"]],
+        );
         let j = natural_join(&r, &s, "J").unwrap();
         assert_eq!(j.scheme().arity(), 3);
         assert_eq!(j.len(), 2); // a1 joins with two S-tuples, a2 with none.

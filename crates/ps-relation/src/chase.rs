@@ -222,9 +222,21 @@ mod tests {
         let mut f = fixture();
         // R1[AB], R2[BC] with B→C; consistent.
         let db = DatabaseBuilder::new()
-            .relation(&mut f.universe, &mut f.symbols, "R1", &["A", "B"], &[&["a1", "b"], &["a2", "b"]])
+            .relation(
+                &mut f.universe,
+                &mut f.symbols,
+                "R1",
+                &["A", "B"],
+                &[&["a1", "b"], &["a2", "b"]],
+            )
             .unwrap()
-            .relation(&mut f.universe, &mut f.symbols, "R2", &["B", "C"], &[&["b", "c"]])
+            .relation(
+                &mut f.universe,
+                &mut f.symbols,
+                "R2",
+                &["B", "C"],
+                &[&["b", "c"]],
+            )
             .unwrap()
             .build();
         let b = f.universe.lookup("B").unwrap();
@@ -248,7 +260,13 @@ mod tests {
         let mut f = fixture();
         // Two R1 tuples with the same A but different B, plus FD A→B.
         let db = DatabaseBuilder::new()
-            .relation(&mut f.universe, &mut f.symbols, "R1", &["A", "B"], &[&["a", "b1"], &["a", "b2"]])
+            .relation(
+                &mut f.universe,
+                &mut f.symbols,
+                "R1",
+                &["A", "B"],
+                &[&["a", "b1"], &["a", "b2"]],
+            )
             .unwrap()
             .build();
         let a = f.universe.lookup("A").unwrap();
@@ -265,9 +283,21 @@ mod tests {
         // R1[AB]: (a,b1); R2[AC]: (a,c1), (a2,c2); FDs A→B and C→B force
         // nothing inconsistent... but A→C plus the two relations below does.
         let db = DatabaseBuilder::new()
-            .relation(&mut f.universe, &mut f.symbols, "R1", &["A", "C"], &[&["a", "c1"]])
+            .relation(
+                &mut f.universe,
+                &mut f.symbols,
+                "R1",
+                &["A", "C"],
+                &[&["a", "c1"]],
+            )
             .unwrap()
-            .relation(&mut f.universe, &mut f.symbols, "R2", &["A", "C"], &[&["a", "c2"]])
+            .relation(
+                &mut f.universe,
+                &mut f.symbols,
+                "R2",
+                &["A", "C"],
+                &[&["a", "c2"]],
+            )
             .unwrap()
             .build();
         let a = f.universe.lookup("A").unwrap();
@@ -283,11 +313,29 @@ mod tests {
         // FDs A→B, B→C make the null C of row 1 equal to c, and then A→C
         // forces c = c2: inconsistent.
         let db = DatabaseBuilder::new()
-            .relation(&mut f.universe, &mut f.symbols, "R1", &["A", "B"], &[&["a", "b"]])
+            .relation(
+                &mut f.universe,
+                &mut f.symbols,
+                "R1",
+                &["A", "B"],
+                &[&["a", "b"]],
+            )
             .unwrap()
-            .relation(&mut f.universe, &mut f.symbols, "R2", &["B", "C"], &[&["b", "c"]])
+            .relation(
+                &mut f.universe,
+                &mut f.symbols,
+                "R2",
+                &["B", "C"],
+                &[&["b", "c"]],
+            )
             .unwrap()
-            .relation(&mut f.universe, &mut f.symbols, "R3", &["A", "C"], &[&["a", "c2"]])
+            .relation(
+                &mut f.universe,
+                &mut f.symbols,
+                "R3",
+                &["A", "C"],
+                &[&["a", "c2"]],
+            )
             .unwrap()
             .build();
         let a = f.universe.lookup("A").unwrap();
@@ -298,9 +346,21 @@ mod tests {
         assert!(!outcome.consistent);
         // Without the contradicting R3 tuple it is consistent.
         let db2 = DatabaseBuilder::new()
-            .relation(&mut f.universe, &mut f.symbols, "R1", &["A", "B"], &[&["a", "b"]])
+            .relation(
+                &mut f.universe,
+                &mut f.symbols,
+                "R1",
+                &["A", "B"],
+                &[&["a", "b"]],
+            )
             .unwrap()
-            .relation(&mut f.universe, &mut f.symbols, "R2", &["B", "C"], &[&["b", "c"]])
+            .relation(
+                &mut f.universe,
+                &mut f.symbols,
+                "R2",
+                &["B", "C"],
+                &[&["b", "c"]],
+            )
             .unwrap()
             .build();
         let outcome2 = chase_fds(&db2, &fds, &mut f.symbols);
@@ -313,7 +373,13 @@ mod tests {
     fn empty_fd_set_is_always_consistent() {
         let mut f = fixture();
         let db = DatabaseBuilder::new()
-            .relation(&mut f.universe, &mut f.symbols, "R", &["A", "B"], &[&["a", "b1"], &["a", "b2"]])
+            .relation(
+                &mut f.universe,
+                &mut f.symbols,
+                "R",
+                &["A", "B"],
+                &[&["a", "b1"], &["a", "b2"]],
+            )
             .unwrap()
             .build();
         let outcome = chase_fds(&db, &[], &mut f.symbols);

@@ -176,15 +176,15 @@ fn has_definite_violation(
         }
         for i in 0..rows.len() {
             for j in (i + 1)..rows.len() {
-                let agree_on_lhs = lhs.iter().all(|&c| {
-                    matches!((rows[i][c], rows[j][c]), (Some(a), Some(b)) if a == b)
-                });
+                let agree_on_lhs = lhs
+                    .iter()
+                    .all(|&c| matches!((rows[i][c], rows[j][c]), (Some(a), Some(b)) if a == b));
                 if !agree_on_lhs {
                     continue;
                 }
-                let disagree_on_rhs = rhs.iter().any(|&c| {
-                    matches!((rows[i][c], rows[j][c]), (Some(a), Some(b)) if a != b)
-                });
+                let disagree_on_rhs = rhs
+                    .iter()
+                    .any(|&c| matches!((rows[i][c], rows[j][c]), (Some(a), Some(b)) if a != b));
                 if disagree_on_rhs {
                     return true;
                 }
@@ -246,13 +246,27 @@ mod tests {
     fn weak_instance_consistency_matches_chase() {
         let mut f = fixture();
         let db = DatabaseBuilder::new()
-            .relation(&mut f.universe, &mut f.symbols, "R", &["A", "B"], &[&["a", "b1"], &["a", "b2"]])
+            .relation(
+                &mut f.universe,
+                &mut f.symbols,
+                "R",
+                &["A", "B"],
+                &[&["a", "b1"], &["a", "b2"]],
+            )
             .unwrap()
             .build();
         let a = f.universe.lookup("A").unwrap();
         let b = f.universe.lookup("B").unwrap();
-        assert!(!weak_instance_consistent(&db, &[fd(&[a], &[b])], &mut f.symbols));
-        assert!(weak_instance_consistent(&db, &[fd(&[b], &[a])], &mut f.symbols));
+        assert!(!weak_instance_consistent(
+            &db,
+            &[fd(&[a], &[b])],
+            &mut f.symbols
+        ));
+        assert!(weak_instance_consistent(
+            &db,
+            &[fd(&[b], &[a])],
+            &mut f.symbols
+        ));
     }
 
     #[test]
@@ -261,9 +275,21 @@ mod tests {
         // R1[AB]: (a,b); R2[BC]: (b,c).  FD B→C. The free C cell of the R1 row
         // can be filled with the existing constant c.
         let db = DatabaseBuilder::new()
-            .relation(&mut f.universe, &mut f.symbols, "R1", &["A", "B"], &[&["a", "b"]])
+            .relation(
+                &mut f.universe,
+                &mut f.symbols,
+                "R1",
+                &["A", "B"],
+                &[&["a", "b"]],
+            )
             .unwrap()
-            .relation(&mut f.universe, &mut f.symbols, "R2", &["B", "C"], &[&["b", "c"]])
+            .relation(
+                &mut f.universe,
+                &mut f.symbols,
+                "R2",
+                &["B", "C"],
+                &[&["b", "c"]],
+            )
             .unwrap()
             .build();
         let b = f.universe.lookup("B").unwrap();
@@ -292,9 +318,21 @@ mod tests {
         // must take value c (the only C value), and then C→A forces a2 = a:
         // impossible because both are fixed constants.
         let db = DatabaseBuilder::new()
-            .relation(&mut f.universe, &mut f.symbols, "R1", &["A", "B"], &[&["a", "b1"], &["a2", "b2"]])
+            .relation(
+                &mut f.universe,
+                &mut f.symbols,
+                "R1",
+                &["A", "B"],
+                &[&["a", "b1"], &["a2", "b2"]],
+            )
             .unwrap()
-            .relation(&mut f.universe, &mut f.symbols, "R2", &["A", "C"], &[&["a", "c"]])
+            .relation(
+                &mut f.universe,
+                &mut f.symbols,
+                "R2",
+                &["A", "C"],
+                &[&["a", "c"]],
+            )
             .unwrap()
             .build();
         let a = f.universe.lookup("A").unwrap();
@@ -314,7 +352,13 @@ mod tests {
     fn cad_on_single_relation_reduces_to_fd_satisfaction() {
         let mut f = fixture();
         let db = DatabaseBuilder::new()
-            .relation(&mut f.universe, &mut f.symbols, "R", &["A", "B"], &[&["a", "b1"], &["a", "b2"]])
+            .relation(
+                &mut f.universe,
+                &mut f.symbols,
+                "R",
+                &["A", "B"],
+                &[&["a", "b1"], &["a", "b2"]],
+            )
             .unwrap()
             .build();
         let a = f.universe.lookup("A").unwrap();

@@ -154,7 +154,11 @@ impl DatabaseBuilder {
             .collect();
         let mut relation = Relation::new(scheme);
         for row in rows {
-            assert_eq!(row.len(), attr_names.len(), "row arity must match attributes");
+            assert_eq!(
+                row.len(),
+                attr_names.len(),
+                "row arity must match attributes"
+            );
             let mut values = vec![Symbol::from_index(0); row.len()];
             for (value_name, &pos) in row.iter().zip(positions.iter()) {
                 values[pos] = symbols.symbol(value_name);
@@ -220,7 +224,13 @@ mod tests {
         let db = DatabaseBuilder::new()
             .relation(&mut u, &mut s, "R1", &["A", "B"], &[&["x", "y"]])
             .unwrap()
-            .relation(&mut u, &mut s, "R2", &["B", "C"], &[&["y2", "z"], &["y", "z"]])
+            .relation(
+                &mut u,
+                &mut s,
+                "R2",
+                &["B", "C"],
+                &[&["y2", "z"], &["y", "z"]],
+            )
             .unwrap()
             .build();
         let b = u.lookup("B").unwrap();

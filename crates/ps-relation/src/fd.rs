@@ -19,7 +19,10 @@ impl Fd {
     /// # Panics
     /// Panics if either side is empty (the paper requires non-empty sides).
     pub fn new(lhs: AttrSet, rhs: AttrSet) -> Self {
-        assert!(!lhs.is_empty() && !rhs.is_empty(), "FD sides must be non-empty");
+        assert!(
+            !lhs.is_empty() && !rhs.is_empty(),
+            "FD sides must be non-empty"
+        );
         Fd { lhs, rhs }
     }
 

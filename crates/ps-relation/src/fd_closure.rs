@@ -103,7 +103,10 @@ pub fn minimal_cover(fds: &[Fd]) -> Vec<Fd> {
             let mut candidate = lhs.clone();
             candidate.remove(attr);
             // Keep the shrunken lhs if the attribute is derivable from the rest.
-            if cover[i].rhs.is_subset(&attribute_closure(&cover, &candidate)) {
+            if cover[i]
+                .rhs
+                .is_subset(&attribute_closure(&cover, &candidate))
+            {
                 lhs = candidate;
             }
         }

@@ -25,7 +25,10 @@ impl Mvd {
     /// # Panics
     /// Panics if either side is empty.
     pub fn new(lhs: AttrSet, rhs: AttrSet) -> Self {
-        assert!(!lhs.is_empty() && !rhs.is_empty(), "MVD sides must be non-empty");
+        assert!(
+            !lhs.is_empty() && !rhs.is_empty(),
+            "MVD sides must be non-empty"
+        );
         Mvd { lhs, rhs }
     }
 

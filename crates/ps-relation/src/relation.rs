@@ -232,7 +232,10 @@ mod tests {
     fn insert_deduplicates() {
         let mut f = setup();
         let mut r = relation_abc(&mut f, &[["a", "b", "c"]]);
-        let vals: Vec<Symbol> = ["a", "b", "c"].iter().map(|s| f.symbols.symbol(s)).collect();
+        let vals: Vec<Symbol> = ["a", "b", "c"]
+            .iter()
+            .map(|s| f.symbols.symbol(s))
+            .collect();
         assert!(!r.insert_values(&vals).unwrap());
         assert_eq!(r.len(), 1);
         assert!(!r.is_empty());
@@ -253,7 +256,10 @@ mod tests {
     #[test]
     fn projection_and_active_domain() {
         let mut f = setup();
-        let r = relation_abc(&mut f, &[["a", "b", "c"], ["a", "b2", "c"], ["a2", "b", "c1"]]);
+        let r = relation_abc(
+            &mut f,
+            &[["a", "b", "c"], ["a", "b2", "c"], ["a2", "b", "c1"]],
+        );
         let ab: AttrSet = vec![f.attrs[0], f.attrs[1]].into();
         let proj = r.project("P", &ab).unwrap();
         assert_eq!(proj.len(), 3);
@@ -280,7 +286,10 @@ mod tests {
     #[test]
     fn fd_satisfaction() {
         let mut f = setup();
-        let r = relation_abc(&mut f, &[["a", "b", "c"], ["a", "b", "c2"], ["a2", "b2", "c"]]);
+        let r = relation_abc(
+            &mut f,
+            &[["a", "b", "c"], ["a", "b", "c2"], ["a2", "b2", "c"]],
+        );
         let a_to_b = Fd::new(
             AttrSet::singleton(f.attrs[0]),
             AttrSet::singleton(f.attrs[1]),
@@ -300,9 +309,17 @@ mod tests {
         let mut f = setup();
         let r1 = relation_abc(
             &mut f,
-            &[["a", "b1", "c1"], ["a", "b1", "c2"], ["a", "b2", "c1"], ["a", "b2", "c2"]],
+            &[
+                ["a", "b1", "c1"],
+                ["a", "b1", "c2"],
+                ["a", "b2", "c1"],
+                ["a", "b2", "c2"],
+            ],
         );
-        let r2 = relation_abc(&mut f, &[["a", "b1", "c1"], ["a", "b2", "c2"], ["a", "b1", "c2"]]);
+        let r2 = relation_abc(
+            &mut f,
+            &[["a", "b1", "c1"], ["a", "b2", "c2"], ["a", "b1", "c2"]],
+        );
         let mvd = Mvd::new(
             AttrSet::singleton(f.attrs[0]),
             AttrSet::singleton(f.attrs[1]),

@@ -23,7 +23,10 @@ impl RelationScheme {
     /// at least one attribute.
     pub fn new(name: impl Into<String>, attrs: impl Into<AttrSet>) -> Self {
         let attrs = attrs.into();
-        assert!(!attrs.is_empty(), "a relation scheme needs at least one attribute");
+        assert!(
+            !attrs.is_empty(),
+            "a relation scheme needs at least one attribute"
+        );
         RelationScheme {
             name: name.into(),
             attrs,

@@ -98,7 +98,13 @@ mod tests {
         let mut u = Universe::new();
         let mut s = SymbolTable::new();
         let db = DatabaseBuilder::new()
-            .relation(&mut u, &mut s, "R1", &["A", "B"], &[&["a", "b"], &["a2", "b"]])
+            .relation(
+                &mut u,
+                &mut s,
+                "R1",
+                &["A", "B"],
+                &[&["a", "b"], &["a2", "b"]],
+            )
             .unwrap()
             .relation(&mut u, &mut s, "R2", &["B", "C"], &[&["b", "c"]])
             .unwrap()

@@ -95,7 +95,11 @@ mod tests {
         assert!(Tuple::new(&scheme, vals.clone()).is_ok());
         assert!(matches!(
             Tuple::new(&scheme, vals[..2].to_vec()),
-            Err(RelationError::ArityMismatch { expected: 3, found: 2, .. })
+            Err(RelationError::ArityMismatch {
+                expected: 3,
+                found: 2,
+                ..
+            })
         ));
     }
 

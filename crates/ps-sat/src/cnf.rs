@@ -14,7 +14,10 @@ pub struct Literal {
 impl Literal {
     /// The positive literal of variable `var`.
     pub fn pos(var: usize) -> Self {
-        Literal { var, positive: true }
+        Literal {
+            var,
+            positive: true,
+        }
     }
 
     /// The negative literal of variable `var`.
@@ -78,9 +81,7 @@ impl Formula {
     /// Creates a formula, checking that every literal's variable is in range.
     pub fn new(num_vars: usize, clauses: Vec<Clause>) -> Self {
         assert!(
-            clauses
-                .iter()
-                .all(|c| c.0.iter().all(|l| l.var < num_vars)),
+            clauses.iter().all(|c| c.0.iter().all(|l| l.var < num_vars)),
             "clause mentions a variable outside the declared range"
         );
         Formula { num_vars, clauses }
@@ -148,7 +149,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside the declared range")]
     fn out_of_range_variables_are_rejected() {
-        let _ = Formula::new(1, vec![Clause([Literal::pos(0), Literal::pos(1), Literal::pos(0)])]);
+        let _ = Formula::new(
+            1,
+            vec![Clause([Literal::pos(0), Literal::pos(1), Literal::pos(0)])],
+        );
     }
 
     #[test]

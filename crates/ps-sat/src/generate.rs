@@ -12,7 +12,10 @@ use crate::{Clause, Formula, Literal};
 /// # Panics
 /// Panics if `num_vars < 3`.
 pub fn random_formula(num_vars: usize, num_clauses: usize, seed: u64) -> Formula {
-    assert!(num_vars >= 3, "need at least three variables for 3-literal clauses");
+    assert!(
+        num_vars >= 3,
+        "need at least three variables for 3-literal clauses"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let clauses = (0..num_clauses)
         .map(|_| {

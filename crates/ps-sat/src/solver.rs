@@ -6,7 +6,10 @@ use crate::Formula;
 /// implementation for the property tests; use [`nae_satisfiable`] elsewhere.
 pub fn nae_satisfiable_brute_force(formula: &Formula) -> bool {
     let n = formula.num_vars;
-    assert!(n < usize::BITS as usize, "too many variables for brute force");
+    assert!(
+        n < usize::BITS as usize,
+        "too many variables for brute force"
+    );
     (0u64..(1u64 << n)).any(|mask| {
         let assignment: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
         formula.nae_satisfied(&assignment)

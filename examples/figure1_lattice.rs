@@ -36,7 +36,9 @@ fn main() {
     println!("=== Checks from the figure ===");
     println!(
         "I ⊨ d:        {}",
-        fig.interpretation.satisfies_database(&fig.database).unwrap()
+        fig.interpretation
+            .satisfies_database(&fig.database)
+            .unwrap()
     );
     println!(
         "I ⊨ E:        {}",
@@ -72,15 +74,13 @@ fn main() {
     println!("modular:      {}", lattice.is_modular());
 
     // The specific non-distributivity instance called out in the figure.
-    let failing = parse_equation(
-        "B*(A+C) = (B*A)+(B*C)",
-        &mut fig.universe,
-        &mut fig.arena,
-    )
-    .unwrap();
+    let failing =
+        parse_equation("B*(A+C) = (B*A)+(B*C)", &mut fig.universe, &mut fig.arena).unwrap();
     println!(
         "\nB*(A+C) = (B*A)+(B*C) holds in I?  {}",
-        fig.interpretation.satisfies_pd(&fig.arena, failing).unwrap()
+        fig.interpretation
+            .satisfies_pd(&fig.arena, failing)
+            .unwrap()
     );
     println!(
         "…and in L(I)?                      {}",

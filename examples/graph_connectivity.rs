@@ -47,7 +47,10 @@ fn main() {
         num_components(&graph)
     );
     let (relation, encoding) = component_relation(&graph, &mut universe, &mut symbols, "G");
-    println!("Example e relation: {} tuples over (A, B, C)", relation.len());
+    println!(
+        "Example e relation: {} tuples over (A, B, C)",
+        relation.len()
+    );
 
     // 3. The relation satisfies C = A + B.
     let pd = connectivity_pd(&mut arena, &encoding);

@@ -38,7 +38,12 @@ fn main() {
         size.relations, size.tuples, size.attributes, size.fpds
     );
     println!("\nConstructed database d:");
-    println!("{}", reduction.database.render(&reduction.universe, &reduction.symbols));
+    println!(
+        "{}",
+        reduction
+            .database
+            .render(&reduction.universe, &reduction.symbols)
+    );
     println!("FPD set E:");
     for fpd in &reduction.fpds {
         println!("  {}", fpd.render(&reduction.universe));
@@ -52,7 +57,10 @@ fn main() {
     if let Some(witness) = &outcome.witness {
         let assignment = decode_assignment(&reduction, witness);
         println!("decoded assignment: {assignment:?}");
-        println!("NAE-satisfies the formula?  {}", figure3.nae_satisfied(&assignment));
+        println!(
+            "NAE-satisfies the formula?  {}",
+            figure3.nae_satisfied(&assignment)
+        );
         let interpretation = outcome.interpretation.as_ref().unwrap();
         println!(
             "witness interpretation: CAD = {}, EAP = {}",

@@ -38,10 +38,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let (constraint_texts, goal_texts): (Vec<String>, Vec<String>) =
         match args.iter().position(|a| a == "--") {
-            Some(split) => (
-                args[..split].to_vec(),
-                args[split + 1..].to_vec(),
-            ),
+            Some(split) => (args[..split].to_vec(), args[split + 1..].to_vec()),
             None if args.is_empty() => (
                 vec!["A=A*B".into(), "B=B*C".into(), "D=A+C".into()],
                 vec![

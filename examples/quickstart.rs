@@ -92,8 +92,14 @@ fn main() {
 
     let works = db.relation_named("Works").unwrap();
     let edges = db.relation_named("Edges").unwrap();
-    println!("\nWorks ⊨ Emp = Emp*Mgr?  {}", relation_satisfies_pd(works, &arena, constraints[0]).unwrap());
-    println!("Edges ⊨ Comp = Head+Tail?  {}", relation_satisfies_pd(edges, &arena, constraints[1]).unwrap());
+    println!(
+        "\nWorks ⊨ Emp = Emp*Mgr?  {}",
+        relation_satisfies_pd(works, &arena, constraints[0]).unwrap()
+    );
+    println!(
+        "Edges ⊨ Comp = Head+Tail?  {}",
+        relation_satisfies_pd(edges, &arena, constraints[1]).unwrap()
+    );
 
     // ------------------------------------------------------------------
     // 4. Consistency of the whole database with E (Theorem 12).
@@ -117,14 +123,13 @@ fn main() {
         outcome.sums.len()
     );
     if let Some(weak) = &outcome.weak_instance {
-        println!("  weak instance has {} rows over {} attributes", weak.len(), weak.scheme().arity());
-        let (repaired, converged) = repair_sum_violations(
-            weak,
-            &outcome.fds,
-            &outcome.sums,
-            &mut symbols,
-            16,
+        println!(
+            "  weak instance has {} rows over {} attributes",
+            weak.len(),
+            weak.scheme().arity()
         );
+        let (repaired, converged) =
+            repair_sum_violations(weak, &outcome.fds, &outcome.sums, &mut symbols, 16);
         println!(
             "  after Lemma 12.1 repair: {} rows (converged: {converged})",
             repaired.len()

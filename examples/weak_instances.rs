@@ -75,7 +75,10 @@ fn main() {
     // Open world: Theorem 6a — interpretation ⇔ weak instance ⇔ chase.
     // ------------------------------------------------------------------
     let witness = satisfiable_with_fpds(&db, &fpds, &mut symbols).unwrap();
-    println!("\nOpen-world consistent (Theorem 6a)?  {}", witness.satisfiable);
+    println!(
+        "\nOpen-world consistent (Theorem 6a)?  {}",
+        witness.satisfiable
+    );
     if let Some(weak) = &witness.weak_instance {
         println!("representative weak instance ({} rows):", weak.len());
         println!("{}", weak.render(&universe, &symbols));

@@ -37,7 +37,8 @@ fn theorem3a_holds_for_random_interpretations() {
         let mut world = World::new();
         let attrs = world.attrs(3);
         let interpretation = common::random_interpretation(&mut world, &attrs, 5, seed);
-        let relation = weak_instance_from_interpretation(&interpretation, &mut world.symbols).unwrap();
+        let relation =
+            weak_instance_from_interpretation(&interpretation, &mut world.symbols).unwrap();
         for (i, &x) in attrs.iter().enumerate() {
             for &y in attrs.iter().skip(i + 1) {
                 let fpd = Fpd::new(AttrSet::singleton(x), AttrSet::singleton(y));
@@ -120,7 +121,10 @@ fn characterization_i_and_iii_are_equivalent() {
             }
             ok
         };
-        assert_eq!(direct_i, chain_iii, "seed {seed}: (I) and (III) must coincide");
+        assert_eq!(
+            direct_i, chain_iii,
+            "seed {seed}: (I) and (III) must coincide"
+        );
     }
 }
 

@@ -26,7 +26,9 @@ impl World {
 
     /// Interns `n` attributes named `A0 … A(n-1)` and returns them.
     pub fn attrs(&mut self, n: usize) -> Vec<Attribute> {
-        (0..n).map(|i| self.universe.attr(&format!("A{i}"))).collect()
+        (0..n)
+            .map(|i| self.universe.attr(&format!("A{i}")))
+            .collect()
     }
 }
 
@@ -137,12 +139,7 @@ pub fn random_term(
 }
 
 /// A random PD (an equation between two random expressions).
-pub fn random_pd(
-    arena: &mut TermArena,
-    attrs: &[Attribute],
-    budget: usize,
-    seed: u64,
-) -> Equation {
+pub fn random_pd(arena: &mut TermArena, attrs: &[Attribute], budget: usize, seed: u64) -> Equation {
     let mut rng = StdRng::seed_from_u64(seed);
     let lhs = random_term(arena, attrs, budget, &mut rng);
     let rhs = random_term(arena, attrs, budget, &mut rng);

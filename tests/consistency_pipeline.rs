@@ -74,8 +74,12 @@ fn adding_sum_dependencies_never_destroys_consistency() {
         // Append C = A + B over random attributes.
         let sum_pd = {
             let a = world.arena.atom(db_attrs[(seed as usize) % db_attrs.len()]);
-            let b = world.arena.atom(db_attrs[(seed as usize + 1) % db_attrs.len()]);
-            let c = world.arena.atom(db_attrs[(seed as usize + 2) % db_attrs.len()]);
+            let b = world
+                .arena
+                .atom(db_attrs[(seed as usize + 1) % db_attrs.len()]);
+            let c = world
+                .arena
+                .atom(db_attrs[(seed as usize + 2) % db_attrs.len()]);
             let ab = world.arena.join(a, b);
             Equation::new(c, ab)
         };
@@ -96,13 +100,8 @@ fn adding_sum_dependencies_never_destroys_consistency() {
         if after.consistent {
             assert!(before.consistent, "seed {seed}");
             let weak = after.weak_instance.clone().unwrap();
-            let (repaired, converged) = repair_sum_violations(
-                &weak,
-                &after.fds,
-                &after.sums,
-                &mut world.symbols,
-                64,
-            );
+            let (repaired, converged) =
+                repair_sum_violations(&weak, &after.fds, &after.sums, &mut world.symbols, 64);
             assert!(converged, "seed {seed}");
             assert!(repaired.satisfies_all_fds(&after.fds), "seed {seed}");
             assert!(
@@ -156,7 +155,12 @@ fn normalization_is_conservative_over_the_original_attributes() {
             let meet = world.arena.meet(lhs_term, rhs_term);
             let goal = Equation::new(lhs_term, meet);
             assert!(
-                pd_implies(&world.arena, &normalized.equations, goal, Algorithm::Worklist),
+                pd_implies(
+                    &world.arena,
+                    &normalized.equations,
+                    goal,
+                    Algorithm::Worklist
+                ),
                 "closure added a non-consequence {}",
                 fd.render(&world.universe)
             );
@@ -190,7 +194,10 @@ fn pipeline_agrees_with_cad_when_cad_is_consistent() {
         )
         .unwrap();
         if cad.consistent {
-            assert!(open.consistent, "seed {seed}: CAD-consistent but open-world inconsistent");
+            assert!(
+                open.consistent,
+                "seed {seed}: CAD-consistent but open-world inconsistent"
+            );
         }
         if !open.consistent {
             assert!(!cad.consistent, "seed {seed}");
@@ -259,8 +266,17 @@ fn repair_is_idempotent_once_converged() {
     let (repaired, converged) =
         repair_sum_violations(&weak, &outcome.fds, &outcome.sums, &mut world.symbols, 32);
     assert!(converged);
-    let (again, converged_again) =
-        repair_sum_violations(&repaired, &outcome.fds, &outcome.sums, &mut world.symbols, 32);
+    let (again, converged_again) = repair_sum_violations(
+        &repaired,
+        &outcome.fds,
+        &outcome.sums,
+        &mut world.symbols,
+        32,
+    );
     assert!(converged_again);
-    assert_eq!(again.len(), repaired.len(), "no further tuples are added once converged");
+    assert_eq!(
+        again.len(),
+        repaired.len(),
+        "no further tuples are added once converged"
+    );
 }

@@ -14,7 +14,10 @@ use partition_semantics::prelude::*;
 fn figure1_interpretation_satisfies_everything_claimed() {
     let fig = fixtures::figure1();
     assert_eq!(fig.database.total_tuples(), 4);
-    assert!(fig.interpretation.satisfies_database(&fig.database).unwrap());
+    assert!(fig
+        .interpretation
+        .satisfies_database(&fig.database)
+        .unwrap());
     assert!(fig
         .interpretation
         .satisfies_all_pds(&fig.arena, &fig.dependencies)
@@ -29,9 +32,15 @@ fn figure1_lattice_is_not_distributive() {
     let lattice = InterpretationLattice::build(&fig.interpretation, 256).unwrap();
     assert!(!lattice.is_distributive());
     // The exact witness from the figure: B*(A+C) ≠ (B*A)+(B*C).
-    let witness = parse_equation("B*(A+C) = (B*A)+(B*C)", &mut fig.universe, &mut fig.arena).unwrap();
-    assert!(!lattice.satisfies_pd(&fig.arena, &fig.universe, witness).unwrap());
-    assert!(!fig.interpretation.satisfies_pd(&fig.arena, witness).unwrap());
+    let witness =
+        parse_equation("B*(A+C) = (B*A)+(B*C)", &mut fig.universe, &mut fig.arena).unwrap();
+    assert!(!lattice
+        .satisfies_pd(&fig.arena, &fig.universe, witness)
+        .unwrap());
+    assert!(!fig
+        .interpretation
+        .satisfies_pd(&fig.arena, witness)
+        .unwrap());
     // Sanity: the lattice axioms hold for L(I).
     assert!(lattice.lattice.check_axioms().is_ok());
 }
@@ -122,7 +131,14 @@ fn figure1_composite_scheme_meaning_is_discrete() {
     assert_eq!(meaning.num_blocks(), 4);
     let relation = &fig.database.relations()[0];
     for tuple in relation.iter() {
-        let denotation = fig.interpretation.meaning_of_tuple(relation, tuple).unwrap();
-        assert_eq!(denotation.len(), 1, "each Figure 1 tuple denotes a singleton");
+        let denotation = fig
+            .interpretation
+            .meaning_of_tuple(relation, tuple)
+            .unwrap();
+        assert_eq!(
+            denotation.len(),
+            1,
+            "each Figure 1 tuple denotes a singleton"
+        );
     }
 }

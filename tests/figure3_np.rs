@@ -27,6 +27,7 @@ fn figure3_shape_matches_the_paper() {
     let r1 = reduction.database.relation_named("R1").unwrap();
     assert_eq!(r1.len(), 1);
     assert_eq!(r1.scheme().arity(), 1 + 1 + 4); // A, A3, B0..B3
+
     // Its single tuple pins B0 = a0, B1 = a1, B2 = b2 (positive, positive,
     // negated) exactly as in the figure.
     let tuple = &r1.tuples()[0];
@@ -53,7 +54,9 @@ fn figure3_instance_is_consistent_and_decodes_to_a_nae_assignment() {
     assert!(formula.nae_satisfied(&assignment));
     // The witnessing interpretation satisfies d, E, CAD and EAP (Theorem 6b).
     let interpretation = outcome.interpretation.unwrap();
-    assert!(interpretation.satisfies_database(&reduction.database).unwrap());
+    assert!(interpretation
+        .satisfies_database(&reduction.database)
+        .unwrap());
     assert!(interpretation.satisfies_cad(&reduction.database).unwrap());
     assert!(interpretation.satisfies_eap());
 }
@@ -129,7 +132,10 @@ fn cad_consistency_is_antitone_in_the_constraint_and_clause_sets() {
         let weakened: Vec<Fpd> = reduction.fpds[..formula.num_vars].to_vec();
         let relaxed = consistent_with_cad_eap(&reduction.database, &weakened).unwrap();
         if full.consistent {
-            assert!(relaxed.consistent, "seed {seed}: removing constraints broke consistency");
+            assert!(
+                relaxed.consistent,
+                "seed {seed}: removing constraints broke consistency"
+            );
         }
 
         // Add one more clause: the extended reduction can only be less often
@@ -154,7 +160,13 @@ fn witness_cad_check_rejects_foreign_symbols() {
     let mut universe = Universe::new();
     let mut symbols = SymbolTable::new();
     let db = DatabaseBuilder::new()
-        .relation(&mut universe, &mut symbols, "R", &["A", "B"], &[&["a", "b"]])
+        .relation(
+            &mut universe,
+            &mut symbols,
+            "R",
+            &["A", "B"],
+            &[&["a", "b"]],
+        )
         .unwrap()
         .build();
     let mut witness = db.relations()[0].clone();

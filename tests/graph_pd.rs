@@ -5,8 +5,8 @@ mod common;
 
 use partition_semantics::core::connectivity::{
     chain_connected_within, components_via_partition_semantics, connectivity_pd,
-    num_components_via_partition_semantics, relation_encodes_components,
-    satisfies_sum_pd_directly, theorem4_path_relation, tuple_chain_distance,
+    num_components_via_partition_semantics, relation_encodes_components, satisfies_sum_pd_directly,
+    theorem4_path_relation, tuple_chain_distance,
 };
 use partition_semantics::graph::{
     components_union_find, cycle, edge_relation, gnp, grid, num_components, path, random_tree,
@@ -52,8 +52,7 @@ fn structured_graphs_satisfy_the_connectivity_pd() {
         let via_uf = components_union_find(&graph);
         assert!(same_partition(&via_pd, &via_uf), "{name}");
         assert_eq!(
-            num_components_via_partition_semantics(&relation, &mut world.arena, &encoding)
-                .unwrap(),
+            num_components_via_partition_semantics(&relation, &mut world.arena, &encoding).unwrap(),
             num_components(&graph),
             "{name}"
         );
@@ -77,8 +76,13 @@ fn merging_two_components_in_the_labelling_breaks_the_pd() {
             *label = target;
         }
     }
-    let (relation, encoding) =
-        edge_relation(&graph, &merged, &mut world.universe, &mut world.symbols, "merged");
+    let (relation, encoding) = edge_relation(
+        &graph,
+        &merged,
+        &mut world.universe,
+        &mut world.symbols,
+        "merged",
+    );
     assert!(!relation_encodes_components(&relation, &mut world.arena, &encoding).unwrap());
 
     // Splitting a component also breaks it.  (Vertex 1 is the smaller
@@ -86,8 +90,13 @@ fn merging_two_components_in_the_labelling_breaks_the_pd() {
     // edge's tuples in the Example e encoding.)
     let mut split = true_components;
     split[1] = 99;
-    let (relation, encoding) =
-        edge_relation(&graph, &split, &mut world.universe, &mut world.symbols, "split");
+    let (relation, encoding) = edge_relation(
+        &graph,
+        &split,
+        &mut world.universe,
+        &mut world.symbols,
+        "split",
+    );
     assert!(!relation_encodes_components(&relation, &mut world.arena, &encoding).unwrap());
 }
 
@@ -101,12 +110,8 @@ fn theorem4_chains_grow_linearly() {
         let b = world.universe.lookup("B").unwrap();
         let c = world.universe.lookup("C").unwrap();
         // The relation satisfies C = A + B …
-        let pd = partition_semantics::core::connectivity::connectivity_pd_for(
-            &mut world.arena,
-            c,
-            a,
-            b,
-        );
+        let pd =
+            partition_semantics::core::connectivity::connectivity_pd_for(&mut world.arena, c, a, b);
         assert!(relation_satisfies_pd(&relation, &world.arena, pd).unwrap());
         // … but the connecting chain for the extreme tuples has length
         // exactly i, monotonically defeating any fixed bound k.
@@ -116,7 +121,10 @@ fn theorem4_chains_grow_linearly() {
         assert!(distance > previous);
         previous = distance;
         for k in [0usize, 1, i / 2, i - 1] {
-            assert!(!chain_connected_within(&relation, a, b, 0, last, k), "i={i} k={k}");
+            assert!(
+                !chain_connected_within(&relation, a, b, 0, last, k),
+                "i={i} k={k}"
+            );
         }
     }
 }

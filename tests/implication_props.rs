@@ -105,7 +105,9 @@ fn implication_agrees_with_the_lattice_of_canonical_interpretations() {
             let pd = common::random_pd(&mut world.arena, &attrs, 4, seed * 1000 + probe);
             assert_eq!(
                 interpretation.satisfies_pd(&world.arena, pd).unwrap(),
-                lattice.satisfies_pd(&world.arena, &world.universe, pd).unwrap(),
+                lattice
+                    .satisfies_pd(&world.arena, &world.universe, pd)
+                    .unwrap(),
                 "Theorem 1 disagreement, seed {seed} probe {probe}"
             );
         }
@@ -191,7 +193,11 @@ fn fd_closure_variants_and_armstrong_axioms() {
         let reflexive = Fd::new(x.clone(), AttrSet::singleton(attrs[0]));
         assert!(fd_closure::implies(&fds, &reflexive));
         assert!(fd_implies_via_semigroup(&fds, &reflexive));
-        assert!(fd_implies_via_lattice(&fds, &reflexive, Algorithm::Worklist));
+        assert!(fd_implies_via_lattice(
+            &fds,
+            &reflexive,
+            Algorithm::Worklist
+        ));
     }
 }
 
@@ -282,21 +288,22 @@ fn free_order_variants_agree_and_known_laws_hold() {
         "A*B = B*A",
         "A+(B+C) = (A+B)+C",
         "A*A = A",
-        "(A*B)+(A*C) = ((A*B)+(A*C))*A",  // ≤ A folded into an equation
+        "(A*B)+(A*C) = ((A*B)+(A*C))*A", // ≤ A folded into an equation
     ];
-    let laws_false = [
-        "A = B",
-        "A*(B+C) = (A*B)+(A*C)",
-        "A+B = A*B",
-        "A = A*B",
-    ];
+    let laws_false = ["A = B", "A*(B+C) = (A*B)+(A*C)", "A+B = A*B", "A = A*B"];
     for text in laws_true {
         let pd = parse_equation(text, &mut world.universe, &mut world.arena).unwrap();
-        assert!(is_identity(&world.arena, pd), "{text} should be an identity");
+        assert!(
+            is_identity(&world.arena, pd),
+            "{text} should be an identity"
+        );
     }
     for text in laws_false {
         let pd = parse_equation(text, &mut world.universe, &mut world.arena).unwrap();
-        assert!(!is_identity(&world.arena, pd), "{text} should not be an identity");
+        assert!(
+            !is_identity(&world.arena, pd),
+            "{text} should not be an identity"
+        );
     }
     // The memoized and constant-space variants of ≤_id agree on random terms.
     let attrs = world.attrs(3);
@@ -348,12 +355,16 @@ fn non_implications_yield_verified_finite_countermodels() {
                 found += 1;
                 for &premise in &e {
                     assert!(
-                        model.satisfies(&world.arena, &world.universe, premise).unwrap(),
+                        model
+                            .satisfies(&world.arena, &world.universe, premise)
+                            .unwrap(),
                         "seed {seed}: countermodel violates a premise"
                     );
                 }
                 assert!(
-                    !model.satisfies(&world.arena, &world.universe, goal).unwrap(),
+                    !model
+                        .satisfies(&world.arena, &world.universe, goal)
+                        .unwrap(),
                     "seed {seed}: countermodel satisfies the goal"
                 );
                 assert!(model.lattice.check_axioms().is_ok(), "seed {seed}");
@@ -363,7 +374,10 @@ fn non_implications_yield_verified_finite_countermodels() {
             }
         }
     }
-    assert!(attempted > 10, "too few non-implications sampled ({attempted})");
+    assert!(
+        attempted > 10,
+        "too few non-implications sampled ({attempted})"
+    );
     assert!(
         found * 2 >= attempted,
         "the countermodel construction succeeded on only {found} of {attempted} non-implications"

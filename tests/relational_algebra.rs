@@ -79,9 +79,7 @@ fn selection_union_difference_preserve_fpd_satisfaction_when_expected() {
     });
     assert!(relation_satisfies_pd(&deduped, &world.arena, pd).unwrap());
     let scheme2 = deduped.scheme().clone();
-    let selected = algebra::select(&deduped, "sel", |t| {
-        t.get(&scheme2, attrs[2]).is_ok()
-    });
+    let selected = algebra::select(&deduped, "sel", |t| t.get(&scheme2, attrs[2]).is_ok());
     assert!(relation_satisfies_pd(&selected, &world.arena, pd).unwrap());
 
     // Difference of a relation with anything still satisfies the FPD; union
@@ -100,9 +98,21 @@ fn cartesian_product_and_rename_are_syntactic_as_the_paper_stresses() {
     // expected size and scheme regardless of the partition semantics.
     let mut world = World::new();
     let db = DatabaseBuilder::new()
-        .relation(&mut world.universe, &mut world.symbols, "R", &["A", "B"], &[&["a1", "b1"], &["a2", "b2"]])
+        .relation(
+            &mut world.universe,
+            &mut world.symbols,
+            "R",
+            &["A", "B"],
+            &[&["a1", "b1"], &["a2", "b2"]],
+        )
         .unwrap()
-        .relation(&mut world.universe, &mut world.symbols, "S", &["C", "D"], &[&["c1", "d1"], &["c2", "d2"], &["c3", "d3"]])
+        .relation(
+            &mut world.universe,
+            &mut world.symbols,
+            "S",
+            &["C", "D"],
+            &[&["c1", "d1"], &["c2", "d2"], &["c3", "d3"]],
+        )
         .unwrap()
         .build();
     let r = db.relation_named("R").unwrap();

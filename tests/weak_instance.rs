@@ -35,12 +35,18 @@ fn theorem6a_agrees_with_the_plain_chase_on_random_databases() {
             let interpretation = via_bridge.interpretation.unwrap();
             // The interpretation satisfies the database (Definition 2) and
             // every FPD (via Theorem 3b).
-            assert!(interpretation.satisfies_database(&db).unwrap(), "seed {seed}");
+            assert!(
+                interpretation.satisfies_database(&db).unwrap(),
+                "seed {seed}"
+            );
             assert!(interpretation.satisfies_eap());
             let mut arena = TermArena::new();
             for fpd in &fpds {
                 let pd = fpd.as_meet_equation(&mut arena);
-                assert!(interpretation.satisfies_pd(&arena, pd).unwrap(), "seed {seed}");
+                assert!(
+                    interpretation.satisfies_pd(&arena, pd).unwrap(),
+                    "seed {seed}"
+                );
             }
         }
     }
@@ -87,9 +93,21 @@ fn theorem6b_cad_requirement_matches_active_domain_equality() {
     // but a CAD weak instance exists because the existing constant can fill
     // the hole.
     let db = DatabaseBuilder::new()
-        .relation(&mut world.universe, &mut world.symbols, "R1", &["A", "B"], &[&["a", "b"]])
+        .relation(
+            &mut world.universe,
+            &mut world.symbols,
+            "R1",
+            &["A", "B"],
+            &[&["a", "b"]],
+        )
         .unwrap()
-        .relation(&mut world.universe, &mut world.symbols, "R2", &["B", "C"], &[&["b", "c"]])
+        .relation(
+            &mut world.universe,
+            &mut world.symbols,
+            "R2",
+            &["B", "C"],
+            &[&["b", "c"]],
+        )
         .unwrap()
         .build();
     let b = world.universe.lookup("B").unwrap();
@@ -128,7 +146,10 @@ fn definition7_matches_fd_satisfaction_on_weak_instances() {
         }
         let weak = witness.weak_instance.unwrap();
         let mut arena = TermArena::new();
-        let pds: Vec<Equation> = fpds.iter().map(|f| f.as_meet_equation(&mut arena)).collect();
+        let pds: Vec<Equation> = fpds
+            .iter()
+            .map(|f| f.as_meet_equation(&mut arena))
+            .collect();
         assert_eq!(
             weak.satisfies_all_fds(&fds_of_fpds(&fpds)),
             canonical::relation_satisfies_all_pds(&weak, &arena, &pds).unwrap(),
@@ -151,6 +172,10 @@ fn single_relation_databases_collapse_to_plain_fd_satisfaction() {
         db.add(relation.clone());
         let fpds = fpds_of_fds(&fds);
         let witness = satisfiable_with_fpds(&db, &fpds, &mut world.symbols).unwrap();
-        assert_eq!(witness.satisfiable, relation.satisfies_all_fds(&fds), "seed {seed}");
+        assert_eq!(
+            witness.satisfiable,
+            relation.satisfies_all_fds(&fds),
+            "seed {seed}"
+        );
     }
 }

@@ -1,0 +1,286 @@
+//! Offline stand-in for the subset of the
+//! [`criterion`](https://crates.io/crates/criterion) API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the surface its benches call: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! the `sample_size` / `warm_up_time` / `measurement_time` configuration
+//! methods, [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple: each benchmark runs `sample_size`
+//! timed batches and reports the mean and best per-iteration time to stdout.
+//! In `--test` mode (what `cargo bench -- --test` passes, and the mode CI's
+//! bench smoke job uses) every benchmark body runs exactly once, so benches
+//! are kept compiling and correct without paying measurement time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver; one per bench binary.
+#[derive(Default)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Builds a driver from the process's command-line arguments.
+    ///
+    /// Recognizes `--test` (run every benchmark body exactly once); other
+    /// flags are ignored; the first free argument becomes a substring filter
+    /// on benchmark ids, mirroring `cargo bench <filter>`.
+    pub fn from_args() -> Self {
+        let mut criterion = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                criterion.test_mode = true;
+            } else if !arg.starts_with('-') && criterion.filter.is_none() {
+                criterion.filter = Some(arg);
+            }
+        }
+        criterion
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// A named benchmark id, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`, as in the real crate.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed batches each benchmark records.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; this shim does not warm up.
+    pub fn warm_up_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Caps the total time spent measuring one benchmark.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Runs a benchmark with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkIdOrName>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().render();
+        self.run(&id, |bencher| body(bencher));
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut body: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.id.clone();
+        self.run(&id, |bencher| body(bencher, input));
+        self
+    }
+
+    /// Finishes the group (purely cosmetic in this shim).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, mut body: impl FnMut(&mut Bencher)) {
+        let full_id = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full_id) {
+            return;
+        }
+        if self.criterion.test_mode {
+            let mut bencher = Bencher {
+                iterations: 1,
+                elapsed: Duration::ZERO,
+            };
+            body(&mut bencher);
+            println!("test {full_id} ... ok");
+            return;
+        }
+        let deadline = Instant::now() + self.measurement_time;
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        let mut total_iterations = 0u64;
+        for sample in 0..self.sample_size {
+            let mut bencher = Bencher {
+                iterations: 8,
+                elapsed: Duration::ZERO,
+            };
+            body(&mut bencher);
+            total += bencher.elapsed;
+            total_iterations += bencher.iterations;
+            let per_iteration = bencher.elapsed / bencher.iterations.max(1) as u32;
+            best = best.min(per_iteration);
+            if Instant::now() > deadline && sample > 0 {
+                break;
+            }
+        }
+        let mean = total / total_iterations.max(1) as u32;
+        println!("bench {full_id:60} mean {mean:>12?}  best {best:>12?}");
+    }
+}
+
+/// Either a [`BenchmarkId`] or a plain string name (both appear in benches).
+pub struct BenchmarkIdOrName {
+    id: String,
+}
+
+impl BenchmarkIdOrName {
+    fn render(self) -> String {
+        self.id
+    }
+}
+
+impl From<&str> for BenchmarkIdOrName {
+    fn from(name: &str) -> Self {
+        BenchmarkIdOrName {
+            id: name.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkIdOrName {
+    fn from(id: String) -> Self {
+        BenchmarkIdOrName { id }
+    }
+}
+
+impl From<BenchmarkId> for BenchmarkIdOrName {
+    fn from(id: BenchmarkId) -> Self {
+        BenchmarkIdOrName { id: id.id }
+    }
+}
+
+/// Hands benchmark bodies a timing loop.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `body`, running it a driver-chosen number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring the real
+/// macro's positional form `criterion_group!(name, target, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary from one or more group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_to(n: u64) -> u64 {
+        (0..n).fold(0, |a, b| a.wrapping_add(b))
+    }
+
+    #[test]
+    fn groups_run_bodies_and_respect_test_mode() {
+        let mut criterion = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut runs = 0u32;
+        let mut group = criterion.benchmark_group("g");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(10));
+        group.bench_function("plain", |b| {
+            runs += 1;
+            b.iter(|| sum_to(100));
+        });
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+            runs += 1;
+            b.iter(|| sum_to(n));
+        });
+        group.finish();
+        assert_eq!(runs, 2, "test mode runs each body exactly once");
+    }
+
+    #[test]
+    fn filters_skip_non_matching_benchmarks() {
+        let mut criterion = Criterion {
+            test_mode: true,
+            filter: Some("match".into()),
+        };
+        let mut runs = 0u32;
+        let mut group = criterion.benchmark_group("g");
+        group.bench_function("match_this", |b| {
+            runs += 1;
+            b.iter(|| ());
+        });
+        group.bench_function("other", |b| {
+            runs += 1;
+            b.iter(|| ());
+        });
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+}

@@ -1,0 +1,587 @@
+//! Offline stand-in for the subset of the
+//! [`proptest`](https://crates.io/crates/proptest) API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the surface its property tests call:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`], [`prop_oneof!`],
+//! * the [`strategy::Strategy`] trait with `prop_map` and `prop_recursive`,
+//! * ranges and tuples of strategies, [`strategy::Just`],
+//!   [`collection::vec`], and [`strategy::BoxedStrategy`].
+//!
+//! Semantics are simplified relative to the real crate: inputs are generated
+//! from a deterministic per-test RNG (seeded from the test name), failures
+//! panic immediately, and **no shrinking** is performed. Each generated case
+//! is reported by index on failure so a reproduction is still easy — rerun
+//! the test; generation is fully deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Test configuration and the deterministic generator behind strategies.
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic splitmix64 generator used to drive strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator seeded from an arbitrary byte string (e.g. the test
+        /// name), so every property gets its own reproducible stream.
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the name.
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: hash }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `usize` in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: usize) -> usize {
+            assert!(bound > 0, "TestRng::below: zero bound");
+            (self.next_u64() % bound as u64) as usize
+        }
+
+        /// `true` with probability `p`.
+        pub fn chance(&mut self, p: f64) -> bool {
+            let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            unit < p
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and the combinators this workspace uses.
+
+    use crate::test_runner::TestRng;
+    use std::cell::RefCell;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// Depth budget handed to the top-level generation call; only
+    /// [`Strategy::prop_recursive`] strategies consult it.
+    pub const DEFAULT_DEPTH: u32 = 4;
+
+    /// Type-erased generation function backing [`BoxedStrategy`].
+    type GenFn<T> = Rc<dyn Fn(&mut TestRng, u32) -> T>;
+
+    /// A recipe for generating random values of an output type.
+    ///
+    /// Unlike the real crate there is no value tree and no shrinking: a
+    /// strategy simply produces a value from a [`TestRng`] and a remaining
+    /// recursion depth.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generates one value.
+        fn gen_value(&self, rng: &mut TestRng, depth: u32) -> Self::Value;
+
+        /// Maps generated values through `map`.
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, map }
+        }
+
+        /// Builds a recursive strategy: `recurse` receives a handle that
+        /// regenerates either a recursive case (while depth remains) or a
+        /// value of `self` (the leaf strategy).
+        ///
+        /// `desired_size` and `expected_branch_size` are accepted for
+        /// API compatibility and ignored; recursion is bounded by `depth`.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+        {
+            let leaf = self.boxed();
+            // `recurse` needs a strategy handle for "one level deeper" before
+            // that strategy exists, so the handle reads it out of a shared
+            // slot filled in just below.
+            type Slot<T> = Rc<RefCell<Option<GenFn<T>>>>;
+            let slot: Slot<Self::Value> = Rc::new(RefCell::new(None));
+            let handle = BoxedStrategy {
+                generate: Rc::new({
+                    let slot = Rc::clone(&slot);
+                    let leaf = leaf.clone();
+                    move |rng: &mut TestRng, depth: u32| {
+                        // Mix leaves in even while depth remains, so shapes of
+                        // every size are generated, not only maximal trees.
+                        if depth == 0 || rng.chance(0.25) {
+                            leaf.gen_value(rng, 0)
+                        } else {
+                            let expanded = slot
+                                .borrow()
+                                .as_ref()
+                                .expect("prop_recursive handle used during construction")
+                                .clone();
+                            expanded(rng, depth - 1)
+                        }
+                    }
+                }),
+            };
+            let expanded = recurse(handle);
+            let expanded: GenFn<Self::Value> =
+                Rc::new(move |rng, depth| expanded.gen_value(rng, depth));
+            *slot.borrow_mut() = Some(Rc::clone(&expanded));
+            BoxedStrategy {
+                generate: Rc::new(move |rng, _| expanded(rng, depth)),
+            }
+        }
+
+        /// Type-erases this strategy behind a cheaply clonable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy {
+                generate: Rc::new(move |rng, depth| self.gen_value(rng, depth)),
+            }
+        }
+    }
+
+    /// A type-erased, clonable strategy.
+    pub struct BoxedStrategy<T> {
+        generate: GenFn<T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                generate: Rc::clone(&self.generate),
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut TestRng, depth: u32) -> T {
+            (self.generate)(rng, depth)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn gen_value(&self, rng: &mut TestRng, depth: u32) -> O {
+            (self.map)(self.source.gen_value(rng, depth))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn gen_value(&self, _rng: &mut TestRng, _depth: u32) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between strategies; built by [`crate::prop_oneof!`].
+    #[derive(Clone)]
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `arms`; panics if `arms` is empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut TestRng, depth: u32) -> T {
+            let pick = rng.below(self.arms.len());
+            self.arms[pick].gen_value(rng, depth)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut TestRng, _depth: u32) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128) % span;
+                    ((self.start as i128) + offset as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut TestRng, _depth: u32) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty inclusive range strategy");
+                    let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                    let offset = (rng.next_u64() as u128) % span;
+                    ((lo as i128) + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn gen_value(&self, rng: &mut TestRng, _depth: u32) -> f64 {
+            assert!(self.start < self.end, "empty float range strategy");
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn gen_value(&self, rng: &mut TestRng, depth: u32) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.gen_value(rng, depth),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+}
+
+pub mod collection {
+    //! Strategies for collections (only `Vec` is needed here).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive range of collection sizes.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                lo: exact,
+                hi: exact,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty size range");
+            SizeRange {
+                lo: range.start,
+                hi: range.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(range: RangeInclusive<usize>) -> Self {
+            assert!(range.start() <= range.end(), "empty size range");
+            SizeRange {
+                lo: *range.start(),
+                hi: *range.end(),
+            }
+        }
+    }
+
+    /// A strategy for `Vec`s whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng, depth: u32) -> Vec<S::Value> {
+            let len = if self.size.lo == self.size.hi {
+                self.size.lo
+            } else {
+                self.size.lo + rng.below(self.size.hi - self.size.lo + 1)
+            };
+            (0..len)
+                .map(|_| self.element.gen_value(rng, depth))
+                .collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirror of the real crate's `prelude::prop` module path, so
+    /// `prop::collection::vec(...)` works after a glob import.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests.
+///
+/// Supported grammar (a strict subset of the real macro):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
+///
+///     #[test]
+///     fn my_property(x in 0u32..10, v in prop::collection::vec(0usize..5, 3)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::test_runner::Config as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut rng = $crate::test_runner::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for case_index in 0..config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::gen_value(
+                        &($strategy),
+                        &mut rng,
+                        $crate::strategy::DEFAULT_DEPTH,
+                    );
+                )+
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed (deterministic; rerun to reproduce)",
+                        case_index + 1,
+                        config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property; panics (failing the case) if false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+///
+/// Expands to an early `return` from the enclosing case closure, so it must
+/// appear in the test body's statement position (as in the real crate's
+/// common usage).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(u8),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(l, r) => 1 + depth(l).max(depth(r)),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_vecs(x in 2usize..7, v in prop::collection::vec(0u32..=3, 0..5)) {
+            prop_assert!((2..7).contains(&x));
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|&e| e <= 3));
+        }
+
+        #[test]
+        fn maps_and_tuples(pair in (0u8..4, 0u8..4).prop_map(|(a, b)| (a, b))) {
+            prop_assert!(pair.0 < 4 && pair.1 < 4);
+            prop_assume!(pair.0 != pair.1);
+            prop_assert_ne!(pair.0, pair.1);
+        }
+
+        #[test]
+        fn recursive_trees_respect_the_depth_budget(
+            t in (0u8..10).prop_map(Tree::Leaf).prop_recursive(3, 16, 2, |inner| {
+                prop_oneof![
+                    (inner.clone(), inner).prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r))),
+                ]
+            })
+        ) {
+            prop_assert!(depth(&t) <= 4);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = crate::collection::vec(0u64..100, 4);
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        assert_eq!(strat.gen_value(&mut a, 4), strat.gen_value(&mut b, 4));
+    }
+}
