@@ -75,6 +75,56 @@ fn bench_partition_sum(c: &mut Criterion) {
     group.finish();
 }
 
+/// Bulk entry points versus pairwise folds: `product_many`/`sum_many` fold
+/// k operands through one reused accumulator / one shared union–find, versus
+/// the k − 1 freshly allocated intermediates of the naive chain.
+fn bench_bulk_partition_ops(c: &mut Criterion) {
+    use ps_partition::Partition;
+
+    let mut group = c.benchmark_group("E7_ablation/bulk_ops");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for population in [256u32, 1024, 4096] {
+        let parts = random_partitions(population, (population / 8).max(2) as usize, 6, 5);
+        let refs: Vec<&Partition> = parts.iter().collect();
+        group.bench_with_input(
+            BenchmarkId::new("product_many", population),
+            &population,
+            |b, _| b.iter(|| Partition::product_many(refs.iter().copied())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("product_pairwise", population),
+            &population,
+            |b, _| {
+                b.iter(|| {
+                    parts[1..]
+                        .iter()
+                        .fold(parts[0].clone(), |acc, p| acc.product(p))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sum_many", population),
+            &population,
+            |b, _| b.iter(|| Partition::sum_many(refs.iter().copied())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sum_pairwise", population),
+            &population,
+            |b, _| {
+                b.iter(|| {
+                    parts[1..]
+                        .iter()
+                        .fold(parts[0].clone(), |acc, p| acc.sum(p))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_free_order_variants(c: &mut Criterion) {
     let mut group = c.benchmark_group("E7_ablation/free_order");
     group
@@ -97,6 +147,7 @@ criterion_group!(
     benches,
     bench_alg_strategies,
     bench_partition_sum,
+    bench_bulk_partition_ops,
     bench_free_order_variants
 );
 criterion_main!(benches);

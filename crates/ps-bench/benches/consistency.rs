@@ -8,13 +8,19 @@
 //! The reproduced shape: all three grow polynomially with the number of
 //! tuples; the pipeline's overhead over the plain chase is the closure
 //! computation, which depends only on the constraint set.
+//!
+//! A second group runs the Theorem 1 lattice-closure fixture on the flat
+//! partition kernel, comparing the incremental frontier saturation against
+//! full recombination (the wall-clock companion of the operation-counter
+//! test in `ps_bench`'s unit tests).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ps_bench::consistency_workload;
+use ps_bench::{consistency_workload, lattice_closure_generators};
 use ps_core::consistency::consistent_with_pds;
 use ps_core::weak_bridge::satisfiable_with_fpds;
 use ps_core::Fpd;
 use ps_lattice::Algorithm;
+use ps_partition::{close_under_ops, close_under_ops_naive};
 use ps_relation::consistency::weak_instance_consistent;
 use ps_relation::Fd;
 use std::time::Duration;
@@ -77,5 +83,27 @@ fn bench_consistency(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_consistency);
+fn bench_lattice_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_consistency/lattice_closure");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for population in [6u32, 8, 10] {
+        let generators = lattice_closure_generators(population, 3, 17);
+        group.bench_with_input(
+            BenchmarkId::new("incremental_frontier", population),
+            &population,
+            |b, _| b.iter(|| close_under_ops(&generators, 1_000_000)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_recombination", population),
+            &population,
+            |b, _| b.iter(|| close_under_ops_naive(&generators, 1_000_000)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_consistency, bench_lattice_closure);
 criterion_main!(benches);

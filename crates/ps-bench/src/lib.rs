@@ -311,6 +311,67 @@ pub fn random_partitions(
         .collect()
 }
 
+/// Generator partitions whose product/sum closure strictly extends them — the
+/// lattice-closure fixture used to compare the incremental frontier
+/// saturation of [`ps_partition::close_under_ops`] against the
+/// full-recombination reference [`ps_partition::close_under_ops_naive`] by
+/// operation count.
+///
+/// The generators are random partitions of a small common population with
+/// few blocks each, which makes new products and sums very likely (and on
+/// the seeds used by the benches, certain).
+pub fn lattice_closure_generators(
+    population: u32,
+    generators: usize,
+    seed: u64,
+) -> Vec<ps_partition::Partition> {
+    let blocks = (population as usize / 2).max(2);
+    random_partitions(population, blocks, generators, seed)
+}
+
+/// A random partition interpretation over `attrs`, all sharing the
+/// population `{0, …, population-1}` — the model against which the identity
+/// bench evaluates PDs through the flat partition kernel.
+pub fn random_interpretation(
+    universe: &mut Universe,
+    symbols: &mut SymbolTable,
+    attrs: &[&str],
+    population: u32,
+    blocks: usize,
+    seed: u64,
+) -> ps_core::PartitionInterpretation {
+    assert!(
+        blocks >= 1 && blocks as u32 <= population,
+        "need between 1 and `population` blocks"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut interpretation = ps_core::PartitionInterpretation::new();
+    for (idx, name) in attrs.iter().enumerate() {
+        let attribute = universe.attr(name);
+        // Guarantee every block id occurs so the naming is a bijection: the
+        // first `blocks` elements get their own block id, the rest go to a
+        // uniformly random block.
+        let mut by_block: Vec<Vec<u32>> = vec![Vec::new(); blocks];
+        for e in 0..population {
+            let b = if e < blocks as u32 {
+                e as usize
+            } else {
+                rng.gen_range(0..blocks)
+            };
+            by_block[b].push(e);
+        }
+        let named: Vec<(ps_base::Symbol, Vec<u32>)> = by_block
+            .into_iter()
+            .enumerate()
+            .map(|(b, elems)| (symbols.symbol(&format!("s{idx}_{b}")), elems))
+            .collect();
+        interpretation
+            .set_named_blocks(attribute, named)
+            .expect("generated blocks are disjoint and non-empty");
+    }
+    interpretation
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,5 +442,48 @@ mod tests {
         assert!(parts
             .windows(2)
             .all(|pair| pair[0].population() == pair[1].population()));
+    }
+
+    /// The acceptance gate for the incremental frontier closure: on a
+    /// closure fixture that actually grows, the frontier strategy performs
+    /// strictly fewer product/sum evaluations than full recombination while
+    /// producing the same lattice.
+    #[test]
+    fn incremental_closure_does_strictly_less_work_than_recombination() {
+        use std::collections::HashSet;
+
+        for seed in [3u64, 11, 29] {
+            let generators = lattice_closure_generators(8, 3, seed);
+            let (incremental, fast) = ps_partition::close_under_ops(&generators, 10_000);
+            let (naive, slow) = ps_partition::close_under_ops_naive(&generators, 10_000);
+            let a: HashSet<_> = incremental.iter().cloned().collect();
+            let b: HashSet<_> = naive.iter().cloned().collect();
+            assert_eq!(a, b, "strategies must agree on the closure (seed {seed})");
+            assert!(
+                fast.size > generators.len(),
+                "fixture must actually grow (seed {seed})"
+            );
+            assert!(
+                fast.operations < slow.operations,
+                "frontier closure must do strictly less pairwise work \
+                 (seed {seed}: {} vs {})",
+                fast.operations,
+                slow.operations
+            );
+            // The frontier strategy touches each unordered pair exactly once.
+            assert_eq!(fast.operations, fast.size * (fast.size + 1));
+        }
+    }
+
+    #[test]
+    fn random_interpretation_is_well_formed() {
+        let mut universe = Universe::new();
+        let mut symbols = SymbolTable::new();
+        let interp = random_interpretation(&mut universe, &mut symbols, &["A", "B", "C"], 16, 4, 5);
+        assert_eq!(interp.len(), 3);
+        assert!(interp.satisfies_eap());
+        for attr in interp.attributes().collect::<Vec<_>>() {
+            assert_eq!(interp.require(attr).unwrap().atomic().num_blocks(), 4);
+        }
     }
 }

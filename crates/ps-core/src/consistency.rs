@@ -90,6 +90,19 @@ fn push_fd(fds: &mut Vec<Fd>, lhs: AttrSet, rhs: AttrSet) {
 /// `C = A * B` contributes the FDs `C → AB` and `AB → C`; `C = A + B`
 /// contributes the FDs `A → C`, `B → C` and the residual constraint
 /// `C ≤ A + B`; `X = Y` contributes `X → Y` and `Y → X`.
+///
+/// ```
+/// use ps_base::Universe;
+/// use ps_core::consistency::normalize_pds;
+/// use ps_lattice::{parse_equation, TermArena};
+///
+/// let mut universe = Universe::new();
+/// let mut arena = TermArena::new();
+/// let pds = vec![parse_equation("D = A+B", &mut universe, &mut arena).unwrap()];
+/// let normalized = normalize_pds(&pds, &mut arena, &mut universe);
+/// assert_eq!(normalized.definitions.len(), 1); // one fresh attribute for A+B
+/// assert_eq!(normalized.sums.len(), 1);        // the residual _t ≤ A + B
+/// ```
 pub fn normalize_pds(
     pds: &[Equation],
     arena: &mut TermArena,
@@ -272,6 +285,38 @@ pub struct ConsistencyOutcome {
 
 /// Theorem 12: polynomial-time consistency of a database with an arbitrary
 /// set of PDs.  Normalizes, closes and chases in one call.
+///
+/// ```
+/// use ps_base::{SymbolTable, Universe};
+/// use ps_core::consistency::consistent_with_pds;
+/// use ps_lattice::{parse_equation, Algorithm, TermArena};
+/// use ps_relation::DatabaseBuilder;
+///
+/// let mut universe = Universe::new();
+/// let mut symbols = SymbolTable::new();
+/// let mut arena = TermArena::new();
+/// let db = DatabaseBuilder::new()
+///     .relation(&mut universe, &mut symbols, "R", &["A", "B"],
+///               &[&["a", "b1"], &["a", "b2"]])
+///     .unwrap()
+///     .build();
+/// // A = A*B is the FPD for A → B, which the two rows violate (same a,
+/// // different b): inconsistent.
+/// let violated = vec![parse_equation("A = A*B", &mut universe, &mut arena).unwrap()];
+/// let outcome = consistent_with_pds(
+///     &db, &violated, &mut arena, &mut universe, &mut symbols, Algorithm::Worklist,
+/// ).unwrap();
+/// assert!(!outcome.consistent);
+///
+/// // The reverse direction B → A is satisfied: consistent, with a weak
+/// // instance to witness it.
+/// let satisfied = vec![parse_equation("B = B*A", &mut universe, &mut arena).unwrap()];
+/// let outcome = consistent_with_pds(
+///     &db, &satisfied, &mut arena, &mut universe, &mut symbols, Algorithm::Worklist,
+/// ).unwrap();
+/// assert!(outcome.consistent);
+/// assert!(outcome.weak_instance.is_some());
+/// ```
 pub fn consistent_with_pds(
     db: &Database,
     pds: &[Equation],

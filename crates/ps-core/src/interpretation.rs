@@ -114,9 +114,7 @@ impl AttributeInterpretation {
 
     /// The meaning `f_A(symbol)`: the named block, or `None` (meaning `∅`).
     pub fn block_of_symbol(&self, symbol: Symbol) -> Option<&[Element]> {
-        self.naming
-            .get(&symbol)
-            .map(|&idx| self.atomic.blocks()[idx].as_slice())
+        self.naming.get(&symbol).map(|&idx| self.atomic.block(idx))
     }
 
     /// The symbol naming a given block index, if any.
@@ -202,17 +200,20 @@ impl PartitionInterpretation {
     }
 
     /// The meaning of a relation scheme `R[U]`: the product of the atomic
-    /// partitions of its attributes (Section 3.1).
+    /// partitions of its attributes (Section 3.1), computed with the bulk
+    /// entry point [`Partition::product_many`] (one in-place refinement per
+    /// attribute, no intermediate partitions).
     pub fn meaning_of_scheme(&self, attrs: &ps_base::AttrSet) -> Result<Partition> {
-        let mut iter = attrs.iter();
-        let first = iter.next().ok_or(CoreError::Relation(
-            ps_relation::RelationError::EmptyAttributeSet("relation scheme"),
-        ))?;
-        let mut acc = self.require(first)?.atomic().clone();
-        for a in iter {
-            acc = acc.product(self.require(a)?.atomic());
+        if attrs.is_empty() {
+            return Err(CoreError::Relation(
+                ps_relation::RelationError::EmptyAttributeSet("relation scheme"),
+            ));
         }
-        Ok(acc)
+        let atomics = attrs
+            .iter()
+            .map(|a| self.require(a).map(AttributeInterpretation::atomic))
+            .collect::<Result<Vec<&Partition>>>()?;
+        Ok(Partition::product_many(atomics))
     }
 
     /// The meaning of a tuple: the intersection `⋂_{A ∈ U} f_A(t[A])`
@@ -340,7 +341,9 @@ impl PartitionInterpretation {
                     format!(
                         "f_{name}({}) = {{{}}}",
                         symbols.render(s),
-                        interp.atomic().blocks()[b]
+                        interp
+                            .atomic()
+                            .block(b)
                             .iter()
                             .map(|e| e.to_string())
                             .collect::<Vec<_>>()

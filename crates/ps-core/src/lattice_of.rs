@@ -7,6 +7,14 @@
 //! attributes to lattice elements), which is how the Figure 1
 //! (non-distributivity) and Figure 2 / Theorem 5 (isomorphic lattices)
 //! reproductions inspect interpretations.
+//!
+//! `L(I)` is grown *incrementally*: [`ps_partition::close_under_ops`] keeps a
+//! frontier of partitions discovered in the previous saturation round and
+//! combines only frontier × known pairs, deduplicating candidates by the
+//! hash of their flat label vectors.  The number of product/sum evaluations
+//! this needed is reported in [`InterpretationLattice::stats`], which the
+//! `ps-bench` lattice-closure fixture compares against the full-recombination
+//! strategy ([`ps_partition::close_under_ops_naive`]).
 
 use std::collections::HashMap;
 
@@ -31,8 +39,38 @@ pub struct InterpretationLattice {
 
 impl InterpretationLattice {
     /// Builds `L(I)` by closing the atomic partitions of `interpretation`
-    /// under product and sum.  `max_size` caps the closure size (the
-    /// lattices arising from the paper's interpretations are tiny).
+    /// under product and sum with the incremental frontier strategy.
+    /// `max_size` caps the closure size (the lattices arising from the
+    /// paper's interpretations are tiny).
+    ///
+    /// ```
+    /// use ps_base::{SymbolTable, Universe};
+    /// use ps_core::lattice_of::InterpretationLattice;
+    /// use ps_core::PartitionInterpretation;
+    ///
+    /// // The Figure 1 interpretation: three atomic partitions of {1,2,3,4}.
+    /// let mut universe = Universe::new();
+    /// let mut symbols = SymbolTable::new();
+    /// let mut interp = PartitionInterpretation::new();
+    /// interp.set_named_blocks(universe.attr("A"), vec![
+    ///     (symbols.symbol("a"), vec![1]),
+    ///     (symbols.symbol("a1"), vec![4]),
+    ///     (symbols.symbol("a2"), vec![2, 3]),
+    /// ]).unwrap();
+    /// interp.set_named_blocks(universe.attr("B"), vec![
+    ///     (symbols.symbol("b"), vec![1, 4]),
+    ///     (symbols.symbol("b1"), vec![2, 3]),
+    /// ]).unwrap();
+    /// interp.set_named_blocks(universe.attr("C"), vec![
+    ///     (symbols.symbol("c"), vec![1, 2]),
+    ///     (symbols.symbol("c1"), vec![3, 4]),
+    /// ]).unwrap();
+    ///
+    /// let lattice = InterpretationLattice::build(&interp, 256).unwrap();
+    /// assert!(lattice.len() >= 5);          // L(I) strictly extends the generators
+    /// assert!(!lattice.is_distributive());  // Figure 1's lattice is not distributive
+    /// assert_eq!(lattice.constants.len(), 3);
+    /// ```
     pub fn build(interpretation: &PartitionInterpretation, max_size: usize) -> Result<Self> {
         let attributes: Vec<Attribute> = interpretation.attributes().collect();
         let generators: Vec<Partition> = attributes
@@ -47,14 +85,18 @@ impl InterpretationLattice {
         let lattice =
             FiniteLattice::from_leq(partitions.len(), |i, j| partitions[i].leq(&partitions[j]))
                 .map_err(crate::CoreError::Lattice)?;
+        // Index the closure by label-vector hash so each constant lookup is
+        // O(1) instead of a scan over canonical block structure.
+        let index_of: HashMap<&Partition, usize> = partitions
+            .iter()
+            .enumerate()
+            .map(|(idx, p)| (p, idx))
+            .collect();
         let constants = attributes
             .iter()
             .map(|&a| {
                 let atomic = interpretation.require(a).expect("checked above").atomic();
-                let idx = partitions
-                    .iter()
-                    .position(|p| p == atomic)
-                    .expect("generators are in the closure");
+                let idx = *index_of.get(atomic).expect("generators are in the closure");
                 (a, idx)
             })
             .collect();

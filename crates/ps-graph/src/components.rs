@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use ps_partition::UnionFind;
+use ps_partition::{Element, Partition, UnionFind};
 
 use crate::UndirectedGraph;
 
@@ -45,6 +45,32 @@ pub fn components_bfs(graph: &UndirectedGraph) -> Vec<usize> {
         }
     }
     component
+}
+
+/// The connected components as a [`Partition`] of the vertex set — the
+/// partition the PD `C = A + B` of Example e denotes.  Built directly from
+/// the union–find labels through the flat partition kernel (no intermediate
+/// nested block lists).
+///
+/// ```
+/// use ps_graph::{components_partition, UndirectedGraph};
+/// use ps_partition::Partition;
+/// let mut g = UndirectedGraph::new(4);
+/// g.add_edge(0, 1);
+/// g.add_edge(2, 3);
+/// assert_eq!(
+///     components_partition(&g),
+///     Partition::from_blocks(vec![vec![0, 1], vec![2, 3]]).unwrap(),
+/// );
+/// ```
+pub fn components_partition(graph: &UndirectedGraph) -> Partition {
+    let components = components_union_find(graph);
+    Partition::from_keys(
+        components
+            .into_iter()
+            .enumerate()
+            .map(|(v, c)| (Element::new(v as u32), c)),
+    )
 }
 
 /// Number of connected components.
@@ -107,6 +133,23 @@ mod tests {
         let g = UndirectedGraph::new(3);
         assert_eq!(num_components(&g), 3);
         assert_eq!(components_union_find(&g), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn components_partition_agrees_with_component_ids() {
+        let g = sample_graph();
+        let partition = components_partition(&g);
+        let ids = components_union_find(&g);
+        assert_eq!(partition.num_blocks(), num_components(&g));
+        for u in 0..g.num_vertices() {
+            for v in 0..g.num_vertices() {
+                assert_eq!(
+                    partition.same_block(Element::new(u as u32), Element::new(v as u32)),
+                    ids[u] == ids[v],
+                    "vertices {u} and {v}"
+                );
+            }
+        }
     }
 
     #[test]

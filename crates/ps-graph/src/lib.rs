@@ -23,7 +23,9 @@ mod encode;
 mod generate;
 mod graph;
 
-pub use components::{components_bfs, components_union_find, num_components, same_component};
+pub use components::{
+    components_bfs, components_partition, components_union_find, num_components, same_component,
+};
 pub use encode::{component_relation, edge_relation, GraphEncoding};
 pub use generate::{cycle, gnp, grid, path, random_tree};
 pub use graph::UndirectedGraph;

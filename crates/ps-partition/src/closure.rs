@@ -6,30 +6,46 @@
 //! [`close_under_ops`] computes this closure for any finite family of
 //! partitions (the generating family is small in all of the paper's uses —
 //! one partition per attribute).
+//!
+//! # Incremental frontier saturation
+//!
+//! [`close_under_ops`] grows the closure *semi-naively*: it keeps a frontier
+//! of partitions discovered in the previous round and, per round, combines
+//! only `frontier × known` pairs (each unordered pair exactly once).  A pair
+//! of old elements was already combined in an earlier round, so re-pairing
+//! it can never contribute anything new — the incremental strategy reaches
+//! the same fixpoint while evaluating every unordered pair at most once,
+//! whereas the textbook recombination loop ([`close_under_ops_naive`])
+//! re-evaluates all pairs every round.  Deduplication hashes the flat label
+//! vector of each candidate (`Partition`'s `Hash` is the label vector), so
+//! membership tests never compare nested block structure.
 
 use std::collections::HashSet;
 
 use crate::Partition;
 
 /// Statistics about a closure computation, returned alongside the closure by
-/// [`close_under_ops`].
+/// [`close_under_ops`] and [`close_under_ops_naive`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ClosureStats {
     /// Number of generator partitions supplied.
     pub generators: usize,
     /// Number of distinct partitions in the closure.
     pub size: usize,
-    /// Number of product/sum evaluations performed.
+    /// Number of product/sum evaluations performed.  This is the operation
+    /// counter the `ps-bench` lattice-closure fixture compares across
+    /// saturation strategies.
     pub operations: usize,
     /// Number of saturation rounds until fixpoint.
     pub rounds: usize,
 }
 
-/// Closes `generators` under partition product and sum.
+/// Closes `generators` under partition product and sum with the incremental
+/// frontier strategy (see the module docs).
 ///
-/// Returns the closure (with the generators first, in their given order,
-/// followed by newly generated partitions in discovery order) and statistics
-/// about the computation.
+/// Returns the closure (with the distinct generators first, in their given
+/// order, followed by newly generated partitions in discovery order) and
+/// statistics about the computation.
 ///
 /// The closure of `k` partitions of an `n`-element population has at most as
 /// many elements as the full partition lattice of the population, but in the
@@ -37,7 +53,92 @@ pub struct ClosureStats {
 /// it stays tiny.  A `max_size` cap guards against pathological inputs; the
 /// function panics if the cap is exceeded, since all callers in this
 /// workspace use it on small interpretations.
+///
+/// ```
+/// use ps_partition::{close_under_ops, Partition};
+/// let gens = vec![
+///     Partition::from_blocks(vec![vec![1], vec![4], vec![2, 3]]).unwrap(),
+///     Partition::from_blocks(vec![vec![1, 4], vec![2, 3]]).unwrap(),
+///     Partition::from_blocks(vec![vec![1, 2], vec![3, 4]]).unwrap(),
+/// ];
+/// let (closure, stats) = close_under_ops(&gens, 1000);
+/// assert!(closure.len() >= 5); // Figure 1's L(I) strictly extends the generators
+/// assert_eq!(stats.size, closure.len());
+/// // The closure is closed under both operations.
+/// for a in &closure {
+///     for b in &closure {
+///         assert!(closure.contains(&a.product(b)));
+///         assert!(closure.contains(&a.sum(b)));
+///     }
+/// }
+/// ```
 pub fn close_under_ops(
+    generators: &[Partition],
+    max_size: usize,
+) -> (Vec<Partition>, ClosureStats) {
+    let mut stats = ClosureStats {
+        generators: generators.len(),
+        ..ClosureStats::default()
+    };
+    let mut elements: Vec<Partition> = Vec::new();
+    let mut seen: HashSet<Partition> = HashSet::new();
+    for g in generators {
+        if seen.insert(g.clone()) {
+            elements.push(g.clone());
+        }
+    }
+    // The initial frontier is the whole (deduplicated) generator family.
+    let mut frontier_start = 0usize;
+    while frontier_start < elements.len() {
+        stats.rounds += 1;
+        let frontier_end = elements.len();
+        // Every unordered pair with at least one endpoint in the frontier
+        // [frontier_start, frontier_end): i ranges over the frontier, j over
+        // everything up to and including i.
+        for i in frontier_start..frontier_end {
+            for j in 0..=i {
+                let prod = elements[i].product(&elements[j]);
+                let sum = elements[i].sum(&elements[j]);
+                stats.operations += 2;
+                for candidate in [prod, sum] {
+                    if !seen.contains(&candidate) {
+                        seen.insert(candidate.clone());
+                        elements.push(candidate);
+                        // Check the cap as soon as it is crossed, so memory
+                        // never overshoots it by a whole round's discoveries.
+                        assert!(
+                            elements.len() <= max_size,
+                            "partition closure exceeded the size cap of {max_size} elements"
+                        );
+                    }
+                }
+            }
+        }
+        frontier_start = frontier_end;
+    }
+    stats.size = elements.len();
+    (elements, stats)
+}
+
+/// The textbook saturation loop: recombine **all** pairs every round until a
+/// round discovers nothing.  Same closure as [`close_under_ops`], but each
+/// round re-evaluates every pair already tried in earlier rounds, so its
+/// [`ClosureStats::operations`] count is strictly larger whenever the
+/// closure grows at all.  Retained as the reference implementation for the
+/// `ps-bench` ablation fixture.
+///
+/// ```
+/// use ps_partition::{close_under_ops, close_under_ops_naive, Partition};
+/// let gens = vec![
+///     Partition::from_blocks(vec![vec![1], vec![4], vec![2, 3]]).unwrap(),
+///     Partition::from_blocks(vec![vec![1, 2], vec![3, 4]]).unwrap(),
+/// ];
+/// let (incremental, fast) = close_under_ops(&gens, 1000);
+/// let (full, slow) = close_under_ops_naive(&gens, 1000);
+/// assert_eq!(incremental, full);
+/// assert!(fast.operations < slow.operations);
+/// ```
+pub fn close_under_ops_naive(
     generators: &[Partition],
     max_size: usize,
 ) -> (Vec<Partition>, ClosureStats) {
@@ -162,5 +263,48 @@ mod tests {
             part(vec![vec![1, 3], vec![2], vec![4]]),
         ];
         let _ = close_under_ops(&gens, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "size cap")]
+    fn naive_cap_is_enforced() {
+        let gens = vec![
+            part(vec![vec![1], vec![2], vec![3, 4]]),
+            part(vec![vec![1, 2], vec![3], vec![4]]),
+            part(vec![vec![1, 3], vec![2], vec![4]]),
+        ];
+        let _ = close_under_ops_naive(&gens, 2);
+    }
+
+    #[test]
+    fn incremental_and_naive_closures_agree() {
+        let gens = vec![
+            part(vec![vec![1], vec![4], vec![2, 3]]),
+            part(vec![vec![1, 4], vec![2, 3]]),
+            part(vec![vec![1, 2], vec![3, 4]]),
+        ];
+        let (incremental, fast) = close_under_ops(&gens, 1000);
+        let (naive, slow) = close_under_ops_naive(&gens, 1000);
+        let a: HashSet<_> = incremental.iter().cloned().collect();
+        let b: HashSet<_> = naive.iter().cloned().collect();
+        assert_eq!(a, b);
+        assert_eq!(fast.size, slow.size);
+        // The closure grows beyond the generators, so the incremental
+        // strategy must do strictly less pairwise work.
+        assert!(fast.size > gens.len());
+        assert!(fast.operations < slow.operations);
+    }
+
+    #[test]
+    fn incremental_touches_each_unordered_pair_once() {
+        let gens = vec![
+            part(vec![vec![1], vec![4], vec![2, 3]]),
+            part(vec![vec![1, 4], vec![2, 3]]),
+            part(vec![vec![1, 2], vec![3, 4]]),
+        ];
+        let (closure, stats) = close_under_ops(&gens, 1000);
+        let n = closure.len();
+        // 2 ops (product + sum) per unordered pair incl. self-pairs.
+        assert_eq!(stats.operations, n * (n + 1));
     }
 }

@@ -75,6 +75,25 @@ impl Population {
         self.items.binary_search(&e).is_ok()
     }
 
+    /// The position of `e` in the ascending element order, if present.  This
+    /// is the index the flat partition kernel uses into its label vector.
+    ///
+    /// ```
+    /// use ps_partition::{Element, Population};
+    /// let pop: Population = vec![2u32, 5, 9].into();
+    /// assert_eq!(pop.position(Element::new(5)), Some(1));
+    /// assert_eq!(pop.position(Element::new(3)), None);
+    /// ```
+    pub fn position(&self, e: Element) -> Option<usize> {
+        self.items.binary_search(&e).ok()
+    }
+
+    /// Wraps an already-sorted, duplicate-free vector without re-sorting.
+    pub(crate) fn from_sorted_vec(items: Vec<Element>) -> Self {
+        debug_assert!(items.windows(2).all(|w| w[0] < w[1]));
+        Population { items }
+    }
+
     /// Inserts an element; returns `true` if it was not already present.
     pub fn insert(&mut self, e: Element) -> bool {
         match self.items.binary_search(&e) {

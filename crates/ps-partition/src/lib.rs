@@ -22,6 +22,16 @@
 //! Theorem 1.  The refinement order `π ≤ π′` (`π = π * π′`, equivalently
 //! `π′ = π′ + π`) is provided by [`Partition::leq`].
 //!
+//! # The flat kernel
+//!
+//! [`Partition`] is stored as a flat, canonical *label vector* over its
+//! sorted population — not as nested blocks.  All operations (product, sum,
+//! order, restriction, and the bulk entry points
+//! [`Partition::product_many`], [`Partition::sum_many`],
+//! [`Partition::refine_in_place`]) run directly on the label vectors;
+//! block-shaped access is served by a lazily materialized CSR view
+//! ([`BlocksView`]).  See the `partition` module docs for the invariants.
+//!
 //! The crate also ships the [`UnionFind`] disjoint-set structure, used both
 //! as the fast implementation of the partition sum and by the graph substrate
 //! for connected components (Example e of the paper).
@@ -36,10 +46,10 @@ mod ops;
 mod partition;
 mod union_find;
 
-pub use closure::{close_under_ops, ClosureStats};
+pub use closure::{close_under_ops, close_under_ops_naive, ClosureStats};
 pub use element::{Element, Population};
 pub use error::PartitionError;
-pub use partition::Partition;
+pub use partition::{BlocksIter, BlocksView, Partition};
 pub use union_find::UnionFind;
 
 /// Convenient `Result` alias for fallible operations in this crate.

@@ -1,4 +1,5 @@
-//! Partition product, sum and the refinement order.
+//! Partition product, sum and the refinement order, running directly on the
+//! flat label-vector kernel.
 //!
 //! Section 3.1 of the paper defines, for partitions `π` of `p` and `π′` of
 //! `p′`:
@@ -14,66 +15,315 @@
 //! natural order is `π ≤ π′  ⇔  π = π * π′  ⇔  π′ = π′ + π`
 //! ([`Partition::leq`]); Theorem 2 of the paper characterizes it as "every
 //! block of `π` is contained in a block of `π′`, and `p ⊆ p′`".
+//!
+//! # Implementation on the flat kernel
+//!
+//! No operation in this module materializes nested blocks:
+//!
+//! * **product** is a single merge-walk over the two sorted populations; the
+//!   output label of each shared element is the interned id of its *pair* of
+//!   input labels ([`PairInterner`] — a dense table when the label product is
+//!   small, a hash map otherwise).  O(|p| + |p′|) time.
+//! * **sum** runs a [`UnionFind`] over the union population, uniting each
+//!   element with the first element seen carrying the same input label.
+//!   O((p ∪ p′) α) time; [`Partition::sum_many`] amortizes one union–find
+//!   across any number of operands.
+//! * **order** checks that the self→other label correspondence is
+//!   functional, again via one merge-walk.
+//!
+//! Because interned ids and union–find roots are renumbered by first
+//! appearance over the ascending population, every operation emits canonical
+//! label vectors directly — there is no separate canonicalization pass.
 
 use std::collections::HashMap;
 
-use crate::{Element, Partition, UnionFind};
+use crate::partition::Renumbering;
+use crate::{Element, Partition, Population, UnionFind};
+
+/// Interns pairs of block labels `(a, b)` into dense output labels in
+/// first-appearance order — the working set of the partition product.
+///
+/// When the product of the two label counts is small the interner is a flat
+/// table (one array read per lookup); otherwise it falls back to a hash map
+/// keyed by the packed pair.
+struct PairInterner {
+    next: u32,
+    table: PairTable,
+}
+
+enum PairTable {
+    Dense { stride: u64, slots: Vec<u32> },
+    Sparse(HashMap<u64, u32>),
+}
+
+/// Hard ceiling on the dense table (1 Mi entries ≈ 4 MiB), beyond which the
+/// hash map always wins regardless of how much work the product does.
+const DENSE_PAIR_LIMIT: u64 = 1 << 20;
+
+impl PairInterner {
+    /// `population_hint` is the number of elements the product will walk —
+    /// an upper bound on the number of *distinct* pairs interned.  The dense
+    /// table costs O(combinations) to allocate and zero, so it is only used
+    /// when that stays proportional to the useful O(population) work.
+    fn new(left_blocks: u32, right_blocks: u32, population_hint: usize) -> Self {
+        let combinations = u64::from(left_blocks) * u64::from(right_blocks);
+        let proportionate = combinations <= 8 * population_hint as u64 + 64;
+        let table = if proportionate && combinations <= DENSE_PAIR_LIMIT {
+            PairTable::Dense {
+                stride: u64::from(right_blocks.max(1)),
+                slots: vec![u32::MAX; combinations as usize],
+            }
+        } else {
+            PairTable::Sparse(HashMap::new())
+        };
+        PairInterner { next: 0, table }
+    }
+
+    fn intern(&mut self, a: u32, b: u32) -> u32 {
+        let slot = match &mut self.table {
+            PairTable::Dense { stride, slots } => {
+                &mut slots[(u64::from(a) * *stride + u64::from(b)) as usize]
+            }
+            PairTable::Sparse(map) => map
+                .entry((u64::from(a) << 32) | u64::from(b))
+                .or_insert(u32::MAX),
+        };
+        if *slot == u32::MAX {
+            *slot = self.next;
+            self.next += 1;
+        }
+        *slot
+    }
+
+    fn len(&self) -> u32 {
+        self.next
+    }
+}
 
 impl Partition {
     /// The partition product `self * other`: non-empty pairwise block
     /// intersections, a partition of the intersection of the populations.
+    ///
+    /// Runs in O(|p| + |p′|) — one merge-walk over the two sorted
+    /// populations, one label-pair interning per shared element.
+    ///
+    /// ```
+    /// use ps_partition::Partition;
+    /// // Figure 1: π_B * π_A = π_A.
+    /// let pi_a = Partition::from_blocks(vec![vec![1], vec![4], vec![2, 3]]).unwrap();
+    /// let pi_b = Partition::from_blocks(vec![vec![1, 4], vec![2, 3]]).unwrap();
+    /// assert_eq!(pi_b.product(&pi_a), pi_a);
+    /// ```
     pub fn product(&self, other: &Partition) -> Partition {
-        // Index other's elements by block for O(1) membership tests.
-        let other_index = other.block_index_map();
-        let mut groups: HashMap<(usize, usize), Vec<Element>> = HashMap::new();
-        for (i, block) in self.blocks().iter().enumerate() {
-            for &e in block {
-                if let Some(&j) = other_index.get(&e) {
-                    groups.entry((i, j)).or_default().push(e);
+        let walk_len = self.population().len().min(other.population().len());
+        let mut interner = PairInterner::new(
+            self.num_blocks() as u32,
+            other.num_blocks() as u32,
+            walk_len,
+        );
+        if self.population() == other.population() {
+            // Equal populations (the common case inside closures): positions
+            // align, so the merge-walk degenerates to a zip.
+            let labels: Vec<u32> = self
+                .labels()
+                .iter()
+                .zip(other.labels())
+                .map(|(&a, &b)| interner.intern(a, b))
+                .collect();
+            let count = interner.len();
+            return Partition::from_parts(self.population().clone(), labels, count);
+        }
+        let (left, right) = (self.population().as_slice(), other.population().as_slice());
+        let mut items = Vec::new();
+        let mut labels = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < left.len() && j < right.len() {
+            match left[i].cmp(&right[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    items.push(left[i]);
+                    labels.push(interner.intern(self.labels()[i], other.labels()[j]));
+                    i += 1;
+                    j += 1;
                 }
             }
         }
-        let blocks: Vec<Vec<Element>> = groups.into_values().collect();
-        Partition::from_element_blocks(blocks)
-            .expect("pairwise intersections of disjoint blocks are disjoint")
+        let count = interner.len();
+        Partition::from_parts(Population::from_sorted_vec(items), labels, count)
+    }
+
+    /// The product of any number of partitions — `product_many([])` is the
+    /// empty partition, `product_many([p])` is `p`.
+    ///
+    /// Each operand is folded in with [`Partition::refine_in_place`], so the
+    /// accumulator's buffers are reused and no intermediate block structure
+    /// is ever materialized.
+    ///
+    /// ```
+    /// use ps_partition::Partition;
+    /// let p = Partition::from_blocks(vec![vec![1, 2, 3, 4]]).unwrap();
+    /// let q = Partition::from_blocks(vec![vec![1, 2], vec![3, 4]]).unwrap();
+    /// let r = Partition::from_blocks(vec![vec![1, 3], vec![2, 4]]).unwrap();
+    /// let many = Partition::product_many([&p, &q, &r]);
+    /// assert_eq!(many, p.product(&q).product(&r));
+    /// assert!(many.is_discrete());
+    /// assert!(Partition::product_many([]).is_empty());
+    /// ```
+    pub fn product_many<'a, I>(parts: I) -> Partition
+    where
+        I: IntoIterator<Item = &'a Partition>,
+    {
+        let mut iter = parts.into_iter();
+        let Some(first) = iter.next() else {
+            return Partition::empty();
+        };
+        let mut acc = first.clone();
+        for p in iter {
+            if acc.is_empty() {
+                break;
+            }
+            acc.refine_in_place(p);
+        }
+        acc
+    }
+
+    /// Replaces `self` with `self * other`.
+    ///
+    /// When the populations coincide the refinement happens truly in place:
+    /// the label vector is rewritten through a pair interner without any
+    /// allocation proportional to the population.  Otherwise this falls back
+    /// to [`Partition::product`] and assigns the result.
+    ///
+    /// ```
+    /// use ps_partition::Partition;
+    /// let mut acc = Partition::from_blocks(vec![vec![1, 2], vec![3, 4]]).unwrap();
+    /// let by = Partition::from_blocks(vec![vec![1, 3], vec![2, 4]]).unwrap();
+    /// let expected = acc.product(&by);
+    /// acc.refine_in_place(&by);
+    /// assert_eq!(acc, expected);
+    /// ```
+    pub fn refine_in_place(&mut self, other: &Partition) {
+        if self.population() == other.population() {
+            let mut interner = PairInterner::new(
+                self.num_blocks() as u32,
+                other.num_blocks() as u32,
+                self.population().len(),
+            );
+            let other_labels = other.labels();
+            for (i, l) in self.labels_mut().iter_mut().enumerate() {
+                *l = interner.intern(*l, other_labels[i]);
+            }
+            self.set_num_blocks(interner.len());
+            self.invalidate_csr();
+        } else {
+            *self = self.product(other);
+        }
     }
 
     /// The partition sum `self + other`, computed with a union–find over the
     /// union of the populations (the efficient implementation).
+    ///
+    /// Runs in O(|p ∪ p′| · α) — see [`Partition::sum_many`], of which this
+    /// is the two-operand case.
+    ///
+    /// ```
+    /// use ps_partition::Partition;
+    /// // Figure 1: π_A + π_C = the indiscrete partition of {1,2,3,4}.
+    /// let pi_a = Partition::from_blocks(vec![vec![1], vec![4], vec![2, 3]]).unwrap();
+    /// let pi_c = Partition::from_blocks(vec![vec![1, 2], vec![3, 4]]).unwrap();
+    /// assert_eq!(pi_a.sum(&pi_c), Partition::from_blocks(vec![vec![1, 2, 3, 4]]).unwrap());
+    /// ```
     pub fn sum(&self, other: &Partition) -> Partition {
-        let union_pop = self.population().union(other.population());
+        Partition::sum_many([self, other])
+    }
+
+    /// The sum of any number of partitions over one shared union–find —
+    /// `sum_many([])` is the empty partition.
+    ///
+    /// For each operand, every element is united with the *first* element of
+    /// the union population carrying the same operand label; the result
+    /// labels are the union–find roots renumbered by first appearance.  No
+    /// intermediate partition or nested block list is ever built, so summing
+    /// `k` partitions costs one O(n α) pass instead of `k − 1` pairwise
+    /// sums.
+    ///
+    /// ```
+    /// use ps_partition::Partition;
+    /// let p = Partition::from_blocks(vec![vec![0, 1]]).unwrap();
+    /// let q = Partition::from_blocks(vec![vec![1, 2]]).unwrap();
+    /// let r = Partition::from_blocks(vec![vec![2, 3]]).unwrap();
+    /// let chain = Partition::sum_many([&p, &q, &r]);
+    /// assert_eq!(chain, Partition::from_blocks(vec![vec![0, 1, 2, 3]]).unwrap());
+    /// assert_eq!(chain, p.sum(&q).sum(&r));
+    /// ```
+    pub fn sum_many<'a, I>(parts: I) -> Partition
+    where
+        I: IntoIterator<Item = &'a Partition>,
+    {
+        let parts: Vec<&Partition> = parts.into_iter().collect();
+        let union_pop = match parts.split_first() {
+            None => return Partition::empty(),
+            // Equal populations (every sum inside a closure): no union to
+            // build at all.
+            Some((first, rest)) if rest.iter().all(|p| p.population() == first.population()) => {
+                first.population().clone()
+            }
+            // Two operands: the linear merge.
+            Some((first, [second])) => first.population().union(second.population()),
+            // General k-way: one concat + sort + dedup instead of a pairwise
+            // fold that would re-copy the accumulator per operand.
+            Some(_) => {
+                let mut all: Vec<Element> =
+                    parts.iter().flat_map(|p| p.population().iter()).collect();
+                all.sort_unstable();
+                all.dedup();
+                Population::from_sorted_vec(all)
+            }
+        };
         if union_pop.is_empty() {
             return Partition::empty();
         }
-        // Dense re-indexing of the union population.
-        let elems: Vec<Element> = union_pop.iter().collect();
-        let index: HashMap<Element, usize> =
-            elems.iter().enumerate().map(|(i, &e)| (e, i)).collect();
-        let mut uf = UnionFind::new(elems.len());
-        for block in self.blocks().iter().chain(other.blocks().iter()) {
-            let first = index[&block[0]];
-            for &e in &block[1..] {
-                uf.union(first, index[&e]);
+        let mut uf = UnionFind::new(union_pop.len());
+        let union_slice = union_pop.as_slice();
+        for part in &parts {
+            let mut first_of_label = vec![u32::MAX; part.num_blocks()];
+            let mut u = 0usize;
+            for (pos, &e) in part.population().as_slice().iter().enumerate() {
+                // Both populations are sorted and part ⊆ union, so the
+                // union cursor only ever moves forward.
+                while union_slice[u] != e {
+                    u += 1;
+                }
+                let slot = &mut first_of_label[part.labels()[pos] as usize];
+                if *slot == u32::MAX {
+                    *slot = u as u32;
+                } else {
+                    uf.union(*slot as usize, u);
+                }
+                u += 1;
             }
         }
-        let blocks: Vec<Vec<Element>> = uf
-            .groups()
-            .into_iter()
-            .map(|g| g.into_iter().map(|i| elems[i]).collect())
-            .collect();
-        Partition::from_element_blocks(blocks).expect("union-find groups are disjoint")
+        let (labels, num_blocks) = labels_from_union_find(&mut uf);
+        Partition::from_parts(union_pop, labels, num_blocks)
     }
 
     /// The partition sum computed by the paper's literal *chaining*
     /// definition: repeatedly merge blocks of `π ∪ π′` that overlap, until a
     /// fixpoint.  Quadratic in the number of blocks; retained as a reference
     /// implementation and for the ablation benchmark (experiment E7).
+    ///
+    /// ```
+    /// use ps_partition::Partition;
+    /// let p = Partition::from_blocks(vec![vec![0, 1], vec![2]]).unwrap();
+    /// let q = Partition::from_blocks(vec![vec![1, 2]]).unwrap();
+    /// assert_eq!(p.sum_by_chaining(&q), p.sum(&q));
+    /// ```
     pub fn sum_by_chaining(&self, other: &Partition) -> Partition {
         let mut blocks: Vec<Vec<Element>> = self
-            .blocks()
-            .iter()
-            .chain(other.blocks().iter())
-            .cloned()
+            .to_block_vecs()
+            .into_iter()
+            .chain(other.to_block_vecs())
             .collect();
         if blocks.is_empty() {
             return Partition::empty();
@@ -104,18 +354,38 @@ impl Partition {
     /// equivalently (Theorem 2) every block of `self` is contained in a block
     /// of `other` and the population of `self` is contained in that of
     /// `other`.
+    ///
+    /// One merge-walk over the two populations: O(|p′|).
+    ///
+    /// ```
+    /// use ps_partition::Partition;
+    /// let fine = Partition::from_blocks(vec![vec![1], vec![2], vec![3, 4]]).unwrap();
+    /// let coarse = Partition::from_blocks(vec![vec![1, 2], vec![3, 4]]).unwrap();
+    /// assert!(fine.leq(&coarse));
+    /// assert!(!coarse.leq(&fine));
+    /// ```
     pub fn leq(&self, other: &Partition) -> bool {
-        if !self.population().is_subset(other.population()) {
-            return false;
-        }
-        let other_index = other.block_index_map();
-        for block in self.blocks() {
-            let Some(&j) = other_index.get(&block[0]) else {
-                return false;
-            };
-            if block[1..].iter().any(|e| other_index.get(e) != Some(&j)) {
-                return false;
+        // Each of self's labels must map to exactly one of other's labels,
+        // and every self element must exist in other.
+        let mut label_image = vec![u32::MAX; self.num_blocks()];
+        let (left, right) = (self.population().as_slice(), other.population().as_slice());
+        let (mut i, mut j) = (0, 0);
+        while i < left.len() {
+            while j < right.len() && right[j] < left[i] {
+                j += 1;
             }
+            if j >= right.len() || right[j] != left[i] {
+                return false; // population not contained
+            }
+            let image = &mut label_image[self.labels()[i] as usize];
+            let target = other.labels()[j];
+            if *image == u32::MAX {
+                *image = target;
+            } else if *image != target {
+                return false; // a block of self straddles two blocks of other
+            }
+            i += 1;
+            j += 1;
         }
         true
     }
@@ -123,26 +393,71 @@ impl Partition {
     /// Whether `self ≤ other` holds *by the defining equation* `self = self * other`.
     /// Semantically identical to [`Partition::leq`]; exposed so tests can
     /// cross-validate the two characterizations (Theorem 2).
+    ///
+    /// ```
+    /// use ps_partition::Partition;
+    /// let fine = Partition::from_blocks(vec![vec![1], vec![2, 3]]).unwrap();
+    /// let coarse = Partition::from_blocks(vec![vec![1, 2, 3]]).unwrap();
+    /// assert!(fine.leq_by_product(&coarse));
+    /// ```
     pub fn leq_by_product(&self, other: &Partition) -> bool {
         self.product(other) == *self
     }
 
     /// Whether `self ≤ other` holds by the dual equation `other = other + self`.
+    ///
+    /// ```
+    /// use ps_partition::Partition;
+    /// let fine = Partition::from_blocks(vec![vec![1], vec![2, 3]]).unwrap();
+    /// let coarse = Partition::from_blocks(vec![vec![1, 2, 3]]).unwrap();
+    /// assert!(fine.leq_by_sum(&coarse));
+    /// ```
     pub fn leq_by_sum(&self, other: &Partition) -> bool {
         other.sum(self) == *other
     }
 
     /// Restricts the partition to the elements of `keep ∩ population`,
     /// dropping emptied blocks.
-    pub fn restrict(&self, keep: &crate::Population) -> Partition {
-        let blocks: Vec<Vec<Element>> = self
-            .blocks()
-            .iter()
-            .map(|b| b.iter().copied().filter(|e| keep.contains(*e)).collect())
-            .filter(|b: &Vec<Element>| !b.is_empty())
-            .collect();
-        Partition::from_element_blocks(blocks).expect("restriction preserves disjointness")
+    ///
+    /// ```
+    /// use ps_partition::{Partition, Population};
+    /// let p = Partition::from_blocks(vec![vec![1, 2], vec![3, 4]]).unwrap();
+    /// let keep = Population::from(vec![2u32, 3]);
+    /// assert_eq!(
+    ///     p.restrict(&keep),
+    ///     Partition::from_blocks(vec![vec![2], vec![3]]).unwrap(),
+    /// );
+    /// ```
+    pub fn restrict(&self, keep: &Population) -> Partition {
+        let mut renumbering = Renumbering::new(self.num_blocks());
+        let mut items = Vec::new();
+        let mut labels = Vec::new();
+        // Merge-walk the two sorted populations (same idiom as product/leq).
+        let (own, kept) = (self.population().as_slice(), keep.as_slice());
+        let mut k = 0usize;
+        for (pos, &e) in own.iter().enumerate() {
+            while k < kept.len() && kept[k] < e {
+                k += 1;
+            }
+            if k < kept.len() && kept[k] == e {
+                items.push(e);
+                labels.push(renumbering.canonical(self.labels()[pos] as usize));
+            }
+        }
+        let num_blocks = renumbering.count();
+        Partition::from_parts(Population::from_sorted_vec(items), labels, num_blocks)
     }
+}
+
+/// Reads the canonical label vector out of a union–find over population
+/// positions: roots renumbered by first appearance.
+fn labels_from_union_find(uf: &mut UnionFind) -> (Vec<u32>, u32) {
+    let len = uf.len();
+    let mut renumbering = Renumbering::new(len);
+    let labels = (0..len)
+        .map(|pos| renumbering.canonical(uf.find(pos)))
+        .collect();
+    (labels, renumbering.count())
 }
 
 fn overlap(a: &[Element], b: &[Element]) -> bool {
@@ -275,5 +590,76 @@ mod tests {
         let p = part(vec![vec![1, 5], vec![2], vec![3, 4]]);
         assert_eq!(p.product(&p), p);
         assert_eq!(p.sum(&p), p);
+    }
+
+    #[test]
+    fn product_many_folds_and_handles_edges() {
+        assert!(Partition::product_many([]).is_empty());
+        let p = part(vec![vec![1, 2], vec![3]]);
+        assert_eq!(Partition::product_many([&p]), p);
+        let q = part(vec![vec![1], vec![2, 3]]);
+        let r = part(vec![vec![1, 2, 3]]);
+        assert_eq!(
+            Partition::product_many([&p, &q, &r]),
+            p.product(&q).product(&r)
+        );
+        // Disjoint operand empties the accumulator early.
+        let far = part(vec![vec![9]]);
+        assert!(Partition::product_many([&p, &far, &q]).is_empty());
+    }
+
+    #[test]
+    fn sum_many_matches_pairwise_fold() {
+        assert!(Partition::sum_many([]).is_empty());
+        let p = part(vec![vec![0, 1], vec![4]]);
+        let q = part(vec![vec![1, 2]]);
+        let r = part(vec![vec![2, 3], vec![5]]);
+        assert_eq!(Partition::sum_many([&p]), p);
+        assert_eq!(Partition::sum_many([&p, &q, &r]), p.sum(&q).sum(&r));
+    }
+
+    #[test]
+    fn refine_in_place_matches_product() {
+        let by = part(vec![vec![1, 3], vec![2, 4]]);
+        // Equal populations: in-place path.
+        let mut acc = part(vec![vec![1, 2], vec![3, 4]]);
+        let expected = acc.product(&by);
+        acc.refine_in_place(&by);
+        assert_eq!(acc, expected);
+        assert!(acc.validate().is_ok());
+        // Different populations: fallback path.
+        let mut acc = part(vec![vec![1, 2], vec![3, 4], vec![7]]);
+        let expected = acc.product(&by);
+        acc.refine_in_place(&by);
+        assert_eq!(acc, expected);
+        assert!(acc.validate().is_ok());
+    }
+
+    #[test]
+    fn refine_in_place_invalidates_cached_blocks() {
+        let mut acc = part(vec![vec![1, 2, 3, 4]]);
+        assert_eq!(acc.blocks().len(), 1); // materialize the CSR cache
+        let by = part(vec![vec![1, 2], vec![3, 4]]);
+        acc.refine_in_place(&by);
+        assert_eq!(acc.blocks().len(), 2);
+        assert!(acc.validate().is_ok());
+    }
+
+    #[test]
+    fn pair_interner_dense_and_sparse_agree() {
+        let mut dense = PairInterner::new(4, 4, 64);
+        let mut sparse = PairInterner::new(1 << 16, 1 << 16, 64); // 2^32 pairs → sparse
+        assert!(matches!(dense.table, PairTable::Dense { .. }));
+        assert!(matches!(sparse.table, PairTable::Sparse(_)));
+        // Under the hard ceiling but disproportionate to the population the
+        // walk will touch: also sparse, so allocation stays O(useful work).
+        let disproportionate = PairInterner::new(1000, 1000, 10);
+        assert!(matches!(disproportionate.table, PairTable::Sparse(_)));
+        let pairs = [(0, 0), (1, 2), (0, 0), (3, 3), (1, 2), (2, 1)];
+        for (a, b) in pairs {
+            assert_eq!(dense.intern(a, b), sparse.intern(a, b));
+        }
+        assert_eq!(dense.len(), 4);
+        assert_eq!(sparse.len(), 4);
     }
 }

@@ -1,0 +1,187 @@
+//! Property tests pinning the flat label-vector kernel to the semantics of
+//! the naive nested-block implementations.
+//!
+//! The `naive` module re-implements partition product and sum exactly the way
+//! the pre-flat-kernel `Partition` computed them — nested `Vec<Vec<Element>>`
+//! blocks, hash-map block indices, explicit pairwise intersections — and the
+//! properties check that `product`, `sum`, `product_many`, `sum_many` and
+//! `refine_in_place` agree with those references on random partitions over
+//! random (and possibly different) populations.
+
+use proptest::prelude::*;
+use ps_partition::{Element, Partition};
+
+/// The historical nested-block implementations, kept test-only as executable
+/// specifications for the flat kernel.
+mod naive {
+    use std::collections::HashMap;
+
+    use ps_partition::{Element, Partition};
+
+    /// Nested-block product: group the shared elements by their pair of
+    /// containing blocks, then rebuild through the canonicalizing
+    /// constructor.
+    pub fn product(a: &Partition, b: &Partition) -> Partition {
+        let b_index = b.block_index_map();
+        let mut groups: HashMap<(usize, usize), Vec<Element>> = HashMap::new();
+        for (i, block) in a.blocks().iter().enumerate() {
+            for &e in block {
+                if let Some(&j) = b_index.get(&e) {
+                    groups.entry((i, j)).or_default().push(e);
+                }
+            }
+        }
+        let blocks: Vec<Vec<Element>> = groups.into_values().collect();
+        Partition::from_element_blocks(blocks)
+            .expect("pairwise intersections of disjoint blocks are disjoint")
+    }
+
+    /// Nested-block sum: repeatedly merge overlapping blocks of the combined
+    /// family until a fixpoint (the paper's literal chaining definition).
+    pub fn sum(a: &Partition, b: &Partition) -> Partition {
+        let mut blocks: Vec<Vec<Element>> = a
+            .to_block_vecs()
+            .into_iter()
+            .chain(b.to_block_vecs())
+            .collect();
+        if blocks.is_empty() {
+            return Partition::empty();
+        }
+        loop {
+            let mut merged_any = false;
+            'outer: for i in 0..blocks.len() {
+                for j in (i + 1)..blocks.len() {
+                    if blocks[i].iter().any(|e| blocks[j].contains(e)) {
+                        let other = blocks.swap_remove(j);
+                        blocks[i].extend(other);
+                        blocks[i].sort_unstable();
+                        blocks[i].dedup();
+                        merged_any = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if !merged_any {
+                break;
+            }
+        }
+        Partition::from_element_blocks(blocks).expect("merged overlapping blocks are disjoint")
+    }
+
+    /// Fold of the nested-block product over many operands.
+    pub fn product_many(parts: &[Partition]) -> Partition {
+        let Some((first, rest)) = parts.split_first() else {
+            return Partition::empty();
+        };
+        rest.iter().fold(first.clone(), |acc, p| product(&acc, p))
+    }
+
+    /// Fold of the nested-block sum over many operands.
+    pub fn sum_many(parts: &[Partition]) -> Partition {
+        let Some((first, rest)) = parts.split_first() else {
+            return Partition::empty();
+        };
+        rest.iter().fold(first.clone(), |acc, p| sum(&acc, p))
+    }
+}
+
+/// Strategy: a random partition of a random subset of `{0, …, universe-1}`.
+fn arb_partition(universe: u32, max_blocks: u32) -> impl Strategy<Value = Partition> {
+    prop::collection::vec(0..=max_blocks, universe as usize).prop_map(move |assignment| {
+        let pairs: Vec<(Element, u32)> = assignment
+            .into_iter()
+            .enumerate()
+            .filter(|(_, key)| *key != 0) // key 0 means "not in the population"
+            .map(|(elem, key)| (Element::new(elem as u32), key))
+            .collect();
+        Partition::from_keys(pairs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn product_agrees_with_naive(p in arb_partition(14, 4), q in arb_partition(14, 4)) {
+        let flat = p.product(&q);
+        prop_assert_eq!(&flat, &naive::product(&p, &q));
+        prop_assert!(flat.validate().is_ok());
+    }
+
+    #[test]
+    fn sum_agrees_with_naive(p in arb_partition(14, 4), q in arb_partition(14, 4)) {
+        let flat = p.sum(&q);
+        prop_assert_eq!(&flat, &naive::sum(&p, &q));
+        prop_assert!(flat.validate().is_ok());
+    }
+
+    #[test]
+    fn product_many_agrees_with_naive(
+        p in arb_partition(12, 3),
+        q in arb_partition(12, 3),
+        r in arb_partition(12, 3),
+    ) {
+        let parts = [p, q, r];
+        let refs: Vec<&Partition> = parts.iter().collect();
+        let flat = Partition::product_many(refs);
+        prop_assert_eq!(&flat, &naive::product_many(&parts));
+        prop_assert!(flat.validate().is_ok());
+    }
+
+    #[test]
+    fn sum_many_agrees_with_naive(
+        p in arb_partition(12, 3),
+        q in arb_partition(12, 3),
+        r in arb_partition(12, 3),
+    ) {
+        let parts = [p, q, r];
+        let refs: Vec<&Partition> = parts.iter().collect();
+        let flat = Partition::sum_many(refs);
+        prop_assert_eq!(&flat, &naive::sum_many(&parts));
+        prop_assert!(flat.validate().is_ok());
+    }
+
+    #[test]
+    fn refine_in_place_agrees_with_naive(
+        p in arb_partition(14, 4),
+        q in arb_partition(14, 4),
+    ) {
+        let mut refined = p.clone();
+        refined.refine_in_place(&q);
+        prop_assert_eq!(&refined, &naive::product(&p, &q));
+        prop_assert!(refined.validate().is_ok());
+    }
+
+    #[test]
+    fn refine_in_place_on_shared_population_agrees(
+        assignments in prop::collection::vec((1u32..=4, 1u32..=4), 12),
+    ) {
+        // Equal populations exercise the allocation-free in-place path.
+        let p = Partition::from_keys(
+            assignments.iter().enumerate()
+                .map(|(e, &(k, _))| (Element::new(e as u32), k)),
+        );
+        let q = Partition::from_keys(
+            assignments.iter().enumerate()
+                .map(|(e, &(_, k))| (Element::new(e as u32), k)),
+        );
+        prop_assert_eq!(p.population(), q.population());
+        let mut refined = p.clone();
+        refined.refine_in_place(&q);
+        prop_assert_eq!(&refined, &naive::product(&p, &q));
+        prop_assert!(refined.validate().is_ok());
+    }
+
+    #[test]
+    fn blocks_view_matches_block_index_map(p in arb_partition(16, 5)) {
+        // The CSR view and the label vector describe the same partition.
+        let map = p.block_index_map();
+        for (idx, block) in p.blocks().iter().enumerate() {
+            for e in block {
+                prop_assert_eq!(map[e], idx);
+            }
+        }
+        let total: usize = p.blocks().iter().map(<[Element]>::len).sum();
+        prop_assert_eq!(total, p.population().len());
+    }
+}

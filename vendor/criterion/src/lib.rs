@@ -216,6 +216,7 @@ impl Bencher {
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
+        /// Criterion benchmark group runner (generated by `criterion_group!`).
         pub fn $name(criterion: &mut $crate::Criterion) {
             $($target(criterion);)+
         }
