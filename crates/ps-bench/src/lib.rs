@@ -292,6 +292,125 @@ pub fn consistency_workload(relations: usize, rows: usize, seed: u64) -> Consist
     }
 }
 
+/// A prepared chase instance: a database plus the FD set to chase it with
+/// (experiment E5, the `chase` bench group and its operation-counter test).
+pub struct ChaseWorkload {
+    /// Attribute universe.
+    pub universe: Universe,
+    /// Symbol table (the chase draws fresh nulls from it).
+    pub symbols: SymbolTable,
+    /// The database.
+    pub database: Database,
+    /// The FD set.
+    pub fds: Vec<Fd>,
+}
+
+/// A propagation-chain chase fixture: relations `R_i[A_i A_{i+1}]`
+/// (`i < levels`), each holding `rows` tuples that share the right value
+/// `v{i+1}_0`, under the FDs `A_i → A_{i+1}` listed *against* the
+/// propagation direction.
+///
+/// Equalities discovered at `A_1` must travel level by level up to
+/// `A_levels`, so the full-rescan chase needs one global round per level
+/// while the worklist engine only revisits the rows whose symbols actually
+/// changed — the fixture behind the operation-counter acceptance test.
+pub fn chase_chain_workload(levels: usize, rows: usize) -> ChaseWorkload {
+    assert!(levels >= 2 && rows >= 2);
+    let mut universe = Universe::new();
+    let mut symbols = SymbolTable::new();
+    let attrs: Vec<Attribute> = (0..=levels)
+        .map(|i| universe.attr(&format!("A{i}")))
+        .collect();
+    let mut database = Database::new();
+    for i in 0..levels {
+        let scheme = RelationScheme::new(format!("R{i}"), vec![attrs[i], attrs[i + 1]]);
+        let left_pos = scheme.position(attrs[i]).expect("left in scheme");
+        let right_pos = scheme.position(attrs[i + 1]).expect("right in scheme");
+        let mut relation = Relation::new(scheme);
+        let shared_right = symbols.symbol(&format!("v{}_0", i + 1));
+        for j in 0..rows {
+            let mut values = vec![shared_right; 2];
+            values[left_pos] = symbols.symbol(&format!("v{i}_{j}"));
+            values[right_pos] = shared_right;
+            relation.insert_values(&values).expect("arity matches");
+        }
+        database.add(relation);
+    }
+    let mut fds: Vec<Fd> = (0..levels)
+        .map(|i| ps_relation::fd(&[attrs[i]], &[attrs[i + 1]]))
+        .collect();
+    fds.reverse();
+    ChaseWorkload {
+        universe,
+        symbols,
+        database,
+        fds,
+    }
+}
+
+/// A random multi-relation chase workload: `relations` relations over random
+/// 2–3 attribute subsets of a `num_attrs` universe, `rows` tuples each with
+/// values from a per-attribute domain of `domain` symbols, plus `num_fds`
+/// random single-attribute FDs.  Databases drawn this way are consistent or
+/// inconsistent depending on the seed, which is exactly what the chase
+/// benches want to exercise.
+pub fn random_chase_workload(
+    num_attrs: usize,
+    relations: usize,
+    rows: usize,
+    domain: usize,
+    num_fds: usize,
+    seed: u64,
+) -> ChaseWorkload {
+    assert!(num_attrs >= 3 && domain >= 1);
+    let mut universe = Universe::new();
+    let mut symbols = SymbolTable::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let attrs: Vec<Attribute> = (0..num_attrs)
+        .map(|i| universe.attr(&format!("A{i}")))
+        .collect();
+    let mut database = Database::new();
+    for r in 0..relations {
+        let arity = rng.gen_range(2..=3);
+        let mut chosen: Vec<Attribute> = Vec::new();
+        while chosen.len() < arity {
+            let a = attrs[rng.gen_range(0..attrs.len())];
+            if !chosen.contains(&a) {
+                chosen.push(a);
+            }
+        }
+        let scheme = RelationScheme::new(format!("R{r}"), chosen.clone());
+        let mut relation = Relation::new(scheme.clone());
+        for _ in 0..rows {
+            let mut values = vec![ps_base::Symbol::from_index(0); arity];
+            for &attr in &chosen {
+                let v = rng.gen_range(0..domain);
+                values[scheme.position(attr).expect("chosen attr")] =
+                    symbols.symbol(&format!("a{}_v{v}", attr.index()));
+            }
+            relation.insert_values(&values).expect("arity matches");
+        }
+        database.add(relation);
+    }
+    // Draw the FDs from the attributes the database actually uses, so the
+    // weak-instance FD check and the tableau chase see the same columns.
+    let used: Vec<Attribute> = database.all_attributes().iter().collect();
+    let mut fds = Vec::new();
+    while fds.len() < num_fds {
+        let lhs = used[rng.gen_range(0..used.len())];
+        let rhs = used[rng.gen_range(0..used.len())];
+        if lhs != rhs {
+            fds.push(ps_relation::fd(&[lhs], &[rhs]));
+        }
+    }
+    ChaseWorkload {
+        universe,
+        symbols,
+        database,
+        fds,
+    }
+}
+
 /// Random partitions over a common population `{0, …, population-1}`, for the
 /// partition-operation ablation (experiment E7).
 pub fn random_partitions(
@@ -473,6 +592,62 @@ mod tests {
             // The frontier strategy touches each unordered pair exactly once.
             assert_eq!(fast.operations, fast.size * (fast.size + 1));
         }
+    }
+
+    /// The acceptance gate for the indexed, worklist-driven chase: on the
+    /// propagation-chain fixture (where the full-rescan engine needs one
+    /// global round per chain level), the worklist engine agrees on the
+    /// verdict and performs strictly fewer (row, FD) visits.
+    #[test]
+    fn indexed_chase_does_strictly_less_work_than_full_rescans() {
+        for (levels, rows) in [(4usize, 4usize), (6, 8), (8, 16)] {
+            let w = chase_chain_workload(levels, rows);
+            let mut symbols = w.symbols.clone();
+            let indexed = ps_relation::chase_fds(&w.database, &w.fds, &mut symbols);
+            let mut symbols = w.symbols.clone();
+            let naive = ps_relation::chase_fds_naive(&w.database, &w.fds, &mut symbols);
+            assert_eq!(indexed.consistent, naive.consistent, "{levels}x{rows}");
+            assert!(indexed.consistent, "the chain fixture is consistent");
+            assert_eq!(
+                indexed.steps, naive.steps,
+                "the FD chase is confluent: both engines perform the same merges"
+            );
+            assert!(
+                indexed.row_visits < naive.row_visits,
+                "worklist chase must do strictly less row work \
+                 ({levels}x{rows}: {} vs {})",
+                indexed.row_visits,
+                naive.row_visits
+            );
+        }
+    }
+
+    /// The two engines agree on random databases — consistent or not.
+    #[test]
+    fn chase_engines_agree_on_random_workloads() {
+        let mut consistent = 0usize;
+        let mut inconsistent = 0usize;
+        for seed in 0..24u64 {
+            let w = random_chase_workload(6, 2, 3, 6, 2, seed);
+            let mut symbols = w.symbols.clone();
+            let indexed = ps_relation::chase_fds(&w.database, &w.fds, &mut symbols);
+            let mut symbols = w.symbols.clone();
+            let naive = ps_relation::chase_fds_naive(&w.database, &w.fds, &mut symbols);
+            assert_eq!(indexed.consistent, naive.consistent, "seed {seed}");
+            match indexed.consistent {
+                true => consistent += 1,
+                false => inconsistent += 1,
+            }
+            if let Some(w_inst) = indexed.weak_instance("W", &w.database.all_attributes()) {
+                assert!(w.database.has_weak_instance(&w_inst), "seed {seed}");
+                assert!(w_inst.satisfies_all_fds(&w.fds), "seed {seed}");
+            }
+        }
+        assert!(consistent > 0, "sample must contain consistent instances");
+        assert!(
+            inconsistent > 0,
+            "sample must contain inconsistent instances"
+        );
     }
 
     #[test]

@@ -280,32 +280,25 @@ pub fn nae3sat_via_cad(formula: &Formula) -> Result<(bool, Option<Vec<bool>>)> {
 /// The exact CAD solver keeps the witness rows in database order, so the
 /// first row is exactly the `R0` tuple `a u_0 … u_{n-1}`; this is asserted.
 pub fn decode_assignment(reduction: &Nae3SatReduction, witness: &Relation) -> Vec<bool> {
-    let scheme = witness.scheme();
-    let t1 = witness
-        .tuples()
-        .first()
-        .expect("the witness contains the R0 rows");
+    assert!(!witness.is_empty(), "the witness contains the R0 rows");
+    let t1 = witness.row(0);
     let a_symbol = reduction
         .symbols
         .lookup("a")
         .expect("the reduction interns the constant a");
-    debug_assert_eq!(t1.get(scheme, reduction.attr_a).ok(), Some(a_symbol));
+    debug_assert_eq!(t1.get(reduction.attr_a).ok(), Some(a_symbol));
     for (i, &var_attr) in reduction.var_attrs.iter().enumerate() {
         let u_i = reduction
             .symbols
             .lookup(&format!("u{i}"))
             .expect("the reduction interns every u_i");
-        debug_assert_eq!(
-            t1.get(scheme, var_attr).ok(),
-            Some(u_i),
-            "row 0 is the u-row"
-        );
+        debug_assert_eq!(t1.get(var_attr).ok(), Some(u_i), "row 0 is the u-row");
     }
     reduction
         .b_attrs
         .iter()
         .enumerate()
-        .map(|(i, &b)| t1.get(scheme, b).ok() == Some(reduction.true_symbols[i]))
+        .map(|(i, &b)| t1.get(b).ok() == Some(reduction.true_symbols[i]))
         .collect()
 }
 

@@ -31,7 +31,7 @@ pub fn canonical_interpretation(relation: &Relation) -> Result<PartitionInterpre
     for attribute in scheme.attrs().iter() {
         let mut by_symbol: HashMap<Symbol, Vec<u32>> = HashMap::new();
         for (idx, tuple) in relation.iter().enumerate() {
-            let symbol = tuple.get(scheme, attribute)?;
+            let symbol = tuple.get(attribute)?;
             by_symbol.entry(symbol).or_default().push(idx as u32);
         }
         let named_blocks: Vec<(Symbol, Vec<u32>)> = {
@@ -217,10 +217,10 @@ mod tests {
         let back = canonical_relation(&interp, &mut f.symbols, "R").unwrap();
         assert_eq!(back.len(), r.len());
         for tuple in r.iter() {
-            assert!(back.contains(tuple), "missing tuple {tuple}");
+            assert!(back.contains_row(tuple), "missing tuple {tuple}");
         }
         for tuple in back.iter() {
-            assert!(r.contains(tuple), "extra tuple {tuple}");
+            assert!(r.contains_row(tuple), "extra tuple {tuple}");
         }
     }
 
@@ -245,8 +245,8 @@ mod tests {
         // Element 3 is outside p_A, so its A entry is a fresh symbol.
         let fresh_count = r
             .iter()
-            .flat_map(|t| t.values().iter())
-            .filter(|&&s| symbols.is_fresh(s))
+            .flat_map(|t| t.values())
+            .filter(|&s| symbols.is_fresh(s))
             .count();
         assert_eq!(fresh_count, 1);
     }

@@ -111,11 +111,10 @@ pub fn components_via_partition_semantics(
     let partition = interpretation.eval(arena, sum)?;
 
     // Locate, for every vertex, the reflexive tuple `v v c`.
-    let scheme = relation.scheme();
     let mut reflexive: HashMap<ps_base::Symbol, usize> = HashMap::new();
     for (idx, tuple) in relation.iter().enumerate() {
-        let head = tuple.get(scheme, encoding.attr_head)?;
-        let tail = tuple.get(scheme, encoding.attr_tail)?;
+        let head = tuple.get(encoding.attr_head)?;
+        let tail = tuple.get(encoding.attr_tail)?;
         if head == tail {
             reflexive.entry(head).or_insert(idx);
         }
@@ -207,13 +206,12 @@ pub fn theorem4_path_relation(
 /// arguments: two tuples are adjacent iff they agree on `A` or on `B`
 /// (the chains of characterization (II)).
 fn tuple_adjacency(relation: &Relation, head: Attribute, tail: Attribute) -> Vec<Vec<usize>> {
-    let scheme = relation.scheme();
     let n = relation.len();
     let mut by_a: HashMap<ps_base::Symbol, Vec<usize>> = HashMap::new();
     let mut by_b: HashMap<ps_base::Symbol, Vec<usize>> = HashMap::new();
     for (idx, tuple) in relation.iter().enumerate() {
-        let a = tuple.get(scheme, head).expect("head attribute in scheme");
-        let b = tuple.get(scheme, tail).expect("tail attribute in scheme");
+        let a = tuple.get(head).expect("head attribute in scheme");
+        let b = tuple.get(tail).expect("tail attribute in scheme");
         by_a.entry(a).or_default().push(idx);
         by_b.entry(b).or_default().push(idx);
     }
@@ -292,7 +290,6 @@ pub fn satisfies_sum_pd_directly(
     head: Attribute,
     tail: Attribute,
 ) -> bool {
-    let scheme = relation.scheme();
     let n = relation.len();
     if n == 0 {
         return true;
@@ -302,8 +299,8 @@ pub fn satisfies_sum_pd_directly(
     let mut by_a: HashMap<ps_base::Symbol, usize> = HashMap::new();
     let mut by_b: HashMap<ps_base::Symbol, usize> = HashMap::new();
     for (idx, tuple) in relation.iter().enumerate() {
-        let a = tuple.get(scheme, head).expect("head attribute in scheme");
-        let b = tuple.get(scheme, tail).expect("tail attribute in scheme");
+        let a = tuple.get(head).expect("head attribute in scheme");
+        let b = tuple.get(tail).expect("tail attribute in scheme");
         match by_a.get(&a) {
             Some(&leader) => {
                 uf.union(leader, idx);
@@ -324,10 +321,7 @@ pub fn satisfies_sum_pd_directly(
     // Equal C ⇔ same chain class.
     let c_values: Vec<ps_base::Symbol> = relation
         .iter()
-        .map(|t| {
-            t.get(scheme, component)
-                .expect("component attribute in scheme")
-        })
+        .map(|t| t.get(component).expect("component attribute in scheme"))
         .collect();
     let mut class_of_c: HashMap<ps_base::Symbol, usize> = HashMap::new();
     let mut c_of_class: HashMap<usize, ps_base::Symbol> = HashMap::new();
@@ -459,13 +453,12 @@ mod tests {
         graph.add_edge(2, 3);
         let (relation, encoding) = component_relation(&graph, &mut universe, &mut symbols, "G");
         // A reflexive tuple of vertex 0 and one of vertex 2 are not connected.
-        let scheme = relation.scheme();
         let idx_of = |v: usize| {
             relation
                 .iter()
                 .position(|t| {
-                    t.get(scheme, encoding.attr_head).unwrap() == encoding.vertex_symbols[v]
-                        && t.get(scheme, encoding.attr_tail).unwrap() == encoding.vertex_symbols[v]
+                    t.get(encoding.attr_head).unwrap() == encoding.vertex_symbols[v]
+                        && t.get(encoding.attr_tail).unwrap() == encoding.vertex_symbols[v]
                 })
                 .unwrap()
         };

@@ -372,10 +372,8 @@ pub fn relation_satisfies_sum_constraint(relation: &Relation, constraint: SumCon
     let mut by_a: HashMap<Symbol, usize> = HashMap::new();
     let mut by_b: HashMap<Symbol, usize> = HashMap::new();
     for (idx, tuple) in relation.iter().enumerate() {
-        let a = tuple.get(scheme, constraint.left).expect("left in scheme");
-        let b = tuple
-            .get(scheme, constraint.right)
-            .expect("right in scheme");
+        let a = tuple.get(constraint.left).expect("left in scheme");
+        let b = tuple.get(constraint.right).expect("right in scheme");
         match by_a.get(&a) {
             Some(&leader) => {
                 uf.union(leader, idx);
@@ -395,9 +393,7 @@ pub fn relation_satisfies_sum_constraint(relation: &Relation, constraint: SumCon
     }
     let mut class_of_c: HashMap<Symbol, usize> = HashMap::new();
     for (idx, tuple) in relation.iter().enumerate() {
-        let c = tuple
-            .get(scheme, constraint.target)
-            .expect("target in scheme");
+        let c = tuple.get(constraint.target).expect("target in scheme");
         let class = uf.find(idx);
         if *class_of_c.entry(c).or_insert(class) != class {
             return false;
@@ -431,26 +427,29 @@ pub fn repair_sum_violations(
         match first_sum_violation(&current, sums) {
             None => return (current, true),
             Some((constraint, t1, t2)) => {
-                let scheme = current.scheme().clone();
                 let a_plus =
                     fd_closure::attribute_closure(fds, &AttrSet::singleton(constraint.left));
                 let b_plus =
                     fd_closure::attribute_closure(fds, &AttrSet::singleton(constraint.right));
-                let row1 = current.tuples()[t1].clone();
-                let row2 = current.tuples()[t2].clone();
-                let values: Vec<Symbol> = scheme
-                    .attrs()
-                    .iter()
-                    .map(|attr| {
-                        if a_plus.contains(attr) {
-                            row1.get(&scheme, attr).expect("attr in scheme")
-                        } else if b_plus.contains(attr) {
-                            row2.get(&scheme, attr).expect("attr in scheme")
-                        } else {
-                            symbols.fresh()
-                        }
-                    })
-                    .collect();
+                let values: Vec<Symbol> = {
+                    // Zero-copy views; both borrows end before the insert.
+                    let row1 = current.row(t1);
+                    let row2 = current.row(t2);
+                    current
+                        .scheme()
+                        .attrs()
+                        .iter()
+                        .map(|attr| {
+                            if a_plus.contains(attr) {
+                                row1.get(attr).expect("attr in scheme")
+                            } else if b_plus.contains(attr) {
+                                row2.get(attr).expect("attr in scheme")
+                            } else {
+                                symbols.fresh()
+                            }
+                        })
+                        .collect()
+                };
                 current
                     .insert_values(&values)
                     .expect("bridging row matches the scheme");
@@ -480,10 +479,8 @@ fn first_sum_violation(
         let mut by_a: HashMap<Symbol, usize> = HashMap::new();
         let mut by_b: HashMap<Symbol, usize> = HashMap::new();
         for (idx, tuple) in relation.iter().enumerate() {
-            let a = tuple.get(scheme, constraint.left).expect("left in scheme");
-            let b = tuple
-                .get(scheme, constraint.right)
-                .expect("right in scheme");
+            let a = tuple.get(constraint.left).expect("left in scheme");
+            let b = tuple.get(constraint.right).expect("right in scheme");
             match by_a.get(&a) {
                 Some(&leader) => {
                     uf.union(leader, idx);
@@ -503,9 +500,7 @@ fn first_sum_violation(
         }
         let mut first_with_c: HashMap<Symbol, usize> = HashMap::new();
         for (idx, tuple) in relation.iter().enumerate() {
-            let c = tuple
-                .get(scheme, constraint.target)
-                .expect("target in scheme");
+            let c = tuple.get(constraint.target).expect("target in scheme");
             match first_with_c.get(&c) {
                 None => {
                     first_with_c.insert(c, idx);

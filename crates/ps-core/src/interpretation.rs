@@ -217,16 +217,14 @@ impl PartitionInterpretation {
     }
 
     /// The meaning of a tuple: the intersection `⋂_{A ∈ U} f_A(t[A])`
-    /// (Section 3.1).  Returns the set of elements (possibly empty).
-    pub fn meaning_of_tuple(
-        &self,
-        relation: &ps_relation::Relation,
-        tuple: &ps_relation::Tuple,
-    ) -> Result<Vec<Element>> {
-        let scheme = relation.scheme();
+    /// (Section 3.1).  Returns the set of elements (possibly empty).  The
+    /// tuple is addressed as a zero-copy [`ps_relation::RowRef`] view, which
+    /// carries its relation (and hence its scheme) itself.
+    pub fn meaning_of_tuple(&self, tuple: ps_relation::RowRef<'_>) -> Result<Vec<Element>> {
+        let scheme = tuple.relation().scheme();
         let mut current: Option<Vec<Element>> = None;
         for attr in scheme.attrs().iter() {
-            let symbol = tuple.get(scheme, attr).map_err(CoreError::Relation)?;
+            let symbol = tuple.get(attr).map_err(CoreError::Relation)?;
             let block = self.require(attr)?.block_of_symbol(symbol);
             let block: Vec<Element> = match block {
                 None => return Ok(Vec::new()),
@@ -248,7 +246,7 @@ impl PartitionInterpretation {
     pub fn satisfies_database(&self, db: &Database) -> Result<bool> {
         for relation in db.relations() {
             for tuple in relation.iter() {
-                if self.meaning_of_tuple(relation, tuple)?.is_empty() {
+                if self.meaning_of_tuple(tuple)?.is_empty() {
                     return Ok(false);
                 }
             }
@@ -509,7 +507,7 @@ mod tests {
         // The four tuples denote {1}, {2}, {3}, {4} respectively.
         let expected: Vec<Vec<u32>> = vec![vec![1], vec![2], vec![3], vec![4]];
         for (tuple, expect) in r.iter().zip(expected) {
-            let meaning = interp.meaning_of_tuple(r, tuple).unwrap();
+            let meaning = interp.meaning_of_tuple(tuple).unwrap();
             let expect: Vec<Element> = expect.into_iter().map(Element::new).collect();
             assert_eq!(meaning, expect);
         }

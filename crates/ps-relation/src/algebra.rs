@@ -5,18 +5,23 @@
 //! operations on relations — "after all these operations are syntactic
 //! manipulations of syntactic objects".  This module provides them:
 //! selection, projection (already on [`Relation`]), natural join, Cartesian
-//! product, union, difference, intersection and renaming.
+//! product, union, difference, intersection and renaming.  All operations
+//! run on the columnar kernel: rows are read through zero-copy
+//! [`RowRef`] views, and the natural join is a hash join on the shared
+//! attributes rather than a nested-loop scan.
+
+use std::collections::HashMap;
 
 use ps_base::Symbol;
 
-use crate::{Relation, RelationError, RelationScheme, Result, Tuple};
+use crate::{Relation, RelationError, RelationScheme, Result, RowRef};
 
-/// Selection `σ_pred(r)`: keeps the tuples satisfying `pred`.
-pub fn select(r: &Relation, name: &str, pred: impl Fn(&Tuple) -> bool) -> Relation {
+/// Selection `σ_pred(r)`: keeps the rows satisfying `pred`.
+pub fn select(r: &Relation, name: &str, pred: impl Fn(RowRef<'_>) -> bool) -> Relation {
     let mut out = Relation::new(RelationScheme::new(name, r.scheme().attrs().clone()));
-    for t in r.iter() {
-        if pred(t) {
-            out.insert(t.clone()).expect("same scheme");
+    for row in r.iter() {
+        if pred(row) {
+            out.insert_values(&row.to_values()).expect("same scheme");
         }
     }
     out
@@ -26,8 +31,8 @@ pub fn select(r: &Relation, name: &str, pred: impl Fn(&Tuple) -> bool) -> Relati
 pub fn union(r: &Relation, s: &Relation, name: &str) -> Result<Relation> {
     require_same_attrs(r, s)?;
     let mut out = Relation::new(RelationScheme::new(name, r.scheme().attrs().clone()));
-    for t in r.iter().chain(s.iter()) {
-        out.insert(t.clone())?;
+    for row in r.iter().chain(s.iter()) {
+        out.insert_values(&row.to_values())?;
     }
     Ok(out)
 }
@@ -36,9 +41,10 @@ pub fn union(r: &Relation, s: &Relation, name: &str) -> Result<Relation> {
 pub fn difference(r: &Relation, s: &Relation, name: &str) -> Result<Relation> {
     require_same_attrs(r, s)?;
     let mut out = Relation::new(RelationScheme::new(name, r.scheme().attrs().clone()));
-    for t in r.iter() {
-        if !s.contains(t) {
-            out.insert(t.clone())?;
+    for row in r.iter() {
+        let values = row.to_values();
+        if !s.contains_values(&values) {
+            out.insert_values(&values)?;
         }
     }
     Ok(out)
@@ -48,9 +54,10 @@ pub fn difference(r: &Relation, s: &Relation, name: &str) -> Result<Relation> {
 pub fn intersection(r: &Relation, s: &Relation, name: &str) -> Result<Relation> {
     require_same_attrs(r, s)?;
     let mut out = Relation::new(RelationScheme::new(name, r.scheme().attrs().clone()));
-    for t in r.iter() {
-        if s.contains(t) {
-            out.insert(t.clone())?;
+    for row in r.iter() {
+        let values = row.to_values();
+        if s.contains_values(&values) {
+            out.insert_values(&values)?;
         }
     }
     Ok(out)
@@ -59,28 +66,55 @@ pub fn intersection(r: &Relation, s: &Relation, name: &str) -> Result<Relation> 
 /// Natural join `r ⋈ s`: tuples agreeing on the common attributes are
 /// combined; with disjoint schemes this degenerates to the Cartesian
 /// product.
+///
+/// Implemented as a hash join: `s` is bucketed by its shared-attribute key
+/// once, and each row of `r` probes its bucket — `O(|r| + |s| + output)`
+/// instead of the nested-loop `O(|r| · |s|)`.
 pub fn natural_join(r: &Relation, s: &Relation, name: &str) -> Result<Relation> {
     let shared = r.scheme().attrs().intersection(s.scheme().attrs());
     let out_attrs = r.scheme().attrs().union(s.scheme().attrs());
     let scheme = RelationScheme::new(name, out_attrs.clone());
-    let mut out = Relation::new(scheme.clone());
-    for tr in r.iter() {
-        for ts in s.iter() {
-            if tr.project(r.scheme(), &shared) != ts.project(s.scheme(), &shared) {
-                continue;
+    let mut out = Relation::new(scheme);
+
+    // Bucket `s` rows by their shared-attribute key.
+    let mut buckets: HashMap<Vec<Symbol>, Vec<usize>> = HashMap::new();
+    for row in s.iter() {
+        buckets
+            .entry(row.project(&shared))
+            .or_default()
+            .push(row.index());
+    }
+
+    // Each output column pulls from a fixed position of `r` or of `s`.
+    enum Source {
+        Left(usize),
+        Right(usize),
+    }
+    let sources: Vec<Source> = out_attrs
+        .iter()
+        .map(|a| {
+            if let Some(pos) = r.scheme().position(a) {
+                Source::Left(pos)
+            } else {
+                let pos = s.scheme().position(a).expect("attribute from union");
+                Source::Right(pos)
             }
-            let values: Vec<Symbol> = out_attrs
-                .iter()
-                .map(|a| {
-                    if let Some(pos) = r.scheme().position(a) {
-                        tr.values()[pos]
-                    } else {
-                        let pos = s.scheme().position(a).expect("attribute from union");
-                        ts.values()[pos]
-                    }
-                })
-                .collect();
-            out.insert(Tuple::new(&scheme, values)?)?;
+        })
+        .collect();
+
+    let mut values = vec![Symbol::from_index(0); out_attrs.len()];
+    for row in r.iter() {
+        let Some(matches) = buckets.get(&row.project(&shared)) else {
+            continue;
+        };
+        for &s_idx in matches {
+            for (slot, source) in values.iter_mut().zip(&sources) {
+                *slot = match source {
+                    Source::Left(pos) => row.value_at(*pos),
+                    Source::Right(pos) => s.row(s_idx).value_at(*pos),
+                };
+            }
+            out.insert_values(&values)?;
         }
     }
     Ok(out)
@@ -100,8 +134,8 @@ pub fn cartesian_product(r: &Relation, s: &Relation, name: &str) -> Result<Relat
 /// Renames a relation (the scheme keeps the same attributes).
 pub fn rename(r: &Relation, name: &str) -> Relation {
     let mut out = Relation::new(RelationScheme::new(name, r.scheme().attrs().clone()));
-    for t in r.iter() {
-        out.insert(t.clone()).expect("same scheme");
+    for row in r.iter() {
+        out.insert_values(&row.to_values()).expect("same scheme");
     }
     out
 }
@@ -147,7 +181,7 @@ mod tests {
         let mut f = fixture();
         let r = relation(&mut f, "R", &["A", "B"], &[&["a1", "b1"], &["a2", "b2"]]);
         let a1 = f.symbols.lookup("a1").unwrap();
-        let sel = select(&r, "S", |t| t.values()[0] == a1);
+        let sel = select(&r, "S", |t| t.value_at(0) == a1);
         assert_eq!(sel.len(), 1);
     }
 

@@ -10,12 +10,26 @@
 //! constants* is a contradiction; otherwise the chase terminates with a
 //! representative weak instance.
 //!
-//! This is the polynomial-time workhorse behind Theorems 6, 7 and 12 of the
-//! paper (experiment E5).
+//! Two engines implement the fixpoint:
+//!
+//! * [`chase_tableau`] — the **indexed, worklist-driven engine**: one hash
+//!   index per FD left-hand side maps lhs class keys to a leader row,
+//!   symbol classes are merged through a [`ps_partition::UnionFind`], and a
+//!   dirty-row worklist revisits only rows whose symbols changed class.
+//!   Every row is examined `O(1 + changes)` times per FD instead of once
+//!   per global round.
+//! * [`chase_tableau_naive`] — the full-rescan reference: repeat passes
+//!   over every (FD, row) pair until a pass changes nothing.
+//!
+//! Both report their work in [`ChaseOutcome::row_visits`], which the
+//! `ps-bench` operation-counter test uses to prove the indexed engine does
+//! strictly less work.  This is the polynomial-time workhorse behind
+//! Theorems 6, 7 and 12 of the paper (experiment E5).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use ps_base::{AttrSet, Symbol, SymbolTable};
+use ps_partition::UnionFind;
 
 use crate::{Database, Fd, Relation, RelationScheme, Tableau};
 
@@ -26,14 +40,28 @@ pub struct ChaseOutcome {
     pub consistent: bool,
     /// Number of equate operations performed.
     pub steps: usize,
-    /// Number of passes over the FD set.
+    /// Number of passes over the FD set (always `1` for the worklist
+    /// engine, which has no global rounds).
     pub rounds: usize,
+    /// Number of (row, FD) examinations performed — the work measure the
+    /// operation-counter tests compare across engines.
+    pub row_visits: usize,
     /// If consistent, the chased tableau rows with every symbol replaced by
     /// its representative.
     pub rows: Option<Vec<Vec<Symbol>>>,
 }
 
 impl ChaseOutcome {
+    fn inconsistent(steps: usize, rounds: usize, row_visits: usize) -> Self {
+        ChaseOutcome {
+            consistent: false,
+            steps,
+            rounds,
+            row_visits,
+            rows: None,
+        }
+    }
+
     /// Converts the chased rows into a representative weak-instance relation
     /// over `attrs` named `name`.  Returns `None` if the chase found an
     /// inconsistency.
@@ -51,7 +79,7 @@ impl ChaseOutcome {
 }
 
 /// Union–find over symbols in which constants can never be merged with each
-/// other.
+/// other (HashMap-based; used by the naive reference engine).
 struct SymbolClasses<'a> {
     parent: HashMap<Symbol, Symbol>,
     symbols: &'a SymbolTable,
@@ -98,38 +126,43 @@ impl<'a> SymbolClasses<'a> {
     }
 }
 
-/// Chases `tableau` with `fds`.  `symbols` is used only to distinguish
-/// constants from nulls.
-pub fn chase_tableau(tableau: &Tableau, fds: &[Fd], symbols: &SymbolTable) -> ChaseOutcome {
+/// Pre-computes, for each FD, the column indices of its lhs/rhs attributes
+/// that occur in the tableau, dropping FDs whose lhs mentions a column the
+/// tableau lacks entirely (no two rows can agree on a column that does not
+/// exist, so such FDs can never fire).
+fn active_fd_columns(tableau: &Tableau, fds: &[Fd]) -> Vec<(Vec<usize>, Vec<usize>)> {
+    fds.iter()
+        .filter_map(|fd| {
+            let lhs: Vec<usize> = fd.lhs.iter().filter_map(|a| tableau.position(a)).collect();
+            if lhs.len() != fd.lhs.len() {
+                return None;
+            }
+            let rhs: Vec<usize> = fd.rhs.iter().filter_map(|a| tableau.position(a)).collect();
+            Some((lhs, rhs))
+        })
+        .collect()
+}
+
+/// Chases `tableau` with `fds` by full rescans: every pass re-examines
+/// every (FD, row) pair until a pass changes nothing.  Kept as the
+/// reference implementation the indexed engine is pinned against.
+/// `symbols` is used only to distinguish constants from nulls.
+pub fn chase_tableau_naive(tableau: &Tableau, fds: &[Fd], symbols: &SymbolTable) -> ChaseOutcome {
     let mut classes = SymbolClasses::new(symbols);
     let mut steps = 0usize;
     let mut rounds = 0usize;
+    let mut row_visits = 0usize;
 
-    // Pre-compute, for each FD, the column indices of its lhs/rhs attributes
-    // that actually occur in the tableau.
-    let fd_columns: Vec<(Vec<usize>, Vec<usize>)> = fds
-        .iter()
-        .map(|fd| {
-            let lhs: Vec<usize> = fd.lhs.iter().filter_map(|a| tableau.position(a)).collect();
-            let rhs: Vec<usize> = fd.rhs.iter().filter_map(|a| tableau.position(a)).collect();
-            (lhs, rhs)
-        })
-        .collect();
+    let fd_columns = active_fd_columns(tableau, fds);
 
     loop {
         rounds += 1;
         let mut changed = false;
-        for (fd_idx, fd) in fds.iter().enumerate() {
-            let (lhs_cols, rhs_cols) = &fd_columns[fd_idx];
-            // If some lhs attribute is missing from the tableau entirely the
-            // FD can never fire (no two rows can agree on a column that does
-            // not exist); skip it.
-            if lhs_cols.len() != fd.lhs.len() {
-                continue;
-            }
+        for (lhs_cols, rhs_cols) in &fd_columns {
             // Group rows by the representative vector of their lhs columns.
             let mut groups: HashMap<Vec<Symbol>, usize> = HashMap::new();
             for (row_idx, row) in tableau.rows().iter().enumerate() {
+                row_visits += 1;
                 let key: Vec<Symbol> = lhs_cols.iter().map(|&c| classes.find(row[c])).collect();
                 match groups.get(&key) {
                     None => {
@@ -147,12 +180,7 @@ pub fn chase_tableau(tableau: &Tableau, fds: &[Fd], symbols: &SymbolTable) -> Ch
                                 }
                                 Ok(false) => {}
                                 Err(()) => {
-                                    return ChaseOutcome {
-                                        consistent: false,
-                                        steps,
-                                        rounds,
-                                        rows: None,
-                                    }
+                                    return ChaseOutcome::inconsistent(steps, rounds, row_visits)
                                 }
                             }
                         }
@@ -174,15 +202,182 @@ pub fn chase_tableau(tableau: &Tableau, fds: &[Fd], symbols: &SymbolTable) -> Ch
         consistent: true,
         steps,
         rounds,
+        row_visits,
         rows: Some(rows),
     }
 }
 
+/// Dense symbol classes for the indexed engine: a [`UnionFind`] over the
+/// tableau's distinct symbols, with the class representative maintained as
+/// the minimum symbol (constants sort below fresh nulls, so a class with a
+/// constant is always represented by it — and since merging two constants
+/// is a contradiction, each class holds at most one) and the per-class list
+/// of rows whose cells the class touches.
+struct ClassTable {
+    uf: UnionFind,
+    /// `rep[r]` for a root `r`: the minimum symbol of the class.
+    rep: Vec<Symbol>,
+    /// `rows_of[r]` for a root `r`: the rows containing any class member.
+    rows_of: Vec<Vec<u32>>,
+}
+
+enum Merge {
+    /// Already the same class.
+    Same,
+    /// Classes merged; the payload lists the rows whose key roots changed.
+    Merged(Vec<u32>),
+    /// Both classes were rooted at distinct constants.
+    Clash,
+}
+
+impl ClassTable {
+    fn find(&mut self, id: u32) -> u32 {
+        self.uf.find(id as usize) as u32
+    }
+
+    fn merge(&mut self, a: u32, b: u32, symbols: &SymbolTable) -> Merge {
+        let ra = self.uf.find(a as usize);
+        let rb = self.uf.find(b as usize);
+        if ra == rb {
+            return Merge::Same;
+        }
+        if symbols.is_constant(self.rep[ra]) && symbols.is_constant(self.rep[rb]) {
+            // Distinct roots with constant representatives ⇒ distinct
+            // constants (equal constants intern to the same symbol).
+            return Merge::Clash;
+        }
+        self.uf.union(ra, rb);
+        let winner = self.uf.find(ra);
+        let loser = if winner == ra { rb } else { ra };
+        self.rep[winner] = self.rep[ra].min(self.rep[rb]);
+        // Rows touching the losing class now hash to new keys: hand them to
+        // the caller for re-queueing, and fold them into the winner's list.
+        let moved = std::mem::take(&mut self.rows_of[loser]);
+        let winner_rows = &mut self.rows_of[winner];
+        winner_rows.extend_from_slice(&moved);
+        Merge::Merged(moved)
+    }
+}
+
+/// Chases `tableau` with `fds` using the indexed, worklist-driven engine
+/// (see the module docs).  `symbols` is used only to distinguish constants
+/// from nulls.
+pub fn chase_tableau(tableau: &Tableau, fds: &[Fd], symbols: &SymbolTable) -> ChaseOutcome {
+    let rows = tableau.rows();
+    let num_rows = rows.len();
+    let fd_columns = active_fd_columns(tableau, fds);
+
+    // Dense local interning of every distinct symbol in the tableau.
+    let mut local: HashMap<Symbol, u32> = HashMap::new();
+    let mut rep: Vec<Symbol> = Vec::new();
+    let mut rows_of: Vec<Vec<u32>> = Vec::new();
+    let cells: Vec<Vec<u32>> = rows
+        .iter()
+        .enumerate()
+        .map(|(row_idx, row)| {
+            row.iter()
+                .map(|&s| {
+                    let id = *local.entry(s).or_insert_with(|| {
+                        rep.push(s);
+                        rows_of.push(Vec::new());
+                        (rep.len() - 1) as u32
+                    });
+                    let list = &mut rows_of[id as usize];
+                    if list.last() != Some(&(row_idx as u32)) {
+                        list.push(row_idx as u32);
+                    }
+                    id
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut classes = ClassTable {
+        uf: UnionFind::new(rep.len()),
+        rep,
+        rows_of,
+    };
+
+    // One lhs-key index per FD, mapping the class roots of a row's lhs
+    // columns to the leader row first seen with that key.
+    let mut indexes: Vec<HashMap<Vec<u32>, u32>> = vec![HashMap::new(); fd_columns.len()];
+    let mut queue: VecDeque<u32> = (0..num_rows as u32).collect();
+    let mut queued = vec![true; num_rows];
+
+    let mut steps = 0usize;
+    let mut row_visits = 0usize;
+
+    while let Some(row) = queue.pop_front() {
+        queued[row as usize] = false;
+        for (fd_idx, (lhs_cols, rhs_cols)) in fd_columns.iter().enumerate() {
+            row_visits += 1;
+            let key: Vec<u32> = lhs_cols
+                .iter()
+                .map(|&c| classes.find(cells[row as usize][c]))
+                .collect();
+            let leader = match indexes[fd_idx].get(&key).copied() {
+                None => {
+                    indexes[fd_idx].insert(key, row);
+                    continue;
+                }
+                Some(leader) => leader,
+            };
+            if leader == row {
+                continue;
+            }
+            for &c in rhs_cols {
+                let a = cells[leader as usize][c];
+                let b = cells[row as usize][c];
+                match classes.merge(a, b, symbols) {
+                    Merge::Same => {}
+                    Merge::Clash => {
+                        return ChaseOutcome::inconsistent(steps, 1, row_visits);
+                    }
+                    Merge::Merged(dirtied) => {
+                        steps += 1;
+                        for r in dirtied {
+                            if !queued[r as usize] {
+                                queued[r as usize] = true;
+                                queue.push_back(r);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let chased = cells
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|&id| {
+                    let root = classes.find(id);
+                    classes.rep[root as usize]
+                })
+                .collect()
+        })
+        .collect();
+    ChaseOutcome {
+        consistent: true,
+        steps,
+        rounds: 1,
+        row_visits,
+        rows: Some(chased),
+    }
+}
+
 /// Chases the padded tableau of `db` with `fds` over the union of the
-/// database's attributes (Honeyman's test).
+/// database's attributes (Honeyman's test), using the indexed engine.
 pub fn chase_fds(db: &Database, fds: &[Fd], symbols: &mut SymbolTable) -> ChaseOutcome {
     let tableau = Tableau::from_database(db, symbols);
     chase_tableau(&tableau, fds, symbols)
+}
+
+/// [`chase_fds`] on the full-rescan reference engine.
+pub fn chase_fds_naive(db: &Database, fds: &[Fd], symbols: &mut SymbolTable) -> ChaseOutcome {
+    let tableau = Tableau::from_database(db, symbols);
+    chase_tableau_naive(&tableau, fds, symbols)
 }
 
 /// Chases the padded tableau of `db` over an explicit attribute universe
@@ -196,6 +391,27 @@ pub fn chase_fds_over(
 ) -> ChaseOutcome {
     let tableau = Tableau::from_database_over(db, attrs, symbols);
     chase_tableau(&tableau, fds, symbols)
+}
+
+/// Renames fresh nulls to their first-occurrence index so chased rows can
+/// be compared across engines and runs (each engine picks its own null
+/// representatives; constants render by name).
+pub fn canonical_chase_rows(rows: &[Vec<Symbol>], symbols: &SymbolTable) -> Vec<Vec<String>> {
+    let mut naming: HashMap<Symbol, String> = HashMap::new();
+    rows.iter()
+        .map(|row| {
+            row.iter()
+                .map(|&s| {
+                    if symbols.is_constant(s) {
+                        symbols.render(s)
+                    } else {
+                        let next = format!("null{}", naming.len());
+                        naming.entry(s).or_insert(next).clone()
+                    }
+                })
+                .collect()
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -215,6 +431,29 @@ mod tests {
             universe: Universe::new(),
             symbols: SymbolTable::new(),
         }
+    }
+
+    /// Both engines must agree: same verdict, same chased rows up to null
+    /// renaming (the FD chase is confluent).  No relation between their
+    /// `row_visits` is asserted here — the worklist engine wins on
+    /// propagation-heavy workloads but can lose on tiny ones, where
+    /// re-queues outnumber the naive engine's few global rounds.
+    fn assert_engines_agree(db: &Database, fds: &[Fd], symbols: &mut SymbolTable) -> ChaseOutcome {
+        let tableau = Tableau::from_database(db, symbols);
+        let indexed = chase_tableau(&tableau, fds, symbols);
+        let naive = chase_tableau_naive(&tableau, fds, symbols);
+        assert_eq!(indexed.consistent, naive.consistent);
+        match (&indexed.rows, &naive.rows) {
+            (Some(a), Some(b)) => {
+                assert_eq!(
+                    canonical_chase_rows(a, symbols),
+                    canonical_chase_rows(b, symbols)
+                );
+            }
+            (None, None) => {}
+            _ => unreachable!("verdicts agree"),
+        }
+        indexed
     }
 
     #[test]
@@ -253,6 +492,7 @@ mod tests {
         let c_domain = w.active_domain(c).unwrap();
         assert_eq!(c_domain.len(), 1);
         assert!(f.symbols.is_constant(c_domain[0]));
+        assert_engines_agree(&db, &fds, &mut f.symbols);
     }
 
     #[test]
@@ -275,13 +515,13 @@ mod tests {
         assert!(!outcome.consistent);
         assert!(outcome.rows.is_none());
         assert!(outcome.weak_instance("W", &db.all_attributes()).is_none());
+        assert_engines_agree(&db, &[fd(&[a], &[b])], &mut f.symbols);
     }
 
     #[test]
     fn cross_relation_inconsistency_via_nulls() {
         let mut f = fixture();
-        // R1[AB]: (a,b1); R2[AC]: (a,c1), (a2,c2); FDs A→B and C→B force
-        // nothing inconsistent... but A→C plus the two relations below does.
+        // R1[AC]: (a,c1); R2[AC]: (a,c2); FD A→C equates the constants c1, c2.
         let db = DatabaseBuilder::new()
             .relation(
                 &mut f.universe,
@@ -367,6 +607,7 @@ mod tests {
         assert!(outcome2.consistent);
         let w = outcome2.weak_instance("W", &db2.all_attributes()).unwrap();
         assert!(w.satisfies_all_fds(&fds));
+        assert_engines_agree(&db2, &fds, &mut f.symbols);
     }
 
     #[test]
@@ -385,6 +626,7 @@ mod tests {
         let outcome = chase_fds(&db, &[], &mut f.symbols);
         assert!(outcome.consistent);
         assert_eq!(outcome.steps, 0);
+        assert_eq!(outcome.row_visits, 0);
     }
 
     #[test]
@@ -402,5 +644,55 @@ mod tests {
         assert!(outcome.consistent);
         let w = outcome.weak_instance("W", &attrs).unwrap();
         assert_eq!(w.scheme().arity(), 2);
+    }
+
+    #[test]
+    fn indexed_engine_revisits_fewer_rows_on_propagation_chains() {
+        let mut f = fixture();
+        // A propagation chain A0→A1→…→A4 across single-attribute-overlap
+        // relations, with the FDs listed against the propagation direction
+        // so the full-rescan engine needs several rounds.
+        let mut builder = DatabaseBuilder::new();
+        for i in 0..4 {
+            let name = format!("R{i}");
+            let attrs = [format!("A{i}"), format!("A{}", i + 1)];
+            let rows = [
+                [format!("v{i}_0"), format!("v{}_0", i + 1)],
+                [format!("v{i}_1"), format!("v{}_0", i + 1)],
+            ];
+            let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+            let row_refs: Vec<Vec<&str>> = rows
+                .iter()
+                .map(|r| r.iter().map(String::as_str).collect())
+                .collect();
+            let row_slices: Vec<&[&str]> = row_refs.iter().map(Vec::as_slice).collect();
+            builder = builder
+                .relation(
+                    &mut f.universe,
+                    &mut f.symbols,
+                    &name,
+                    &attr_refs,
+                    &row_slices,
+                )
+                .unwrap();
+        }
+        let db = builder.build();
+        let mut fds: Vec<Fd> = (0..4)
+            .map(|i| {
+                let lhs = f.universe.lookup(&format!("A{i}")).unwrap();
+                let rhs = f.universe.lookup(&format!("A{}", i + 1)).unwrap();
+                fd(&[lhs], &[rhs])
+            })
+            .collect();
+        fds.reverse();
+        let indexed = assert_engines_agree(&db, &fds, &mut f.symbols);
+        let naive = chase_fds_naive(&db, &fds, &mut f.symbols);
+        assert!(indexed.consistent && naive.consistent);
+        assert!(
+            indexed.row_visits < naive.row_visits,
+            "worklist engine must do strictly less work ({} vs {})",
+            indexed.row_visits,
+            naive.row_visits
+        );
     }
 }

@@ -71,7 +71,7 @@ pub fn cad_consistent(db: &Database, fds: &[Fd]) -> CadOutcome {
         for tuple in relation.iter() {
             let row: Vec<Option<Symbol>> = columns
                 .iter()
-                .map(|&a| relation.scheme().position(a).map(|p| tuple.values()[p]))
+                .map(|&a| relation.scheme().position(a).map(|p| tuple.value_at(p)))
                 .collect();
             rows.push(row);
         }

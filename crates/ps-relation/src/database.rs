@@ -97,10 +97,10 @@ impl Database {
                 Ok(p) => p,
                 Err(_) => return false,
             };
-            for t in r.iter() {
-                let projected_values = t.project(r.scheme(), r.scheme().attrs());
-                let as_tuple = crate::Tuple::from_values(projected_values);
-                if !proj.contains(&as_tuple) {
+            // `r`'s rows are already in the sorted attribute order of the
+            // projected scheme, so the row values can be looked up directly.
+            for row in r.iter() {
+                if !proj.contains_values(&row.to_values()) {
                     return false;
                 }
             }
@@ -249,7 +249,7 @@ mod tests {
         // Removing a tuple breaks the property.
         let mut partial = Relation::new(r.scheme().clone());
         for t in r.iter().skip(1) {
-            partial.insert(t.clone()).unwrap();
+            partial.insert_values(&t.to_values()).unwrap();
         }
         assert!(!db.has_weak_instance(&partial));
         // A relation over fewer attributes can never be a weak instance.
@@ -263,7 +263,7 @@ mod tests {
         let mut wide = Relation::new(RelationScheme::new("W", wide_attrs));
         let filler = s.symbol("filler");
         for t in r.iter() {
-            let mut vals = t.values().to_vec();
+            let mut vals = t.to_values();
             vals.push(filler); // D is the largest attribute id, so it sorts last.
             wide.insert_values(&vals).unwrap();
         }

@@ -12,9 +12,11 @@
 //! Main types:
 //!
 //! * [`RelationScheme`], [`Relation`], [`Database`] — schemes `R[U]`, finite
-//!   relations over them and databases `d = {r₁, …, r_n}`.
-//! * [`Tuple`] — a tuple over a scheme, stored in the scheme's attribute
-//!   order.
+//!   relations over them and databases `d = {r₁, …, r_n}`.  Relations are
+//!   stored columnar (one `Vec<Symbol>` per attribute plus a row-hash dedup
+//!   index); [`RowRef`] gives zero-copy row views.
+//! * [`Tuple`] — an owned tuple over a scheme, stored in the scheme's
+//!   attribute order (the row-shaped construction/interchange type).
 //! * [`Fd`] / [`fd_closure`] — functional dependencies, Armstrong attribute
 //!   closure (both the naïve and the linear-time Beeri–Bernstein variants),
 //!   implication, minimal covers and candidate keys.
@@ -22,8 +24,9 @@
 //! * [`algebra`] — the relational-algebra operations the paper's conclusion
 //!   points out remain available under partition semantics.
 //! * [`Tableau`], [`chase`] — the weak-instance machinery: build a tableau
-//!   from a database, chase it with FDs, detect inconsistency, extract a
-//!   representative weak instance.
+//!   from a database, chase it with FDs (indexed worklist engine, with the
+//!   full-rescan loop kept as [`chase_fds_naive`]), detect inconsistency,
+//!   extract a representative weak instance.
 //! * [`consistency`] — consistency of a database with a set of FDs under the
 //!   weak instance assumption (polynomial, Section 6.2) and under the
 //!   complete-atomic-data assumption (NP-complete, Section 6.1; exact
@@ -45,13 +48,16 @@ mod schema;
 mod tableau;
 mod tuple;
 
-pub use chase::{chase_fds, chase_fds_over, chase_tableau, ChaseOutcome};
+pub use chase::{
+    canonical_chase_rows, chase_fds, chase_fds_naive, chase_fds_over, chase_tableau,
+    chase_tableau_naive, ChaseOutcome,
+};
 pub use consistency::{cad_consistent, weak_instance_consistent, CadOutcome, CadSearchStats};
 pub use database::{Database, DatabaseBuilder};
 pub use error::RelationError;
 pub use fd::{fd, Fd};
 pub use mvd::Mvd;
-pub use relation::Relation;
+pub use relation::{Relation, RowRef};
 pub use schema::{DatabaseScheme, RelationScheme};
 pub use tableau::Tableau;
 pub use tuple::Tuple;

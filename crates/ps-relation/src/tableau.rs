@@ -31,15 +31,21 @@ impl Tableau {
     pub fn from_database_over(db: &Database, attrs: &AttrSet, symbols: &mut SymbolTable) -> Self {
         let mut rows = Vec::with_capacity(db.total_tuples());
         for relation in db.relations() {
-            for tuple in relation.iter() {
-                let row: Vec<Symbol> = attrs
+            // Resolve each tableau column to the relation's column (or a
+            // fresh-null pad) once per relation, then walk the columns.
+            let positions: Vec<Option<usize>> = attrs
+                .iter()
+                .map(|a| relation.scheme().position(a))
+                .collect();
+            for row in relation.iter() {
+                let padded: Vec<Symbol> = positions
                     .iter()
-                    .map(|a| match relation.scheme().position(a) {
-                        Some(pos) => tuple.values()[pos],
+                    .map(|pos| match pos {
+                        Some(pos) => row.value_at(*pos),
                         None => symbols.fresh(),
                     })
                     .collect();
-                rows.push(row);
+                rows.push(padded);
             }
         }
         Tableau {

@@ -22,7 +22,7 @@ fn canonical_relation_of_canonical_interpretation_is_identity() {
         let back = canonical_relation(&interpretation, &mut world.symbols, "R").unwrap();
         assert_eq!(back.len(), relation.len(), "seed {seed}");
         for tuple in relation.iter() {
-            assert!(back.contains(tuple), "seed {seed}: missing {tuple}");
+            assert!(back.contains_row(tuple), "seed {seed}: missing {tuple}");
         }
         assert_eq!(tuple_elements(&relation).len(), relation.len());
     }
@@ -67,14 +67,13 @@ fn characterization_i_and_iii_are_equivalent() {
         let attrs = world.attrs(3);
         let relation = common::random_relation(&mut world, "R", &attrs, 6, 2, seed);
         let (a, b, c) = (attrs[0], attrs[1], attrs[2]);
-        let scheme = relation.scheme();
 
         // Direct statement of (I).
         let direct_i = relation.iter().all(|t| {
             relation.iter().all(|h| {
-                let same_c = t.get(scheme, c).unwrap() == h.get(scheme, c).unwrap();
-                let same_ab = t.get(scheme, a).unwrap() == h.get(scheme, a).unwrap()
-                    && t.get(scheme, b).unwrap() == h.get(scheme, b).unwrap();
+                let same_c = t.get(c).unwrap() == h.get(c).unwrap();
+                let same_ab = t.get(a).unwrap() == h.get(a).unwrap()
+                    && t.get(b).unwrap() == h.get(b).unwrap();
                 same_c == same_ab
             })
         });
@@ -99,15 +98,14 @@ fn characterization_i_and_iii_are_equivalent() {
             let classes: Vec<usize> = relation
                 .iter()
                 .map(|t| {
-                    let key = (t.get(scheme, a).unwrap(), t.get(scheme, b).unwrap());
+                    let key = (t.get(a).unwrap(), t.get(b).unwrap());
                     *class_of.entry(key).or_insert_with(|| {
                         next += 1;
                         next - 1
                     })
                 })
                 .collect();
-            let c_values: Vec<Symbol> =
-                relation.iter().map(|t| t.get(scheme, c).unwrap()).collect();
+            let c_values: Vec<Symbol> = relation.iter().map(|t| t.get(c).unwrap()).collect();
             let mut c_to_class: HashMap<Symbol, usize> = HashMap::new();
             let mut class_to_c: HashMap<usize, Symbol> = HashMap::new();
             let mut ok = true;
@@ -143,11 +141,11 @@ proptest! {
 
         // Re-insert the tuples in reverse order (and twice).
         let mut shuffled = Relation::new(relation.scheme().clone());
-        for tuple in relation.tuples().iter().rev() {
-            shuffled.insert(tuple.clone()).unwrap();
+        for idx in (0..relation.len()).rev() {
+            shuffled.insert_values(&relation.row_values(idx)).unwrap();
         }
         for tuple in relation.iter() {
-            shuffled.insert(tuple.clone()).unwrap();
+            shuffled.insert_values(&tuple.to_values()).unwrap();
         }
         let permuted = relation_satisfies_pd(&shuffled, &world.arena, pd).unwrap();
         prop_assert_eq!(original, permuted);

@@ -131,10 +131,7 @@ fn figure1_composite_scheme_meaning_is_discrete() {
     assert_eq!(meaning.num_blocks(), 4);
     let relation = &fig.database.relations()[0];
     for tuple in relation.iter() {
-        let denotation = fig
-            .interpretation
-            .meaning_of_tuple(relation, tuple)
-            .unwrap();
+        let denotation = fig.interpretation.meaning_of_tuple(tuple).unwrap();
         assert_eq!(
             denotation.len(),
             1,

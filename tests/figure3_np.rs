@@ -30,10 +30,10 @@ fn figure3_shape_matches_the_paper() {
 
     // Its single tuple pins B0 = a0, B1 = a1, B2 = b2 (positive, positive,
     // negated) exactly as in the figure.
-    let tuple = &r1.tuples()[0];
-    let b0 = tuple.get(r1.scheme(), reduction.b_attrs[0]).unwrap();
-    let b1 = tuple.get(r1.scheme(), reduction.b_attrs[1]).unwrap();
-    let b2 = tuple.get(r1.scheme(), reduction.b_attrs[2]).unwrap();
+    let tuple = r1.row(0);
+    let b0 = tuple.get(reduction.b_attrs[0]).unwrap();
+    let b1 = tuple.get(reduction.b_attrs[1]).unwrap();
+    let b2 = tuple.get(reduction.b_attrs[2]).unwrap();
     assert_eq!(b0, reduction.true_symbols[0]);
     assert_eq!(b1, reduction.true_symbols[1]);
     assert_eq!(b2, reduction.false_symbols[2]);

@@ -73,13 +73,11 @@ fn selection_union_difference_preserve_fpd_satisfaction_when_expected() {
     // closed under subsets); enforce the FPD first by keeping one tuple per
     // A0-value.
     let seen = std::cell::RefCell::new(std::collections::HashSet::new());
-    let scheme = relation.scheme().clone();
     let deduped = algebra::select(&relation, "dedup", |t| {
-        seen.borrow_mut().insert(t.get(&scheme, attrs[0]).unwrap())
+        seen.borrow_mut().insert(t.get(attrs[0]).unwrap())
     });
     assert!(relation_satisfies_pd(&deduped, &world.arena, pd).unwrap());
-    let scheme2 = deduped.scheme().clone();
-    let selected = algebra::select(&deduped, "sel", |t| t.get(&scheme2, attrs[2]).is_ok());
+    let selected = algebra::select(&deduped, "sel", |t| t.get(attrs[2]).is_ok());
     assert!(relation_satisfies_pd(&selected, &world.arena, pd).unwrap());
 
     // Difference of a relation with anything still satisfies the FPD; union
