@@ -14,6 +14,7 @@
 //! | E6 / F3 | `cad_np` | Theorem 11: CAD+EAP consistency is NP-complete |
 //! | F1, F2 | `figures` | Figures 1 and 2 regenerated from scratch |
 //! | E7 | `ablation` | Design-choice ablations (naïve vs worklist ALG, sum via chaining vs union–find) |
+//! | E8 | `word_problem` | Cached `ImplicationEngine`: build-once-query-many vs rebuild-per-goal, engine vs reference strategies |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -102,6 +103,26 @@ pub fn mixed_pd_grid(n: usize) -> ImplicationWorkload {
     }
 }
 
+/// A random lattice term over `attrs` with at most `budget` leaves.
+fn random_term(
+    arena: &mut TermArena,
+    attrs: &[Attribute],
+    budget: usize,
+    rng: &mut StdRng,
+) -> TermId {
+    if budget <= 1 || rng.gen_bool(0.3) {
+        return arena.atom(attrs[rng.gen_range(0..attrs.len())]);
+    }
+    let left_budget = rng.gen_range(1..budget);
+    let left = random_term(arena, attrs, left_budget, rng);
+    let right = random_term(arena, attrs, budget - left_budget, rng);
+    if rng.gen_bool(0.5) {
+        arena.meet(left, right)
+    } else {
+        arena.join(left, right)
+    }
+}
+
 /// Random PDs over `num_attrs` attributes (experiment E1, negative cases).
 pub fn random_pd_set(
     num_attrs: usize,
@@ -115,34 +136,73 @@ pub fn random_pd_set(
         .map(|i| universe.attr(&format!("A{i}")))
         .collect();
     let mut rng = StdRng::seed_from_u64(seed);
-    fn term(arena: &mut TermArena, attrs: &[Attribute], budget: usize, rng: &mut StdRng) -> TermId {
-        if budget <= 1 || rng.gen_bool(0.3) {
-            return arena.atom(attrs[rng.gen_range(0..attrs.len())]);
-        }
-        let left_budget = rng.gen_range(1..budget);
-        let left = term(arena, attrs, left_budget, rng);
-        let right = term(arena, attrs, budget - left_budget, rng);
-        if rng.gen_bool(0.5) {
-            arena.meet(left, right)
-        } else {
-            arena.join(left, right)
-        }
-    }
     let equations: Vec<Equation> = (0..num_pds)
         .map(|_| {
-            let lhs = term(&mut arena, &attrs, budget, &mut rng);
-            let rhs = term(&mut arena, &attrs, budget, &mut rng);
+            let lhs = random_term(&mut arena, &attrs, budget, &mut rng);
+            let rhs = random_term(&mut arena, &attrs, budget, &mut rng);
             Equation::new(lhs, rhs)
         })
         .collect();
-    let lhs = term(&mut arena, &attrs, budget, &mut rng);
-    let rhs = term(&mut arena, &attrs, budget, &mut rng);
+    let lhs = random_term(&mut arena, &attrs, budget, &mut rng);
+    let rhs = random_term(&mut arena, &attrs, budget, &mut rng);
     let goal = Equation::new(lhs, rhs);
     ImplicationWorkload {
         universe,
         arena,
         equations,
         goal,
+    }
+}
+
+/// A word-problem workload for the build-once-query-many engine: one random
+/// constraint set `E` plus a batch of goal equations to test against it.
+pub struct WordProblemWorkload {
+    /// Attribute universe.
+    pub universe: Universe,
+    /// Term arena holding all expressions.
+    pub arena: TermArena,
+    /// The constraint set `E`.
+    pub equations: Vec<Equation>,
+    /// The goal batch (a mix of entailed and non-entailed equations).
+    pub goals: Vec<Equation>,
+}
+
+/// A random equation set plus a batch of `num_goals` random goal equations —
+/// the fixture behind the `word_problem` bench group and the rule-firing
+/// counter acceptance test (cached engine vs. rebuild-per-goal).
+pub fn random_word_problem_workload(
+    num_attrs: usize,
+    num_pds: usize,
+    budget: usize,
+    num_goals: usize,
+    goal_budget: usize,
+    seed: u64,
+) -> WordProblemWorkload {
+    let mut universe = Universe::new();
+    let mut arena = TermArena::new();
+    let attrs: Vec<Attribute> = (0..num_attrs)
+        .map(|i| universe.attr(&format!("A{i}")))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let equations: Vec<Equation> = (0..num_pds)
+        .map(|_| {
+            let lhs = random_term(&mut arena, &attrs, budget, &mut rng);
+            let rhs = random_term(&mut arena, &attrs, budget, &mut rng);
+            Equation::new(lhs, rhs)
+        })
+        .collect();
+    let goals: Vec<Equation> = (0..num_goals)
+        .map(|_| {
+            let lhs = random_term(&mut arena, &attrs, goal_budget, &mut rng);
+            let rhs = random_term(&mut arena, &attrs, goal_budget, &mut rng);
+            Equation::new(lhs, rhs)
+        })
+        .collect();
+    WordProblemWorkload {
+        universe,
+        arena,
+        equations,
+        goals,
     }
 }
 
@@ -591,6 +651,78 @@ mod tests {
             );
             // The frontier strategy touches each unordered pair exactly once.
             assert_eq!(fast.operations, fast.size * (fast.size + 1));
+        }
+    }
+
+    /// The acceptance gate for the cached implication engine: answering a
+    /// goal batch from one engine (built once per constraint set, extended
+    /// incrementally) performs strictly fewer rule firings — arc insertions,
+    /// the strategy-independent work unit both engines count — than building
+    /// one fresh `DerivedOrder` per goal, while agreeing on every verdict.
+    #[test]
+    fn cached_engine_does_strictly_fewer_rule_firings_than_rebuilds() {
+        use ps_lattice::{DerivedOrder, ImplicationEngine};
+
+        for seed in [1u64, 7, 23, 71] {
+            let w = random_word_problem_workload(6, 5, 6, 8, 3, seed);
+            let mut engine = ImplicationEngine::new(&w.arena, &w.equations);
+            let engine_verdicts = engine.entails_many(&w.arena, &w.goals);
+
+            let mut rebuild_firings = 0usize;
+            let mut reference_verdicts = Vec::new();
+            for &goal in &w.goals {
+                let order = DerivedOrder::build(
+                    &w.arena,
+                    &w.equations,
+                    &[goal.lhs, goal.rhs],
+                    Algorithm::Worklist,
+                );
+                rebuild_firings += order.rule_firings();
+                reference_verdicts.push(order.entails(goal).expect("goal terms are in V"));
+            }
+            assert_eq!(engine_verdicts, reference_verdicts, "seed {seed}");
+            assert!(
+                engine.rule_firings() < rebuild_firings,
+                "one cached engine must fire fewer rules than {} rebuilds \
+                 (seed {seed}: {} vs {rebuild_firings})",
+                w.goals.len(),
+                engine.rule_firings(),
+            );
+        }
+    }
+
+    /// Incremental `add_goal_terms` pays only the frontier: extending a
+    /// built engine with the goal batch fires strictly fewer rules than the
+    /// full from-scratch saturation of an equivalent fresh engine, and lands
+    /// in the identical closure.
+    #[test]
+    fn incremental_extension_does_strictly_less_work_than_a_fresh_build() {
+        use ps_lattice::{ImplicationEngine, TermId};
+
+        for seed in [3u64, 13, 43] {
+            let w = random_word_problem_workload(6, 5, 6, 8, 3, seed);
+            let goal_terms: Vec<TermId> = w.goals.iter().flat_map(|g| [g.lhs, g.rhs]).collect();
+
+            let mut incremental = ImplicationEngine::new(&w.arena, &w.equations);
+            let base_firings = incremental.rule_firings();
+            for chunk in goal_terms.chunks(2) {
+                incremental.add_goal_terms(&w.arena, chunk);
+            }
+            let extension_firings = incremental.rule_firings() - base_firings;
+
+            let fresh = ImplicationEngine::with_goal_terms(&w.arena, &w.equations, &goal_terms);
+            assert_eq!(incremental.num_arcs(), fresh.num_arcs(), "seed {seed}");
+            assert_eq!(
+                incremental.rule_firings(),
+                fresh.rule_firings(),
+                "every arc is inserted exactly once either way (seed {seed})"
+            );
+            assert!(
+                extension_firings < fresh.rule_firings(),
+                "the incremental path must only pay the frontier \
+                 (seed {seed}: {extension_firings} vs {})",
+                fresh.rule_firings()
+            );
         }
     }
 

@@ -221,17 +221,31 @@ pub struct ClosedConstraints {
 /// `A ≤ B` (as the FD `A → B`) to `F`, and eliminates each sum constraint
 /// `C ≤ A + B` for which `A ≤ B` or `B ≤ A` is derivable (step 3 of the
 /// pipeline).
+///
+/// One [`ps_lattice::ImplicationEngine`] is built per normalized constraint
+/// set and queried for every consequence; the per-pair lookups below hit a
+/// hash set, not a rebuilt derived order.  The `algorithm` parameter selects
+/// the reference strategy the engine's closure is cross-checked against in
+/// debug builds.
 pub fn close_constraints(
     normalized: &NormalizedConstraints,
     arena: &mut TermArena,
     algorithm: Algorithm,
 ) -> ClosedConstraints {
     let attributes: Vec<Attribute> = normalized.attributes.iter().collect();
-    let consequences = atom_order_closure(arena, &normalized.equations, &attributes, algorithm);
+    let mut engine = ps_lattice::ImplicationEngine::new(arena, &normalized.equations);
+    let consequences = crate::implication::atom_order_closure_with(&mut engine, arena, &attributes);
+    debug_assert_eq!(
+        consequences,
+        atom_order_closure(arena, &normalized.equations, &attributes, algorithm),
+        "the cached engine and the {algorithm:?} reference must derive the same closure"
+    );
     let leq = |a: Attribute, b: Attribute| consequences.contains(&(a, b));
 
     let mut fds = normalized.fds.clone();
-    for &(a, b) in &consequences {
+    let mut ordered: Vec<(Attribute, Attribute)> = consequences.iter().copied().collect();
+    ordered.sort_unstable();
+    for (a, b) in ordered {
         push_fd(&mut fds, AttrSet::singleton(a), AttrSet::singleton(b));
     }
 

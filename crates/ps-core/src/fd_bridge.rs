@@ -11,7 +11,7 @@
 //! the embedding is exercised by [`fd_implies_via_lattice`] and benchmarked
 //! as experiment E2.
 
-use ps_lattice::{word_problem, Algorithm, TermArena};
+use ps_lattice::{word_problem, Algorithm, ImplicationEngine, TermArena};
 use ps_relation::Fd;
 
 use crate::dependency::{equations_of_fpds, fpds_of_fds, Fpd};
@@ -21,11 +21,28 @@ use crate::dependency::{equations_of_fpds, fpds_of_fds, Fpd};
 ///
 /// Semantically equivalent to [`ps_relation::fd_closure::implies`]; the
 /// equivalence is asserted by property tests and measured by experiment E2.
+/// Rebuilds the derived order per goal — for a batch of goals over one FD
+/// set, use [`fd_implies_many_via_lattice`].
 pub fn fd_implies_via_lattice(fds: &[Fd], goal: &Fd, algorithm: Algorithm) -> bool {
     let mut arena = TermArena::new();
     let equations = equations_of_fpds(&fpds_of_fds(fds), &mut arena);
     let goal_equation = Fpd::from_fd(goal).as_meet_equation(&mut arena);
     word_problem::entails(&arena, &equations, goal_equation, algorithm)
+}
+
+/// Batched FD implication through the lattice route: the FD set is
+/// translated once, one [`ImplicationEngine`] is built and saturated once,
+/// and every goal is answered from the cached closure (growing `V` only by
+/// each goal's own meet equation).
+pub fn fd_implies_many_via_lattice(fds: &[Fd], goals: &[Fd]) -> Vec<bool> {
+    let mut arena = TermArena::new();
+    let equations = equations_of_fpds(&fpds_of_fds(fds), &mut arena);
+    let goal_equations: Vec<_> = goals
+        .iter()
+        .map(|goal| Fpd::from_fd(goal).as_meet_equation(&mut arena))
+        .collect();
+    let mut engine = ImplicationEngine::new(&arena, &equations);
+    engine.entails_many(&arena, &goal_equations)
 }
 
 /// Decides FD implication by translating into the idempotent-commutative-
@@ -87,17 +104,23 @@ mod tests {
             fd(&[a[0], a[3]], &[a[2]]),
             fd(&[a[3]], &[a[0]]),
         ];
-        for goal in cases {
-            let by_closure = fd_closure::implies(&fds, &goal);
+        for goal in &cases {
+            let by_closure = fd_closure::implies(&fds, goal);
             for algo in [Algorithm::NaiveFixpoint, Algorithm::Worklist] {
                 assert_eq!(
                     by_closure,
-                    fd_implies_via_lattice(&fds, &goal, algo),
+                    fd_implies_via_lattice(&fds, goal, algo),
                     "{goal}"
                 );
             }
-            assert_eq!(by_closure, fd_implies_via_semigroup(&fds, &goal), "{goal}");
+            assert_eq!(by_closure, fd_implies_via_semigroup(&fds, goal), "{goal}");
         }
+        // The batched engine route answers the whole case list at once.
+        let expected: Vec<bool> = cases
+            .iter()
+            .map(|goal| fd_closure::implies(&fds, goal))
+            .collect();
+        assert_eq!(fd_implies_many_via_lattice(&fds, &cases), expected);
     }
 
     #[test]

@@ -8,19 +8,38 @@
 //!
 //! * [`pd_implies`] — does `E` imply a PD?
 //! * [`pd_implies_fpd`] — convenience for FPD goals;
+//! * [`pd_implies_with`] / [`pd_implies_fpd_with`] — the same questions
+//!   answered by a cached [`ImplicationEngine`], for callers with many goals
+//!   over one constraint set;
 //! * [`is_identity`] — Theorem 10's special case `E = ∅`, decided by the
 //!   free-lattice order;
-//! * [`atom_order_closure`] — all consequences of the form `A ≤ B` between
-//!   attributes, the building block of the Section 6.2 consistency pipeline.
+//! * [`atom_order_closure`] / [`atom_order_closure_with`] — all consequences
+//!   of the form `A ≤ B` between attributes as a hash set, the building
+//!   block of the Section 6.2 consistency pipeline.
+
+use std::collections::HashSet;
 
 use ps_base::Attribute;
-use ps_lattice::{free_order, word_problem, Algorithm, Equation, TermArena, TermNode};
+use ps_lattice::{
+    free_order, word_problem, Algorithm, Equation, ImplicationEngine, TermArena, TermId, TermNode,
+};
 
 use crate::dependency::Fpd;
 
 /// Does the set of PDs `e` imply the PD `goal`?  (Theorems 8 and 9.)
+///
+/// Rebuilds the derived order from scratch; when testing many goals against
+/// the same `e`, build one [`ImplicationEngine`] and use [`pd_implies_with`]
+/// instead.
 pub fn pd_implies(arena: &TermArena, e: &[Equation], goal: Equation, algorithm: Algorithm) -> bool {
     word_problem::entails(arena, e, goal, algorithm)
+}
+
+/// Does the engine's constraint set imply the PD `goal`?  The cached variant
+/// of [`pd_implies`]: the engine's saturated closure is reused, growing only
+/// by the goal's own subterms.
+pub fn pd_implies_with(engine: &mut ImplicationEngine, arena: &TermArena, goal: Equation) -> bool {
+    engine.entails_goal(arena, goal)
 }
 
 /// Does the set of PDs `e` imply the FPD `goal`?
@@ -34,6 +53,17 @@ pub fn pd_implies_fpd(
     word_problem::entails(arena, e, goal_equation, algorithm)
 }
 
+/// Does the engine's constraint set imply the FPD `goal`?  The cached
+/// variant of [`pd_implies_fpd`].
+pub fn pd_implies_fpd_with(
+    engine: &mut ImplicationEngine,
+    arena: &mut TermArena,
+    goal: &Fpd,
+) -> bool {
+    let goal_equation = goal.as_meet_equation(arena);
+    engine.entails_goal(arena, goal_equation)
+}
+
 /// Is the PD an identity — true in every partition interpretation
 /// (equivalently, in every lattice with constants)?  Decided by the
 /// free-lattice order of Theorem 10, without running ALG.
@@ -44,17 +74,37 @@ pub fn is_identity(arena: &TermArena, pd: Equation) -> bool {
 /// All pairs of attributes `(A, B)` with `A ≤ B` derivable from `e`
 /// (including any attribute of `extra_attributes` even if it does not occur
 /// in `e`).  This is the closure `E⁺` restricted to atoms used by the
-/// consistency test of Section 6.2.
+/// consistency test of Section 6.2, returned as a hash set so callers can
+/// test membership in O(1) instead of scanning.
 pub fn atom_order_closure(
     arena: &mut TermArena,
     e: &[Equation],
     extra_attributes: &[Attribute],
     algorithm: Algorithm,
-) -> Vec<(Attribute, Attribute)> {
+) -> HashSet<(Attribute, Attribute)> {
     let extra_terms: Vec<_> = extra_attributes.iter().map(|&a| arena.atom(a)).collect();
     let order = word_problem::DerivedOrder::build(arena, e, &extra_terms, algorithm);
-    order
-        .atom_consequences(arena)
+    atom_pairs(arena, order.atom_consequences(arena))
+}
+
+/// The cached variant of [`atom_order_closure`]: reads the atom consequences
+/// out of an existing [`ImplicationEngine`], extending its `V` with
+/// `extra_attributes` first.
+pub fn atom_order_closure_with(
+    engine: &mut ImplicationEngine,
+    arena: &mut TermArena,
+    extra_attributes: &[Attribute],
+) -> HashSet<(Attribute, Attribute)> {
+    let extra_terms: Vec<_> = extra_attributes.iter().map(|&a| arena.atom(a)).collect();
+    engine.add_goal_terms(arena, &extra_terms);
+    atom_pairs(arena, engine.atom_consequences(arena))
+}
+
+fn atom_pairs(
+    arena: &TermArena,
+    consequences: Vec<(TermId, TermId)>,
+) -> HashSet<(Attribute, Attribute)> {
+    consequences
         .into_iter()
         .map(|(p, q)| {
             let lhs = match arena.node(p) {
@@ -124,6 +174,38 @@ mod tests {
             distributivity,
             Algorithm::Worklist
         ));
+    }
+
+    #[test]
+    fn cached_engine_variants_agree_with_the_rebuilding_entry_points() {
+        let mut universe = Universe::new();
+        let mut arena = TermArena::new();
+        let e = vec![
+            parse_equation("A = A*B", &mut universe, &mut arena).unwrap(),
+            parse_equation("B = B*C", &mut universe, &mut arena).unwrap(),
+        ];
+        let goals = vec![
+            parse_equation("A = A*C", &mut universe, &mut arena).unwrap(),
+            parse_equation("C = C*A", &mut universe, &mut arena).unwrap(),
+            parse_equation("A*(A+B) = A", &mut universe, &mut arena).unwrap(),
+        ];
+        let mut engine = ImplicationEngine::new(&arena, &e);
+        for &goal in &goals {
+            assert_eq!(
+                pd_implies_with(&mut engine, &arena, goal),
+                pd_implies(&arena, &e, goal, Algorithm::NaiveFixpoint),
+            );
+        }
+        let a = universe.lookup("A").unwrap();
+        let c = universe.lookup("C").unwrap();
+        let fpd = Fpd::new(AttrSet::singleton(a), AttrSet::singleton(c));
+        assert_eq!(
+            pd_implies_fpd_with(&mut engine, &mut arena, &fpd),
+            pd_implies_fpd(&mut arena, &e, &fpd, Algorithm::Worklist),
+        );
+        let closure_cached = atom_order_closure_with(&mut engine, &mut arena, &[a, c]);
+        let closure_rebuilt = atom_order_closure(&mut arena, &e, &[a, c], Algorithm::Worklist);
+        assert_eq!(closure_cached, closure_rebuilt);
     }
 
     #[test]

@@ -14,11 +14,12 @@
 //! `R(I)`, and a weak instance into an interpretation via the canonical
 //! interpretation `I(w)`.
 
-use ps_base::SymbolTable;
-use ps_lattice::{Equation, TermArena};
+use ps_base::{SymbolTable, Universe};
+use ps_lattice::{Algorithm, Equation, TermArena};
 use ps_relation::{Database, Relation};
 
 use crate::canonical::{canonical_interpretation, canonical_relation};
+use crate::consistency::{consistent_with_pds, repair_sum_violations};
 use crate::dependency::{fds_of_fpds, Fpd};
 use crate::{PartitionInterpretation, Result};
 
@@ -55,6 +56,51 @@ pub fn satisfiable_with_fpds(
     let weak_instance = outcome
         .weak_instance("weak_instance", &db.all_attributes())
         .expect("consistent chase produces rows");
+    let interpretation = interpretation_from_weak_instance(&weak_instance)?;
+    Ok(SatisfiabilityWitness {
+        satisfiable: true,
+        weak_instance: Some(weak_instance),
+        interpretation: Some(interpretation),
+    })
+}
+
+/// Theorem 7, decision form: is there an interpretation satisfying `d` and
+/// an arbitrary set of PDs `e`?
+///
+/// Routes through the Section 6.2 consistency pipeline (which builds one
+/// cached implication engine per normalized constraint set), then upgrades
+/// the chase's weak instance with the Lemma 12.1 sum-constraint repair
+/// before converting it into an interpretation via `I(w)`.
+///
+/// The `satisfiable` verdict comes from the chase alone (Lemma 12.1:
+/// consistency is governed by the FD part `F`; sum constraints are always
+/// repairable).  The paper's repair may need ω iterations, so the bounded
+/// repair run here can stop short of a fixpoint — in that rare case the
+/// verdict stands but no witnesses are returned, rather than handing out a
+/// weak instance (and `I(w)`) that still violates a sum constraint.
+pub fn satisfiable_with_pds(
+    db: &Database,
+    pds: &[Equation],
+    arena: &mut TermArena,
+    universe: &mut Universe,
+    symbols: &mut SymbolTable,
+) -> Result<SatisfiabilityWitness> {
+    let outcome = consistent_with_pds(db, pds, arena, universe, symbols, Algorithm::Worklist)?;
+    if !outcome.consistent {
+        return Ok(SatisfiabilityWitness::unsatisfiable());
+    }
+    let chased = outcome
+        .weak_instance
+        .expect("consistent chase produces rows");
+    let (weak_instance, converged) =
+        repair_sum_violations(&chased, &outcome.fds, &outcome.sums, symbols, 64);
+    if !converged {
+        return Ok(SatisfiabilityWitness {
+            satisfiable: true,
+            weak_instance: None,
+            interpretation: None,
+        });
+    }
     let interpretation = interpretation_from_weak_instance(&weak_instance)?;
     Ok(SatisfiabilityWitness {
         satisfiable: true,
@@ -174,6 +220,43 @@ mod tests {
         assert!(!witness.satisfiable);
         assert!(witness.weak_instance.is_none());
         assert!(witness.interpretation.is_none());
+    }
+
+    #[test]
+    fn theorem7_decision_form_handles_arbitrary_pds() {
+        let mut universe = ps_base::Universe::new();
+        let mut symbols = ps_base::SymbolTable::new();
+        let mut arena = TermArena::new();
+        let db = DatabaseBuilder::new()
+            .relation(
+                &mut universe,
+                &mut symbols,
+                "R",
+                &["A", "B", "C"],
+                &[&["a1", "b1", "c"], &["a2", "b2", "c"]],
+            )
+            .unwrap()
+            .build();
+        // C = A + B alone is always repairable (Lemma 12.1): satisfiable.
+        let sum_pd =
+            vec![ps_lattice::parse_equation("C = A+B", &mut universe, &mut arena).unwrap()];
+        let witness =
+            satisfiable_with_pds(&db, &sum_pd, &mut arena, &mut universe, &mut symbols).unwrap();
+        assert!(witness.satisfiable);
+        let w = witness.weak_instance.unwrap();
+        assert!(db.has_weak_instance(&w));
+        assert!(witness
+            .interpretation
+            .unwrap()
+            .satisfies_database(&db)
+            .unwrap());
+        // Adding the FPD A = A*B (the FD A → B) stays satisfiable, but
+        // C = C*A (C → A) clashes with the shared c value: unsatisfiable.
+        let clash = vec![ps_lattice::parse_equation("C = C*A", &mut universe, &mut arena).unwrap()];
+        let witness =
+            satisfiable_with_pds(&db, &clash, &mut arena, &mut universe, &mut symbols).unwrap();
+        assert!(!witness.satisfiable);
+        assert!(witness.weak_instance.is_none());
     }
 
     #[test]

@@ -50,6 +50,35 @@ impl BitMatrix {
         self.bits.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// Grows the matrix to `new_n × new_n`, preserving every existing bit.
+    ///
+    /// New rows and columns start all-zero.  Shrinking is not supported;
+    /// `new_n < dim()` panics.
+    pub fn grow(&mut self, new_n: usize) {
+        assert!(new_n >= self.n, "BitMatrix::grow cannot shrink");
+        if new_n == self.n {
+            return;
+        }
+        let new_words_per_row = new_n.div_ceil(64);
+        if new_words_per_row == self.words_per_row {
+            // Same row stride: the new columns live in already-present (and
+            // zero) word tails, so appending zeroed rows suffices — no full
+            // matrix copy on the incremental-extension hot path.
+            self.bits.resize(new_n * new_words_per_row, 0);
+        } else {
+            let mut new_bits = vec![0u64; new_n * new_words_per_row];
+            for row in 0..self.n {
+                let src = row * self.words_per_row;
+                let dst = row * new_words_per_row;
+                new_bits[dst..dst + self.words_per_row]
+                    .copy_from_slice(&self.bits[src..src + self.words_per_row]);
+            }
+            self.words_per_row = new_words_per_row;
+            self.bits = new_bits;
+        }
+        self.n = new_n;
+    }
+
     /// ORs row `src` into row `dst`; returns `true` if `dst` changed.
     pub fn or_row_into(&mut self, src: usize, dst: usize) -> bool {
         if src == dst {
@@ -63,6 +92,56 @@ impl BitMatrix {
             if d | s != d {
                 self.bits[dst_start + k] = d | s;
                 changed = true;
+            }
+        }
+        changed
+    }
+
+    /// ORs row `src` into row `dst`, appending the column index of every bit
+    /// that became set to `delta`.  Returns `true` if `dst` changed.
+    ///
+    /// The saturation engine uses the delta to mirror new arcs into the
+    /// transposed matrix and to seed its worklist.
+    pub fn or_row_into_delta(&mut self, src: usize, dst: usize, delta: &mut Vec<usize>) -> bool {
+        if src == dst {
+            return false;
+        }
+        // `src & src == src`, so the OR is the AND-OR with both operands src.
+        self.or_and_rows_into_delta(src, src, dst, delta)
+    }
+
+    /// ORs the intersection of rows `a` and `b` into row `dst`
+    /// (`dst |= a & b`), appending newly set column indices to `delta`.
+    /// Returns `true` if `dst` changed.
+    ///
+    /// This is the word-parallel form of the two-premise rules of algorithm
+    /// ALG (rules 2 and 4): the conclusion row receives every element reached
+    /// by *both* children at once.
+    pub fn or_and_rows_into_delta(
+        &mut self,
+        a: usize,
+        b: usize,
+        dst: usize,
+        delta: &mut Vec<usize>,
+    ) -> bool {
+        let (a_start, b_start, dst_start) = (
+            a * self.words_per_row,
+            b * self.words_per_row,
+            dst * self.words_per_row,
+        );
+        let mut changed = false;
+        for k in 0..self.words_per_row {
+            let s = self.bits[a_start + k] & self.bits[b_start + k];
+            let d = self.bits[dst_start + k];
+            let mut new_bits = s & !d;
+            if new_bits != 0 {
+                self.bits[dst_start + k] = d | s;
+                changed = true;
+                while new_bits != 0 {
+                    let bit = new_bits.trailing_zeros() as usize;
+                    new_bits &= new_bits - 1;
+                    delta.push(k * 64 + bit);
+                }
             }
         }
         changed
@@ -139,6 +218,59 @@ mod tests {
         let cols: Vec<usize> = m.iter_row(7).collect();
         assert_eq!(cols, vec![0, 63, 64, 129]);
         assert!(m.iter_row(8).next().is_none());
+    }
+
+    #[test]
+    fn grow_preserves_existing_bits() {
+        let mut m = BitMatrix::new(3);
+        m.set(0, 2);
+        m.set(2, 1);
+        m.grow(130); // crosses a word boundary
+        assert_eq!(m.dim(), 130);
+        assert!(m.get(0, 2) && m.get(2, 1));
+        assert_eq!(m.count_ones(), 2);
+        assert!(m.set(100, 129));
+        assert!(m.get(100, 129));
+        // Growing to the same size is a no-op.
+        m.grow(130);
+        assert_eq!(m.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn grow_rejects_shrinking() {
+        let mut m = BitMatrix::new(4);
+        m.grow(2);
+    }
+
+    #[test]
+    fn or_row_into_delta_reports_new_columns() {
+        let mut m = BitMatrix::new(70);
+        m.set(0, 1);
+        m.set(0, 65);
+        m.set(2, 1); // already present in dst
+        let mut delta = Vec::new();
+        assert!(m.or_row_into_delta(0, 2, &mut delta));
+        assert_eq!(delta, vec![65]);
+        delta.clear();
+        assert!(!m.or_row_into_delta(0, 2, &mut delta));
+        assert!(delta.is_empty());
+        assert!(!m.or_row_into_delta(0, 0, &mut delta));
+    }
+
+    #[test]
+    fn or_and_rows_into_delta_intersects() {
+        let mut m = BitMatrix::new(10);
+        m.set(0, 3);
+        m.set(0, 4);
+        m.set(1, 4);
+        m.set(1, 5);
+        let mut delta = Vec::new();
+        assert!(m.or_and_rows_into_delta(0, 1, 2, &mut delta));
+        assert_eq!(delta, vec![4]); // only the shared column lands in dst
+        assert!(m.get(2, 4) && !m.get(2, 3) && !m.get(2, 5));
+        delta.clear();
+        assert!(!m.or_and_rows_into_delta(0, 1, 2, &mut delta));
     }
 
     #[test]

@@ -19,9 +19,13 @@
 //! * [`word_problem`] — the **uniform word problem for lattices**: given a
 //!   finite set of equations `E` and a goal `e = e′`, decide whether every
 //!   lattice with constants satisfying `E` also satisfies the goal.  This is
-//!   exactly PD implication (Theorem 8).  Algorithm `ALG` of Section 5.2 is
-//!   implemented both as the paper's literal `O(n⁴)` repeat-until-stable
-//!   fixpoint and as a worklist propagation ([`Algorithm`]).
+//!   exactly PD implication (Theorem 8).  The production entry point is the
+//!   [`ImplicationEngine`]: built once per constraint set, queried for
+//!   arbitrarily many goals, incrementally extendable, with rules firing as
+//!   word-parallel bitset row operations.  Algorithm `ALG` of Section 5.2 is
+//!   also implemented as two reference engines — the paper's literal `O(n⁴)`
+//!   repeat-until-stable fixpoint and a worklist propagation
+//!   ([`Algorithm`]) — which property tests pin the engine against.
 //! * [`FiniteLattice`] — explicitly tabulated finite lattices with axiom
 //!   checking, distributivity/modularity tests, generated sublattices,
 //!   isomorphism testing and term evaluation; used to reproduce Figures 1
@@ -51,7 +55,7 @@ pub use error::LatticeError;
 pub use finite::FiniteLattice;
 pub use parser::{parse_equation, parse_term};
 pub use term::{TermArena, TermId, TermNode};
-pub use word_problem::{Algorithm, DerivedOrder};
+pub use word_problem::{Algorithm, DerivedOrder, ImplicationEngine};
 
 /// Convenient `Result` alias for fallible operations in this crate.
 pub type Result<T> = std::result::Result<T, LatticeError>;

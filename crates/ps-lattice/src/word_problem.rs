@@ -19,14 +19,35 @@
 //! 7. transitivity.
 //!
 //! Lemma 9.2 shows that for `p, q ∈ V`, `p ≤_E q` iff `(p, q)` ends up in
-//! `Γ`.  Two saturation strategies are provided (see [`Algorithm`]): the
-//! paper's literal repeat-until-no-change fixpoint (`O(n⁴)` with the
-//! straightforward implementation) and an incremental worklist propagation
-//! that fires only the rule instances affected by each newly added arc.
-//! They compute the same closure; the benchmark suite compares them
-//! (experiment E7).
+//! `Γ`.  Crucially, the restriction of the saturated `Γ` to any subset of
+//! `V` depends only on `E` — enlarging `V` never changes the verdict on
+//! terms already present.  That independence is what makes the closure
+//! *cacheable* and *incrementally extendable*, and this module exploits it
+//! at two levels:
+//!
+//! * [`ImplicationEngine`] — the production engine.  Built **once** per
+//!   constraint set `E`, it owns the arena-dense subexpression universe `V`
+//!   and the saturated `Γ` (stored as a [`BitMatrix`] pair: successor rows
+//!   and their transpose), answers arbitrarily many [`ImplicationEngine::leq`]
+//!   / [`ImplicationEngine::entails`] queries without re-saturating, and
+//!   grows on demand: [`ImplicationEngine::add_goal_terms`] appends new
+//!   subterms to `V` and re-saturates only the worklist frontier seeded by
+//!   the new rows/columns.  Rules 2–5 and transitivity fire as word-parallel
+//!   row OR/AND operations ([`BitMatrix::or_row_into_delta`],
+//!   [`BitMatrix::or_and_rows_into_delta`]) instead of per-pair probes, and a
+//!   rule-firing counter ([`ImplicationEngine::rule_firings`]) exposes the
+//!   work done so the benchmark suite can assert that build-once-query-many
+//!   does strictly less work than rebuilding per goal.
+//! * [`DerivedOrder`] — the reference implementation, rebuilt from scratch
+//!   per instance.  Two saturation strategies are provided (see
+//!   [`Algorithm`]): the paper's literal repeat-until-no-change fixpoint
+//!   (`O(n⁴)` with the straightforward implementation) and an incremental
+//!   worklist propagation that fires only the rule instances affected by
+//!   each newly added arc.  Property tests pin the engine to these
+//!   references; the benchmark suite compares all three (experiment E7 and
+//!   the `word_problem` bench group).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use ps_base::Universe;
 
@@ -124,19 +145,43 @@ impl DerivedOrder {
         }
     }
 
-    /// Whether `lhs ≤_E rhs` is derivable.  Both terms must be members of
-    /// the subexpression set `V` this order was built over (pass them as
-    /// `extra_terms` to [`DerivedOrder::build`]); foreign terms yield
-    /// `None`.
+    /// Whether `lhs ≤_E rhs` is derivable.
+    ///
+    /// # The `Option` contract
+    ///
+    /// Both terms must be members of the subexpression set `V` this order
+    /// was built over (pass them as `extra_terms` to [`DerivedOrder::build`]).
+    /// A foreign term yields `None` — which means "not a member of `V`",
+    /// **not** "not entailed".  Callers must not collapse `None` into
+    /// `false`: a `None` is a construction bug (the goal was forgotten when
+    /// the order was built), and treating it as a negative verdict silently
+    /// turns that bug into a wrong answer.  Debug builds therefore assert
+    /// membership; use [`DerivedOrder::contains_term`] to query membership
+    /// explicitly.
     pub fn leq(&self, lhs: TermId, rhs: TermId) -> Option<bool> {
+        debug_assert!(
+            self.dense.contains_key(&lhs) && self.dense.contains_key(&rhs),
+            "DerivedOrder::leq queried with a term outside V — \
+             include goal terms via `extra_terms` when building"
+        );
         let (&i, &j) = (self.dense.get(&lhs)?, self.dense.get(&rhs)?);
         Some(self.gamma.get(i, j))
     }
 
     /// Whether the equation `goal` is entailed: both `lhs ≤_E rhs` and
     /// `rhs ≤_E lhs`.
+    ///
+    /// Shares the [`Option` contract](DerivedOrder::leq) of `leq`: `None`
+    /// means a goal term is outside `V` (asserted in debug builds), never
+    /// "not entailed".
     pub fn entails(&self, goal: Equation) -> Option<bool> {
         Some(self.leq(goal.lhs, goal.rhs)? && self.leq(goal.rhs, goal.lhs)?)
+    }
+
+    /// Whether `term` is a member of the subexpression set `V`, i.e. whether
+    /// [`DerivedOrder::leq`] can answer queries about it.
+    pub fn contains_term(&self, term: TermId) -> bool {
+        self.dense.contains_key(&term)
     }
 
     /// The subexpression set `V` (dense order).
@@ -155,22 +200,22 @@ impl DerivedOrder {
         self.work
     }
 
+    /// Number of rule firings performed while saturating `Γ`.
+    ///
+    /// A *firing* is a rule application that actually inserted a new arc
+    /// (rules 1–7; each arc is inserted exactly once, whichever rule gets
+    /// there first, so the count is strategy-independent).
+    /// [`ImplicationEngine::rule_firings`] counts the same unit, which is
+    /// what lets the ps-bench fixtures compare build-once-query-many against
+    /// rebuild-per-goal by counter.
+    pub fn rule_firings(&self) -> usize {
+        self.gamma.count_ones()
+    }
+
     /// All pairs of *atoms* `(A, B)` with `A ≤_E B`; used by the consistency
     /// pipeline of Section 6.2 to compute the closure `E⁺`.
     pub fn atom_consequences(&self, arena: &TermArena) -> Vec<(TermId, TermId)> {
-        let mut out = Vec::new();
-        for (i, &p) in self.terms.iter().enumerate() {
-            if !arena.is_atom(p) {
-                continue;
-            }
-            for j in self.gamma.iter_row(i) {
-                let q = self.terms[j];
-                if i != j && arena.is_atom(q) {
-                    out.push((p, q));
-                }
-            }
-        }
-        out
+        atom_consequence_pairs(&self.terms, &self.gamma, arena)
     }
 
     /// Renders the derived order as a list of `p ≤ q` lines (for debugging
@@ -345,6 +390,568 @@ fn saturate_worklist(
         }
     }
     processed
+}
+
+/// Collects all `(A, B)` atom pairs with an `A ≤_E B` arc in `gamma` —
+/// shared by [`DerivedOrder::atom_consequences`] and
+/// [`ImplicationEngine::atom_consequences`] so the two engines cannot drift
+/// apart on the atom-pair semantics the Section 6.2 closure relies on.
+fn atom_consequence_pairs(
+    terms: &[TermId],
+    gamma: &BitMatrix,
+    arena: &TermArena,
+) -> Vec<(TermId, TermId)> {
+    let mut out = Vec::new();
+    for (i, &p) in terms.iter().enumerate() {
+        if !arena.is_atom(p) {
+            continue;
+        }
+        for j in gamma.iter_row(i) {
+            let q = terms[j];
+            if i != j && arena.is_atom(q) {
+                out.push((p, q));
+            }
+        }
+    }
+    out
+}
+
+/// For one term, the composites of `V` it occurs in as a direct child,
+/// together with the dense index of the sibling child.
+#[derive(Debug, Default, Clone)]
+struct Occurrences {
+    /// `(composite, sibling)` pairs where the composite is a meet.
+    meets: Vec<(usize, usize)>,
+    /// `(composite, sibling)` pairs where the composite is a join.
+    joins: Vec<(usize, usize)>,
+}
+
+/// The cached, incrementally extendable implication engine for algorithm
+/// `ALG` — build once per constraint set `E`, query many goals.
+///
+/// The engine owns the subexpression universe `V` (every subterm of `E`,
+/// plus whatever goal terms have been added) and the saturated derived order
+/// `Γ`, stored twice for word-parallelism: `succ` holds successor rows
+/// (`succ[i][j]` iff `terms[i] ≤_E terms[j]`) and `pred` its transpose.
+/// Rules 2–5 and transitivity all become row OR / AND-OR operations on one
+/// of the two matrices, so saturation moves 64 arcs per word instead of
+/// probing pairs:
+///
+/// * rule 3 (meet `c = l*r`): `succ[c] |= succ[l]` (and symmetrically `r`);
+/// * rule 2 (join `c = l+r`): `succ[c] |= succ[l] & succ[r]`;
+/// * rule 5 (join `c = l+r`): `pred[c] |= pred[l]` (and symmetrically `r`);
+/// * rule 4 (meet `c = l*r`): `pred[c] |= pred[l] & pred[r]`;
+/// * rule 7 (transitivity): `succ[u] |= succ[x]` for `u ∈ pred[x]`, and
+///   `pred[v] |= pred[x]` for `v ∈ succ[x]`.
+///
+/// A worklist of dirty terms drives the fixpoint: every newly inserted arc
+/// `(u, v)` marks `u` successor-dirty and `v` predecessor-dirty, and only
+/// dirty rows re-fire their rules.  [`ImplicationEngine::add_goal_terms`]
+/// reuses exactly that machinery for incremental extension: new subterms get
+/// fresh (reflexive) rows, the rules of the new composites are seeded once
+/// against the already-saturated rows of their children, and the worklist
+/// drains the frontier — the closure over the old `V` is never recomputed
+/// (by Lemma 9.2 it cannot change).
+///
+/// ```
+/// use ps_base::Universe;
+/// use ps_lattice::{parse_equation, parse_term, ImplicationEngine, TermArena};
+///
+/// let mut universe = Universe::new();
+/// let mut arena = TermArena::new();
+/// let e = vec![
+///     parse_equation("A = A*B", &mut universe, &mut arena).unwrap(),
+///     parse_equation("B = B*C", &mut universe, &mut arena).unwrap(),
+/// ];
+/// // Build once…
+/// let mut engine = ImplicationEngine::new(&arena, &e);
+/// // …query many goals; V grows on demand, re-saturating only the frontier.
+/// let goal = parse_equation("A = A*C", &mut universe, &mut arena).unwrap();
+/// let converse = parse_equation("C = C*A", &mut universe, &mut arena).unwrap();
+/// assert_eq!(engine.entails_many(&arena, &[goal, converse]), vec![true, false]);
+/// let (a, c) = (
+///     parse_term("A", &mut universe, &mut arena).unwrap(),
+///     parse_term("C", &mut universe, &mut arena).unwrap(),
+/// );
+/// assert!(engine.leq_goal(&arena, a, c));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ImplicationEngine {
+    /// The constraint set `E` the engine was built for.
+    equations: Vec<Equation>,
+    /// The terms making up `V`, in dense order (append-only).
+    terms: Vec<TermId>,
+    /// Map from term id to dense index in `terms`.
+    dense: HashMap<TermId, usize>,
+    /// `succ[i][j]` iff `terms[i] ≤_E terms[j]` is derivable.
+    succ: BitMatrix,
+    /// Transpose of `succ`: `pred[j][i]` iff `terms[i] ≤_E terms[j]`.
+    pred: BitMatrix,
+    /// Child → parent-composite occurrence lists.
+    occ: Vec<Occurrences>,
+    /// Worklist state: terms whose successor / predecessor row changed.
+    s_dirty: Vec<bool>,
+    p_dirty: Vec<bool>,
+    queued: Vec<bool>,
+    queue: VecDeque<usize>,
+    /// Scratch buffer for row-operation deltas (reused across firings).
+    scratch: Vec<usize>,
+    /// Scratch buffer for row snapshots taken while processing a dirty term
+    /// (reused across worklist pops to avoid per-pop allocations).
+    row_buf: Vec<usize>,
+    /// Arcs inserted by rule applications (same unit as
+    /// [`DerivedOrder::rule_firings`]).
+    rule_firings: usize,
+    /// Word-parallel row operations executed.
+    row_ops: usize,
+}
+
+impl ImplicationEngine {
+    /// Builds and saturates the engine for the constraint set `equations`.
+    ///
+    /// `V` starts as the subexpression set of `E`; extend it afterwards with
+    /// [`ImplicationEngine::add_goal_terms`] (or implicitly through the
+    /// `*_goal` / `*_many` query methods).
+    pub fn new(arena: &TermArena, equations: &[Equation]) -> Self {
+        let mut engine = ImplicationEngine {
+            equations: equations.to_vec(),
+            terms: Vec::new(),
+            dense: HashMap::new(),
+            succ: BitMatrix::new(0),
+            pred: BitMatrix::new(0),
+            occ: Vec::new(),
+            s_dirty: Vec::new(),
+            p_dirty: Vec::new(),
+            queued: Vec::new(),
+            queue: VecDeque::new(),
+            scratch: Vec::new(),
+            row_buf: Vec::new(),
+            rule_firings: 0,
+            row_ops: 0,
+        };
+        let roots: Vec<TermId> = equations.iter().flat_map(|eq| [eq.lhs, eq.rhs]).collect();
+        engine.add_terms(arena, &roots);
+        // Rule 6: the equations of E, in both directions.
+        for eq in equations {
+            let (i, j) = (engine.dense[&eq.lhs], engine.dense[&eq.rhs]);
+            engine.insert_arc(i, j);
+            engine.insert_arc(j, i);
+        }
+        engine.saturate();
+        engine
+    }
+
+    /// Builds the engine and immediately extends `V` with `extra_terms` —
+    /// the drop-in replacement for [`DerivedOrder::build`].
+    pub fn with_goal_terms(
+        arena: &TermArena,
+        equations: &[Equation],
+        extra_terms: &[TermId],
+    ) -> Self {
+        let mut engine = Self::new(arena, equations);
+        engine.add_goal_terms(arena, extra_terms);
+        engine
+    }
+
+    /// Extends `V` with every subterm of `terms` that is not yet present and
+    /// re-saturates incrementally: only the worklist frontier seeded by the
+    /// new rows/columns is processed, never the already-saturated closure.
+    /// Returns the number of terms actually added (0 is a no-op).
+    pub fn add_goal_terms(&mut self, arena: &TermArena, terms: &[TermId]) -> usize {
+        let added = self.add_terms(arena, terms);
+        if added > 0 {
+            self.saturate();
+        }
+        added
+    }
+
+    /// Whether `lhs ≤_E rhs` is derivable.  Same [`Option`
+    /// contract](DerivedOrder::leq) as the reference order: `None` means the
+    /// term is outside `V` (asserted in debug builds) — extend `V` first with
+    /// [`ImplicationEngine::add_goal_terms`], or use the auto-extending
+    /// [`ImplicationEngine::leq_goal`].
+    pub fn leq(&self, lhs: TermId, rhs: TermId) -> Option<bool> {
+        debug_assert!(
+            self.dense.contains_key(&lhs) && self.dense.contains_key(&rhs),
+            "ImplicationEngine::leq queried with a term outside V — \
+             add goal terms via `add_goal_terms` first"
+        );
+        let (&i, &j) = (self.dense.get(&lhs)?, self.dense.get(&rhs)?);
+        Some(self.succ.get(i, j))
+    }
+
+    /// Whether the equation `goal` is entailed (both `≤` directions).  Same
+    /// [`Option` contract](DerivedOrder::leq) as [`ImplicationEngine::leq`].
+    pub fn entails(&self, goal: Equation) -> Option<bool> {
+        Some(self.leq(goal.lhs, goal.rhs)? && self.leq(goal.rhs, goal.lhs)?)
+    }
+
+    /// Whether `term` is a member of the current subexpression set `V`.
+    pub fn contains_term(&self, term: TermId) -> bool {
+        self.dense.contains_key(&term)
+    }
+
+    /// `lhs ≤_E rhs`, extending `V` with both terms first if necessary.
+    pub fn leq_goal(&mut self, arena: &TermArena, lhs: TermId, rhs: TermId) -> bool {
+        self.add_goal_terms(arena, &[lhs, rhs]);
+        self.leq(lhs, rhs).expect("goal terms were just added to V")
+    }
+
+    /// Does `E` entail `goal`, extending `V` with the goal terms first if
+    /// necessary?
+    pub fn entails_goal(&mut self, arena: &TermArena, goal: Equation) -> bool {
+        self.add_goal_terms(arena, &[goal.lhs, goal.rhs]);
+        self.entails(goal).expect("goal terms were just added to V")
+    }
+
+    /// Batched entailment: one `V` extension covering every goal, then one
+    /// lookup per goal.
+    pub fn entails_many(&mut self, arena: &TermArena, goals: &[Equation]) -> Vec<bool> {
+        let roots: Vec<TermId> = goals.iter().flat_map(|g| [g.lhs, g.rhs]).collect();
+        self.add_goal_terms(arena, &roots);
+        goals
+            .iter()
+            .map(|&g| self.entails(g).expect("goal terms were just added to V"))
+            .collect()
+    }
+
+    /// Batched order queries: one `V` extension covering every pair, then
+    /// one lookup per pair.
+    pub fn leq_many(&mut self, arena: &TermArena, pairs: &[(TermId, TermId)]) -> Vec<bool> {
+        let roots: Vec<TermId> = pairs.iter().flat_map(|&(l, r)| [l, r]).collect();
+        self.add_goal_terms(arena, &roots);
+        pairs
+            .iter()
+            .map(|&(l, r)| self.leq(l, r).expect("goal terms were just added to V"))
+            .collect()
+    }
+
+    /// The constraint set `E` the engine was built for.
+    pub fn equations(&self) -> &[Equation] {
+        &self.equations
+    }
+
+    /// The current subexpression set `V` (dense order, append-only).
+    pub fn terms(&self) -> &[TermId] {
+        &self.terms
+    }
+
+    /// Number of derived arcs in `Γ`.
+    pub fn num_arcs(&self) -> usize {
+        self.succ.count_ones()
+    }
+
+    /// Number of rule firings (arc insertions) performed so far, cumulative
+    /// across the initial build and every incremental extension.  Same unit
+    /// as [`DerivedOrder::rule_firings`], so `k` independent rebuilds can be
+    /// compared against one cached engine answering `k` goals.
+    pub fn rule_firings(&self) -> usize {
+        self.rule_firings
+    }
+
+    /// Number of word-parallel row operations executed so far (each OR /
+    /// AND-OR pass over a row pair counts once, whether or not it fired).
+    pub fn row_ops(&self) -> usize {
+        self.row_ops
+    }
+
+    /// All pairs of *atoms* `(A, B)` with `A ≤_E B`; used by the consistency
+    /// pipeline of Section 6.2 to compute the closure `E⁺`.
+    pub fn atom_consequences(&self, arena: &TermArena) -> Vec<(TermId, TermId)> {
+        atom_consequence_pairs(&self.terms, &self.succ, arena)
+    }
+
+    // --- Internals -----------------------------------------------------
+
+    /// Appends every not-yet-present subterm of `roots` to `V`, growing the
+    /// matrices and occurrence lists, setting reflexive arcs for the new
+    /// rows and seeding the rules of the new composites against the
+    /// (already saturated) rows of their children.  Does **not** drain the
+    /// worklist — callers follow up with [`ImplicationEngine::saturate`].
+    fn add_terms(&mut self, arena: &TermArena, roots: &[TermId]) -> usize {
+        let old_n = self.terms.len();
+        for &root in roots {
+            for t in arena.subterms(root) {
+                if !self.dense.contains_key(&t) {
+                    self.dense.insert(t, self.terms.len());
+                    self.terms.push(t);
+                }
+            }
+        }
+        let new_n = self.terms.len();
+        if new_n == old_n {
+            return 0;
+        }
+        self.succ.grow(new_n);
+        self.pred.grow(new_n);
+        self.occ.resize_with(new_n, Occurrences::default);
+        self.s_dirty.resize(new_n, false);
+        self.p_dirty.resize(new_n, false);
+        self.queued.resize(new_n, false);
+
+        // Occurrence lists for the new composites.  Children of a new
+        // composite are always in V already (subterms are added child-first),
+        // but may be *old* terms — which is exactly why the rules below must
+        // be seeded explicitly: old children are clean and will never re-fire
+        // on their own.
+        for i in old_n..new_n {
+            match arena.node(self.terms[i]) {
+                TermNode::Meet(l, r) => {
+                    let (dl, dr) = (self.dense[&l], self.dense[&r]);
+                    self.occ[dl].meets.push((i, dr));
+                    self.occ[dr].meets.push((i, dl));
+                }
+                TermNode::Join(l, r) => {
+                    let (dl, dr) = (self.dense[&l], self.dense[&r]);
+                    self.occ[dl].joins.push((i, dr));
+                    self.occ[dr].joins.push((i, dl));
+                }
+                TermNode::Atom(_) => {}
+            }
+        }
+        // Rule 1 (reflexivity) for the new rows; marks them dirty so
+        // transitivity through existing arcs fires when the worklist drains.
+        for i in old_n..new_n {
+            self.insert_arc(i, i);
+        }
+        // Seed the frontier: each new composite fires its rules once against
+        // the current rows of its children.
+        for i in old_n..new_n {
+            match arena.node(self.terms[i]) {
+                TermNode::Meet(l, r) => {
+                    let (dl, dr) = (self.dense[&l], self.dense[&r]);
+                    self.or_succ(dl, i); // rule 3
+                    self.or_succ(dr, i); // rule 3
+                    self.or_and_pred(dl, dr, i); // rule 4
+                }
+                TermNode::Join(l, r) => {
+                    let (dl, dr) = (self.dense[&l], self.dense[&r]);
+                    self.or_and_succ(dl, dr, i); // rule 2
+                    self.or_pred(dl, i); // rule 5
+                    self.or_pred(dr, i); // rule 5
+                }
+                TermNode::Atom(_) => {}
+            }
+        }
+        new_n - old_n
+    }
+
+    /// Inserts the arc `terms[u] ≤_E terms[v]`, mirroring it into the
+    /// transpose and marking both endpoints dirty.
+    fn insert_arc(&mut self, u: usize, v: usize) {
+        if self.succ.set(u, v) {
+            self.pred.set(v, u);
+            self.rule_firings += 1;
+            self.mark_s_dirty(u);
+            self.mark_p_dirty(v);
+        }
+    }
+
+    fn mark_s_dirty(&mut self, x: usize) {
+        if !self.s_dirty[x] {
+            self.s_dirty[x] = true;
+            if !self.queued[x] {
+                self.queued[x] = true;
+                self.queue.push_back(x);
+            }
+        }
+    }
+
+    fn mark_p_dirty(&mut self, x: usize) {
+        if !self.p_dirty[x] {
+            self.p_dirty[x] = true;
+            if !self.queued[x] {
+                self.queued[x] = true;
+                self.queue.push_back(x);
+            }
+        }
+    }
+
+    /// `succ[dst] |= succ[src]`, mirroring every newly reachable term into
+    /// `pred` and marking the affected terms dirty.
+    fn or_succ(&mut self, src: usize, dst: usize) {
+        self.row_ops += 1;
+        let mut delta = std::mem::take(&mut self.scratch);
+        delta.clear();
+        self.succ.or_row_into_delta(src, dst, &mut delta);
+        for &t in &delta {
+            self.pred.set(t, dst);
+            self.rule_firings += 1;
+            self.mark_p_dirty(t);
+        }
+        if !delta.is_empty() {
+            self.mark_s_dirty(dst);
+        }
+        self.scratch = delta;
+    }
+
+    /// `succ[dst] |= succ[a] & succ[b]` (rule 2), with mirroring.
+    fn or_and_succ(&mut self, a: usize, b: usize, dst: usize) {
+        self.row_ops += 1;
+        let mut delta = std::mem::take(&mut self.scratch);
+        delta.clear();
+        self.succ.or_and_rows_into_delta(a, b, dst, &mut delta);
+        for &t in &delta {
+            self.pred.set(t, dst);
+            self.rule_firings += 1;
+            self.mark_p_dirty(t);
+        }
+        if !delta.is_empty() {
+            self.mark_s_dirty(dst);
+        }
+        self.scratch = delta;
+    }
+
+    /// `pred[dst] |= pred[src]`, mirroring every new predecessor into
+    /// `succ` and marking the affected terms dirty.
+    fn or_pred(&mut self, src: usize, dst: usize) {
+        self.row_ops += 1;
+        let mut delta = std::mem::take(&mut self.scratch);
+        delta.clear();
+        self.pred.or_row_into_delta(src, dst, &mut delta);
+        for &s in &delta {
+            self.succ.set(s, dst);
+            self.rule_firings += 1;
+            self.mark_s_dirty(s);
+        }
+        if !delta.is_empty() {
+            self.mark_p_dirty(dst);
+        }
+        self.scratch = delta;
+    }
+
+    /// `pred[dst] |= pred[a] & pred[b]` (rule 4), with mirroring.
+    fn or_and_pred(&mut self, a: usize, b: usize, dst: usize) {
+        self.row_ops += 1;
+        let mut delta = std::mem::take(&mut self.scratch);
+        delta.clear();
+        self.pred.or_and_rows_into_delta(a, b, dst, &mut delta);
+        for &s in &delta {
+            self.succ.set(s, dst);
+            self.rule_firings += 1;
+            self.mark_s_dirty(s);
+        }
+        if !delta.is_empty() {
+            self.mark_p_dirty(dst);
+        }
+        self.scratch = delta;
+    }
+
+    /// Drains the dirty-term worklist to the fixpoint.
+    fn saturate(&mut self) {
+        while let Some(x) = self.queue.pop_front() {
+            self.queued[x] = false;
+            if self.s_dirty[x] {
+                self.s_dirty[x] = false;
+                self.process_succ_dirty(x);
+            }
+            if self.p_dirty[x] {
+                self.p_dirty[x] = false;
+                self.process_pred_dirty(x);
+            }
+        }
+        debug_assert_eq!(
+            self.rule_firings,
+            self.succ.count_ones(),
+            "every arc is inserted (and counted) exactly once"
+        );
+    }
+
+    /// `succ[x]` changed: propagate it backwards along transitivity and
+    /// upwards into the composites `x` is a child of (rules 3 and 2).
+    fn process_succ_dirty(&mut self, x: usize) {
+        // Rule 7: (u, x) and (x, w) give (u, w) — every predecessor of x
+        // absorbs x's successor row.  The snapshot is taken into a reused
+        // buffer because the row ops below may grow pred[x] itself (any
+        // additions re-mark x dirty, so nothing is missed).
+        let mut preds = std::mem::take(&mut self.row_buf);
+        preds.clear();
+        preds.extend(self.pred.iter_row(x));
+        for &u in &preds {
+            if u != x {
+                self.or_succ(x, u);
+            }
+        }
+        self.row_buf = preds;
+        // Rule 3: for meets c = x*sib (either child suffices).
+        for k in 0..self.occ[x].meets.len() {
+            let (c, _sibling) = self.occ[x].meets[k];
+            self.or_succ(x, c);
+        }
+        // Rule 2: for joins c = x+sib (both children required).
+        for k in 0..self.occ[x].joins.len() {
+            let (c, sibling) = self.occ[x].joins[k];
+            self.or_and_succ(x, sibling, c);
+        }
+    }
+
+    /// `pred[x]` changed: propagate it forwards along transitivity and
+    /// upwards into the composites `x` is a child of (rules 5 and 4).
+    fn process_pred_dirty(&mut self, x: usize) {
+        // Rule 7: (s, x) and (x, v) give (s, v) — every successor of x
+        // absorbs x's predecessor row (snapshot into the reused buffer, as
+        // in `process_succ_dirty`).
+        let mut succs = std::mem::take(&mut self.row_buf);
+        succs.clear();
+        succs.extend(self.succ.iter_row(x));
+        for &v in &succs {
+            if v != x {
+                self.or_pred(x, v);
+            }
+        }
+        self.row_buf = succs;
+        // Rule 5: for joins c = x+sib (either child suffices).
+        for k in 0..self.occ[x].joins.len() {
+            let (c, _sibling) = self.occ[x].joins[k];
+            self.or_pred(x, c);
+        }
+        // Rule 4: for meets c = x*sib (both children required).
+        for k in 0..self.occ[x].meets.len() {
+            let (c, sibling) = self.occ[x].meets[k];
+            self.or_and_pred(x, sibling, c);
+        }
+    }
+}
+
+/// Batched convenience over the reference engines: builds one
+/// [`DerivedOrder`] whose `V` covers every goal and answers them all.
+/// (The cached counterpart is [`ImplicationEngine::entails_many`].)
+pub fn entails_many(
+    arena: &TermArena,
+    equations: &[Equation],
+    goals: &[Equation],
+    algorithm: Algorithm,
+) -> Vec<bool> {
+    let extra: Vec<TermId> = goals.iter().flat_map(|g| [g.lhs, g.rhs]).collect();
+    let order = DerivedOrder::build(arena, equations, &extra, algorithm);
+    goals
+        .iter()
+        .map(|&g| {
+            order
+                .entails(g)
+                .expect("goal terms are in V by construction")
+        })
+        .collect()
+}
+
+/// Batched convenience over the reference engines for `≤` queries.  (The
+/// cached counterpart is [`ImplicationEngine::leq_many`].)
+pub fn leq_many(
+    arena: &TermArena,
+    equations: &[Equation],
+    pairs: &[(TermId, TermId)],
+    algorithm: Algorithm,
+) -> Vec<bool> {
+    let extra: Vec<TermId> = pairs.iter().flat_map(|&(l, r)| [l, r]).collect();
+    let order = DerivedOrder::build(arena, equations, &extra, algorithm);
+    pairs
+        .iter()
+        .map(|&(l, r)| {
+            order
+                .leq(l, r)
+                .expect("goal terms are in V by construction")
+        })
+        .collect()
 }
 
 /// Convenience: does `E` entail the equation `goal` (the uniform word
@@ -566,13 +1173,119 @@ mod tests {
     }
 
     #[test]
-    fn goal_terms_outside_v_are_rejected_gracefully() {
+    fn goal_terms_outside_v_are_detectable() {
         let mut f = Fixture::new();
         let e = vec![f.eq("A=A*B")];
         let a = f.t("A");
         let stranger = f.t("X+Y");
         let order = DerivedOrder::build(&f.arena, &e, &[], Algorithm::Worklist);
-        assert_eq!(order.leq(a, stranger), None);
-        assert_eq!(order.entails(Equation::new(a, stranger)), None);
+        assert!(order.contains_term(a));
+        assert!(!order.contains_term(stranger));
+        let engine = ImplicationEngine::new(&f.arena, &e);
+        assert!(engine.contains_term(a));
+        assert!(!engine.contains_term(stranger));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "outside V")]
+    fn leq_on_foreign_terms_panics_in_debug_builds() {
+        let mut f = Fixture::new();
+        let e = vec![f.eq("A=A*B")];
+        let a = f.t("A");
+        let stranger = f.t("X+Y");
+        let order = DerivedOrder::build(&f.arena, &e, &[], Algorithm::Worklist);
+        let _ = order.leq(a, stranger);
+    }
+
+    #[test]
+    fn engine_agrees_with_references_on_the_fixture_suite() {
+        let mut f = Fixture::new();
+        let e = vec![
+            f.eq("A=A*B"),
+            f.eq("C=B+D"),
+            f.eq("D=D*(A+C)"),
+            f.eq("E=A*C"),
+        ];
+        let goals = vec![
+            f.eq("A=A*C"),
+            f.eq("B=B*C"),
+            f.eq("D=D*C"),
+            f.eq("E=E*B"),
+            f.eq("A+D=C+A"),
+            f.eq("E=A"),
+            f.eq("A*(A+B)=A"),
+        ];
+        let mut engine = ImplicationEngine::new(&f.arena, &e);
+        for &goal in &goals {
+            let reference = entails(&f.arena, &e, goal, Algorithm::NaiveFixpoint);
+            assert_eq!(
+                engine.entails_goal(&f.arena, goal),
+                reference,
+                "{}",
+                goal.display(&f.arena, &f.universe)
+            );
+        }
+        // Batched queries agree with one-by-one queries.
+        let batched = entails_many(&f.arena, &e, &goals, Algorithm::Worklist);
+        let mut engine2 = ImplicationEngine::new(&f.arena, &e);
+        assert_eq!(engine2.entails_many(&f.arena, &goals), batched);
+    }
+
+    #[test]
+    fn incremental_extension_matches_a_fresh_build() {
+        let mut f = Fixture::new();
+        let e = vec![f.eq("A=A*B"), f.eq("B=B*C")];
+        let goal1 = f.eq("A=A*C");
+        let goal2 = f.eq("C=C*(A+D)");
+        // Incremental: build on E alone, extend twice.
+        let mut incremental = ImplicationEngine::new(&f.arena, &e);
+        let build_firings = incremental.rule_firings();
+        assert!(incremental.entails_goal(&f.arena, goal1));
+        assert!(!incremental.entails_goal(&f.arena, goal2));
+        // Fresh: one engine with all goal terms from the start.
+        let fresh = ImplicationEngine::with_goal_terms(
+            &f.arena,
+            &e,
+            &[goal1.lhs, goal1.rhs, goal2.lhs, goal2.rhs],
+        );
+        assert_eq!(incremental.num_arcs(), fresh.num_arcs());
+        assert_eq!(incremental.terms().len(), fresh.terms().len());
+        // Every arc is inserted exactly once, so the cumulative firing count
+        // matches the fresh build and each extension only paid its delta.
+        assert_eq!(incremental.rule_firings(), fresh.rule_firings());
+        assert!(build_firings < incremental.rule_firings());
+        assert!(incremental.row_ops() > 0);
+        // Re-adding known terms is a no-op.
+        let firings_before = incremental.rule_firings();
+        assert_eq!(incremental.add_goal_terms(&f.arena, &[goal1.lhs]), 0);
+        assert_eq!(incremental.rule_firings(), firings_before);
+    }
+
+    #[test]
+    fn engine_exposes_atom_consequences_and_metadata() {
+        let mut f = Fixture::new();
+        let e = vec![f.eq("A=A*B"), f.eq("B=B*C")];
+        let a = f.t("A");
+        let b = f.t("B");
+        let c = f.t("C");
+        let mut engine = ImplicationEngine::new(&f.arena, &e);
+        engine.add_goal_terms(&f.arena, &[a, b, c]);
+        let consequences = engine.atom_consequences(&f.arena);
+        assert!(consequences.contains(&(a, b)));
+        assert!(consequences.contains(&(a, c)));
+        assert!(consequences.contains(&(b, c)));
+        assert!(!consequences.contains(&(c, a)));
+        assert_eq!(engine.equations(), &e[..]);
+        assert_eq!(
+            engine.leq_many(&f.arena, &[(a, c), (c, a)]),
+            vec![true, false]
+        );
+        // Counters line up with the derived arcs.
+        assert_eq!(engine.rule_firings(), engine.num_arcs());
+        // And agree with the reference order over the same V.
+        let order = DerivedOrder::build(&f.arena, &e, &[a, b, c], Algorithm::Worklist);
+        assert_eq!(order.num_arcs(), engine.num_arcs());
+        assert_eq!(order.rule_firings(), order.num_arcs());
     }
 }

@@ -1,6 +1,6 @@
 //! Property-based tests for the uniform word problem for lattices.
 //!
-//! Three families of properties:
+//! Five families of properties:
 //!
 //! 1. the two saturation strategies of algorithm ALG compute the same
 //!    entailment relation;
@@ -9,13 +9,21 @@
 //! 3. **soundness against finite models**: if every equation of `E` holds in
 //!    a concrete finite lattice under a concrete assignment, then every
 //!    equation ALG derives from `E` also holds there (Theorem 8, the
-//!    "only lattices that satisfy E matter" direction).
+//!    "only lattices that satisfy E matter" direction);
+//! 4. the cached [`ImplicationEngine`] — fresh builds, incremental
+//!    extension, and batched queries alike — is pinned to the
+//!    `NaiveFixpoint` reference strategy on random equation sets;
+//! 5. the term/equation printers round-trip through the parser onto the
+//!    same hash-consed [`TermId`]s.
 
 use proptest::prelude::*;
 use std::collections::HashMap;
 
 use ps_base::{Attribute, Universe};
-use ps_lattice::{free_order, word_problem, Algorithm, Equation, FiniteLattice, TermArena, TermId};
+use ps_lattice::{
+    free_order, parse_equation, parse_term, word_problem, Algorithm, Equation, FiniteLattice,
+    ImplicationEngine, TermArena, TermId,
+};
 
 /// A small fixed universe of four attributes shared by all generated terms.
 fn universe() -> (Universe, Vec<Attribute>) {
@@ -142,6 +150,98 @@ proptest! {
                 );
             }
         }
+    }
+
+    #[test]
+    fn engine_fresh_build_matches_naive_fixpoint(
+        eq_shapes in prop::collection::vec((arb_shape(), arb_shape()), 0..4),
+        goal_shapes in prop::collection::vec((arb_shape(), arb_shape()), 1..5),
+    ) {
+        let (_, attrs) = universe();
+        let mut arena = TermArena::new();
+        let equations: Vec<Equation> = eq_shapes
+            .iter()
+            .map(|(l, r)| Equation::new(build(l, &attrs, &mut arena), build(r, &attrs, &mut arena)))
+            .collect();
+        let goals: Vec<Equation> = goal_shapes
+            .iter()
+            .map(|(l, r)| Equation::new(build(l, &attrs, &mut arena), build(r, &attrs, &mut arena)))
+            .collect();
+        let mut engine = ImplicationEngine::new(&arena, &equations);
+        for &goal in &goals {
+            let reference = word_problem::entails(&arena, &equations, goal, Algorithm::NaiveFixpoint);
+            prop_assert_eq!(engine.entails_goal(&arena, goal), reference);
+        }
+        // The engine's arc count over the final V matches a reference order
+        // built over the same V, and its firing counter saw every arc once.
+        let goal_terms: Vec<TermId> = goals.iter().flat_map(|g| [g.lhs, g.rhs]).collect();
+        let order = word_problem::DerivedOrder::build(
+            &arena, &equations, &goal_terms, Algorithm::NaiveFixpoint,
+        );
+        prop_assert_eq!(engine.num_arcs(), order.num_arcs());
+        prop_assert_eq!(engine.rule_firings(), engine.num_arcs());
+    }
+
+    #[test]
+    fn engine_incremental_and_batched_queries_match_naive_fixpoint(
+        eq_shapes in prop::collection::vec((arb_shape(), arb_shape()), 0..4),
+        goal_shapes in prop::collection::vec((arb_shape(), arb_shape()), 1..5),
+    ) {
+        let (_, attrs) = universe();
+        let mut arena = TermArena::new();
+        let equations: Vec<Equation> = eq_shapes
+            .iter()
+            .map(|(l, r)| Equation::new(build(l, &attrs, &mut arena), build(r, &attrs, &mut arena)))
+            .collect();
+        let goals: Vec<Equation> = goal_shapes
+            .iter()
+            .map(|(l, r)| Equation::new(build(l, &attrs, &mut arena), build(r, &attrs, &mut arena)))
+            .collect();
+        let reference: Vec<bool> = goals
+            .iter()
+            .map(|&g| word_problem::entails(&arena, &equations, g, Algorithm::NaiveFixpoint))
+            .collect();
+        // Batched: one engine, one V extension covering every goal.
+        let mut batched = ImplicationEngine::new(&arena, &equations);
+        prop_assert_eq!(batched.entails_many(&arena, &goals), reference.clone());
+        // Incremental: extend V goal by goal; earlier verdicts must survive
+        // later extensions (Lemma 9.2: enlarging V never changes Γ on old
+        // terms).
+        let mut incremental = ImplicationEngine::new(&arena, &equations);
+        for (i, &goal) in goals.iter().enumerate() {
+            prop_assert_eq!(incremental.entails_goal(&arena, goal), reference[i]);
+            for j in 0..=i {
+                prop_assert_eq!(incremental.entails(goals[j]), Some(reference[j]));
+            }
+        }
+        // Both routes land in the same closure.
+        prop_assert_eq!(incremental.num_arcs(), batched.num_arcs());
+        // And the reference batched entry point agrees as well.
+        let module_batched =
+            word_problem::entails_many(&arena, &equations, &goals, Algorithm::Worklist);
+        prop_assert_eq!(module_batched, reference);
+    }
+
+    #[test]
+    fn display_and_parse_round_trip_to_the_same_hash_consed_terms(
+        lhs in arb_shape(),
+        rhs in arb_shape(),
+    ) {
+        let (mut u, attrs) = universe();
+        let mut arena = TermArena::new();
+        let l = build(&lhs, &attrs, &mut arena);
+        let r = build(&rhs, &attrs, &mut arena);
+        // Term round trip: display inserts only the parentheses needed for
+        // the output to re-parse, and hash-consing maps the re-parse onto
+        // the *same* TermId.
+        let l_text = arena.display(l, &u);
+        let reparsed = parse_term(&l_text, &mut u, &mut arena).unwrap();
+        prop_assert_eq!(reparsed, l, "{}", l_text);
+        // Equation round trip.
+        let eq = Equation::new(l, r);
+        let eq_text = eq.display(&arena, &u);
+        let reparsed_eq = parse_equation(&eq_text, &mut u, &mut arena).unwrap();
+        prop_assert_eq!(reparsed_eq, eq, "{}", eq_text);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::env;
 use std::process::ExitCode;
 
 use partition_semantics::core::implication::is_identity;
-use partition_semantics::lattice::{word_problem::DerivedOrder, Equation};
+use partition_semantics::lattice::Equation;
 use partition_semantics::prelude::*;
 
 fn parse_all(
@@ -75,15 +75,15 @@ fn main() -> ExitCode {
         println!("  {}", pd.display(&arena, &universe));
     }
 
-    // Build the derived order once over all goal terms (the intended usage
-    // pattern for batches of queries).
-    let goal_terms: Vec<TermId> = goals.iter().flat_map(|g| [g.lhs, g.rhs]).collect();
-    let order = DerivedOrder::build(&arena, &constraints, &goal_terms, Algorithm::Worklist);
+    // Build the implication engine once for the constraint set; it is held
+    // across all queries and grows its subexpression universe on demand —
+    // the intended usage pattern for interactive sessions and goal batches.
+    let mut engine = ImplicationEngine::new(&arena, &constraints);
     println!(
-        "\nALG: |V| = {} subexpressions, {} derived arcs, {} worklist steps",
-        order.terms().len(),
-        order.num_arcs(),
-        order.work()
+        "\nALG engine: |V| = {} subexpressions, {} derived arcs, {} rule firings",
+        engine.terms().len(),
+        engine.num_arcs(),
+        engine.rule_firings()
     );
 
     if goals.is_empty() {
@@ -93,13 +93,12 @@ fn main() -> ExitCode {
 
     println!("\nGoals:");
     for &goal in &goals {
-        let entailed = order.entails(goal).unwrap_or_else(|| {
-            // Terms outside V (cannot happen here, but stay safe).
-            pd_implies(&arena, &constraints, goal, Algorithm::Worklist)
-        });
+        let firings_before = engine.rule_firings();
+        let entailed = engine.entails_goal(&arena, goal);
+        let fired = engine.rule_firings() - firings_before;
         let identity = is_identity(&arena, goal);
         println!(
-            "  {:<28} E ⊨ δ: {:<5}  identity: {}",
+            "  {:<28} E ⊨ δ: {:<5}  identity: {:<5}  (+{fired} incremental firings)",
             goal.display(&arena, &universe),
             entailed,
             identity
