@@ -15,6 +15,7 @@
 //! | F1, F2 | `figures` | Figures 1 and 2 regenerated from scratch |
 //! | E7 | `ablation` | Design-choice ablations (naïve vs worklist ALG, sum via chaining vs union–find) |
 //! | E8 | `word_problem` | Cached `ImplicationEngine`: build-once-query-many vs rebuild-per-goal, engine vs reference strategies |
+//! | E9 | `session` | Session facade: warm cached-engine queries vs free-function rebuilds vs cold sessions |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -29,6 +29,7 @@ use ps_lattice::{Algorithm, Equation, TermArena, TermNode};
 use ps_partition::UnionFind;
 use ps_relation::{chase_fds_over, fd_closure, ChaseOutcome, Database, Fd, Relation};
 
+#[cfg(debug_assertions)]
 use crate::implication::atom_order_closure;
 use crate::Result;
 
@@ -232,14 +233,34 @@ pub fn close_constraints(
     arena: &mut TermArena,
     algorithm: Algorithm,
 ) -> ClosedConstraints {
-    let attributes: Vec<Attribute> = normalized.attributes.iter().collect();
     let mut engine = ps_lattice::ImplicationEngine::new(arena, &normalized.equations);
-    let consequences = crate::implication::atom_order_closure_with(&mut engine, arena, &attributes);
-    debug_assert_eq!(
-        consequences,
-        atom_order_closure(arena, &normalized.equations, &attributes, algorithm),
-        "the cached engine and the {algorithm:?} reference must derive the same closure"
-    );
+    #[cfg(debug_assertions)]
+    {
+        let attributes: Vec<Attribute> = normalized.attributes.iter().collect();
+        let cached = crate::implication::atom_order_closure_with(&mut engine, arena, &attributes);
+        debug_assert_eq!(
+            cached,
+            atom_order_closure(arena, &normalized.equations, &attributes, algorithm),
+            "the cached engine and the {algorithm:?} reference must derive the same closure"
+        );
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = algorithm;
+    close_constraints_with(&mut engine, normalized, arena)
+}
+
+/// The engine-hook variant of [`close_constraints`]: computes `E⁺` out of a
+/// caller-supplied [`ps_lattice::ImplicationEngine`] that was built over
+/// `normalized.equations`.  Long-lived callers (the session layer) keep the
+/// engine cached per constraint set, so repeated closures pay no
+/// re-saturation and the engine's `rule_firings` counter stays observable.
+pub fn close_constraints_with(
+    engine: &mut ps_lattice::ImplicationEngine,
+    normalized: &NormalizedConstraints,
+    arena: &mut TermArena,
+) -> ClosedConstraints {
+    let attributes: Vec<Attribute> = normalized.attributes.iter().collect();
+    let consequences = crate::implication::atom_order_closure_with(engine, arena, &attributes);
     let leq = |a: Attribute, b: Attribute| consequences.contains(&(a, b));
 
     let mut fds = normalized.fds.clone();
@@ -341,7 +362,17 @@ pub fn consistent_with_pds(
 ) -> Result<ConsistencyOutcome> {
     let normalized = normalize_pds(pds, arena, universe);
     let closed = close_constraints(&normalized, arena, algorithm);
+    Ok(consistent_with_closed(db, &closed, symbols))
+}
 
+/// The chase half of [`consistent_with_pds`], for callers that cache the
+/// normalized/closed constraint system per set (the session layer): chases
+/// `db` against an already-closed system and packages the outcome.
+pub fn consistent_with_closed(
+    db: &Database,
+    closed: &ClosedConstraints,
+    symbols: &mut SymbolTable,
+) -> ConsistencyOutcome {
     // The chase runs over the database's attributes together with every
     // attribute the constraints mention.
     let mut attrs = db.all_attributes();
@@ -355,14 +386,14 @@ pub fn consistent_with_pds(
     } else {
         None
     };
-    Ok(ConsistencyOutcome {
+    ConsistencyOutcome {
         consistent: chase.consistent,
-        fds: closed.fds,
-        sums: closed.sums,
+        fds: closed.fds.clone(),
+        sums: closed.sums.clone(),
         attributes: attrs,
         chase,
         weak_instance,
-    })
+    }
 }
 
 /// Whether a relation satisfies the *one-directional* sum PD `C ≤ A + B`

@@ -19,7 +19,7 @@ use ps_lattice::{Algorithm, Equation, TermArena};
 use ps_relation::{Database, Relation};
 
 use crate::canonical::{canonical_interpretation, canonical_relation};
-use crate::consistency::{consistent_with_pds, repair_sum_violations};
+use crate::consistency::{consistent_with_pds, repair_sum_violations, ConsistencyOutcome};
 use crate::dependency::{fds_of_fpds, Fpd};
 use crate::{PartitionInterpretation, Result};
 
@@ -86,6 +86,18 @@ pub fn satisfiable_with_pds(
     symbols: &mut SymbolTable,
 ) -> Result<SatisfiabilityWitness> {
     let outcome = consistent_with_pds(db, pds, arena, universe, symbols, Algorithm::Worklist)?;
+    witness_from_consistency(outcome, symbols)
+}
+
+/// The witness-construction tail of [`satisfiable_with_pds`]: upgrades a
+/// [`ConsistencyOutcome`] into the Theorem 7 decision + witness forms (sum
+/// repair bounded at 64 rounds, then `I(w)`).  Shared by the free function
+/// above and by the session layer, which produces the outcome from its
+/// cached closed constraint system.
+pub fn witness_from_consistency(
+    outcome: ConsistencyOutcome,
+    symbols: &mut SymbolTable,
+) -> Result<SatisfiabilityWitness> {
     if !outcome.consistent {
         return Ok(SatisfiabilityWitness::unsatisfiable());
     }

@@ -9,8 +9,17 @@ pub enum LatticeError {
     Parse {
         /// Human-readable description of the problem.
         message: String,
-        /// Byte offset into the input at which the problem was detected.
+        /// Byte offset into the input at which the problem was detected
+        /// (the start of [`LatticeError::Parse::span`], kept as its own
+        /// field for backwards compatibility).
         position: usize,
+        /// Byte-offset range `start..end` of the offending token.  For an
+        /// unexpected end of input the span is empty (`start == end ==
+        /// input.len()`).
+        span: (usize, usize),
+        /// The set of tokens that would have been accepted at `position`,
+        /// rendered for diagnostics (e.g. `"`)`"` or `"an attribute name"`).
+        expected: Vec<&'static str>,
     },
     /// A relation passed to [`crate::FiniteLattice::from_leq`] is not a
     /// partial order, or lacks meets/joins.
@@ -24,8 +33,17 @@ pub enum LatticeError {
 impl fmt::Display for LatticeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LatticeError::Parse { message, position } => {
-                write!(f, "parse error at byte {position}: {message}")
+            LatticeError::Parse {
+                message,
+                span,
+                expected,
+                ..
+            } => {
+                write!(f, "parse error at bytes {}..{}: {message}", span.0, span.1)?;
+                if !expected.is_empty() {
+                    write!(f, " (expected {})", expected.join(" or "))?;
+                }
+                Ok(())
             }
             LatticeError::NotALattice(why) => write!(f, "not a lattice: {why}"),
             LatticeError::UnassignedAttribute(name) => {
@@ -49,8 +67,11 @@ mod tests {
         let p = LatticeError::Parse {
             message: "unexpected `)`".into(),
             position: 3,
+            span: (3, 4),
+            expected: vec!["`*`", "`+`"],
         };
-        assert!(p.to_string().contains("byte 3"));
+        assert!(p.to_string().contains("bytes 3..4"));
+        assert!(p.to_string().contains("expected `*` or `+`"));
         assert!(LatticeError::NotALattice("no meet of 1,2".into())
             .to_string()
             .contains("no meet"));

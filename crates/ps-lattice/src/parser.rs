@@ -24,6 +24,9 @@ use ps_base::Universe;
 
 use crate::{Equation, LatticeError, Result, TermArena, TermId};
 
+/// Tokens accepted where a factor may start.
+const FACTOR_START: &[&str] = &["an attribute name", "`(`"];
+
 struct Parser<'a> {
     input: &'a str,
     bytes: &'a [u8],
@@ -43,10 +46,26 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn error(&self, message: impl Into<String>) -> LatticeError {
+    /// Builds a parse error whose span covers `len` bytes starting at the
+    /// current position (`len == 0` marks an empty span at end of input),
+    /// carrying the set of tokens that would have been accepted here.  The
+    /// span end is rounded up to the next character boundary so consumers
+    /// can always slice the input with it.
+    fn error(
+        &self,
+        len: usize,
+        message: impl Into<String>,
+        expected: &[&'static str],
+    ) -> LatticeError {
+        let mut end = (self.pos + len).min(self.bytes.len());
+        while !self.input.is_char_boundary(end) {
+            end += 1;
+        }
         LatticeError::Parse {
             message: message.into(),
             position: self.pos,
+            span: (self.pos, end),
+            expected: expected.to_vec(),
         }
     }
 
@@ -69,17 +88,30 @@ impl<'a> Parser<'a> {
         c
     }
 
-    fn expect(&mut self, expected: u8) -> Result<()> {
-        match self.bump() {
-            Some(c) if c == expected => Ok(()),
-            Some(c) => Err(self.error(format!(
-                "expected `{}`, found `{}`",
-                expected as char, c as char
-            ))),
-            None => Err(self.error(format!(
-                "expected `{}`, found end of input",
-                expected as char
-            ))),
+    /// The full character at the current position (whitespace skipped) —
+    /// used for diagnostics, where a raw byte of a multi-byte character
+    /// would render as mojibake.
+    fn peek_char(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.input[self.pos..].chars().next()
+    }
+
+    fn expect(&mut self, wanted: u8, expected: &[&'static str]) -> Result<()> {
+        match self.peek_char() {
+            Some(c) if c == wanted as char => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(c) => Err(self.error(
+                c.len_utf8(),
+                format!("expected `{}`, found `{c}`", wanted as char),
+                expected,
+            )),
+            None => Err(self.error(
+                0,
+                format!("expected `{}`, found end of input", wanted as char),
+                expected,
+            )),
         }
     }
 
@@ -92,7 +124,11 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         if start == self.pos {
-            return Err(self.error("expected an attribute name"));
+            let len = self.input[self.pos..]
+                .chars()
+                .next()
+                .map_or(0, char::len_utf8);
+            return Err(self.error(len, "expected an attribute name", FACTOR_START));
         }
         let name = &self.input[start..self.pos];
         let attr = self.universe.attr(name);
@@ -104,12 +140,19 @@ impl<'a> Parser<'a> {
             Some(b'(') => {
                 self.bump();
                 let inner = self.parse_sum()?;
-                self.expect(b')')?;
+                self.expect(b')', &["`*`", "`+`", "`)`"])?;
                 Ok(inner)
             }
             Some(c) if c.is_ascii_alphanumeric() || c == b'_' => self.parse_ident(),
-            Some(c) => Err(self.error(format!("unexpected character `{}`", c as char))),
-            None => Err(self.error("unexpected end of input")),
+            Some(_) => {
+                let c = self.peek_char().expect("peek saw a byte");
+                Err(self.error(
+                    c.len_utf8(),
+                    format!("unexpected character `{c}`"),
+                    FACTOR_START,
+                ))
+            }
+            None => Err(self.error(0, "unexpected end of input", FACTOR_START)),
         }
     }
 
@@ -145,7 +188,11 @@ pub fn parse_term(input: &str, universe: &mut Universe, arena: &mut TermArena) -
     let mut parser = Parser::new(input, universe, arena);
     let term = parser.parse_sum()?;
     if !parser.at_end() {
-        return Err(parser.error("trailing input after expression"));
+        return Err(parser.error(
+            1,
+            "trailing input after expression",
+            &["`*`", "`+`", "end of input"],
+        ));
     }
     Ok(term)
 }
@@ -158,10 +205,14 @@ pub fn parse_equation(
 ) -> Result<Equation> {
     let mut parser = Parser::new(input, universe, arena);
     let lhs = parser.parse_sum()?;
-    parser.expect(b'=')?;
+    parser.expect(b'=', &["`*`", "`+`", "`=`"])?;
     let rhs = parser.parse_sum()?;
     if !parser.at_end() {
-        return Err(parser.error("trailing input after equation"));
+        return Err(parser.error(
+            1,
+            "trailing input after equation",
+            &["`*`", "`+`", "end of input"],
+        ));
     }
     Ok(Equation::new(lhs, rhs))
 }
@@ -226,6 +277,117 @@ mod tests {
         }
         let err = parse_term("A&B", &mut u, &mut arena).unwrap_err();
         assert!(matches!(err, LatticeError::Parse { .. }));
+    }
+
+    /// Destructures a parse error into `(span, expected)`.
+    fn parse_failure(err: LatticeError) -> ((usize, usize), Vec<&'static str>) {
+        match err {
+            LatticeError::Parse {
+                position,
+                span,
+                expected,
+                ..
+            } => {
+                assert_eq!(position, span.0, "position mirrors the span start");
+                (span, expected)
+            }
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_reports_an_empty_span_at_offset_zero() {
+        let mut u = Universe::new();
+        let mut arena = TermArena::new();
+        let (span, expected) = parse_failure(parse_term("", &mut u, &mut arena).unwrap_err());
+        assert_eq!(span, (0, 0));
+        assert!(expected.contains(&"an attribute name"));
+        assert!(expected.contains(&"`(`"));
+        let (span, _) = parse_failure(parse_equation("", &mut u, &mut arena).unwrap_err());
+        assert_eq!(span, (0, 0));
+    }
+
+    #[test]
+    fn unclosed_parens_expect_a_closer_at_end_of_input() {
+        let mut u = Universe::new();
+        let mut arena = TermArena::new();
+        let input = "(A+B";
+        let (span, expected) = parse_failure(parse_term(input, &mut u, &mut arena).unwrap_err());
+        assert_eq!(span, (input.len(), input.len()), "empty span at EOF");
+        assert!(expected.contains(&"`)`"));
+        // A nested unclosed paren fails at the same place.
+        let (span, expected) =
+            parse_failure(parse_equation("C = (A*(B+C)", &mut u, &mut arena).unwrap_err());
+        assert_eq!(span, (12, 12));
+        assert!(expected.contains(&"`)`"));
+    }
+
+    #[test]
+    fn stray_operators_point_at_the_operator_byte() {
+        let mut u = Universe::new();
+        let mut arena = TermArena::new();
+        // Leading operator: the factor position 0 is the offender.
+        let (span, expected) = parse_failure(parse_term("*A", &mut u, &mut arena).unwrap_err());
+        assert_eq!(span, (0, 1));
+        assert!(expected.contains(&"an attribute name"));
+        // Doubled operator inside an equation: offender is the second `+`.
+        let (span, expected) =
+            parse_failure(parse_equation("A = B++C", &mut u, &mut arena).unwrap_err());
+        assert_eq!(span, (6, 7));
+        assert!(expected.contains(&"an attribute name"));
+        // Operator with a missing right operand fails at end of input.
+        let (span, _) = parse_failure(parse_term("A+", &mut u, &mut arena).unwrap_err());
+        assert_eq!(span, (2, 2));
+        // A term where an equation was required: the error points past the
+        // term and expects `=` among the continuations.
+        let (span, expected) =
+            parse_failure(parse_equation("A*B", &mut u, &mut arena).unwrap_err());
+        assert_eq!(span, (3, 3));
+        assert!(expected.contains(&"`=`"));
+        // Trailing input after a complete equation.
+        let (span, expected) =
+            parse_failure(parse_equation("A=B=C", &mut u, &mut arena).unwrap_err());
+        assert_eq!(span, (3, 4));
+        assert!(expected.contains(&"end of input"));
+    }
+
+    #[test]
+    fn non_ascii_offenders_get_whole_char_spans() {
+        let mut u = Universe::new();
+        let mut arena = TermArena::new();
+        // `é` is 2 bytes; the span must cover the full character so that
+        // slicing the input with it cannot panic, and the message must show
+        // the character, not its first byte.
+        for (input, start) in [("é", 0usize), ("A*é", 2), ("A=é", 2)] {
+            let err = if input.contains('=') {
+                parse_equation(input, &mut u, &mut arena).unwrap_err()
+            } else {
+                parse_term(input, &mut u, &mut arena).unwrap_err()
+            };
+            let ((lo, hi), _) = parse_failure(err.clone());
+            assert_eq!((lo, hi), (start, start + 'é'.len_utf8()), "{input}");
+            assert_eq!(&input[lo..hi], "é", "span must slice cleanly: {input}");
+            assert!(err.to_string().contains('é'), "{err}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_render_span_and_expected_set() {
+        let mut u = Universe::new();
+        let mut arena = TermArena::new();
+        // Stray `&` where a factor must start (inside parens).
+        let err = parse_term("(&B)", &mut u, &mut arena).unwrap_err();
+        let rendered = err.to_string();
+        assert!(rendered.contains("bytes 1..2"), "{rendered}");
+        assert!(
+            rendered.contains("expected an attribute name or `(`"),
+            "{rendered}"
+        );
+        // A complete term followed by garbage is a trailing-input error.
+        let err = parse_term("A & B", &mut u, &mut arena).unwrap_err();
+        let rendered = err.to_string();
+        assert!(rendered.contains("bytes 2..3"), "{rendered}");
+        assert!(rendered.contains("end of input"), "{rendered}");
     }
 
     #[test]

@@ -133,6 +133,13 @@ impl DatabaseBuilder {
 
     /// Adds a relation with the given name, attribute names and rows of
     /// symbol names.
+    ///
+    /// Malformed inputs are rejected with an `Err` rather than a panic:
+    /// a relation name already used by this builder
+    /// ([`crate::RelationError::DuplicateRelation`]), an empty or repeating
+    /// attribute list ([`crate::RelationError::EmptyAttributeSet`] /
+    /// [`crate::RelationError::DuplicateAttribute`]), and rows whose arity differs
+    /// from the scheme's ([`crate::RelationError::ArityMismatch`]).
     pub fn relation(
         mut self,
         universe: &mut Universe,
@@ -141,6 +148,24 @@ impl DatabaseBuilder {
         attr_names: &[&str],
         rows: &[&[&str]],
     ) -> Result<Self> {
+        use crate::RelationError;
+
+        if self.relations.iter().any(|r| r.scheme().name() == name) {
+            return Err(RelationError::DuplicateRelation { name: name.into() });
+        }
+        if attr_names.is_empty() {
+            return Err(RelationError::EmptyAttributeSet("a relation scheme"));
+        }
+        if let Some(repeated) = attr_names
+            .iter()
+            .enumerate()
+            .find_map(|(i, n)| attr_names[..i].contains(n).then_some(n))
+        {
+            return Err(RelationError::DuplicateAttribute {
+                scheme: name.into(),
+                name: (*repeated).into(),
+            });
+        }
         let attrs: AttrSet = universe.attrs(attr_names.iter().copied()).into();
         let scheme = crate::RelationScheme::new(name, attrs.clone());
         // Rows are given in the order of `attr_names`; re-order the values to
@@ -154,11 +179,13 @@ impl DatabaseBuilder {
             .collect();
         let mut relation = Relation::new(scheme);
         for row in rows {
-            assert_eq!(
-                row.len(),
-                attr_names.len(),
-                "row arity must match attributes"
-            );
+            if row.len() != attr_names.len() {
+                return Err(RelationError::ArityMismatch {
+                    scheme: name.into(),
+                    expected: attr_names.len(),
+                    found: row.len(),
+                });
+            }
             let mut values = vec![Symbol::from_index(0); row.len()];
             for (value_name, &pos) in row.iter().zip(positions.iter()) {
                 values[pos] = symbols.symbol(value_name);
@@ -203,6 +230,54 @@ mod tests {
             .unwrap()
             .build();
         (u, s, db)
+    }
+
+    #[test]
+    fn builder_rejects_malformed_inputs_without_panicking() {
+        let mut u = Universe::new();
+        let mut s = SymbolTable::new();
+        // Row arity differing from the scheme is an error, not a panic.
+        let err = DatabaseBuilder::new()
+            .relation(&mut u, &mut s, "R", &["A", "B"], &[&["a"]])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::RelationError::ArityMismatch {
+                expected: 2,
+                found: 1,
+                ..
+            }
+        ));
+        // Duplicate relation names within one builder are rejected.
+        let err = DatabaseBuilder::new()
+            .relation(&mut u, &mut s, "R", &["A"], &[&["a"]])
+            .unwrap()
+            .relation(&mut u, &mut s, "R", &["B"], &[&["b"]])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::RelationError::DuplicateRelation { name } if name == "R"
+        ));
+        // Repeated attribute names make the scheme malformed.
+        let err = DatabaseBuilder::new()
+            .relation(&mut u, &mut s, "R", &["A", "A"], &[&["a", "a"]])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::RelationError::DuplicateAttribute { name, .. } if name == "A"
+        ));
+        // An empty attribute list is a malformed scheme.
+        let err = DatabaseBuilder::new()
+            .relation(&mut u, &mut s, "R", &[], &[])
+            .unwrap_err();
+        assert!(matches!(err, crate::RelationError::EmptyAttributeSet(_)));
+        // Relations with zero rows remain legal (empty populations are the
+        // caller's concern and are reported by ps-core where they matter).
+        let db = DatabaseBuilder::new()
+            .relation(&mut u, &mut s, "Empty", &["A"], &[])
+            .unwrap()
+            .build();
+        assert_eq!(db.total_tuples(), 0);
     }
 
     #[test]

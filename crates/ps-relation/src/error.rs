@@ -36,6 +36,19 @@ pub enum RelationError {
         /// Name of the right relation scheme.
         right: String,
     },
+    /// Two relations with the same name were added to one
+    /// [`crate::DatabaseBuilder`].
+    DuplicateRelation {
+        /// The repeated relation name.
+        name: String,
+    },
+    /// The same attribute name appeared twice in one relation scheme.
+    DuplicateAttribute {
+        /// Name of the relation scheme involved.
+        scheme: String,
+        /// The repeated attribute name.
+        name: String,
+    },
 }
 
 impl fmt::Display for RelationError {
@@ -59,6 +72,15 @@ impl fmt::Display for RelationError {
                 f,
                 "operation requires identical schemes, got `{left}` and `{right}`"
             ),
+            RelationError::DuplicateRelation { name } => {
+                write!(f, "a relation named `{name}` was already added")
+            }
+            RelationError::DuplicateAttribute { scheme, name } => {
+                write!(
+                    f,
+                    "attribute `{name}` appears twice in the scheme of `{scheme}`"
+                )
+            }
         }
     }
 }
@@ -90,5 +112,12 @@ mod tests {
             right: "S".into(),
         };
         assert!(e.to_string().contains("identical schemes"));
+        let e = RelationError::DuplicateRelation { name: "R".into() };
+        assert!(e.to_string().contains("already added"));
+        let e = RelationError::DuplicateAttribute {
+            scheme: "R".into(),
+            name: "A".into(),
+        };
+        assert!(e.to_string().contains("appears twice"));
     }
 }

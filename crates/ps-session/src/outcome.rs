@@ -1,0 +1,101 @@
+//! Typed query results: an answer plus strategy-independent counters.
+
+use std::ops::AddAssign;
+
+/// Strategy-independent work counters attached to every session answer and
+/// accumulated session-wide (see [`crate::Session::counters`]).
+///
+/// The counters are defined so that every decision procedure reports the
+/// same quantities regardless of the algorithm variant that answered:
+///
+/// * `rule_firings` — ALG arc insertions performed while saturating or
+///   incrementally extending an implication engine (implication, identity
+///   and closure work);
+/// * `row_visits` — `(row, dependency)` examinations by the chase, plus
+///   cell assignments tried by the exact CAD search and rows walked by the
+///   connectivity evaluator;
+/// * `engine_hits` / `engine_misses` — whether the query found its
+///   constraint set's cached artifacts (implication engine or closed
+///   constraint system) already built.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// ALG rule firings (derived-order arc insertions).
+    pub rule_firings: u64,
+    /// Chase row visits / CAD assignments / connectivity row walks.
+    pub row_visits: u64,
+    /// Queries that reused a cached per-set engine or closure.
+    pub engine_hits: u64,
+    /// Queries that had to build (and cache) an engine or closure.
+    pub engine_misses: u64,
+}
+
+impl AddAssign for Counters {
+    fn add_assign(&mut self, rhs: Counters) {
+        self.rule_firings += rhs.rule_firings;
+        self.row_visits += rhs.row_visits;
+        self.engine_hits += rhs.engine_hits;
+        self.engine_misses += rhs.engine_misses;
+    }
+}
+
+/// A typed session answer: the value produced by a decision procedure plus
+/// the [`Counters`] describing the work this particular query performed.
+#[derive(Debug, Clone)]
+pub struct Outcome<T> {
+    /// The answer.
+    pub value: T,
+    /// Work performed by this query (not cumulative; see
+    /// [`crate::Session::counters`] for session totals).
+    pub counters: Counters,
+}
+
+impl<T> Outcome<T> {
+    /// Pairs an answer with its counters.
+    pub fn new(value: T, counters: Counters) -> Self {
+        Outcome { value, counters }
+    }
+
+    /// Drops the counters and returns the bare answer.
+    pub fn into_value(self) -> T {
+        self.value
+    }
+
+    /// Maps the answer, keeping the counters.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Outcome<U> {
+        Outcome {
+            value: f(self.value),
+            counters: self.counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_outcomes_map() {
+        let mut total = Counters::default();
+        total += Counters {
+            rule_firings: 3,
+            row_visits: 5,
+            engine_hits: 1,
+            engine_misses: 0,
+        };
+        total += Counters {
+            rule_firings: 2,
+            row_visits: 0,
+            engine_hits: 0,
+            engine_misses: 1,
+        };
+        assert_eq!(total.rule_firings, 5);
+        assert_eq!(total.row_visits, 5);
+        assert_eq!(total.engine_hits, 1);
+        assert_eq!(total.engine_misses, 1);
+
+        let outcome = Outcome::new(21usize, total).map(|v| v * 2);
+        assert_eq!(outcome.value, 42);
+        assert_eq!(outcome.counters.rule_firings, 5);
+        assert_eq!(outcome.into_value(), 42);
+    }
+}

@@ -1,0 +1,707 @@
+//! The [`Session`]: one long-lived owner of the interners, with cached
+//! engines per registered constraint set and typed, batched queries for
+//! every decision procedure of the paper.
+
+use std::collections::HashMap;
+
+use ps_base::{AttrSet, Attribute, Symbol, SymbolTable, Universe};
+use ps_core::consistency::{
+    close_constraints_with, normalize_pds, ClosedConstraints, SumConstraint,
+};
+use ps_core::weak_bridge::SatisfiabilityWitness;
+use ps_core::{Fpd, PartitionInterpretation};
+use ps_graph::GraphEncoding;
+use ps_lattice::{
+    free_order, parse_equation, parse_term, Equation, ImplicationEngine, LatticeError, TermArena,
+    TermId, TermNode,
+};
+use ps_relation::{Database, DatabaseBuilder, Fd, Relation};
+
+use crate::{Counters, Error, Outcome, Result};
+
+/// A handle to a constraint set registered with [`Session::register`].
+///
+/// Handles are cheap copies; the session keeps the set's parsed PDs, its
+/// lazily built [`ImplicationEngine`] and its normalized/closed consistency
+/// system behind the handle.  Registering an equal set (same equations up to
+/// order, orientation and duplication) returns the *same* handle, so all
+/// cached artifacts are shared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConstraintSetId(u32);
+
+impl ConstraintSetId {
+    /// Builds a handle from a raw index (for diagnostics and tests; handles
+    /// are normally obtained from [`Session::register`]).
+    pub fn from_index(index: u32) -> Self {
+        ConstraintSetId(index)
+    }
+
+    /// The raw index of the handle.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// Which consistency procedure [`Session::consistent`] runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ConsistencyMode {
+    /// Theorem 12: the polynomial-time open-world test (normalize, close,
+    /// chase the FD part; sum constraints are always repairable by
+    /// Lemma 12.1).
+    #[default]
+    Polynomial,
+    /// Theorem 11 / Theorem 6b: the exact closed-world test under the
+    /// complete-atomic-data and equal-atomic-population assumptions.
+    /// NP-complete in general; requires every registered PD to be a
+    /// functional partition dependency (a meet equation).
+    ExactCadEap,
+}
+
+/// The typed answer of [`Session::consistent`].
+#[derive(Debug, Clone)]
+pub struct ConsistencyAnswer {
+    /// Whether the database is consistent with the registered PDs under the
+    /// selected mode.
+    pub consistent: bool,
+    /// The mode that produced this answer.
+    pub mode: ConsistencyMode,
+    /// The FD set `F` the decision ran with (the closed FD image of the
+    /// constraints for [`ConsistencyMode::Polynomial`], the direct FD image
+    /// for [`ConsistencyMode::ExactCadEap`]).
+    pub fds: Vec<Fd>,
+    /// Sum constraints `C ≤ A + B` that survived closure (always empty in
+    /// CAD mode, which only admits FPDs).
+    pub sums: Vec<SumConstraint>,
+    /// A witnessing relation when consistent: the chase's representative
+    /// weak instance (polynomial mode, satisfies `F`; apply
+    /// [`ps_core::consistency::repair_sum_violations`] to also satisfy
+    /// `sums`) or the CAD witness (exact mode).
+    pub witness: Option<Relation>,
+    /// The witnessing interpretation `I(w)` (exact mode only; polynomial
+    /// callers wanting an interpretation should use
+    /// [`Session::weak_instance`], which also repairs sum violations).
+    pub interpretation: Option<PartitionInterpretation>,
+}
+
+/// One registered constraint set and its lazily built, cached artifacts.
+struct ConstraintSet {
+    /// The registered PDs, deduplicated, in first-seen order.
+    pds: Vec<Equation>,
+    /// The cached ALG engine over `pds`, built on first implication-family
+    /// query and incrementally extended by each goal's subterms.
+    engine: Option<ImplicationEngine>,
+    /// The cached Section 6.2 closure (normalize once, close once), built on
+    /// first consistency-family query.
+    closed: Option<ClosedConstraints>,
+}
+
+/// A long-lived solver session.
+///
+/// The session owns the three interners every paper object lives in — the
+/// attribute [`Universe`] (`𝒰`), the [`SymbolTable`] (`𝒟`) and the
+/// [`TermArena`] of hash-consed partition expressions — so callers never
+/// hand-thread `&mut` catalogs through calls.  Constraint sets are
+/// registered once and queried many times; per set the session caches the
+/// saturated [`ImplicationEngine`] (build-once-query-many, extended
+/// incrementally per goal) and the normalized/closed consistency system.
+///
+/// ```
+/// use ps_session::{ConsistencyMode, Session};
+///
+/// let mut session = Session::new();
+/// let e = session.register_texts(&["A = A*B", "C = A+B"]).unwrap();
+///
+/// // Theorems 8/9: PD implication.
+/// let goal = session.equation("A + C = C").unwrap();
+/// assert!(session.implies(e, goal).unwrap().value);
+///
+/// // Theorem 12: consistency of a concrete database.
+/// let db = session
+///     .database()
+///     .relation("R", &["A", "B", "C"], &[&["a1", "b", "c"], &["a2", "b", "c"]])
+///     .unwrap()
+///     .build();
+/// let outcome = session.consistent(e, &db, ConsistencyMode::Polynomial).unwrap();
+/// assert!(outcome.value.consistent);
+/// ```
+#[derive(Default)]
+pub struct Session {
+    universe: Universe,
+    symbols: SymbolTable,
+    arena: TermArena,
+    sets: Vec<ConstraintSet>,
+    /// Normalized-set key (sorted, deduplicated, orientation-normalized
+    /// term-id pairs) → index into `sets`.  Hash-consing makes structurally
+    /// equal equations share term ids, so the key is syntactic equality of
+    /// the set modulo order, orientation and duplication.
+    keys: HashMap<Vec<(u32, u32)>, usize>,
+    totals: Counters,
+}
+
+impl Session {
+    /// Creates an empty session with fresh interners.
+    pub fn new() -> Self {
+        Session::default()
+    }
+
+    /// Builds a session around existing interners — the migration path for
+    /// code that already owns a `Universe`/`SymbolTable`/`TermArena` (for
+    /// example the output of a workload generator or of
+    /// [`ps_core::cad::reduce_nae3sat`]).
+    pub fn from_parts(universe: Universe, symbols: SymbolTable, arena: TermArena) -> Self {
+        Session {
+            universe,
+            symbols,
+            arena,
+            ..Session::default()
+        }
+    }
+
+    /// Disassembles the session back into its interners, dropping all
+    /// cached engines.
+    pub fn into_parts(self) -> (Universe, SymbolTable, TermArena) {
+        (self.universe, self.symbols, self.arena)
+    }
+
+    // ------------------------------------------------------------------
+    // Interner access and parsing.
+    // ------------------------------------------------------------------
+
+    /// The attribute universe `𝒰`.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// Mutable access to the attribute universe.  Interners are append-only,
+    /// so direct interning never invalidates cached engines.
+    pub fn universe_mut(&mut self) -> &mut Universe {
+        &mut self.universe
+    }
+
+    /// The symbol table `𝒟`.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Mutable access to the symbol table (append-only; see
+    /// [`Session::universe_mut`]).
+    pub fn symbols_mut(&mut self) -> &mut SymbolTable {
+        &mut self.symbols
+    }
+
+    /// The term arena of hash-consed partition expressions.
+    pub fn arena(&self) -> &TermArena {
+        &self.arena
+    }
+
+    /// Mutable access to the term arena (append-only; see
+    /// [`Session::universe_mut`]).
+    pub fn arena_mut(&mut self) -> &mut TermArena {
+        &mut self.arena
+    }
+
+    /// Runs a closure with simultaneous mutable access to all three
+    /// interners — the split-borrow escape hatch for free functions that
+    /// take several catalogs at once (e.g.
+    /// [`ps_core::connectivity::theorem4_path_relation`]).  Interners are
+    /// append-only, so nothing a closure can do invalidates cached engines.
+    pub fn with_interners<T>(
+        &mut self,
+        f: impl FnOnce(&mut Universe, &mut SymbolTable, &mut TermArena) -> T,
+    ) -> T {
+        f(&mut self.universe, &mut self.symbols, &mut self.arena)
+    }
+
+    /// Interns (or looks up) an attribute by name.
+    pub fn attribute(&mut self, name: &str) -> Attribute {
+        self.universe.attr(name)
+    }
+
+    /// Interns (or looks up) a data symbol by name.
+    pub fn symbol(&mut self, name: &str) -> Symbol {
+        self.symbols.symbol(name)
+    }
+
+    /// Parses a partition dependency such as `"C = A + B"` into the
+    /// session's interners.
+    pub fn equation(&mut self, text: &str) -> Result<Equation> {
+        Ok(parse_equation(text, &mut self.universe, &mut self.arena)?)
+    }
+
+    /// Parses a partition expression such as `"A*(B+C)"`.
+    pub fn term(&mut self, text: &str) -> Result<TermId> {
+        Ok(parse_term(text, &mut self.universe, &mut self.arena)?)
+    }
+
+    /// Renders an equation of this session in the concrete syntax.
+    pub fn render(&self, pd: Equation) -> String {
+        pd.display(&self.arena, &self.universe)
+    }
+
+    /// Starts a chained database builder over the session's interners.
+    pub fn database(&mut self) -> SessionDatabaseBuilder<'_> {
+        SessionDatabaseBuilder {
+            session: self,
+            builder: DatabaseBuilder::new(),
+        }
+    }
+
+    /// Builds a single relation over the session's interners.
+    pub fn relation(
+        &mut self,
+        name: &str,
+        attr_names: &[&str],
+        rows: &[&[&str]],
+    ) -> Result<Relation> {
+        let db = DatabaseBuilder::new()
+            .relation(
+                &mut self.universe,
+                &mut self.symbols,
+                name,
+                attr_names,
+                rows,
+            )?
+            .build();
+        Ok(db.relations()[0].clone())
+    }
+
+    // ------------------------------------------------------------------
+    // Constraint-set registration.
+    // ------------------------------------------------------------------
+
+    /// Registers a set of PDs and returns its handle.
+    ///
+    /// The set is keyed by its normalized form (order, orientation and
+    /// duplicates ignored): registering an equal set again returns the same
+    /// handle and therefore reuses every cached engine.
+    pub fn register(&mut self, pds: &[Equation]) -> Result<ConstraintSetId> {
+        let mut key = Vec::with_capacity(pds.len());
+        for &pd in pds {
+            self.validate_equation(pd)?;
+            let (a, b) = (pd.lhs.index(), pd.rhs.index());
+            key.push(if a <= b { (a, b) } else { (b, a) });
+        }
+        key.sort_unstable();
+        key.dedup();
+        if let Some(&idx) = self.keys.get(&key) {
+            return Ok(ConstraintSetId(idx as u32));
+        }
+        let idx = self.sets.len();
+        let mut deduped: Vec<Equation> = Vec::new();
+        for &pd in pds {
+            if !deduped.contains(&pd) {
+                deduped.push(pd);
+            }
+        }
+        self.sets.push(ConstraintSet {
+            pds: deduped,
+            engine: None,
+            closed: None,
+        });
+        self.keys.insert(key, idx);
+        Ok(ConstraintSetId(idx as u32))
+    }
+
+    /// Parses and registers a set of PDs given in the concrete syntax.
+    pub fn register_texts(&mut self, texts: &[&str]) -> Result<ConstraintSetId> {
+        let pds = texts
+            .iter()
+            .map(|t| self.equation(t))
+            .collect::<Result<Vec<_>>>()?;
+        self.register(&pds)
+    }
+
+    /// The PDs registered behind a handle, deduplicated, in first-seen
+    /// order.
+    pub fn pds(&self, set: ConstraintSetId) -> Result<&[Equation]> {
+        Ok(&self.set_ref(set)?.pds)
+    }
+
+    /// Number of distinct constraint sets registered so far.
+    pub fn num_constraint_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Cumulative [`Counters`] over every query this session answered.
+    pub fn counters(&self) -> Counters {
+        self.totals
+    }
+
+    // ------------------------------------------------------------------
+    // Implication family (Theorems 8, 9; Section 5.3).
+    // ------------------------------------------------------------------
+
+    /// Does the registered set imply the PD `goal`?  (Theorems 8 and 9,
+    /// answered by the cached ALG engine.)
+    pub fn implies(&mut self, set: ConstraintSetId, goal: Equation) -> Result<Outcome<bool>> {
+        self.validate_equation(goal)?;
+        let answers = self.implies_many(set, &[goal])?;
+        Ok(answers.map(|mut v| v.pop().unwrap_or_default()))
+    }
+
+    /// Batched PD implication: one engine pass per goal, all against the
+    /// same cached closure.
+    pub fn implies_many(
+        &mut self,
+        set: ConstraintSetId,
+        goals: &[Equation],
+    ) -> Result<Outcome<Vec<bool>>> {
+        for &goal in goals {
+            self.validate_equation(goal)?;
+        }
+        let idx = self.index_of(set)?;
+        let mut counters = Counters::default();
+        ensure_engine(&self.arena, &mut self.sets[idx], &mut counters);
+        let engine = self.sets[idx].engine.as_mut().expect("engine just ensured");
+        let before = engine.rule_firings() as u64;
+        let value = engine.entails_many(&self.arena, goals);
+        counters.rule_firings += engine.rule_firings() as u64 - before;
+        self.totals += counters;
+        Ok(Outcome::new(value, counters))
+    }
+
+    /// Does the registered set imply the FPD `goal`?
+    pub fn implies_fpd(&mut self, set: ConstraintSetId, goal: &Fpd) -> Result<Outcome<bool>> {
+        self.validate_attrs(goal.lhs.iter().chain(goal.rhs.iter()))?;
+        let goal_equation = goal.as_meet_equation(&mut self.arena);
+        self.implies(set, goal_equation)
+    }
+
+    /// Does the registered set imply the FD `goal`?  (The Section 5.3
+    /// embedding of FD implication into the lattice word problem.)
+    pub fn implies_fd(&mut self, set: ConstraintSetId, goal: &Fd) -> Result<Outcome<bool>> {
+        let fpd = Fpd::from_fd(goal);
+        self.implies_fpd(set, &fpd)
+    }
+
+    /// Batched FD implication against the cached engine.
+    pub fn implies_fds(
+        &mut self,
+        set: ConstraintSetId,
+        goals: &[Fd],
+    ) -> Result<Outcome<Vec<bool>>> {
+        let mut goal_equations = Vec::with_capacity(goals.len());
+        for goal in goals {
+            self.validate_attrs(goal.lhs.iter().chain(goal.rhs.iter()))?;
+            goal_equations.push(Fpd::from_fd(goal).as_meet_equation(&mut self.arena));
+        }
+        self.implies_many(set, &goal_equations)
+    }
+
+    /// Is the PD an identity — true in every partition interpretation?
+    /// (Theorem 10, decided by the free-lattice order without any engine.)
+    pub fn identity(&mut self, pd: Equation) -> Result<Outcome<bool>> {
+        self.validate_equation(pd)?;
+        let value = free_order::is_identity(&self.arena, pd);
+        Ok(Outcome::new(value, Counters::default()))
+    }
+
+    /// Theorem 8's finite controllability: searches for a finite lattice
+    /// with constants satisfying the registered set but violating `goal`
+    /// (useful as an explanation when [`Session::implies`] answers `false`).
+    pub fn countermodel(
+        &mut self,
+        set: ConstraintSetId,
+        goal: Equation,
+        max_generators: usize,
+    ) -> Result<Option<ps_lattice::Countermodel>> {
+        self.validate_equation(goal)?;
+        let idx = self.index_of(set)?;
+        Ok(ps_lattice::finite_countermodel(
+            &mut self.arena,
+            &self.universe,
+            &self.sets[idx].pds,
+            goal,
+            max_generators,
+            ps_lattice::Algorithm::Worklist,
+        ))
+    }
+
+    // ------------------------------------------------------------------
+    // Consistency family (Theorems 6, 7, 11, 12).
+    // ------------------------------------------------------------------
+
+    /// Is the database consistent with the registered PDs?  The mode picks
+    /// Theorem 12's polynomial open-world pipeline or Theorem 11's exact
+    /// CAD+EAP search (the latter requires an FPD-only set).
+    pub fn consistent(
+        &mut self,
+        set: ConstraintSetId,
+        db: &Database,
+        mode: ConsistencyMode,
+    ) -> Result<Outcome<ConsistencyAnswer>> {
+        let idx = self.index_of(set)?;
+        let mut counters = Counters::default();
+        let answer = match mode {
+            ConsistencyMode::Polynomial => {
+                ensure_closed(
+                    &mut self.arena,
+                    &mut self.universe,
+                    &mut self.sets[idx],
+                    &mut counters,
+                );
+                let closed = self.sets[idx]
+                    .closed
+                    .as_ref()
+                    .expect("closure just ensured");
+                let outcome =
+                    ps_core::consistency::consistent_with_closed(db, closed, &mut self.symbols);
+                counters.row_visits += outcome.chase.row_visits as u64;
+                ConsistencyAnswer {
+                    consistent: outcome.consistent,
+                    mode,
+                    fds: outcome.fds,
+                    sums: outcome.sums,
+                    witness: outcome.weak_instance,
+                    interpretation: None,
+                }
+            }
+            ConsistencyMode::ExactCadEap => {
+                let fpds = self.fpds_of_set(idx)?;
+                let outcome = ps_core::cad::consistent_with_cad_eap(db, &fpds)?;
+                counters.row_visits += outcome.stats.assignments as u64;
+                ConsistencyAnswer {
+                    consistent: outcome.consistent,
+                    mode,
+                    fds: ps_core::dependency::fds_of_fpds(&fpds),
+                    sums: Vec::new(),
+                    witness: outcome.witness,
+                    interpretation: outcome.interpretation,
+                }
+            }
+        };
+        self.totals += counters;
+        Ok(Outcome::new(answer, counters))
+    }
+
+    /// Theorem 7, decision + witness forms: is there a partition
+    /// interpretation satisfying the database and the registered PDs?
+    ///
+    /// When satisfiable, the answer carries a weak instance upgraded by the
+    /// Lemma 12.1 sum-constraint repair and the interpretation `I(w)` built
+    /// from it (both `None` in the rare case the bounded repair stops short
+    /// of a fixpoint, mirroring
+    /// [`ps_core::weak_bridge::satisfiable_with_pds`]).
+    pub fn weak_instance(
+        &mut self,
+        set: ConstraintSetId,
+        db: &Database,
+    ) -> Result<Outcome<SatisfiabilityWitness>> {
+        let idx = self.index_of(set)?;
+        let mut counters = Counters::default();
+        ensure_closed(
+            &mut self.arena,
+            &mut self.universe,
+            &mut self.sets[idx],
+            &mut counters,
+        );
+        let closed = self.sets[idx]
+            .closed
+            .as_ref()
+            .expect("closure just ensured");
+        let outcome = ps_core::consistency::consistent_with_closed(db, closed, &mut self.symbols);
+        counters.row_visits += outcome.chase.row_visits as u64;
+        let witness = ps_core::weak_bridge::witness_from_consistency(outcome, &mut self.symbols)?;
+        self.totals += counters;
+        Ok(Outcome::new(witness, counters))
+    }
+
+    // ------------------------------------------------------------------
+    // Connectivity (Example e, Theorem 4).
+    // ------------------------------------------------------------------
+
+    /// Encodes a graph as the Example e relation over head `A`, tail `B`
+    /// and component `C` (true components in the `C` column), interning
+    /// into this session.
+    pub fn component_relation(
+        &mut self,
+        graph: &ps_graph::UndirectedGraph,
+        name: &str,
+    ) -> (Relation, GraphEncoding) {
+        ps_graph::component_relation(graph, &mut self.universe, &mut self.symbols, name)
+    }
+
+    /// Encodes a graph with an arbitrary vertex labelling in the `C` column
+    /// (the labelling to be *checked* against the PD `C = A + B`).
+    pub fn edge_relation(
+        &mut self,
+        graph: &ps_graph::UndirectedGraph,
+        labelling: &[usize],
+        name: &str,
+    ) -> (Relation, GraphEncoding) {
+        ps_graph::edge_relation(
+            graph,
+            labelling,
+            &mut self.universe,
+            &mut self.symbols,
+            name,
+        )
+    }
+
+    /// Computes the connected components of an Example e relation *through
+    /// partition semantics* (the blocks of `A + B` in `I(r)`), one
+    /// component id per encoded vertex.
+    pub fn connected_components(
+        &mut self,
+        relation: &Relation,
+        encoding: &GraphEncoding,
+    ) -> Result<Outcome<Vec<usize>>> {
+        let counters = Counters {
+            row_visits: relation.len() as u64,
+            ..Counters::default()
+        };
+        let value = ps_core::connectivity::components_via_partition_semantics(
+            relation,
+            &mut self.arena,
+            encoding,
+        )?;
+        self.totals += counters;
+        Ok(Outcome::new(value, counters))
+    }
+
+    // ------------------------------------------------------------------
+    // Internals.
+    // ------------------------------------------------------------------
+
+    fn index_of(&self, set: ConstraintSetId) -> Result<usize> {
+        let idx = set.0 as usize;
+        if idx < self.sets.len() {
+            Ok(idx)
+        } else {
+            Err(Error::UnknownConstraintSet(set))
+        }
+    }
+
+    fn set_ref(&self, set: ConstraintSetId) -> Result<&ConstraintSet> {
+        self.index_of(set).map(|idx| &self.sets[idx])
+    }
+
+    /// Best-effort rejection of equations whose term ids were minted by a
+    /// different arena: ids beyond this arena's length are caught
+    /// (`ForeignTerm`), but an in-bounds id from a foreign arena is
+    /// indistinguishable from a legitimate one and resolves to whatever
+    /// *this* session's arena holds at that index.  Term ids are plain
+    /// indices, so callers must not mix sessions.
+    fn validate_equation(&self, pd: Equation) -> Result<()> {
+        for id in [pd.lhs, pd.rhs] {
+            if id.index() as usize >= self.arena.len() {
+                return Err(Error::Lattice(LatticeError::ForeignTerm(id.index())));
+            }
+        }
+        Ok(())
+    }
+
+    /// Rejects attributes interned by a different universe.
+    fn validate_attrs(&self, attrs: impl IntoIterator<Item = Attribute>) -> Result<()> {
+        for a in attrs {
+            if a.index() as usize >= self.universe.len() {
+                return Err(Error::Core(ps_core::CoreError::UninterpretedAttribute(a)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Converts the set's PDs into FPDs for the CAD path, rejecting sums.
+    fn fpds_of_set(&self, idx: usize) -> Result<Vec<Fpd>> {
+        let mut fpds = Vec::new();
+        for &pd in &self.sets[idx].pds {
+            let lhs = meet_atoms(&self.arena, pd.lhs);
+            let rhs = meet_atoms(&self.arena, pd.rhs);
+            let (Some(lhs), Some(rhs)) = (lhs, rhs) else {
+                return Err(Error::CadRequiresFpds {
+                    pd: self.render(pd),
+                });
+            };
+            // m(S) = m(T) is equivalent to the FD pair S → T, T → S, but a
+            // direction whose right side is contained in its left is the
+            // trivial FD X ⊇ Y ⊢ X → Y: skip it rather than inflating the
+            // NP-complete search (and the reported FD set) with no-ops.
+            // The canonical FPD shape m(X) = m(X∪Y) keeps exactly X → X∪Y.
+            if !rhs.is_subset(&lhs) {
+                fpds.push(Fpd::new(lhs.clone(), rhs.clone()));
+            }
+            if !lhs.is_subset(&rhs) {
+                fpds.push(Fpd::new(rhs, lhs));
+            }
+        }
+        Ok(fpds)
+    }
+}
+
+/// Collects the atoms of a pure meet term (`None` if the term contains a
+/// join and therefore is not the side of an FPD).
+fn meet_atoms(arena: &TermArena, term: TermId) -> Option<AttrSet> {
+    match arena.node(term) {
+        TermNode::Atom(a) => Some(AttrSet::singleton(a)),
+        TermNode::Meet(l, r) => {
+            let mut atoms = meet_atoms(arena, l)?;
+            for a in meet_atoms(arena, r)?.iter() {
+                atoms.insert(a);
+            }
+            Some(atoms)
+        }
+        TermNode::Join(..) => None,
+    }
+}
+
+/// Lazily builds the cached ALG engine for a set, counting the build as an
+/// engine miss (and its saturation as rule firings).
+fn ensure_engine(arena: &TermArena, set: &mut ConstraintSet, counters: &mut Counters) {
+    if set.engine.is_some() {
+        counters.engine_hits += 1;
+        return;
+    }
+    let engine = ImplicationEngine::new(arena, &set.pds);
+    counters.rule_firings += engine.rule_firings() as u64;
+    counters.engine_misses += 1;
+    set.engine = Some(engine);
+}
+
+/// Lazily normalizes and closes a set's constraints (Section 6.2 steps 1–3),
+/// counting the closure build as an engine miss.
+fn ensure_closed(
+    arena: &mut TermArena,
+    universe: &mut Universe,
+    set: &mut ConstraintSet,
+    counters: &mut Counters,
+) {
+    if set.closed.is_some() {
+        counters.engine_hits += 1;
+        return;
+    }
+    let normalized = normalize_pds(&set.pds, arena, universe);
+    let mut engine = ImplicationEngine::new(arena, &normalized.equations);
+    let closed = close_constraints_with(&mut engine, &normalized, arena);
+    counters.rule_firings += engine.rule_firings() as u64;
+    counters.engine_misses += 1;
+    set.closed = Some(closed);
+}
+
+/// A chained database builder writing through the session's interners
+/// (mirrors [`ps_relation::DatabaseBuilder`], without the hand-threaded
+/// `&mut` catalogs).
+pub struct SessionDatabaseBuilder<'s> {
+    session: &'s mut Session,
+    builder: DatabaseBuilder,
+}
+
+impl SessionDatabaseBuilder<'_> {
+    /// Adds a relation with the given name, attribute names and rows of
+    /// symbol names (see [`ps_relation::DatabaseBuilder::relation`] for the
+    /// rejected malformed inputs).
+    pub fn relation(mut self, name: &str, attr_names: &[&str], rows: &[&[&str]]) -> Result<Self> {
+        self.builder = self.builder.relation(
+            &mut self.session.universe,
+            &mut self.session.symbols,
+            name,
+            attr_names,
+            rows,
+        )?;
+        Ok(self)
+    }
+
+    /// Finishes building the database.
+    pub fn build(self) -> Database {
+        self.builder.build()
+    }
+}

@@ -1,4 +1,4 @@
-//! Reproduces **Figure 1** of the paper end to end.
+//! Reproduces **Figure 1** of the paper end to end, on the session API.
 //!
 //! Run with:
 //!
@@ -13,47 +13,69 @@
 //! **not distributive**: `B·(A+C) ≠ (B·A)+(B·C)`.
 //!
 //! This example rebuilds all of those objects, prints them, and verifies the
-//! claims programmatically (the same checks run in the test suite).
+//! claims programmatically (the same checks run in the test suite).  The
+//! fixture's interners are adopted by a [`Session`] via
+//! [`Session::from_parts`] — the migration path for code that already owns
+//! its catalogs — and the Theorem 12 consistency of `d` with `E` is checked
+//! through the session on top of the figure's explicit interpretation.
 
 use partition_semantics::core::fixtures;
 use partition_semantics::core::lattice_of::InterpretationLattice;
 use partition_semantics::prelude::*;
 
 fn main() {
-    let mut fig = fixtures::figure1();
+    let fig = fixtures::figure1();
+    let fixtures::Figure1 {
+        universe,
+        symbols,
+        arena,
+        database,
+        dependencies,
+        interpretation,
+    } = fig;
+    let mut session = Session::from_parts(universe, symbols, arena);
+    let e = session.register(&dependencies).expect("fixture PDs");
 
     println!("=== Figure 1: database d ===");
-    println!("{}", fig.database.render(&fig.universe, &fig.symbols));
+    println!("{}", database.render(session.universe(), session.symbols()));
 
     println!("=== Dependency set E ===");
-    for pd in &fig.dependencies {
-        println!("  {}", pd.display(&fig.arena, &fig.universe));
+    for pd in session.pds(e).unwrap().to_vec() {
+        println!("  {}", session.render(pd));
     }
 
     println!("\n=== Partition interpretation I ===");
-    println!("{}", fig.interpretation.render(&fig.universe, &fig.symbols));
+    println!(
+        "{}",
+        interpretation.render(session.universe(), session.symbols())
+    );
 
     println!("=== Checks from the figure ===");
     println!(
         "I ⊨ d:        {}",
-        fig.interpretation
-            .satisfies_database(&fig.database)
-            .unwrap()
+        interpretation.satisfies_database(&database).unwrap()
     );
     println!(
         "I ⊨ E:        {}",
-        fig.interpretation
-            .satisfies_all_pds(&fig.arena, &fig.dependencies)
+        interpretation
+            .satisfies_all_pds(session.arena(), session.pds(e).unwrap())
             .unwrap()
     );
     println!(
         "I ⊨ CAD:      {}",
-        fig.interpretation.satisfies_cad(&fig.database).unwrap()
+        interpretation.satisfies_cad(&database).unwrap()
     );
-    println!("I ⊨ EAP:      {}", fig.interpretation.satisfies_eap());
+    println!("I ⊨ EAP:      {}", interpretation.satisfies_eap());
+    let consistent = session
+        .consistent(e, &database, ConsistencyMode::Polynomial)
+        .unwrap();
+    println!(
+        "d consistent with E (Theorem 12, via the session): {}",
+        consistent.value.consistent
+    );
 
     // Theorem 1: close the atomic partitions under * and + to obtain L(I).
-    let lattice = InterpretationLattice::build(&fig.interpretation, 256).unwrap();
+    let lattice = InterpretationLattice::build(&interpretation, 256).unwrap();
     println!("\n=== The lattice L(I) (Theorem 1) ===");
     println!("elements: {}", lattice.len());
     for (idx, partition) in lattice.partitions.iter().enumerate() {
@@ -61,7 +83,7 @@ fn main() {
             .constants
             .iter()
             .filter(|(_, &i)| i == idx)
-            .filter_map(|(&a, _)| fig.universe.name(a))
+            .filter_map(|(&a, _)| session.universe().name(a))
             .collect();
         let label = if constant_names.is_empty() {
             String::new()
@@ -74,26 +96,31 @@ fn main() {
     println!("modular:      {}", lattice.is_modular());
 
     // The specific non-distributivity instance called out in the figure.
-    let failing =
-        parse_equation("B*(A+C) = (B*A)+(B*C)", &mut fig.universe, &mut fig.arena).unwrap();
+    let failing = session.equation("B*(A+C) = (B*A)+(B*C)").unwrap();
     println!(
         "\nB*(A+C) = (B*A)+(B*C) holds in I?  {}",
-        fig.interpretation
-            .satisfies_pd(&fig.arena, failing)
+        interpretation
+            .satisfies_pd(session.arena(), failing)
             .unwrap()
     );
     println!(
         "…and in L(I)?                      {}",
         lattice
-            .satisfies_pd(&fig.arena, &fig.universe, failing)
+            .satisfies_pd(session.arena(), session.universe(), failing)
             .unwrap()
+    );
+    println!(
+        "…is it an identity (Theorem 10)?   {}",
+        session.identity(failing).unwrap().value
     );
 
     // Theorem 1 agreement on the dependency set itself.
-    for &pd in &fig.dependencies {
+    for pd in session.pds(e).unwrap().to_vec() {
         assert_eq!(
-            fig.interpretation.satisfies_pd(&fig.arena, pd).unwrap(),
-            lattice.satisfies_pd(&fig.arena, &fig.universe, pd).unwrap()
+            interpretation.satisfies_pd(session.arena(), pd).unwrap(),
+            lattice
+                .satisfies_pd(session.arena(), session.universe(), pd)
+                .unwrap()
         );
     }
     println!("\nTheorem 1 agreement between I and L(I): verified");

@@ -1,5 +1,5 @@
 //! A small "fleet registry" modelled with partition semantics — the worked
-//! Examples a–d of Section 3.2 rolled into one scenario.
+//! Examples a–d of Section 3.2 rolled into one scenario, on the session API.
 //!
 //! Run with:
 //!
@@ -18,29 +18,34 @@
 //!   and serial numbers: `Car = Reg*Serial`.
 //!
 //! The example checks which constraints a concrete registry satisfies,
-//! queries the implication closure, and runs the Theorem 12 consistency test
-//! for the whole constraint set.
+//! queries the implication closure through the session's cached engine, and
+//! runs the Theorem 12 consistency test for the whole constraint set.
 
+use partition_semantics::core::canonical::relation_satisfies_pd;
+use partition_semantics::core::consistency::repair_sum_violations;
+use partition_semantics::core::weak_bridge::interpretation_from_weak_instance;
 use partition_semantics::prelude::*;
 
 fn main() {
-    let mut universe = Universe::new();
-    let mut symbols = SymbolTable::new();
-    let mut arena = TermArena::new();
+    let mut session = Session::new();
 
-    let constraints = vec![
-        parse_equation("Emp = Emp*Mgr", &mut universe, &mut arena).unwrap(), // Example a
-        parse_equation("Car = Car*Veh", &mut universe, &mut arena).unwrap(), // Example b
-        parse_equation("Veh = Car+Bike", &mut universe, &mut arena).unwrap(), // Example c
-        parse_equation("Car = Reg*Serial", &mut universe, &mut arena).unwrap(), // Example d
-    ];
+    let e = session
+        .register_texts(&[
+            "Emp = Emp*Mgr",    // Example a
+            "Car = Car*Veh",    // Example b
+            "Veh = Car+Bike",   // Example c
+            "Car = Reg*Serial", // Example d
+        ])
+        .unwrap();
+    let constraints = session.pds(e).unwrap().to_vec();
     println!("Fleet-registry constraint set E:");
-    for pd in &constraints {
-        println!("  {}", pd.display(&arena, &universe));
+    for &pd in &constraints {
+        println!("  {}", session.render(pd));
     }
 
     // ------------------------------------------------------------------
-    // Implication queries over E (Theorems 8, 9).
+    // Implication queries over E (Theorems 8, 9), batched through the
+    // session's cached engine.
     // ------------------------------------------------------------------
     println!("\nImplication closure samples:");
     let queries = [
@@ -52,30 +57,27 @@ fn main() {
         // But vehicles do not determine cars.
         "Veh = Veh*Car",
     ];
-    for text in queries {
-        let goal = parse_equation(text, &mut universe, &mut arena).unwrap();
-        println!(
-            "  E ⊨ {:<18} {}",
-            goal.display(&arena, &universe),
-            pd_implies(&arena, &constraints, goal, Algorithm::Worklist)
-        );
+    let goals: Vec<_> = queries
+        .iter()
+        .map(|text| session.equation(text).unwrap())
+        .collect();
+    let answers = session.implies_many(e, &goals).unwrap();
+    for (&goal, &entailed) in goals.iter().zip(answers.value.iter()) {
+        println!("  E ⊨ {:<18} {}", session.render(goal), entailed);
     }
 
     // ------------------------------------------------------------------
     // A concrete registry.
     // ------------------------------------------------------------------
-    let db = DatabaseBuilder::new()
+    let db = session
+        .database()
         .relation(
-            &mut universe,
-            &mut symbols,
             "Staff",
             &["Emp", "Mgr"],
             &[&["alice", "dana"], &["bob", "dana"], &["carol", "erin"]],
         )
         .unwrap()
         .relation(
-            &mut universe,
-            &mut symbols,
             "Cars",
             &["Car", "Veh", "Reg", "Serial"],
             &[
@@ -84,52 +86,41 @@ fn main() {
             ],
         )
         .unwrap()
-        .relation(
-            &mut universe,
-            &mut symbols,
-            "Bikes",
-            &["Bike", "Veh"],
-            &[&["bike1", "veh3"]],
-        )
+        .relation("Bikes", &["Bike", "Veh"], &[&["bike1", "veh3"]])
         .unwrap()
         .build();
     println!("\nRegistry database:");
-    println!("{}", db.render(&universe, &symbols));
+    println!("{}", db.render(session.universe(), session.symbols()));
 
     // Per-relation satisfaction (Definition 7) for the constraints whose
     // attributes the relation covers.
     let staff = db.relation_named("Staff").unwrap();
     println!(
         "Staff ⊨ Emp = Emp*Mgr?  {}",
-        relation_satisfies_pd(staff, &arena, constraints[0]).unwrap()
+        relation_satisfies_pd(staff, session.arena(), constraints[0]).unwrap()
     );
     let cars = db.relation_named("Cars").unwrap();
     println!(
         "Cars ⊨ Car = Car*Veh?   {}",
-        relation_satisfies_pd(cars, &arena, constraints[1]).unwrap()
+        relation_satisfies_pd(cars, session.arena(), constraints[1]).unwrap()
     );
     println!(
         "Cars ⊨ Car = Reg*Serial? {}",
-        relation_satisfies_pd(cars, &arena, constraints[3]).unwrap()
+        relation_satisfies_pd(cars, session.arena(), constraints[3]).unwrap()
     );
 
     // ------------------------------------------------------------------
     // Whole-database consistency with E (Theorem 12) and the witnessing
     // interpretation (Theorem 7).
     // ------------------------------------------------------------------
-    let outcome = consistent_with_pds(
-        &db,
-        &constraints,
-        &mut arena,
-        &mut universe,
-        &mut symbols,
-        Algorithm::Worklist,
-    )
-    .unwrap();
-    println!("\nDatabase consistent with E?  {}", outcome.consistent);
-    if let Some(weak) = &outcome.weak_instance {
+    let outcome = session
+        .consistent(e, &db, ConsistencyMode::Polynomial)
+        .unwrap();
+    let answer = outcome.value;
+    println!("\nDatabase consistent with E?  {}", answer.consistent);
+    if let Some(weak) = &answer.witness {
         let (repaired, converged) =
-            repair_sum_violations(weak, &outcome.fds, &outcome.sums, &mut symbols, 16);
+            repair_sum_violations(weak, &answer.fds, &answer.sums, session.symbols_mut(), 16);
         println!(
             "weak instance: {} rows before repair, {} after (converged: {converged})",
             weak.len(),
@@ -143,29 +134,28 @@ fn main() {
     }
 
     // ------------------------------------------------------------------
-    // An update that breaks Example a: one employee, two managers.
+    // An update that breaks Example a: one employee, two managers.  The
+    // session's closure for E is already cached, so only the chase runs.
     // ------------------------------------------------------------------
-    let broken = DatabaseBuilder::new()
+    let broken = session
+        .database()
         .relation(
-            &mut universe,
-            &mut symbols,
             "Staff",
             &["Emp", "Mgr"],
             &[&["alice", "dana"], &["alice", "erin"]],
         )
         .unwrap()
         .build();
-    let outcome = consistent_with_pds(
-        &broken,
-        &constraints,
-        &mut arena,
-        &mut universe,
-        &mut symbols,
-        Algorithm::Worklist,
-    )
-    .unwrap();
+    let outcome = session
+        .consistent(e, &broken, ConsistencyMode::Polynomial)
+        .unwrap();
     println!(
-        "\nAfter giving alice two managers, still consistent?  {}",
-        outcome.consistent
+        "\nAfter giving alice two managers, still consistent?  {}  (engine cache {} — no re-closure)",
+        outcome.value.consistent,
+        if outcome.counters.engine_hits > 0 {
+            "hit"
+        } else {
+            "miss"
+        },
     );
 }

@@ -1,5 +1,5 @@
 //! Example e / Theorem 4: partition dependencies express undirected
-//! connectivity.
+//! connectivity — on the session API.
 //!
 //! Run with:
 //!
@@ -11,10 +11,11 @@
 //!
 //! 1. samples an Erdős–Rényi graph `G(n, p)`,
 //! 2. encodes it as the Example e relation over head `A`, tail `B`,
-//!    component `C`,
+//!    component `C` (through the session's interners),
 //! 3. verifies `r ⊨ C = A + B` through partition semantics,
 //! 4. recomputes the connected components *from the partition sum* `A + B`
-//!    and cross-checks them against a plain union–find,
+//!    with [`Session::connected_components`] and cross-checks them against a
+//!    plain union–find,
 //! 5. shows that a corrupted component column violates the PD, and
 //! 6. demonstrates the Theorem 4 phenomenon: the chain length needed to
 //!    certify connectivity grows without bound, which is why no fixed
@@ -23,10 +24,10 @@
 use std::env;
 
 use partition_semantics::core::connectivity::{
-    chain_connected_within, components_via_partition_semantics, connectivity_pd,
-    relation_encodes_components, theorem4_path_relation, tuple_chain_distance,
+    chain_connected_within, connectivity_pd, relation_encodes_components, theorem4_path_relation,
+    tuple_chain_distance,
 };
-use partition_semantics::graph::{components_union_find, edge_relation, num_components};
+use partition_semantics::graph::{components_union_find, num_components};
 use partition_semantics::prelude::*;
 
 fn main() {
@@ -35,9 +36,7 @@ fn main() {
     let p: f64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(0.03);
     let seed: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(7);
 
-    let mut universe = Universe::new();
-    let mut symbols = SymbolTable::new();
-    let mut arena = TermArena::new();
+    let mut session = Session::new();
 
     // 1–2. Sample a graph and encode it as the Example e relation.
     let graph = gnp(n, p, seed);
@@ -46,29 +45,33 @@ fn main() {
         graph.num_edges(),
         num_components(&graph)
     );
-    let (relation, encoding) = component_relation(&graph, &mut universe, &mut symbols, "G");
+    let (relation, encoding) = session.component_relation(&graph, "G");
     println!(
         "Example e relation: {} tuples over (A, B, C)",
         relation.len()
     );
 
     // 3. The relation satisfies C = A + B.
-    let pd = connectivity_pd(&mut arena, &encoding);
+    let pd = connectivity_pd(session.arena_mut(), &encoding);
     println!(
         "r ⊨ {}?  {}",
-        pd.display(&arena, &universe),
-        relation_encodes_components(&relation, &mut arena, &encoding).unwrap()
+        session.render(pd),
+        relation_encodes_components(&relation, session.arena_mut(), &encoding).unwrap()
     );
 
     // 4. Components recomputed from the partition sum agree with union–find.
-    let via_pd = components_via_partition_semantics(&relation, &mut arena, &encoding).unwrap();
+    let outcome = session.connected_components(&relation, &encoding).unwrap();
+    let via_pd = outcome.value;
     let via_uf = components_union_find(&graph);
     let agree = graph.vertices().all(|v| {
         graph
             .vertices()
             .all(|w| (via_pd[v] == via_pd[w]) == (via_uf[v] == via_uf[w]))
     });
-    println!("partition-sum components == union-find components?  {agree}");
+    println!(
+        "partition-sum components == union-find components?  {agree}  ({} row visits)",
+        outcome.counters.row_visits
+    );
 
     // 5. Corrupting the labelling breaks the dependency.
     if num_components(&graph) >= 1 && graph.num_edges() > 0 {
@@ -77,11 +80,10 @@ fn main() {
         let (u, v) = graph.edges()[0];
         corrupted[u] = graph.num_vertices() + 1;
         let _ = v;
-        let (bad_relation, bad_encoding) =
-            edge_relation(&graph, &corrupted, &mut universe, &mut symbols, "Gbad");
+        let (bad_relation, bad_encoding) = session.edge_relation(&graph, &corrupted, "Gbad");
         println!(
             "corrupted labelling still satisfies the PD?  {}",
-            relation_encodes_components(&bad_relation, &mut arena, &bad_encoding).unwrap()
+            relation_encodes_components(&bad_relation, session.arena_mut(), &bad_encoding).unwrap()
         );
     }
 
@@ -89,9 +91,10 @@ fn main() {
     println!("\nTheorem 4 growing chains (path relations r_i):");
     println!("{:>6} {:>8} {:>22}", "i", "tuples", "chain distance t→h");
     for i in [2usize, 8, 32, 128] {
-        let r = theorem4_path_relation(i, &mut universe, &mut symbols);
-        let a = universe.lookup("A").unwrap();
-        let b = universe.lookup("B").unwrap();
+        let r = session
+            .with_interners(|universe, symbols, _| theorem4_path_relation(i, universe, symbols));
+        let a = session.universe().lookup("A").unwrap();
+        let b = session.universe().lookup("B").unwrap();
         let last = r.len() - 1;
         let distance = tuple_chain_distance(&r, a, b, 0, last).unwrap();
         println!("{i:>6} {:>8} {distance:>22}", r.len());

@@ -1,4 +1,5 @@
-//! Theorem 11 / Figure 3: consistency under CAD + EAP is NP-complete.
+//! Theorem 11 / Figure 3: consistency under CAD + EAP is NP-complete — on
+//! the session API.
 //!
 //! Run with:
 //!
@@ -8,17 +9,36 @@
 //!
 //! The example builds the Figure 3 reduction for the paper's own clause
 //! `c₁ = x₁ ∨ x₂ ∨ ¬x₃`, prints the constructed database and FPD set, runs
-//! the exact CAD solver, and decodes the NAE-satisfying assignment.  It then
-//! repeats the exercise for a random formula and cross-checks the answer
-//! against a brute-force NAE-3SAT solver.
+//! the exact CAD solver through a [`Session`] in
+//! [`ConsistencyMode::ExactCadEap`], and decodes the NAE-satisfying
+//! assignment.  It then repeats the exercise for a random formula and
+//! cross-checks the answer against a brute-force NAE-3SAT solver.
 
 use std::env;
 
-use partition_semantics::core::cad::{
-    consistent_with_cad_eap, decode_assignment, reduce_nae3sat, reduction_size,
-};
+use partition_semantics::core::cad::{decode_assignment, reduce_nae3sat, reduction_size};
+use partition_semantics::lattice::TermArena;
 use partition_semantics::prelude::*;
 use partition_semantics::sat::nae_satisfiable_brute_force;
+
+/// Adopts a reduction's interners into a session and registers its FPD set
+/// (as meet-equation PDs); returns the session and the set handle.
+fn session_of_reduction(
+    reduction: &partition_semantics::core::cad::Nae3SatReduction,
+) -> (Session, ConstraintSetId) {
+    let mut session = Session::from_parts(
+        reduction.universe.clone(),
+        reduction.symbols.clone(),
+        TermArena::new(),
+    );
+    let pds: Vec<_> = reduction
+        .fpds
+        .iter()
+        .map(|fpd| fpd.as_meet_equation(session.arena_mut()))
+        .collect();
+    let set = session.register(&pds).expect("session-owned PDs");
+    (session, set)
+}
 
 fn main() {
     let mut args = env::args().skip(1);
@@ -49,19 +69,22 @@ fn main() {
         println!("  {}", fpd.render(&reduction.universe));
     }
 
-    let outcome = consistent_with_cad_eap(&reduction.database, &reduction.fpds).unwrap();
+    let (mut session, set) = session_of_reduction(&reduction);
+    let outcome = session
+        .consistent(set, &reduction.database, ConsistencyMode::ExactCadEap)
+        .unwrap();
     println!(
-        "\nCAD+EAP consistent?  {}   (assignments tried: {}, backtracks: {})",
-        outcome.consistent, outcome.stats.assignments, outcome.stats.backtracks
+        "\nCAD+EAP consistent?  {}   (search visited {} assignments)",
+        outcome.value.consistent, outcome.counters.row_visits
     );
-    if let Some(witness) = &outcome.witness {
+    if let Some(witness) = &outcome.value.witness {
         let assignment = decode_assignment(&reduction, witness);
         println!("decoded assignment: {assignment:?}");
         println!(
             "NAE-satisfies the formula?  {}",
             figure3.nae_satisfied(&assignment)
         );
-        let interpretation = outcome.interpretation.as_ref().unwrap();
+        let interpretation = outcome.value.interpretation.as_ref().unwrap();
         println!(
             "witness interpretation: CAD = {}, EAP = {}",
             interpretation.satisfies_cad(&reduction.database).unwrap(),
@@ -77,13 +100,16 @@ fn main() {
     println!("  {formula}");
     let expected = nae_satisfiable_brute_force(&formula);
     let reduction = reduce_nae3sat(&formula);
-    let outcome = consistent_with_cad_eap(&reduction.database, &reduction.fpds).unwrap();
+    let (mut session, set) = session_of_reduction(&reduction);
+    let outcome = session
+        .consistent(set, &reduction.database, ConsistencyMode::ExactCadEap)
+        .unwrap();
     println!(
         "brute-force NAE-satisfiable: {expected};  via CAD reduction: {}",
-        outcome.consistent
+        outcome.value.consistent
     );
-    assert_eq!(expected, outcome.consistent, "Theorem 11 equivalence");
-    if let Some(witness) = &outcome.witness {
+    assert_eq!(expected, outcome.value.consistent, "Theorem 11 equivalence");
+    if let Some(witness) = &outcome.value.witness {
         let assignment = decode_assignment(&reduction, witness);
         assert!(formula.nae_satisfied(&assignment));
         println!("decoded assignment: {assignment:?}");

@@ -1,4 +1,5 @@
-//! A tiny command-line front end for the PD implication engine.
+//! A tiny command-line front end for the PD implication engine, built on the
+//! session API.
 //!
 //! Run with:
 //!
@@ -11,25 +12,22 @@
 //! syntax `expr = expr`, with `*`, `+` and parentheses); everything after it
 //! is a goal to test.  For every goal the program reports whether it follows
 //! from the constraints (Theorems 8/9), whether it is an identity that holds
-//! with no constraints at all (Theorem 10), and the derived order statistics
-//! of algorithm ALG.
+//! with no constraints at all (Theorem 10), and the per-query counters of the
+//! session's cached engine.
 
 use std::env;
 use std::process::ExitCode;
 
-use partition_semantics::core::implication::is_identity;
 use partition_semantics::lattice::Equation;
 use partition_semantics::prelude::*;
 
-fn parse_all(
-    texts: &[String],
-    universe: &mut Universe,
-    arena: &mut TermArena,
-) -> Result<Vec<Equation>, String> {
+fn parse_all(texts: &[String], session: &mut Session) -> Result<Vec<Equation>, String> {
     texts
         .iter()
         .map(|text| {
-            parse_equation(text, universe, arena).map_err(|e| format!("cannot parse `{text}`: {e}"))
+            session
+                .equation(text)
+                .map_err(|e| format!("cannot parse `{text}`: {e}"))
         })
         .collect()
 }
@@ -52,17 +50,16 @@ fn main() -> ExitCode {
             None => (args.clone(), Vec::new()),
         };
 
-    let mut universe = Universe::new();
-    let mut arena = TermArena::new();
+    let mut session = Session::new();
 
-    let constraints = match parse_all(&constraint_texts, &mut universe, &mut arena) {
+    let constraints = match parse_all(&constraint_texts, &mut session) {
         Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("{message}");
             return ExitCode::FAILURE;
         }
     };
-    let goals = match parse_all(&goal_texts, &mut universe, &mut arena) {
+    let goals = match parse_all(&goal_texts, &mut session) {
         Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("{message}");
@@ -70,21 +67,14 @@ fn main() -> ExitCode {
         }
     };
 
+    // Register the constraint set once; the session builds and caches one
+    // ALG engine for it, held across all queries and grown on demand — the
+    // intended usage pattern for interactive sessions and goal batches.
+    let e = session.register(&constraints).expect("session-owned PDs");
     println!("Constraints E ({}):", constraints.len());
-    for pd in &constraints {
-        println!("  {}", pd.display(&arena, &universe));
+    for &pd in &constraints {
+        println!("  {}", session.render(pd));
     }
-
-    // Build the implication engine once for the constraint set; it is held
-    // across all queries and grows its subexpression universe on demand —
-    // the intended usage pattern for interactive sessions and goal batches.
-    let mut engine = ImplicationEngine::new(&arena, &constraints);
-    println!(
-        "\nALG engine: |V| = {} subexpressions, {} derived arcs, {} rule firings",
-        engine.terms().len(),
-        engine.num_arcs(),
-        engine.rule_firings()
-    );
 
     if goals.is_empty() {
         println!("\n(no goals given — pass them after a `--` separator)");
@@ -93,27 +83,27 @@ fn main() -> ExitCode {
 
     println!("\nGoals:");
     for &goal in &goals {
-        let firings_before = engine.rule_firings();
-        let entailed = engine.entails_goal(&arena, goal);
-        let fired = engine.rule_firings() - firings_before;
-        let identity = is_identity(&arena, goal);
+        let outcome = session.implies(e, goal).expect("session-owned goal");
+        let entailed = outcome.value;
+        let identity = session.identity(goal).expect("session-owned goal").value;
         println!(
-            "  {:<28} E ⊨ δ: {:<5}  identity: {:<5}  (+{fired} incremental firings)",
-            goal.display(&arena, &universe),
+            "  {:<28} E ⊨ δ: {:<5}  identity: {:<5}  (+{} incremental firings, engine {})",
+            session.render(goal),
             entailed,
-            identity
+            identity,
+            outcome.counters.rule_firings,
+            if outcome.counters.engine_misses > 0 {
+                "built"
+            } else {
+                "cached"
+            },
         );
         if !entailed {
             // Theorem 8's finite controllability: try to exhibit a finite
             // lattice with constants satisfying E but violating the goal.
-            let model = partition_semantics::lattice::finite_countermodel(
-                &mut arena,
-                &universe,
-                &constraints,
-                goal,
-                10,
-                Algorithm::Worklist,
-            );
+            let model = session
+                .countermodel(e, goal, 10)
+                .expect("session-owned goal");
             match model {
                 Some(model) => println!(
                     "      countermodel: a {}-element lattice (constants: {})",
@@ -121,7 +111,10 @@ fn main() -> ExitCode {
                     model
                         .assignment
                         .iter()
-                        .map(|(&a, &e)| format!("{}↦e{e}", universe.name(a).unwrap_or("?")))
+                        .map(|(&a, &e)| format!(
+                            "{}↦e{e}",
+                            session.universe().name(a).unwrap_or("?")
+                        ))
                         .collect::<Vec<_>>()
                         .join(", ")
                 ),

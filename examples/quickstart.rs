@@ -1,4 +1,5 @@
-//! Quickstart: partition dependencies in five minutes.
+//! Quickstart: partition dependencies in five minutes, through the session
+//! API.
 //!
 //! Run with:
 //!
@@ -7,76 +8,78 @@
 //! ```
 //!
 //! The example walks through the life cycle the paper describes:
-//! declare attributes, write partition dependencies (both FD-style `X = X*Y`
-//! and sum-style `C = A + B`), check implication (Theorems 8/9), check
-//! satisfaction by a concrete relation (Definition 7), and test consistency
-//! of a multi-relation database (Theorem 12).
+//! declare dependencies (both FD-style `X = X*Y` and sum-style `C = A + B`),
+//! check implication (Theorems 8/9), check satisfaction by a concrete
+//! relation (Definition 7), and test consistency of a multi-relation
+//! database (Theorem 12).  One [`Session`] owns every interner and caches
+//! the implication engine across all queries.
 
+use partition_semantics::core::canonical::relation_satisfies_pd;
+use partition_semantics::core::consistency::repair_sum_violations;
+use partition_semantics::core::weak_bridge::interpretation_from_weak_instance;
 use partition_semantics::prelude::*;
 
 fn main() {
     // ------------------------------------------------------------------
-    // 1. Attributes, symbols and dependencies.
+    // 1. One session; dependencies registered once.
     // ------------------------------------------------------------------
-    let mut universe = Universe::new();
-    let mut symbols = SymbolTable::new();
-    let mut arena = TermArena::new();
+    let mut session = Session::new();
 
     // Employee → Manager as an FPD, and Component = Head + Tail as a sum PD.
-    let constraints = vec![
-        parse_equation("Emp = Emp*Mgr", &mut universe, &mut arena).expect("valid PD"),
-        parse_equation("Comp = Head+Tail", &mut universe, &mut arena).expect("valid PD"),
-    ];
+    let e = session
+        .register_texts(&["Emp = Emp*Mgr", "Comp = Head+Tail"])
+        .expect("valid PDs");
     println!("Constraint set E:");
-    for pd in &constraints {
-        println!("  {}", pd.display(&arena, &universe));
+    for pd in session.pds(e).unwrap().to_vec() {
+        println!("  {}", session.render(pd));
     }
 
     // ------------------------------------------------------------------
     // 2. Implication (the uniform word problem for lattices).
     // ------------------------------------------------------------------
-    let goal = parse_equation("Emp+Mgr = Mgr", &mut universe, &mut arena).expect("valid PD");
-    let implied = pd_implies(&arena, &constraints, goal, Algorithm::Worklist);
+    let goal = session.equation("Emp+Mgr = Mgr").expect("valid PD");
+    let outcome = session.implies(e, goal).unwrap();
     println!(
-        "\nE ⊨ {}?  {}",
-        goal.display(&arena, &universe),
-        if implied { "yes" } else { "no" }
+        "\nE ⊨ {}?  {}   ({} rule firings, engine {})",
+        session.render(goal),
+        if outcome.value { "yes" } else { "no" },
+        outcome.counters.rule_firings,
+        if outcome.counters.engine_misses > 0 {
+            "built"
+        } else {
+            "cached"
+        },
     );
 
-    let non_goal = parse_equation("Mgr = Mgr*Emp", &mut universe, &mut arena).expect("valid PD");
+    let non_goal = session.equation("Mgr = Mgr*Emp").expect("valid PD");
+    let outcome = session.implies(e, non_goal).unwrap();
     println!(
-        "E ⊨ {}?  {}",
-        non_goal.display(&arena, &universe),
-        if pd_implies(&arena, &constraints, non_goal, Algorithm::Worklist) {
-            "yes"
-        } else {
-            "no"
-        }
+        "E ⊨ {}?  {}   (+{} incremental firings on the cached engine)",
+        session.render(non_goal),
+        if outcome.value { "yes" } else { "no" },
+        outcome.counters.rule_firings,
     );
 
     // Identities hold without any constraints at all (Theorem 10).
-    let absorption = parse_equation("Emp*(Emp+Mgr) = Emp", &mut universe, &mut arena).unwrap();
+    let absorption = session.equation("Emp*(Emp+Mgr) = Emp").unwrap();
     println!(
         "⊨ {} (identity)?  {}",
-        absorption.display(&arena, &universe),
-        is_identity(&arena, absorption)
+        session.render(absorption),
+        session.identity(absorption).unwrap().value
     );
 
     // ------------------------------------------------------------------
     // 3. Satisfaction by a concrete relation (Definition 7).
     // ------------------------------------------------------------------
-    let db = DatabaseBuilder::new()
+    let db = session
+        .database()
         .relation(
-            &mut universe,
-            &mut symbols,
             "Works",
             &["Emp", "Mgr"],
             &[&["alice", "carol"], &["bob", "carol"], &["dave", "erin"]],
         )
         .expect("well-formed relation")
         .relation(
-            &mut universe,
-            &mut symbols,
             "Edges",
             &["Head", "Tail", "Comp"],
             &[
@@ -90,46 +93,43 @@ fn main() {
         .expect("well-formed relation")
         .build();
 
+    let constraints = session.pds(e).unwrap().to_vec();
     let works = db.relation_named("Works").unwrap();
     let edges = db.relation_named("Edges").unwrap();
     println!(
         "\nWorks ⊨ Emp = Emp*Mgr?  {}",
-        relation_satisfies_pd(works, &arena, constraints[0]).unwrap()
+        relation_satisfies_pd(works, session.arena(), constraints[0]).unwrap()
     );
     println!(
         "Edges ⊨ Comp = Head+Tail?  {}",
-        relation_satisfies_pd(edges, &arena, constraints[1]).unwrap()
+        relation_satisfies_pd(edges, session.arena(), constraints[1]).unwrap()
     );
 
     // ------------------------------------------------------------------
     // 4. Consistency of the whole database with E (Theorem 12).
     // ------------------------------------------------------------------
-    let outcome = consistent_with_pds(
-        &db,
-        &constraints,
-        &mut arena,
-        &mut universe,
-        &mut symbols,
-        Algorithm::Worklist,
-    )
-    .expect("well-formed inputs");
+    let outcome = session
+        .consistent(e, &db, ConsistencyMode::Polynomial)
+        .expect("well-formed inputs");
+    let answer = outcome.value;
     println!(
         "\nIs the database consistent with E (∃ satisfying partition interpretation)?  {}",
-        outcome.consistent
+        answer.consistent
     );
     println!(
-        "  FD set F used by the chase: {} dependencies; surviving sum constraints: {}",
-        outcome.fds.len(),
-        outcome.sums.len()
+        "  FD set F used by the chase: {} dependencies; surviving sum constraints: {}; {} row visits",
+        answer.fds.len(),
+        answer.sums.len(),
+        outcome.counters.row_visits,
     );
-    if let Some(weak) = &outcome.weak_instance {
+    if let Some(weak) = &answer.witness {
         println!(
             "  weak instance has {} rows over {} attributes",
             weak.len(),
             weak.scheme().arity()
         );
         let (repaired, converged) =
-            repair_sum_violations(weak, &outcome.fds, &outcome.sums, &mut symbols, 16);
+            repair_sum_violations(weak, &answer.fds, &answer.sums, session.symbols_mut(), 16);
         println!(
             "  after Lemma 12.1 repair: {} rows (converged: {converged})",
             repaired.len()
@@ -139,7 +139,7 @@ fn main() {
     // ------------------------------------------------------------------
     // 5. From a weak instance back to a partition interpretation (Thm 6/7).
     // ------------------------------------------------------------------
-    if let Some(weak) = &outcome.weak_instance {
+    if let Some(weak) = &answer.witness {
         let interpretation = interpretation_from_weak_instance(weak).unwrap();
         println!(
             "\nCanonical interpretation I(w): {} attributes over a population of {} elements",

@@ -1,5 +1,6 @@
 //! Weak instances and partition interpretations (Section 4.3, Theorems 6
-//! and 7), plus the open-world / closed-world contrast of Section 6.
+//! and 7), plus the open-world / closed-world contrast of Section 6, on the
+//! session API.
 //!
 //! Run with:
 //!
@@ -14,39 +15,39 @@
 //! paper shows this is exactly the question "is there a partition
 //! interpretation satisfying d and E?", and that the open-world variant is
 //! polynomial (Theorem 6a / Theorem 12) while the closed-world (CAD) variant
-//! is NP-complete (Theorem 11).
+//! is NP-complete (Theorem 11).  One session answers both, caching the
+//! constraint set's engines across the queries.
 
-use partition_semantics::core::cad::consistent_with_cad_eap;
 use partition_semantics::core::canonical::relation_satisfies_all_pds;
-use partition_semantics::core::dependency::fpds_of_fds;
 use partition_semantics::prelude::*;
 
 fn main() {
-    let mut universe = Universe::new();
-    let mut symbols = SymbolTable::new();
-    let mut arena = TermArena::new();
+    let mut session = Session::new();
 
-    // Patient → Ward, Ward → Nurse, Patient → Doctor.
-    let db = DatabaseBuilder::new()
+    // Patient → Ward, Ward → Nurse, Patient → Doctor, as FPD meet equations.
+    let e = session
+        .register_texts(&[
+            "Patient = Patient*Ward",
+            "Ward = Ward*Nurse",
+            "Patient = Patient*Doctor",
+        ])
+        .unwrap();
+
+    let db = session
+        .database()
         .relation(
-            &mut universe,
-            &mut symbols,
             "Admissions",
             &["Patient", "Ward"],
             &[&["p1", "w1"], &["p2", "w1"], &["p3", "w2"]],
         )
         .unwrap()
         .relation(
-            &mut universe,
-            &mut symbols,
             "Treatments",
             &["Patient", "Doctor"],
             &[&["p1", "drX"], &["p3", "drY"]],
         )
         .unwrap()
         .relation(
-            &mut universe,
-            &mut symbols,
             "Staffing",
             &["Ward", "Nurse"],
             &[&["w1", "n1"], &["w2", "n2"]],
@@ -54,41 +55,29 @@ fn main() {
         .unwrap()
         .build();
     println!("Hospital database:");
-    println!("{}", db.render(&universe, &symbols));
+    println!("{}", db.render(session.universe(), session.symbols()));
 
-    let patient = universe.lookup("Patient").unwrap();
-    let ward = universe.lookup("Ward").unwrap();
-    let nurse = universe.lookup("Nurse").unwrap();
-    let doctor = universe.lookup("Doctor").unwrap();
-    let fds = vec![
-        fd(&[patient], &[ward]),
-        fd(&[ward], &[nurse]),
-        fd(&[patient], &[doctor]),
-    ];
-    let fpds = fpds_of_fds(&fds);
-    println!("Constraints (as FPDs):");
-    for fpd in &fpds {
-        println!("  {}", fpd.render(&universe));
+    println!("Constraints (as PDs):");
+    for pd in session.pds(e).unwrap().to_vec() {
+        println!("  {}", session.render(pd));
     }
 
     // ------------------------------------------------------------------
-    // Open world: Theorem 6a — interpretation ⇔ weak instance ⇔ chase.
+    // Open world: Theorems 6a/7 — interpretation ⇔ weak instance ⇔ chase.
     // ------------------------------------------------------------------
-    let witness = satisfiable_with_fpds(&db, &fpds, &mut symbols).unwrap();
+    let outcome = session.weak_instance(e, &db).unwrap();
+    let witness = outcome.value;
     println!(
-        "\nOpen-world consistent (Theorem 6a)?  {}",
-        witness.satisfiable
+        "\nOpen-world consistent (Theorems 6a/7)?  {}   ({} chase row visits)",
+        witness.satisfiable, outcome.counters.row_visits
     );
     if let Some(weak) = &witness.weak_instance {
         println!("representative weak instance ({} rows):", weak.len());
-        println!("{}", weak.render(&universe, &symbols));
-        let pds: Vec<Equation> = fpds
-            .iter()
-            .map(|f| f.as_meet_equation(&mut arena))
-            .collect();
+        println!("{}", weak.render(session.universe(), session.symbols()));
+        let pds = session.pds(e).unwrap().to_vec();
         println!(
             "weak instance ⊨ E (as PDs, Definition 7)?  {}",
-            relation_satisfies_all_pds(weak, &arena, &pds).unwrap()
+            relation_satisfies_all_pds(weak, session.arena(), &pds).unwrap()
         );
         let interpretation = witness.interpretation.as_ref().unwrap();
         println!(
@@ -99,16 +88,20 @@ fn main() {
     }
 
     // ------------------------------------------------------------------
-    // Closed world: CAD + EAP (Theorem 6b / Theorem 11).
+    // Closed world: CAD + EAP (Theorem 6b / Theorem 11) — same session,
+    // same constraint set, different mode.
     // ------------------------------------------------------------------
-    let cad = consistent_with_cad_eap(&db, &fpds).unwrap();
+    let outcome = session
+        .consistent(e, &db, ConsistencyMode::ExactCadEap)
+        .unwrap();
+    let cad = outcome.value;
     println!(
-        "\nClosed-world (CAD+EAP) consistent?  {}   (search: {} assignments, {} backtracks)",
-        cad.consistent, cad.stats.assignments, cad.stats.backtracks
+        "\nClosed-world (CAD+EAP) consistent?  {}   (search visited {} assignments)",
+        cad.consistent, outcome.counters.row_visits
     );
     if let Some(w) = &cad.witness {
         println!("CAD witness (only database constants are used):");
-        println!("{}", w.render(&universe, &symbols));
+        println!("{}", w.render(session.universe(), session.symbols()));
     } else {
         println!(
             "No CAD witness: the chase needs nulls (e.g. p2 has no doctor on record, \
@@ -119,19 +112,18 @@ fn main() {
     // ------------------------------------------------------------------
     // Making the database inconsistent even in the open world.
     // ------------------------------------------------------------------
-    let broken = DatabaseBuilder::new()
+    let broken = session
+        .database()
         .relation(
-            &mut universe,
-            &mut symbols,
             "Admissions",
             &["Patient", "Ward"],
             &[&["p1", "w1"], &["p1", "w2"]],
         )
         .unwrap()
         .build();
-    let witness = satisfiable_with_fpds(&broken, &fpds, &mut symbols).unwrap();
+    let outcome = session.weak_instance(e, &broken).unwrap();
     println!(
         "\nAfter admitting p1 to two wards, open-world consistent?  {}",
-        witness.satisfiable
+        outcome.value.satisfiable
     );
 }
