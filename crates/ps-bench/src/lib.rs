@@ -20,6 +20,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod trajectory;
+
 use ps_base::{AttrSet, Attribute, SymbolTable, Universe};
 use ps_core::Fpd;
 use ps_lattice::{Equation, TermArena, TermId};
@@ -204,6 +207,71 @@ pub fn random_word_problem_workload(
         arena,
         equations,
         goals,
+    }
+}
+
+/// A warm-session implication query mix: several constraint sets sharing
+/// one arena, plus a stream of `(set, goal)` queries whose set choice is
+/// skewed toward a few hot sets — the access pattern of a long-lived
+/// session, where cached engines should absorb most of the work.
+pub struct QueryMixWorkload {
+    /// Attribute universe.
+    pub universe: Universe,
+    /// Term arena shared by every set and goal.
+    pub arena: TermArena,
+    /// The constraint sets.
+    pub sets: Vec<Vec<Equation>>,
+    /// The query stream: `(set index, goal equation)`, skewed so that low
+    /// set indices receive quadratically more queries.
+    pub queries: Vec<(usize, Equation)>,
+}
+
+/// Builds a [`QueryMixWorkload`]: `num_sets` random PD sets of
+/// `pds_per_set` equations each, and `num_queries` goals whose target set
+/// is drawn with quadratic skew (set 0 is the hottest).  Deterministic in
+/// `seed`.
+pub fn skewed_query_mix(
+    num_sets: usize,
+    num_attrs: usize,
+    pds_per_set: usize,
+    budget: usize,
+    num_queries: usize,
+    seed: u64,
+) -> QueryMixWorkload {
+    assert!(num_sets >= 1 && num_attrs >= 2);
+    let mut universe = Universe::new();
+    let mut arena = TermArena::new();
+    let attrs: Vec<Attribute> = (0..num_attrs)
+        .map(|i| universe.attr(&format!("A{i}")))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sets: Vec<Vec<Equation>> = (0..num_sets)
+        .map(|_| {
+            (0..pds_per_set)
+                .map(|_| {
+                    let lhs = random_term(&mut arena, &attrs, budget, &mut rng);
+                    let rhs = random_term(&mut arena, &attrs, budget, &mut rng);
+                    Equation::new(lhs, rhs)
+                })
+                .collect()
+        })
+        .collect();
+    let queries: Vec<(usize, Equation)> = (0..num_queries)
+        .map(|_| {
+            // Quadratic skew: squaring a uniform draw concentrates the mass
+            // near zero, so a handful of sets serve most of the stream.
+            let r: f64 = rng.gen_range(0.0..1.0);
+            let set = ((r * r) * num_sets as f64) as usize;
+            let lhs = random_term(&mut arena, &attrs, budget, &mut rng);
+            let rhs = random_term(&mut arena, &attrs, budget, &mut rng);
+            (set.min(num_sets - 1), Equation::new(lhs, rhs))
+        })
+        .collect();
+    QueryMixWorkload {
+        universe,
+        arena,
+        sets,
+        queries,
     }
 }
 

@@ -27,7 +27,9 @@ use std::collections::HashMap;
 use ps_base::{AttrSet, Attribute, Symbol, SymbolTable, Universe};
 use ps_lattice::{Algorithm, Equation, TermArena, TermNode};
 use ps_partition::UnionFind;
-use ps_relation::{chase_fds_over, fd_closure, ChaseOutcome, Database, Fd, Relation};
+use ps_relation::{
+    chase_fds_over_with, fd_closure, ChaseOutcome, ChaseScratch, Database, Fd, Relation,
+};
 
 #[cfg(debug_assertions)]
 use crate::implication::atom_order_closure;
@@ -373,6 +375,18 @@ pub fn consistent_with_closed(
     closed: &ClosedConstraints,
     symbols: &mut SymbolTable,
 ) -> ConsistencyOutcome {
+    consistent_with_closed_scratch(db, closed, symbols, &mut ChaseScratch::default())
+}
+
+/// [`consistent_with_closed`] with caller-provided chase buffers: the
+/// session layer holds one [`ChaseScratch`] across queries so that repeated
+/// consistency tests reuse the chase's index and worklist allocations.
+pub fn consistent_with_closed_scratch(
+    db: &Database,
+    closed: &ClosedConstraints,
+    symbols: &mut SymbolTable,
+    scratch: &mut ChaseScratch,
+) -> ConsistencyOutcome {
     // The chase runs over the database's attributes together with every
     // attribute the constraints mention.
     let mut attrs = db.all_attributes();
@@ -380,7 +394,7 @@ pub fn consistent_with_closed(
         attrs.insert(a);
     }
 
-    let chase = chase_fds_over(db, &attrs, &closed.fds, symbols);
+    let chase = chase_fds_over_with(db, &attrs, &closed.fds, symbols, scratch);
     let weak_instance = if chase.consistent {
         chase.weak_instance("weak_instance", &attrs)
     } else {

@@ -3,6 +3,40 @@
 //! Algorithm `ALG` (Section 5.2) maintains a set `Γ` of directed arcs over
 //! the subexpression set `V`; the matrix below stores those arcs with one
 //! bit per pair, which keeps the `O(n⁴)` fixpoint loops cache-friendly.
+//!
+//! # Hot-path discipline
+//!
+//! The saturation engine ([`crate::ImplicationEngine`]) spends almost all of
+//! its time in the three delta row operations ([`BitMatrix::or_row_into_delta`],
+//! [`BitMatrix::or_and_rows_into_delta`], [`BitMatrix::union_rows_into_delta`]).
+//! They are written to three rules, measured by the `BENCH_*.json` trajectory
+//! (see `docs/BENCHMARKS.md`):
+//!
+//! 1. **word-parallel**: 64 arcs move per `u64` OR / AND-OR — per-bit work
+//!    happens only for *newly set* bits, which must be reported in the delta;
+//! 2. **split-borrow slices**: source and destination rows are disjoint
+//!    sub-slices of the backing store, so the inner loops run on plain slice
+//!    iterators with no per-word bounds checks;
+//! 3. **chunked scanning**: words are scanned [`CHUNK`] at a time with a
+//!    single "any new bit?" test per chunk, because in the saturation steady
+//!    state almost every chunk is already subsumed and the test is the only
+//!    work done.
+//!
+//! The straightforward per-bit loops are kept as `*_per_bit` reference
+//! implementations; property tests pin the optimized paths to them.
+//!
+//! # The tail invariant
+//!
+//! When `n` is not a multiple of 64, the last word of each row has `64 - n%64`
+//! spare high bits.  Every mutating operation preserves the invariant that
+//! those tail bits are **zero**: [`BitMatrix::set`] is bounds-asserted,
+//! [`BitMatrix::grow`] only ever appends zeroed storage, and the row
+//! operations can only copy zeros into a tail.  The invariant is what lets
+//! [`BitMatrix::count_ones`] and the delta extraction loops skip last-word
+//! masking; [`BitMatrix::debug_validate_tails`] checks it in tests.
+
+/// Words scanned per "any new bit?" test in the delta row operations.
+const CHUNK: usize = 4;
 
 /// A dense `n × n` bit matrix.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -10,6 +44,31 @@ pub struct BitMatrix {
     n: usize,
     words_per_row: usize,
     bits: Vec<u64>,
+}
+
+/// Splits `bits` into the row `src` (shared) and the row `dst` (mutable).
+/// The rows must be distinct; the backing ranges are then disjoint.
+fn two_rows_mut(bits: &mut [u64], w: usize, src: usize, dst: usize) -> (&[u64], &mut [u64]) {
+    debug_assert_ne!(src, dst);
+    let (s0, d0) = (src * w, dst * w);
+    if s0 < d0 {
+        let (head, tail) = bits.split_at_mut(d0);
+        (&head[s0..s0 + w], &mut tail[..w])
+    } else {
+        let (head, tail) = bits.split_at_mut(s0);
+        (&tail[..w], &mut head[d0..d0 + w])
+    }
+}
+
+/// Appends the column indices of the set bits of `word` (whose first column
+/// is `base`) to `delta`.
+#[inline]
+fn push_set_bits(mut word: u64, base: usize, delta: &mut Vec<usize>) {
+    while word != 0 {
+        let bit = word.trailing_zeros() as usize;
+        word &= word - 1;
+        delta.push(base + bit);
+    }
 }
 
 impl BitMatrix {
@@ -36,8 +95,16 @@ impl BitMatrix {
     }
 
     /// Sets bit `(row, col)`; returns `true` if it was previously clear.
+    ///
+    /// `col` must be `< dim()` — an out-of-range column would land in a
+    /// last-word tail bit and break the tail invariant, so it is rejected in
+    /// every build profile (not just debug).
     pub fn set(&mut self, row: usize, col: usize) -> bool {
-        debug_assert!(row < self.n && col < self.n);
+        assert!(
+            row < self.n && col < self.n,
+            "BitMatrix::set({row}, {col}) out of bounds for dim {}",
+            self.n
+        );
         let idx = row * self.words_per_row + col / 64;
         let mask = 1u64 << (col % 64);
         let was_clear = self.bits[idx] & mask == 0;
@@ -62,8 +129,9 @@ impl BitMatrix {
         let new_words_per_row = new_n.div_ceil(64);
         if new_words_per_row == self.words_per_row {
             // Same row stride: the new columns live in already-present (and
-            // zero) word tails, so appending zeroed rows suffices — no full
-            // matrix copy on the incremental-extension hot path.
+            // zero, by the tail invariant) word tails, so appending zeroed
+            // rows suffices — no full matrix copy on the incremental-
+            // extension hot path.
             self.bits.resize(new_n * new_words_per_row, 0);
         } else {
             let mut new_bits = vec![0u64; new_n * new_words_per_row];
@@ -84,15 +152,12 @@ impl BitMatrix {
         if src == dst {
             return false;
         }
-        let (src_start, dst_start) = (src * self.words_per_row, dst * self.words_per_row);
+        let (src_row, dst_row) = two_rows_mut(&mut self.bits, self.words_per_row, src, dst);
         let mut changed = false;
-        for k in 0..self.words_per_row {
-            let s = self.bits[src_start + k];
-            let d = self.bits[dst_start + k];
-            if d | s != d {
-                self.bits[dst_start + k] = d | s;
-                changed = true;
-            }
+        for (d, &s) in dst_row.iter_mut().zip(src_row) {
+            let merged = *d | s;
+            changed |= merged != *d;
+            *d = merged;
         }
         changed
     }
@@ -106,8 +171,40 @@ impl BitMatrix {
         if src == dst {
             return false;
         }
-        // `src & src == src`, so the OR is the AND-OR with both operands src.
-        self.or_and_rows_into_delta(src, src, dst, delta)
+        let w = self.words_per_row;
+        let (src_row, dst_row) = two_rows_mut(&mut self.bits, w, src, dst);
+        let mut changed = false;
+        let mut base = 0usize;
+        let mut dst_chunks = dst_row.chunks_exact_mut(CHUNK);
+        let mut src_chunks = src_row.chunks_exact(CHUNK);
+        for (dc, sc) in dst_chunks.by_ref().zip(src_chunks.by_ref()) {
+            let mut any = 0u64;
+            for (d, &s) in dc.iter().zip(sc) {
+                any |= s & !d;
+            }
+            if any != 0 {
+                changed = true;
+                for (j, (d, &s)) in dc.iter_mut().zip(sc).enumerate() {
+                    push_set_bits(s & !*d, (base + j) * 64, delta);
+                    *d |= s;
+                }
+            }
+            base += CHUNK;
+        }
+        for (j, (d, &s)) in dst_chunks
+            .into_remainder()
+            .iter_mut()
+            .zip(src_chunks.remainder())
+            .enumerate()
+        {
+            let new_bits = s & !*d;
+            if new_bits != 0 {
+                changed = true;
+                push_set_bits(new_bits, (base + j) * 64, delta);
+                *d |= s;
+            }
+        }
+        changed
     }
 
     /// ORs the intersection of rows `a` and `b` into row `dst`
@@ -116,7 +213,8 @@ impl BitMatrix {
     ///
     /// This is the word-parallel form of the two-premise rules of algorithm
     /// ALG (rules 2 and 4): the conclusion row receives every element reached
-    /// by *both* children at once.
+    /// by *both* children at once.  When `dst` coincides with `a` or `b` the
+    /// intersection is already contained in `dst` and the call is a no-op.
     pub fn or_and_rows_into_delta(
         &mut self,
         a: usize,
@@ -124,24 +222,163 @@ impl BitMatrix {
         dst: usize,
         delta: &mut Vec<usize>,
     ) -> bool {
-        let (a_start, b_start, dst_start) = (
-            a * self.words_per_row,
-            b * self.words_per_row,
-            dst * self.words_per_row,
-        );
+        if dst == a || dst == b {
+            // a & b ⊆ dst already.
+            return false;
+        }
+        if a == b {
+            return self.or_row_into_delta(a, dst, delta);
+        }
+        let w = self.words_per_row;
+        let d0 = dst * w;
+        let (head, rest) = self.bits.split_at_mut(d0);
+        let (dst_row, tail) = rest.split_at_mut(w);
+        let row = |idx: usize| -> &[u64] {
+            let start = idx * w;
+            if start < d0 {
+                &head[start..start + w]
+            } else {
+                &tail[start - d0 - w..start - d0 - w + w]
+            }
+        };
+        let (a_row, b_row) = (row(a), row(b));
         let mut changed = false;
-        for k in 0..self.words_per_row {
-            let s = self.bits[a_start + k] & self.bits[b_start + k];
-            let d = self.bits[dst_start + k];
-            let mut new_bits = s & !d;
-            if new_bits != 0 {
-                self.bits[dst_start + k] = d | s;
+        let mut base = 0usize;
+        let mut dst_chunks = dst_row.chunks_exact_mut(CHUNK);
+        let mut a_chunks = a_row.chunks_exact(CHUNK);
+        let mut b_chunks = b_row.chunks_exact(CHUNK);
+        for ((dc, ac), bc) in dst_chunks
+            .by_ref()
+            .zip(a_chunks.by_ref())
+            .zip(b_chunks.by_ref())
+        {
+            let mut any = 0u64;
+            for ((d, &x), &y) in dc.iter().zip(ac).zip(bc) {
+                any |= (x & y) & !d;
+            }
+            if any != 0 {
                 changed = true;
-                while new_bits != 0 {
-                    let bit = new_bits.trailing_zeros() as usize;
-                    new_bits &= new_bits - 1;
-                    delta.push(k * 64 + bit);
+                for (j, ((d, &x), &y)) in dc.iter_mut().zip(ac).zip(bc).enumerate() {
+                    let s = x & y;
+                    push_set_bits(s & !*d, (base + j) * 64, delta);
+                    *d |= s;
                 }
+            }
+            base += CHUNK;
+        }
+        for (j, ((d, &x), &y)) in dst_chunks
+            .into_remainder()
+            .iter_mut()
+            .zip(a_chunks.remainder())
+            .zip(b_chunks.remainder())
+            .enumerate()
+        {
+            let s = x & y;
+            let new_bits = s & !*d;
+            if new_bits != 0 {
+                changed = true;
+                push_set_bits(new_bits, (base + j) * 64, delta);
+                *d |= s;
+            }
+        }
+        changed
+    }
+
+    /// ORs every row of `srcs` into row `dst` in one pass (row-range
+    /// batching), appending newly set column indices to `delta`.  Returns
+    /// `true` if `dst` changed.
+    ///
+    /// Equivalent to calling [`BitMatrix::or_row_into_delta`] once per
+    /// source, but the destination row is walked (and its delta extracted)
+    /// only once however many sources there are; sources equal to `dst`
+    /// contribute nothing and are skipped.
+    pub fn union_rows_into_delta(
+        &mut self,
+        srcs: &[usize],
+        dst: usize,
+        delta: &mut Vec<usize>,
+    ) -> bool {
+        let w = self.words_per_row;
+        let d0 = dst * w;
+        let (head, rest) = self.bits.split_at_mut(d0);
+        let (dst_row, tail) = rest.split_at_mut(w);
+        let row = |idx: usize| -> &[u64] {
+            let start = idx * w;
+            if start < d0 {
+                &head[start..start + w]
+            } else {
+                &tail[start - d0 - w..start - d0 - w + w]
+            }
+        };
+        let mut changed = false;
+        let mut k = 0usize;
+        while k < w {
+            let end = (k + CHUNK).min(w);
+            let mut acc = [0u64; CHUNK];
+            for &src in srcs {
+                if src == dst {
+                    continue;
+                }
+                let src_row = row(src);
+                for (a, &s) in acc.iter_mut().zip(&src_row[k..end]) {
+                    *a |= s;
+                }
+            }
+            let dc = &mut dst_row[k..end];
+            let mut any = 0u64;
+            for (d, &s) in dc.iter().zip(&acc) {
+                any |= s & !d;
+            }
+            if any != 0 {
+                changed = true;
+                for (j, (d, &s)) in dc.iter_mut().zip(&acc).enumerate() {
+                    push_set_bits(s & !*d, (k + j) * 64, delta);
+                    *d |= s;
+                }
+            }
+            k = end;
+        }
+        changed
+    }
+
+    /// Per-bit reference for [`BitMatrix::or_row_into_delta`]: the naive
+    /// column loop over [`BitMatrix::get`]/[`BitMatrix::set`].  Kept (like
+    /// `chase_fds_naive` and `Algorithm::NaiveFixpoint`) as the pinned
+    /// reference the optimized word-parallel path is property-tested and
+    /// benchmarked against.
+    pub fn or_row_into_delta_per_bit(
+        &mut self,
+        src: usize,
+        dst: usize,
+        delta: &mut Vec<usize>,
+    ) -> bool {
+        if src == dst {
+            return false;
+        }
+        let mut changed = false;
+        for col in 0..self.n {
+            if self.get(src, col) && self.set(dst, col) {
+                delta.push(col);
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Per-bit reference for [`BitMatrix::or_and_rows_into_delta`] (see
+    /// [`BitMatrix::or_row_into_delta_per_bit`]).
+    pub fn or_and_rows_into_delta_per_bit(
+        &mut self,
+        a: usize,
+        b: usize,
+        dst: usize,
+        delta: &mut Vec<usize>,
+    ) -> bool {
+        let mut changed = false;
+        for col in 0..self.n {
+            if self.get(a, col) && self.get(b, col) && self.set(dst, col) {
+                delta.push(col);
+                changed = true;
             }
         }
         changed
@@ -181,6 +418,24 @@ impl BitMatrix {
             }
         }
     }
+
+    /// Asserts the tail invariant: when `n % 64 != 0`, the spare high bits
+    /// of every row's last word are zero.  Test/debug helper.
+    pub fn debug_validate_tails(&self) {
+        if self.n.is_multiple_of(64) || self.words_per_row == 0 {
+            return;
+        }
+        let mask = !0u64 << (self.n % 64);
+        for row in 0..self.n {
+            let last = self.bits[row * self.words_per_row + self.words_per_row - 1];
+            assert_eq!(
+                last & mask,
+                0,
+                "tail bits of row {row} are set (dim {})",
+                self.n
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +451,13 @@ mod tests {
         assert!(m.get(3, 65));
         assert_eq!(m.count_ones(), 1);
         assert_eq!(m.dim(), 70);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn set_rejects_out_of_range_columns_in_release_too() {
+        let mut m = BitMatrix::new(63);
+        m.set(0, 63); // would land in a tail bit of the last word
     }
 
     #[test]
@@ -236,6 +498,37 @@ mod tests {
         assert_eq!(m.count_ones(), 3);
     }
 
+    /// Regression fixture for the non-word-multiple widths around the u64
+    /// boundary: grow across 63 → 64 → 65 (same-stride and stride-changing
+    /// paths), checking bit preservation, the tail invariant and the
+    /// last-column behaviour at every step.
+    #[test]
+    fn grow_across_word_boundary_widths() {
+        for (from, to) in [(63, 64), (63, 65), (64, 65), (65, 128), (63, 130)] {
+            let mut m = BitMatrix::new(from);
+            // Mark the main diagonal plus the last valid column of row 0.
+            for i in 0..from {
+                m.set(i, i);
+            }
+            m.set(0, from - 1);
+            let ones_before = m.count_ones();
+            m.grow(to);
+            m.debug_validate_tails();
+            assert_eq!(m.dim(), to, "{from}->{to}");
+            assert_eq!(m.count_ones(), ones_before, "{from}->{to}");
+            for i in 0..from {
+                assert!(m.get(i, i), "{from}->{to}: diagonal bit {i} lost");
+            }
+            assert!(m.get(0, from - 1), "{from}->{to}: last column lost");
+            // The new columns and rows are clear and writable.
+            for i in from..to {
+                assert!(!m.get(0, i), "{from}->{to}: new column {i} dirty");
+                assert!(m.set(i, to - 1), "{from}->{to}: new row {i} not writable");
+            }
+            m.debug_validate_tails();
+        }
+    }
+
     #[test]
     #[should_panic(expected = "cannot shrink")]
     fn grow_rejects_shrinking() {
@@ -271,6 +564,87 @@ mod tests {
         assert!(m.get(2, 4) && !m.get(2, 3) && !m.get(2, 5));
         delta.clear();
         assert!(!m.or_and_rows_into_delta(0, 1, 2, &mut delta));
+    }
+
+    #[test]
+    fn or_and_rows_handles_aliased_and_equal_rows() {
+        let mut m = BitMatrix::new(70);
+        m.set(0, 3);
+        m.set(0, 67);
+        m.set(1, 3);
+        let mut delta = Vec::new();
+        // dst aliases a source: a & b ⊆ dst, provably a no-op.
+        assert!(!m.or_and_rows_into_delta(0, 1, 0, &mut delta));
+        assert!(!m.or_and_rows_into_delta(0, 1, 1, &mut delta));
+        assert!(delta.is_empty());
+        // a == b degenerates to the plain row OR.
+        assert!(m.or_and_rows_into_delta(0, 0, 2, &mut delta));
+        assert_eq!(delta, vec![3, 67]);
+        assert!(m.get(2, 3) && m.get(2, 67));
+    }
+
+    #[test]
+    fn union_rows_batches_multiple_sources() {
+        let mut m = BitMatrix::new(70);
+        m.set(0, 1);
+        m.set(1, 65);
+        m.set(2, 1); // already in dst
+        m.set(3, 69);
+        let mut delta = Vec::new();
+        // Sources equal to dst are skipped rather than self-merged.
+        assert!(m.union_rows_into_delta(&[0, 1, 2, 3], 2, &mut delta));
+        let mut sorted = delta.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![65, 69]);
+        assert!(m.get(2, 1) && m.get(2, 65) && m.get(2, 69));
+        delta.clear();
+        assert!(!m.union_rows_into_delta(&[0, 1, 3], 2, &mut delta));
+        assert!(!m.union_rows_into_delta(&[], 2, &mut delta));
+        m.debug_validate_tails();
+    }
+
+    /// The optimized word-parallel paths agree with the per-bit references
+    /// at the widths flanking the word boundary (the proptest in
+    /// `tests/bitmatrix_props.rs` covers random widths and patterns).
+    #[test]
+    fn delta_ops_match_per_bit_references_at_boundary_widths() {
+        for n in [63usize, 64, 65] {
+            let mut fast = BitMatrix::new(n);
+            let mut slow = BitMatrix::new(n);
+            // A deterministic pseudo-random pattern over three rows.
+            let mut x = 0x9e3779b97f4a7c15u64;
+            for row in 0..3 {
+                for col in 0..n {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(row as u64);
+                    if x >> 62 == 3 {
+                        fast.set(row, col);
+                        slow.set(row, col);
+                    }
+                }
+            }
+            let (mut df, mut ds) = (Vec::new(), Vec::new());
+            assert_eq!(
+                fast.or_row_into_delta(0, 2, &mut df),
+                slow.or_row_into_delta_per_bit(0, 2, &mut ds),
+                "width {n}"
+            );
+            df.sort_unstable();
+            ds.sort_unstable();
+            assert_eq!(df, ds, "width {n}");
+            assert_eq!(fast, slow, "width {n}");
+
+            let (mut df, mut ds) = (Vec::new(), Vec::new());
+            assert_eq!(
+                fast.or_and_rows_into_delta(0, 1, 2, &mut df),
+                slow.or_and_rows_into_delta_per_bit(0, 1, 2, &mut ds),
+                "width {n}"
+            );
+            df.sort_unstable();
+            ds.sort_unstable();
+            assert_eq!(df, ds, "width {n}");
+            assert_eq!(fast, slow, "width {n}");
+            fast.debug_validate_tails();
+        }
     }
 
     #[test]

@@ -715,20 +715,20 @@ impl ImplicationEngine {
             self.insert_arc(i, i);
         }
         // Seed the frontier: each new composite fires its rules once against
-        // the current rows of its children.
+        // the current rows of its children.  The one-premise rules (3 and 5)
+        // take both children in a single batched row union, so the composite
+        // row is walked once per seeding instead of once per child.
         for i in old_n..new_n {
             match arena.node(self.terms[i]) {
                 TermNode::Meet(l, r) => {
                     let (dl, dr) = (self.dense[&l], self.dense[&r]);
-                    self.or_succ(dl, i); // rule 3
-                    self.or_succ(dr, i); // rule 3
+                    self.union_succ(&[dl, dr], i); // rule 3 (either child)
                     self.or_and_pred(dl, dr, i); // rule 4
                 }
                 TermNode::Join(l, r) => {
                     let (dl, dr) = (self.dense[&l], self.dense[&r]);
                     self.or_and_succ(dl, dr, i); // rule 2
-                    self.or_pred(dl, i); // rule 5
-                    self.or_pred(dr, i); // rule 5
+                    self.union_pred(&[dl, dr], i); // rule 5 (either child)
                 }
                 TermNode::Atom(_) => {}
             }
@@ -781,6 +781,42 @@ impl ImplicationEngine {
         }
         if !delta.is_empty() {
             self.mark_s_dirty(dst);
+        }
+        self.scratch = delta;
+    }
+
+    /// `succ[dst] |= succ[s]` for every `s` in `srcs`, batched: one pass
+    /// over `dst`'s row, one delta extraction, with mirroring.
+    fn union_succ(&mut self, srcs: &[usize], dst: usize) {
+        self.row_ops += srcs.len();
+        let mut delta = std::mem::take(&mut self.scratch);
+        delta.clear();
+        self.succ.union_rows_into_delta(srcs, dst, &mut delta);
+        for &t in &delta {
+            self.pred.set(t, dst);
+            self.rule_firings += 1;
+            self.mark_p_dirty(t);
+        }
+        if !delta.is_empty() {
+            self.mark_s_dirty(dst);
+        }
+        self.scratch = delta;
+    }
+
+    /// `pred[dst] |= pred[s]` for every `s` in `srcs`, batched, with
+    /// mirroring.
+    fn union_pred(&mut self, srcs: &[usize], dst: usize) {
+        self.row_ops += srcs.len();
+        let mut delta = std::mem::take(&mut self.scratch);
+        delta.clear();
+        self.pred.union_rows_into_delta(srcs, dst, &mut delta);
+        for &s in &delta {
+            self.succ.set(s, dst);
+            self.rule_firings += 1;
+            self.mark_s_dirty(s);
+        }
+        if !delta.is_empty() {
+            self.mark_p_dirty(dst);
         }
         self.scratch = delta;
     }

@@ -207,117 +207,205 @@ pub fn chase_tableau_naive(tableau: &Tableau, fds: &[Fd], symbols: &SymbolTable)
     }
 }
 
-/// Dense symbol classes for the indexed engine: a [`UnionFind`] over the
-/// tableau's distinct symbols, with the class representative maintained as
-/// the minimum symbol (constants sort below fresh nulls, so a class with a
-/// constant is always represented by it — and since merging two constants
-/// is a contradiction, each class holds at most one) and the per-class list
-/// of rows whose cells the class touches.
-struct ClassTable {
-    uf: UnionFind,
+/// Reusable working storage for the indexed chase engine.
+///
+/// One [`chase_tableau_with`] run allocates a local symbol-interning table,
+/// per-class row lists, one lhs-key hash index per FD, the dirty-row queue
+/// and a key scratch buffer.  On macro workloads (10⁵–10⁶ tuples chased per
+/// batch, or one chase per query in a long-lived session) that allocation
+/// churn is a measurable share of the chase's wall-clock, so callers that
+/// chase repeatedly hold one `ChaseScratch` and pass it to the `*_with`
+/// entry points; each run clears — but keeps the capacity of — every
+/// buffer.  The buffer-reuse path is pinned to the fresh-allocation path by
+/// the `columnar_agreement` proptests and measured in the `BENCH_*.json`
+/// trajectory (`chase_scratch_reuse` workload).
+#[derive(Debug, Default)]
+pub struct ChaseScratch {
+    /// Dense local interning of the tableau's distinct symbols.
+    local: HashMap<Symbol, u32>,
     /// `rep[r]` for a root `r`: the minimum symbol of the class.
     rep: Vec<Symbol>,
     /// `rows_of[r]` for a root `r`: the rows containing any class member.
+    /// Pooled: entries beyond the current run's symbol count are kept empty.
     rows_of: Vec<Vec<u32>>,
+    /// Per-row dense symbol ids (pooled like `rows_of`).
+    cells: Vec<Vec<u32>>,
+    /// One lhs-key index per FD, mapping the class roots of a row's lhs
+    /// columns to the leader row first seen with that key.
+    indexes: Vec<HashMap<Vec<u32>, u32>>,
+    /// Dirty-row worklist and its membership mask.
+    queue: VecDeque<u32>,
+    queued: Vec<bool>,
+    /// Scratch for the current row's lhs key (cloned only on index misses).
+    key_buf: Vec<u32>,
+    /// Rows dirtied by the most recent class merge.
+    moved: Vec<u32>,
 }
 
+impl ChaseScratch {
+    /// Creates an empty scratch (equivalent to `ChaseScratch::default()`).
+    pub fn new() -> Self {
+        ChaseScratch::default()
+    }
+
+    /// Clears every buffer for a fresh run, keeping capacities.
+    fn reset(&mut self, num_rows: usize, num_fds: usize) {
+        self.local.clear();
+        self.rep.clear();
+        for list in &mut self.rows_of {
+            list.clear();
+        }
+        for row in &mut self.cells {
+            row.clear();
+        }
+        if self.cells.len() > num_rows {
+            self.cells.truncate(num_rows);
+        }
+        for index in &mut self.indexes {
+            index.clear();
+        }
+        self.indexes.resize_with(num_fds, HashMap::new);
+        self.queue.clear();
+        self.queued.clear();
+        self.queued.resize(num_rows, true);
+        self.key_buf.clear();
+        self.moved.clear();
+    }
+}
+
+/// Result of merging two symbol classes.
 enum Merge {
     /// Already the same class.
     Same,
-    /// Classes merged; the payload lists the rows whose key roots changed.
-    Merged(Vec<u32>),
+    /// Classes merged; `ChaseScratch::moved` lists the rows whose key roots
+    /// changed.
+    Merged,
     /// Both classes were rooted at distinct constants.
     Clash,
 }
 
-impl ClassTable {
-    fn find(&mut self, id: u32) -> u32 {
-        self.uf.find(id as usize) as u32
+/// Merges the classes of dense ids `a` and `b` in `uf`, maintaining the
+/// minimum-symbol representative in `rep` (constants sort below fresh
+/// nulls, so a class with a constant is always represented by it — and
+/// since merging two constants is a contradiction, each class holds at most
+/// one).  On a merge, the losing class's rows are drained into `moved` (for
+/// re-queueing) and folded into the winner's list.
+fn merge_classes(
+    uf: &mut UnionFind,
+    rep: &mut [Symbol],
+    rows_of: &mut [Vec<u32>],
+    moved: &mut Vec<u32>,
+    a: u32,
+    b: u32,
+    symbols: &SymbolTable,
+) -> Merge {
+    let ra = uf.find(a as usize);
+    let rb = uf.find(b as usize);
+    if ra == rb {
+        return Merge::Same;
     }
-
-    fn merge(&mut self, a: u32, b: u32, symbols: &SymbolTable) -> Merge {
-        let ra = self.uf.find(a as usize);
-        let rb = self.uf.find(b as usize);
-        if ra == rb {
-            return Merge::Same;
-        }
-        if symbols.is_constant(self.rep[ra]) && symbols.is_constant(self.rep[rb]) {
-            // Distinct roots with constant representatives ⇒ distinct
-            // constants (equal constants intern to the same symbol).
-            return Merge::Clash;
-        }
-        self.uf.union(ra, rb);
-        let winner = self.uf.find(ra);
-        let loser = if winner == ra { rb } else { ra };
-        self.rep[winner] = self.rep[ra].min(self.rep[rb]);
-        // Rows touching the losing class now hash to new keys: hand them to
-        // the caller for re-queueing, and fold them into the winner's list.
-        let moved = std::mem::take(&mut self.rows_of[loser]);
-        let winner_rows = &mut self.rows_of[winner];
-        winner_rows.extend_from_slice(&moved);
-        Merge::Merged(moved)
+    if symbols.is_constant(rep[ra]) && symbols.is_constant(rep[rb]) {
+        // Distinct roots with constant representatives ⇒ distinct
+        // constants (equal constants intern to the same symbol).
+        return Merge::Clash;
     }
+    uf.union(ra, rb);
+    let winner = uf.find(ra);
+    let loser = if winner == ra { rb } else { ra };
+    rep[winner] = rep[ra].min(rep[rb]);
+    // Rows touching the losing class now hash to new keys: hand them to
+    // the caller for re-queueing, and fold them into the winner's list.
+    moved.clear();
+    moved.extend_from_slice(&rows_of[loser]);
+    rows_of[loser].clear();
+    let (winner_rows, loser_rows) = if winner < loser {
+        let (head, tail) = rows_of.split_at_mut(loser);
+        (&mut head[winner], &tail[0])
+    } else {
+        let (head, tail) = rows_of.split_at_mut(winner);
+        (&mut tail[0], &head[loser])
+    };
+    debug_assert!(loser_rows.is_empty());
+    winner_rows.extend_from_slice(moved);
+    Merge::Merged
 }
 
 /// Chases `tableau` with `fds` using the indexed, worklist-driven engine
-/// (see the module docs).  `symbols` is used only to distinguish constants
-/// from nulls.
+/// (see the module docs), allocating fresh working storage.  Callers that
+/// chase repeatedly should hold a [`ChaseScratch`] and use
+/// [`chase_tableau_with`] instead.
 pub fn chase_tableau(tableau: &Tableau, fds: &[Fd], symbols: &SymbolTable) -> ChaseOutcome {
+    chase_tableau_with(tableau, fds, symbols, &mut ChaseScratch::default())
+}
+
+/// [`chase_tableau`] with caller-provided reusable buffers: the lhs-key
+/// indexes, dirty-row queue, interning tables and key scratch live in
+/// `scratch` and are cleared — not reallocated — between runs.
+pub fn chase_tableau_with(
+    tableau: &Tableau,
+    fds: &[Fd],
+    symbols: &SymbolTable,
+    scratch: &mut ChaseScratch,
+) -> ChaseOutcome {
     let rows = tableau.rows();
     let num_rows = rows.len();
     let fd_columns = active_fd_columns(tableau, fds);
+    scratch.reset(num_rows, fd_columns.len());
 
     // Dense local interning of every distinct symbol in the tableau.
-    let mut local: HashMap<Symbol, u32> = HashMap::new();
-    let mut rep: Vec<Symbol> = Vec::new();
-    let mut rows_of: Vec<Vec<u32>> = Vec::new();
-    let cells: Vec<Vec<u32>> = rows
-        .iter()
-        .enumerate()
-        .map(|(row_idx, row)| {
-            row.iter()
-                .map(|&s| {
-                    let id = *local.entry(s).or_insert_with(|| {
-                        rep.push(s);
-                        rows_of.push(Vec::new());
-                        (rep.len() - 1) as u32
-                    });
-                    let list = &mut rows_of[id as usize];
-                    if list.last() != Some(&(row_idx as u32)) {
-                        list.push(row_idx as u32);
+    for (row_idx, row) in rows.iter().enumerate() {
+        let cells_row = if row_idx < scratch.cells.len() {
+            &mut scratch.cells[row_idx]
+        } else {
+            scratch.cells.push(Vec::with_capacity(row.len()));
+            scratch.cells.last_mut().expect("just pushed")
+        };
+        for &s in row {
+            let id = match scratch.local.entry(s) {
+                std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let id = scratch.rep.len() as u32;
+                    scratch.rep.push(s);
+                    if scratch.rows_of.len() <= id as usize {
+                        scratch.rows_of.push(Vec::new());
                     }
+                    e.insert(id);
                     id
-                })
-                .collect()
-        })
-        .collect();
+                }
+            };
+            let list = &mut scratch.rows_of[id as usize];
+            if list.last() != Some(&(row_idx as u32)) {
+                list.push(row_idx as u32);
+            }
+            cells_row.push(id);
+        }
+    }
 
-    let mut classes = ClassTable {
-        uf: UnionFind::new(rep.len()),
-        rep,
-        rows_of,
-    };
-
-    // One lhs-key index per FD, mapping the class roots of a row's lhs
-    // columns to the leader row first seen with that key.
-    let mut indexes: Vec<HashMap<Vec<u32>, u32>> = vec![HashMap::new(); fd_columns.len()];
-    let mut queue: VecDeque<u32> = (0..num_rows as u32).collect();
-    let mut queued = vec![true; num_rows];
+    let mut uf = UnionFind::new(scratch.rep.len());
+    scratch.queue.extend(0..num_rows as u32);
 
     let mut steps = 0usize;
     let mut row_visits = 0usize;
 
-    while let Some(row) = queue.pop_front() {
-        queued[row as usize] = false;
+    while let Some(row) = scratch.queue.pop_front() {
+        scratch.queued[row as usize] = false;
         for (fd_idx, (lhs_cols, rhs_cols)) in fd_columns.iter().enumerate() {
             row_visits += 1;
-            let key: Vec<u32> = lhs_cols
-                .iter()
-                .map(|&c| classes.find(cells[row as usize][c]))
-                .collect();
-            let leader = match indexes[fd_idx].get(&key).copied() {
+            scratch.key_buf.clear();
+            for &c in lhs_cols {
+                scratch
+                    .key_buf
+                    .push(uf.find(scratch.cells[row as usize][c] as usize) as u32);
+            }
+            // Look up by slice; the key is cloned into the map only on the
+            // first sighting, so the per-(row, FD) visit allocates nothing
+            // once the index is warm.
+            let leader = match scratch.indexes[fd_idx]
+                .get(scratch.key_buf.as_slice())
+                .copied()
+            {
                 None => {
-                    indexes[fd_idx].insert(key, row);
+                    scratch.indexes[fd_idx].insert(scratch.key_buf.clone(), row);
                     continue;
                 }
                 Some(leader) => leader,
@@ -326,19 +414,27 @@ pub fn chase_tableau(tableau: &Tableau, fds: &[Fd], symbols: &SymbolTable) -> Ch
                 continue;
             }
             for &c in rhs_cols {
-                let a = cells[leader as usize][c];
-                let b = cells[row as usize][c];
-                match classes.merge(a, b, symbols) {
+                let a = scratch.cells[leader as usize][c];
+                let b = scratch.cells[row as usize][c];
+                match merge_classes(
+                    &mut uf,
+                    &mut scratch.rep,
+                    &mut scratch.rows_of,
+                    &mut scratch.moved,
+                    a,
+                    b,
+                    symbols,
+                ) {
                     Merge::Same => {}
                     Merge::Clash => {
                         return ChaseOutcome::inconsistent(steps, 1, row_visits);
                     }
-                    Merge::Merged(dirtied) => {
+                    Merge::Merged => {
                         steps += 1;
-                        for r in dirtied {
-                            if !queued[r as usize] {
-                                queued[r as usize] = true;
-                                queue.push_back(r);
+                        for &r in &scratch.moved {
+                            if !scratch.queued[r as usize] {
+                                scratch.queued[r as usize] = true;
+                                scratch.queue.push_back(r);
                             }
                         }
                     }
@@ -347,14 +443,13 @@ pub fn chase_tableau(tableau: &Tableau, fds: &[Fd], symbols: &SymbolTable) -> Ch
         }
     }
 
-    let chased = cells
+    let chased = scratch
+        .cells
         .iter()
+        .take(num_rows)
         .map(|row| {
             row.iter()
-                .map(|&id| {
-                    let root = classes.find(id);
-                    classes.rep[root as usize]
-                })
+                .map(|&id| scratch.rep[uf.find(id as usize)])
                 .collect()
         })
         .collect();
@@ -370,8 +465,19 @@ pub fn chase_tableau(tableau: &Tableau, fds: &[Fd], symbols: &SymbolTable) -> Ch
 /// Chases the padded tableau of `db` with `fds` over the union of the
 /// database's attributes (Honeyman's test), using the indexed engine.
 pub fn chase_fds(db: &Database, fds: &[Fd], symbols: &mut SymbolTable) -> ChaseOutcome {
+    chase_fds_with(db, fds, symbols, &mut ChaseScratch::default())
+}
+
+/// [`chase_fds`] with caller-provided reusable buffers (see
+/// [`ChaseScratch`]).
+pub fn chase_fds_with(
+    db: &Database,
+    fds: &[Fd],
+    symbols: &mut SymbolTable,
+    scratch: &mut ChaseScratch,
+) -> ChaseOutcome {
     let tableau = Tableau::from_database(db, symbols);
-    chase_tableau(&tableau, fds, symbols)
+    chase_tableau_with(&tableau, fds, symbols, scratch)
 }
 
 /// [`chase_fds`] on the full-rescan reference engine.
@@ -389,8 +495,20 @@ pub fn chase_fds_over(
     fds: &[Fd],
     symbols: &mut SymbolTable,
 ) -> ChaseOutcome {
+    chase_fds_over_with(db, attrs, fds, symbols, &mut ChaseScratch::default())
+}
+
+/// [`chase_fds_over`] with caller-provided reusable buffers (see
+/// [`ChaseScratch`]).
+pub fn chase_fds_over_with(
+    db: &Database,
+    attrs: &AttrSet,
+    fds: &[Fd],
+    symbols: &mut SymbolTable,
+    scratch: &mut ChaseScratch,
+) -> ChaseOutcome {
     let tableau = Tableau::from_database_over(db, attrs, symbols);
-    chase_tableau(&tableau, fds, symbols)
+    chase_tableau_with(&tableau, fds, symbols, scratch)
 }
 
 /// Renames fresh nulls to their first-occurrence index so chased rows can

@@ -17,8 +17,8 @@ use rand::{Rng, SeedableRng};
 
 use ps_base::{AttrSet, Attribute, Symbol, SymbolTable, Universe};
 use ps_relation::{
-    canonical_chase_rows, chase_fds, chase_fds_naive, fd_closure, Database, Fd, Mvd, Relation,
-    RelationScheme,
+    canonical_chase_rows, chase_fds, chase_fds_naive, chase_fds_with, fd_closure, ChaseScratch,
+    Database, Fd, Mvd, Relation, RelationScheme,
 };
 
 /// A random relation over `arity` attributes with `rows` candidate rows
@@ -323,6 +323,67 @@ proptest! {
         if let Some(w) = indexed.weak_instance("W", &db.all_attributes()) {
             prop_assert!(db.has_weak_instance(&w));
             prop_assert!(w.satisfies_all_fds(&fds));
+        }
+    }
+
+    /// Buffer reuse never changes results: chasing a sequence of random
+    /// databases through one shared [`ChaseScratch`] yields outcomes
+    /// identical — verdict, rows, and every counter — to fresh-allocation
+    /// runs, regardless of what the scratch held before.
+    #[test]
+    fn prop_chase_scratch_reuse_matches_fresh_runs(
+        seed in 0u64..10_000,
+        batches in 1usize..5,
+        rows in 1usize..6,
+        num_fds in 0usize..4,
+    ) {
+        let mut universe = Universe::new();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5C8A7C4);
+        let attrs: Vec<Attribute> = (0..4).map(|i| universe.attr(&format!("A{i}"))).collect();
+        let mut scratch = ChaseScratch::default();
+        for batch in 0..batches {
+            let mut symbols = SymbolTable::new();
+            let mut db = Database::new();
+            let relations = 1 + batch % 3;
+            for r in 0..relations {
+                let subset = random_attr_subset(&attrs, &mut rng);
+                let scheme = RelationScheme::new(format!("R{r}"), subset.clone());
+                let mut relation = Relation::new(scheme.clone());
+                for _ in 0..rows {
+                    let mut values = vec![Symbol::from_index(0); subset.len()];
+                    for a in subset.iter() {
+                        values[scheme.position(a).unwrap()] =
+                            symbols.symbol(&format!("a{}_v{}", a.index(), rng.gen_range(0..3)));
+                    }
+                    relation.insert_values(&values).unwrap();
+                }
+                db.add(relation);
+            }
+            let used: Vec<Attribute> = db.all_attributes().iter().collect();
+            let fds: Vec<Fd> = (0..num_fds)
+                .map(|_| {
+                    let lhs = used[rng.gen_range(0..used.len())];
+                    let rhs = used[rng.gen_range(0..used.len())];
+                    Fd::new(AttrSet::singleton(lhs), AttrSet::singleton(rhs))
+                })
+                .collect();
+
+            let mut s1 = symbols.clone();
+            let reused = chase_fds_with(&db, &fds, &mut s1, &mut scratch);
+            let mut s2 = symbols.clone();
+            let fresh = chase_fds(&db, &fds, &mut s2);
+            prop_assert_eq!(reused.consistent, fresh.consistent);
+            prop_assert_eq!(reused.steps, fresh.steps);
+            prop_assert_eq!(reused.rounds, fresh.rounds);
+            prop_assert_eq!(reused.row_visits, fresh.row_visits);
+            match (&reused.rows, &fresh.rows) {
+                (Some(a), Some(b)) => prop_assert_eq!(
+                    canonical_chase_rows(a, &s1),
+                    canonical_chase_rows(b, &s2)
+                ),
+                (None, None) => {}
+                _ => prop_assert!(false, "verdicts agree but rows differ in presence"),
+            }
         }
     }
 

@@ -15,7 +15,7 @@ use ps_lattice::{
     free_order, parse_equation, parse_term, Equation, ImplicationEngine, LatticeError, TermArena,
     TermId, TermNode,
 };
-use ps_relation::{Database, DatabaseBuilder, Fd, Relation};
+use ps_relation::{ChaseScratch, Database, DatabaseBuilder, Fd, Relation};
 
 use crate::{Counters, Error, Outcome, Result};
 
@@ -136,6 +136,10 @@ pub struct Session {
     /// the set modulo order, orientation and duplication.
     keys: HashMap<Vec<(u32, u32)>, usize>,
     totals: Counters,
+    /// Reusable chase buffers shared by every consistency-family query: a
+    /// warm session pays the lhs-index/worklist allocations once, not per
+    /// query (see [`ps_relation::ChaseScratch`]).
+    chase_scratch: ChaseScratch,
 }
 
 impl Session {
@@ -327,6 +331,15 @@ impl Session {
         self.totals
     }
 
+    /// Returns the cumulative [`Counters`] and resets them to zero — the
+    /// measurement-window primitive used by the `ps-bench` trajectory
+    /// runner to attribute counter totals to one workload at a time.
+    /// Cached engines and scratch buffers are untouched, so a warm session
+    /// stays warm across windows.
+    pub fn take_counters(&mut self) -> Counters {
+        std::mem::take(&mut self.totals)
+    }
+
     // ------------------------------------------------------------------
     // Implication family (Theorems 8, 9; Section 5.3).
     // ------------------------------------------------------------------
@@ -444,8 +457,12 @@ impl Session {
                     .closed
                     .as_ref()
                     .expect("closure just ensured");
-                let outcome =
-                    ps_core::consistency::consistent_with_closed(db, closed, &mut self.symbols);
+                let outcome = ps_core::consistency::consistent_with_closed_scratch(
+                    db,
+                    closed,
+                    &mut self.symbols,
+                    &mut self.chase_scratch,
+                );
                 counters.row_visits += outcome.chase.row_visits as u64;
                 ConsistencyAnswer {
                     consistent: outcome.consistent,
@@ -499,7 +516,12 @@ impl Session {
             .closed
             .as_ref()
             .expect("closure just ensured");
-        let outcome = ps_core::consistency::consistent_with_closed(db, closed, &mut self.symbols);
+        let outcome = ps_core::consistency::consistent_with_closed_scratch(
+            db,
+            closed,
+            &mut self.symbols,
+            &mut self.chase_scratch,
+        );
         counters.row_visits += outcome.chase.row_visits as u64;
         let witness = ps_core::weak_bridge::witness_from_consistency(outcome, &mut self.symbols)?;
         self.totals += counters;

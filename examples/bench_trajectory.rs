@@ -1,0 +1,71 @@
+//! Driving a `ps-bench` macro workload by hand and reading the work
+//! counters back from the session's `Outcome`s — the same measurement
+//! loop the `trajectory` binary runs at full scale.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example bench_trajectory
+//! ```
+//!
+//! The trajectory suite (`cargo run -p ps-bench --bin trajectory -- run`)
+//! measures the paper's five decision procedures on pinned workloads and
+//! writes a schema-versioned `BENCH_6.json`.  This example shrinks one of
+//! those workloads — the skewed warm-session implication mix — far enough
+//! to run in a second, and shows the two primitives everything else is
+//! built from: a seeded generator handing its interners to a `Session`,
+//! and `take_counters()` draining the session totals so a measurement
+//! window starts from zero.  See `docs/BENCHMARKS.md` for the methodology
+//! and how to add a workload of your own.
+
+use partition_semantics::prelude::*;
+use ps_bench as bench;
+
+fn main() {
+    // A miniature of the trajectory's `implication_skewed_mix` workload:
+    // 4 constraint sets over 12 attributes, 40 PDs each, and 60 goals
+    // whose target set is drawn with quadratic skew (set 0 hottest).
+    // Seeded, so every run sees the same sets and the same query stream.
+    let w = bench::skewed_query_mix(4, 12, 40, 30, 60, 6);
+
+    // The generator owns the interners the equations were parsed into;
+    // the session takes them over so the term ids keep meaning the same
+    // terms.  (`SymbolTable::new()` — this workload has no database.)
+    let mut session = Session::from_parts(w.universe, SymbolTable::new(), w.arena);
+    let sets: Vec<ConstraintSetId> = w
+        .sets
+        .iter()
+        .map(|pds| session.register(pds).unwrap())
+        .collect();
+
+    // Open the measurement window: drop whatever registration cost.
+    session.take_counters();
+
+    let mut entailed = 0usize;
+    for &(set_idx, goal) in &w.queries {
+        let outcome = session.implies(sets[set_idx], goal).unwrap();
+        entailed += usize::from(outcome.value);
+    }
+
+    // Close the window.  These are the numbers a `WorkloadRecord` carries
+    // in BENCH_6.json: strategy-independent work counts, not wall clock.
+    let counters = session.take_counters();
+    println!("{} of {} goals entailed", entailed, w.queries.len());
+    println!("rule_firings  {:>10}", counters.rule_firings);
+    println!("engine_hits   {:>10}", counters.engine_hits);
+    println!("engine_misses {:>10}", counters.engine_misses);
+
+    // The skew is what makes the cache story visible: every set's ALG
+    // engine is built on its first goal (a miss) and every later goal
+    // against the same set re-uses and incrementally extends it (a hit).
+    assert_eq!(counters.engine_misses, sets.len() as u64);
+    assert_eq!(
+        counters.engine_hits + counters.engine_misses,
+        w.queries.len() as u64
+    );
+    println!(
+        "warm-session hit rate: {}/{} queries found their engine cached",
+        counters.engine_hits,
+        w.queries.len()
+    );
+}
