@@ -3,9 +3,14 @@
 //! ```text
 //! trajectory run [--smoke] [--seed N] [--out PATH]   # run the pinned suite
 //! trajectory check PATH                              # schema-validate a report
-//! trajectory compare BASELINE CURRENT [--tolerance F]# diff two reports
+//! trajectory compare BASELINE CURRENT [--tolerance F] [--counters-only]
+//!                                                    # diff two reports
 //! trajectory self-check                              # verify the comparator
 //! ```
+//!
+//! `--counters-only` disables the wall-clock comparison entirely (the
+//! counters stay exact): the mode for diffing a committed baseline against
+//! a run on different hardware, where wall-clock is meaningless noise.
 //!
 //! Exit codes: `0` on success, `1` on regressions / invalid reports /
 //! usage errors — so CI can gate directly on `compare` and `check`.
@@ -19,7 +24,7 @@ fn usage() -> ExitCode {
         "usage:\n  \
          trajectory run [--smoke] [--seed N] [--out PATH]\n  \
          trajectory check PATH\n  \
-         trajectory compare BASELINE CURRENT [--tolerance F]\n  \
+         trajectory compare BASELINE CURRENT [--tolerance F] [--counters-only]\n  \
          trajectory self-check"
     );
     ExitCode::FAILURE
@@ -118,6 +123,7 @@ fn compare(args: &[String]) -> ExitCode {
     if paths != 2 {
         return usage();
     }
+    let mut counters_only = false;
     let mut positional = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -126,8 +132,12 @@ fn compare(args: &[String]) -> ExitCode {
                 Some(t) => tolerance = t,
                 None => return usage(),
             },
+            "--counters-only" => counters_only = true,
             other => positional.push(other.to_owned()),
         }
+    }
+    if counters_only {
+        tolerance = f64::INFINITY;
     }
     let (baseline, current) = (&positional[0], &positional[1]);
     let reports = load(baseline).and_then(|b| load(current).map(|c| (b, c)));
@@ -139,11 +149,12 @@ fn compare(args: &[String]) -> ExitCode {
         Ok((base, cur)) => {
             let regressions = TrajectoryReport::compare(&base, &cur, tolerance);
             if regressions.is_empty() {
-                eprintln!(
-                    "no regressions: {current} holds the line against {baseline} \
-                     (wall tolerance {:.0}%)",
-                    tolerance * 100.0
-                );
+                let wall = if tolerance.is_finite() {
+                    format!("wall tolerance {:.0}%", tolerance * 100.0)
+                } else {
+                    "wall-clock ignored".to_owned()
+                };
+                eprintln!("no regressions: {current} holds the line against {baseline} ({wall})");
                 ExitCode::SUCCESS
             } else {
                 eprintln!("{} regression(s):", regressions.len());

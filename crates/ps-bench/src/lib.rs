@@ -275,6 +275,93 @@ pub fn skewed_query_mix(
     }
 }
 
+/// One step of a live-mutation edit script (see [`mutation_workload`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditOp {
+    /// Add the pool PD at this index to the live set (a no-op if an equal
+    /// PD — same pair modulo orientation — is already present).
+    Add(usize),
+    /// Remove the pool PD at this index from the live set (a no-op if
+    /// absent).
+    Remove(usize),
+    /// Ask whether the live set implies the goal at this index of
+    /// [`MutationWorkload::goals`].
+    Query(usize),
+}
+
+/// A live constraint-set mutation workload: a PD pool, an initial prefix of
+/// it to register, a goal batch, and an interleaved add/remove/query edit
+/// script over them — the fixture behind the `mutation` trajectory workload
+/// and the differential mutation harness.
+pub struct MutationWorkload {
+    /// Attribute universe.
+    pub universe: Universe,
+    /// Term arena holding all expressions.
+    pub arena: TermArena,
+    /// The PD pool the script draws add/remove indices from.
+    pub pool: Vec<Equation>,
+    /// How many leading pool PDs form the initially registered set.
+    pub initial: usize,
+    /// The goal equations queried by [`EditOp::Query`] steps.
+    pub goals: Vec<Equation>,
+    /// The edit script.
+    pub script: Vec<EditOp>,
+}
+
+/// Builds a [`MutationWorkload`]: `pool_pds` random PDs (the first
+/// `initial_pds` of them are the starting set), `num_goals` random goals,
+/// and a `script_len`-step script mixing queries (~40%), additions (~35%)
+/// and removals (~25%) with indices drawn uniformly from the pool.
+/// Deterministic in `seed`.
+pub fn mutation_workload(
+    num_attrs: usize,
+    pool_pds: usize,
+    initial_pds: usize,
+    budget: usize,
+    num_goals: usize,
+    script_len: usize,
+    seed: u64,
+) -> MutationWorkload {
+    assert!(num_attrs >= 2 && pool_pds >= 1 && initial_pds <= pool_pds && num_goals >= 1);
+    let mut universe = Universe::new();
+    let mut arena = TermArena::new();
+    let attrs: Vec<Attribute> = (0..num_attrs)
+        .map(|i| universe.attr(&format!("A{i}")))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let random_equation = |arena: &mut TermArena, rng: &mut StdRng| {
+        let lhs = random_term(arena, &attrs, budget, rng);
+        let rhs = random_term(arena, &attrs, budget, rng);
+        Equation::new(lhs, rhs)
+    };
+    let pool: Vec<Equation> = (0..pool_pds)
+        .map(|_| random_equation(&mut arena, &mut rng))
+        .collect();
+    let goals: Vec<Equation> = (0..num_goals)
+        .map(|_| random_equation(&mut arena, &mut rng))
+        .collect();
+    let script: Vec<EditOp> = (0..script_len)
+        .map(|_| {
+            let roll: f64 = rng.gen_range(0.0..1.0);
+            if roll < 0.40 {
+                EditOp::Query(rng.gen_range(0..goals.len()))
+            } else if roll < 0.75 {
+                EditOp::Add(rng.gen_range(0..pool.len()))
+            } else {
+                EditOp::Remove(rng.gen_range(0..pool.len()))
+            }
+        })
+        .collect();
+    MutationWorkload {
+        universe,
+        arena,
+        pool,
+        initial: initial_pds,
+        goals,
+        script,
+    }
+}
+
 /// A random FD workload (experiment E2).
 pub struct FdWorkload {
     /// Attribute universe.
@@ -656,6 +743,31 @@ mod tests {
             word_problem::entails(&w.arena, &w.equations, w.goal, Algorithm::Worklist),
             word_problem::entails(&w.arena, &w.equations, w.goal, Algorithm::NaiveFixpoint)
         );
+    }
+
+    #[test]
+    fn mutation_workload_scripts_cover_all_op_kinds() {
+        let w = mutation_workload(6, 10, 4, 4, 6, 60, 11);
+        assert_eq!(w.pool.len(), 10);
+        assert!(w.initial <= w.pool.len());
+        let (mut adds, mut removes, mut queries) = (0, 0, 0);
+        for op in &w.script {
+            match *op {
+                EditOp::Add(i) => {
+                    assert!(i < w.pool.len());
+                    adds += 1;
+                }
+                EditOp::Remove(i) => {
+                    assert!(i < w.pool.len());
+                    removes += 1;
+                }
+                EditOp::Query(g) => {
+                    assert!(g < w.goals.len());
+                    queries += 1;
+                }
+            }
+        }
+        assert!(adds > 0 && removes > 0 && queries > 0);
     }
 
     #[test]

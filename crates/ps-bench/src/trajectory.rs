@@ -20,7 +20,7 @@
 use std::time::Instant;
 
 use ps_lattice::BitMatrix;
-use ps_session::{ConsistencyMode, Counters, Session};
+use ps_session::{ConsistencyMode, Counters, Epoch, Session};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -30,7 +30,7 @@ use crate::json::Json;
 pub const SCHEMA_VERSION: u64 = 1;
 
 /// The bench id stamped into reports produced by this crate version.
-pub const BENCH_ID: &str = "BENCH_6";
+pub const BENCH_ID: &str = "BENCH_7";
 
 /// The procedures a full report must cover (one per decision procedure of
 /// the paper: Theorems 9, 10, 12, 11 and 4 respectively).
@@ -48,8 +48,8 @@ pub struct WorkloadRecord {
     /// Unique workload name (the comparator joins on it).
     pub name: String,
     /// Which decision procedure the workload exercises (one of
-    /// [`REQUIRED_PROCEDURES`], or `"hot_path"` for the optimization
-    /// micro-suites).
+    /// [`REQUIRED_PROCEDURES`], `"hot_path"` for the optimization
+    /// micro-suites, or `"mutation"` for the live-edit A/B workload).
     pub procedure: String,
     /// Work items processed (queries, tuples or operations — per-workload
     /// unit, documented in `docs/BENCHMARKS.md`).
@@ -75,7 +75,7 @@ pub struct TrajectoryReport {
     /// Schema version ([`SCHEMA_VERSION`] for reports written by this
     /// crate).
     pub schema_version: u64,
-    /// The bench id (`"BENCH_6"` for this PR's pinned suite).
+    /// The bench id (`"BENCH_7"` for this PR's pinned suite).
     pub bench_id: String,
     /// `rustc --version` of the producing toolchain (`"unknown"` when
     /// unavailable).
@@ -108,6 +108,7 @@ impl WorkloadRecord {
                         "engine_misses",
                         Json::Num(self.counters.engine_misses as f64),
                     ),
+                    ("epoch", Json::Num(self.counters.epoch.value() as f64)),
                 ]),
             ),
         ];
@@ -155,6 +156,12 @@ impl WorkloadRecord {
                 row_visits: counter_field("row_visits")?,
                 engine_hits: counter_field("engine_hits")?,
                 engine_misses: counter_field("engine_misses")?,
+                // Reports older than BENCH_7 predate the epoch counter.
+                epoch: counters
+                    .get("epoch")
+                    .and_then(Json::as_u64)
+                    .map(Epoch::new)
+                    .unwrap_or_default(),
             },
             baseline_wall_ns: match json.get("baseline_wall_ns") {
                 None => None,
@@ -264,8 +271,9 @@ impl TrajectoryReport {
             if !w.throughput.is_finite() || w.throughput < 0.0 {
                 return Err(format!("workload {:?} has invalid throughput", w.name));
             }
-            let known =
-                w.procedure == "hot_path" || REQUIRED_PROCEDURES.contains(&w.procedure.as_str());
+            let known = w.procedure == "hot_path"
+                || w.procedure == "mutation"
+                || REQUIRED_PROCEDURES.contains(&w.procedure.as_str());
             if !known {
                 return Err(format!(
                     "workload {:?} has unknown procedure {:?}",
@@ -376,6 +384,7 @@ pub fn self_check() -> Result<(), String> {
             row_visits: 10,
             engine_hits: 5,
             engine_misses: 1,
+            epoch: Epoch::new(2),
         },
         baseline_wall_ns: None,
         speedup: None,
@@ -433,6 +442,11 @@ struct SuiteScale {
     bitmatrix_ops: usize,
     chase_rows: usize,
     chase_reps: usize,
+    mutation_attrs: usize,
+    mutation_pool: usize,
+    mutation_initial: usize,
+    mutation_goals: usize,
+    mutation_script: usize,
 }
 
 impl SuiteScale {
@@ -455,6 +469,11 @@ impl SuiteScale {
             bitmatrix_ops: 30_000,
             chase_rows: 400,
             chase_reps: 400,
+            mutation_attrs: 16,
+            mutation_pool: 60,
+            mutation_initial: 30,
+            mutation_goals: 40,
+            mutation_script: 400,
         }
     }
 
@@ -478,6 +497,11 @@ impl SuiteScale {
             bitmatrix_ops: 600,
             chase_rows: 40,
             chase_reps: 12,
+            mutation_attrs: 8,
+            mutation_pool: 14,
+            mutation_initial: 7,
+            mutation_goals: 10,
+            mutation_script: 48,
         }
     }
 }
@@ -819,6 +843,122 @@ fn run_chase_hot_path(s: &SuiteScale, seed: u64) -> WorkloadRecord {
     rec
 }
 
+/// Live mutation A/B: one random edit script (interleaved
+/// add_pd/remove_pd/implies), answered twice.  The measured leg mutates one
+/// live handle — additions re-saturate the cached engine incrementally, the
+/// dependency tracker keeps removals to the minimum cut.  The baseline leg
+/// is the pre-mutation-API discipline: re-register the evolved set after
+/// every effective edit, so each distinct state starts from a cold engine.
+/// Both legs must produce identical query verdicts, and the incremental leg
+/// must not fire more rules than the re-register leg.
+fn run_mutation(s: &SuiteScale, seed: u64) -> WorkloadRecord {
+    let w = crate::mutation_workload(
+        s.mutation_attrs,
+        s.mutation_pool,
+        s.mutation_initial,
+        3,
+        s.mutation_goals,
+        s.mutation_script,
+        seed ^ 0x387,
+    );
+    let same_pd = |a: ps_lattice::Equation, b: ps_lattice::Equation| {
+        (a.lhs == b.lhs && a.rhs == b.rhs) || (a.lhs == b.rhs && a.rhs == b.lhs)
+    };
+    let baseline_universe = w.universe.clone();
+    let baseline_arena = w.arena.clone();
+
+    // Incremental leg: one live handle, edits mutate it in place.
+    let mut live = Session::from_parts(w.universe, ps_base::SymbolTable::new(), w.arena);
+    let set = live
+        .register(&w.pool[..w.initial])
+        .expect("generated PDs are valid");
+    live.take_counters();
+    let mut live_verdicts = Vec::new();
+    let start = Instant::now();
+    for &op in &w.script {
+        match op {
+            crate::EditOp::Add(i) => {
+                live.add_pd(set, w.pool[i]).expect("valid mutation");
+            }
+            crate::EditOp::Remove(i) => {
+                live.remove_pd(set, w.pool[i]).expect("valid mutation");
+            }
+            crate::EditOp::Query(g) => {
+                live_verdicts.push(live.implies(set, w.goals[g]).expect("valid query").value);
+            }
+        }
+    }
+    let wall = start.elapsed().as_nanos() as u64;
+    let counters = live.take_counters();
+
+    // Baseline leg: maintain the evolving set by hand and re-register it
+    // after every effective edit (every distinct state is a cold handle).
+    let mut cold = Session::from_parts(
+        baseline_universe,
+        ps_base::SymbolTable::new(),
+        baseline_arena,
+    );
+    let mut current: Vec<ps_lattice::Equation> = w.pool[..w.initial].to_vec();
+    let mut cold_set = cold.register(&current).expect("generated PDs are valid");
+    cold.take_counters();
+    let mut cold_verdicts = Vec::new();
+    let start = Instant::now();
+    for &op in &w.script {
+        match op {
+            crate::EditOp::Add(i) => {
+                let pd = w.pool[i];
+                if !current.iter().any(|&p| same_pd(p, pd)) {
+                    current.push(pd);
+                    cold_set = cold.register(&current).expect("valid re-registration");
+                }
+            }
+            crate::EditOp::Remove(i) => {
+                let pd = w.pool[i];
+                let before = current.len();
+                current.retain(|&p| !same_pd(p, pd));
+                if current.len() < before {
+                    cold_set = cold.register(&current).expect("valid re-registration");
+                }
+            }
+            crate::EditOp::Query(g) => {
+                cold_verdicts.push(
+                    cold.implies(cold_set, w.goals[g])
+                        .expect("valid query")
+                        .value,
+                );
+            }
+        }
+    }
+    let baseline_wall = start.elapsed().as_nanos() as u64;
+    let baseline_counters = cold.take_counters();
+    assert_eq!(
+        live_verdicts, cold_verdicts,
+        "incremental edits and re-registration must agree on every verdict"
+    );
+    assert!(
+        counters.rule_firings <= baseline_counters.rule_firings,
+        "incremental edits must not fire more rules than re-registration \
+         ({} vs {})",
+        counters.rule_firings,
+        baseline_counters.rule_firings
+    );
+
+    let mut rec = record(
+        "mutation_edit_script",
+        "mutation",
+        w.script.len() as u64,
+        wall,
+        counters,
+    );
+    rec.baseline_wall_ns = Some(baseline_wall);
+    rec.speedup = if wall > 0 {
+        Some(baseline_wall as f64 / wall as f64)
+    } else {
+        None
+    };
+    rec
+}
+
 /// `rustc --version` of the building toolchain, or `"unknown"`.
 pub fn toolchain_info() -> String {
     std::process::Command::new("rustc")
@@ -844,9 +984,10 @@ pub fn commit_info() -> String {
         .unwrap_or_else(|| "unknown".to_owned())
 }
 
-/// Runs the pinned suite — all five decision procedures plus the two
-/// hot-path micro-suites — and packages the report.  Counters in the
-/// result are deterministic in `(smoke, seed)`; wall-clock fields are not.
+/// Runs the pinned suite — all five decision procedures, the two hot-path
+/// micro-suites and the live-mutation A/B — and packages the report.
+/// Counters in the result are deterministic in `(smoke, seed)`; wall-clock
+/// fields are not.
 pub fn run_suite(smoke: bool, seed: u64) -> TrajectoryReport {
     let s = if smoke {
         SuiteScale::smoke()
@@ -861,6 +1002,7 @@ pub fn run_suite(smoke: bool, seed: u64) -> TrajectoryReport {
         run_connectivity(&s, seed),
         run_bitmatrix_hot_path(&s, seed),
         run_chase_hot_path(&s, seed),
+        run_mutation(&s, seed),
     ];
     TrajectoryReport {
         schema_version: SCHEMA_VERSION,

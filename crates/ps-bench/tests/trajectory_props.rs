@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use ps_bench::trajectory::{
     TrajectoryReport, WorkloadRecord, BENCH_ID, REQUIRED_PROCEDURES, SCHEMA_VERSION,
 };
-use ps_session::Counters;
+use ps_session::{Counters, Epoch};
 
 /// JSON-stressing strings: the palette deliberately includes quotes,
 /// backslashes, control characters and a non-ASCII scalar, all of which
@@ -24,7 +24,13 @@ fn arb_record() -> impl Strategy<Value = WorkloadRecord> {
         arb_name(),
         0usize..=REQUIRED_PROCEDURES.len(),
         (1u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
-        (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
+        (
+            0u64..1 << 40,
+            0u64..1 << 40,
+            0u64..1 << 40,
+            0u64..1 << 40,
+            0u64..1 << 40,
+        ),
     )
         .prop_map(|(name, proc_idx, (scale, wall_ns, baseline), c)| {
             let procedure = REQUIRED_PROCEDURES
@@ -45,6 +51,7 @@ fn arb_record() -> impl Strategy<Value = WorkloadRecord> {
                     row_visits: c.1,
                     engine_hits: c.2,
                     engine_misses: c.3,
+                    epoch: Epoch::new(c.4),
                 },
                 baseline_wall_ns,
                 speedup,

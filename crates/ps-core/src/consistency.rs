@@ -75,6 +75,10 @@ pub struct NormalizedConstraints {
     /// The definitional attributes introduced for compound subexpressions,
     /// together with the subexpression they name.
     pub definitions: Vec<(Attribute, ps_lattice::TermId)>,
+    /// The original PDs this normalization was computed from — provenance
+    /// for the invalidation hooks ([`ClosedConstraints::depends_on`],
+    /// [`ClosedConstraints::is_current_for`]) of mutable-set callers.
+    pub source_pds: Vec<Equation>,
 }
 
 fn push_fd(fds: &mut Vec<Fd>, lhs: AttrSet, rhs: AttrSet) {
@@ -111,7 +115,10 @@ pub fn normalize_pds(
     arena: &mut TermArena,
     universe: &mut Universe,
 ) -> NormalizedConstraints {
-    let mut out = NormalizedConstraints::default();
+    let mut out = NormalizedConstraints {
+        source_pds: pds.to_vec(),
+        ..NormalizedConstraints::default()
+    };
     let mut attr_of: HashMap<ps_lattice::TermId, Attribute> = HashMap::new();
 
     // Recursively assign an attribute to a term, emitting the definitional
@@ -218,6 +225,50 @@ pub struct ClosedConstraints {
     pub sums: Vec<SumConstraint>,
     /// The extended attribute universe `U′`.
     pub attributes: AttrSet,
+    /// The original PDs the closure was computed from (copied through from
+    /// [`NormalizedConstraints::source_pds`]) — the provenance behind the
+    /// invalidation hooks below.
+    pub source_pds: Vec<Equation>,
+}
+
+/// Orientation-normalized term-id pair of a PD — the invalidation unit:
+/// `l = r` and `r = l` are the same constraint, so dependency checks
+/// compare unordered pairs of hash-consed term ids.
+fn pd_pair(pd: Equation) -> (u32, u32) {
+    let (a, b) = (pd.lhs.index(), pd.rhs.index());
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+fn pair_set(pds: &[Equation]) -> Vec<(u32, u32)> {
+    let mut pairs: Vec<(u32, u32)> = pds.iter().map(|&pd| pd_pair(pd)).collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+impl ClosedConstraints {
+    /// Invalidation hook: does this closure depend on `pd`?  Removing a PD
+    /// the closure never consumed cannot change it (the closure is a
+    /// function of its source set), so callers caching a
+    /// [`ClosedConstraints`] only need to rebuild when this answers `true`.
+    /// Matching is modulo orientation (`l = r` ≡ `r = l`).
+    pub fn depends_on(&self, pd: Equation) -> bool {
+        let pair = pd_pair(pd);
+        self.source_pds.iter().any(|&p| pd_pair(p) == pair)
+    }
+
+    /// Invalidation hook: is this closure exactly the closure of `pds`?
+    /// Compares the source set modulo order, orientation and duplicates —
+    /// the same equivalence the session layer keys constraint sets by — so
+    /// a cached closure can be revalidated after mutations without being
+    /// recomputed.
+    pub fn is_current_for(&self, pds: &[Equation]) -> bool {
+        pair_set(&self.source_pds) == pair_set(pds)
+    }
 }
 
 /// Computes `E⁺` from a normalized constraint set: adds every derivable
@@ -296,6 +347,7 @@ pub fn close_constraints_with(
         fds,
         sums,
         attributes: normalized.attributes.clone(),
+        source_pds: normalized.source_pds.clone(),
     }
 }
 
@@ -636,6 +688,29 @@ mod tests {
             &closed.fds,
             &ps_relation::fd(&[c], &[b])
         ));
+    }
+
+    #[test]
+    fn closure_invalidation_hooks_track_source_pds() {
+        let mut f = fixture();
+        let a_fd = parse_equation("A = A*B", &mut f.universe, &mut f.arena).unwrap();
+        let sum = parse_equation("C = A+B", &mut f.universe, &mut f.arena).unwrap();
+        let unrelated = parse_equation("D = D*E", &mut f.universe, &mut f.arena).unwrap();
+        let normalized = normalize_pds(&[a_fd, sum], &mut f.arena, &mut f.universe);
+        assert_eq!(normalized.source_pds, vec![a_fd, sum]);
+        let closed = close_constraints(&normalized, &mut f.arena, Algorithm::Worklist);
+
+        // Dependency is modulo orientation; PDs never consumed don't count.
+        let flipped = Equation::new(a_fd.rhs, a_fd.lhs);
+        assert!(closed.depends_on(a_fd));
+        assert!(closed.depends_on(flipped));
+        assert!(!closed.depends_on(unrelated));
+
+        // Currency is modulo order, orientation and duplicates.
+        assert!(closed.is_current_for(&[a_fd, sum]));
+        assert!(closed.is_current_for(&[sum, flipped, a_fd]));
+        assert!(!closed.is_current_for(&[a_fd]));
+        assert!(!closed.is_current_for(&[a_fd, sum, unrelated]));
     }
 
     #[test]

@@ -565,6 +565,67 @@ impl ImplicationEngine {
         added
     }
 
+    /// Appends `new_equations` to the constraint set `E` and re-saturates
+    /// incrementally: each new equation's subterms join `V`, its rule-6 arcs
+    /// are seeded against the already-saturated closure, and the worklist
+    /// drains only the affected frontier.  Saturation is monotone in `E`
+    /// (adding an equation can only grow `Γ`), so the closure over the old
+    /// set is reused, never recomputed — the same discipline
+    /// [`ImplicationEngine::add_goal_terms`] applies to `V` growth.
+    ///
+    /// Returns the number of arcs the extension inserted (the incremental
+    /// re-saturation delta, in the same unit as
+    /// [`ImplicationEngine::rule_firings`]); `0` means every new equation
+    /// was already entailed.  Compare the delta against a fresh
+    /// [`ImplicationEngine::new`] over the grown set to see the saving: the
+    /// fresh build re-fires every old arc, the extension fires only new
+    /// ones.
+    pub fn add_equations(&mut self, arena: &TermArena, new_equations: &[Equation]) -> usize {
+        let before = self.rule_firings;
+        let roots: Vec<TermId> = new_equations
+            .iter()
+            .flat_map(|eq| [eq.lhs, eq.rhs])
+            .collect();
+        self.add_terms(arena, &roots);
+        for eq in new_equations {
+            self.equations.push(*eq);
+            let (i, j) = (self.dense[&eq.lhs], self.dense[&eq.rhs]);
+            self.insert_arc(i, j);
+            self.insert_arc(j, i);
+        }
+        self.saturate();
+        self.rule_firings - before
+    }
+
+    /// Retracts equations from `E` (matched modulo orientation) by
+    /// rebuilding.  Retraction is non-monotone: an arc contributed by a
+    /// removed equation cannot be identified after the fact (other equations
+    /// may independently re-derive it), so the only sound path is a fresh
+    /// saturation of the remaining set.  The rebuild also keeps `V` minimal
+    /// again — goal terms added by earlier queries are dropped together with
+    /// every arc that mentions them — and restarts the
+    /// [`ImplicationEngine::rule_firings`] / [`ImplicationEngine::row_ops`]
+    /// counters with it.
+    ///
+    /// Returns the number of equations removed; `0` leaves the engine (and
+    /// its counters) untouched.
+    pub fn retract_equations(&mut self, arena: &TermArena, removed: &[Equation]) -> usize {
+        let matches = |eq: &Equation, r: &Equation| {
+            (eq.lhs == r.lhs && eq.rhs == r.rhs) || (eq.lhs == r.rhs && eq.rhs == r.lhs)
+        };
+        let remaining: Vec<Equation> = self
+            .equations
+            .iter()
+            .copied()
+            .filter(|eq| !removed.iter().any(|r| matches(eq, r)))
+            .collect();
+        let removed_count = self.equations.len() - remaining.len();
+        if removed_count > 0 {
+            *self = ImplicationEngine::new(arena, &remaining);
+        }
+        removed_count
+    }
+
     /// Whether `lhs ≤_E rhs` is derivable.  Same [`Option`
     /// contract](DerivedOrder::leq) as the reference order: `None` means the
     /// term is outside `V` (asserted in debug builds) — extend `V` first with
@@ -1323,5 +1384,69 @@ mod tests {
         let order = DerivedOrder::build(&f.arena, &e, &[a, b, c], Algorithm::Worklist);
         assert_eq!(order.num_arcs(), engine.num_arcs());
         assert_eq!(order.rule_firings(), order.num_arcs());
+    }
+
+    #[test]
+    fn add_equations_matches_a_fresh_build_and_pays_only_the_delta() {
+        let mut f = Fixture::new();
+        let base = vec![f.eq("A=A*B"), f.eq("C=A+B")];
+        let extra = vec![f.eq("B=B*D"), f.eq("D=D*E")];
+        let goals = vec![
+            f.eq("A=A*D"), // needs both extras on top of the base.
+            f.eq("A=A*E"), // transitivity through the extras.
+            f.eq("A+B=C"), // already held before the extension.
+            f.eq("E=E*A"), // never holds.
+        ];
+
+        let mut incremental = ImplicationEngine::new(&f.arena, &base);
+        // Warm the engine with goal terms first, as a live session would.
+        let warm_verdicts = incremental.entails_many(&f.arena, &goals);
+        assert_eq!(warm_verdicts, vec![false, false, true, false]);
+        let build_firings = incremental.rule_firings();
+        let delta = incremental.add_equations(&f.arena, &extra);
+        assert_eq!(incremental.rule_firings(), build_firings + delta);
+
+        let mut grown = base.clone();
+        grown.extend_from_slice(&extra);
+        let mut fresh = ImplicationEngine::new(&f.arena, &grown);
+        assert_eq!(
+            incremental.entails_many(&f.arena, &goals),
+            fresh.entails_many(&f.arena, &goals),
+        );
+        assert_eq!(incremental.equations(), &grown[..]);
+        // The extension pays strictly less than the fresh build, which
+        // re-fires every old arc on top of the delta.
+        assert!(
+            delta < fresh.rule_firings(),
+            "extension delta {delta} must undercut the fresh build's {}",
+            fresh.rule_firings()
+        );
+        // An already-entailed equation inserts nothing new.
+        let noop = f.eq("A*B=A");
+        assert_eq!(incremental.add_equations(&f.arena, &[noop]), 0);
+    }
+
+    #[test]
+    fn retract_equations_rebuilds_to_the_remaining_set() {
+        let mut f = Fixture::new();
+        let e = vec![f.eq("A=A*B"), f.eq("B=B*C"), f.eq("D=A+C")];
+        let goal_through_b = f.eq("A=A*C");
+        let mut engine = ImplicationEngine::new(&f.arena, &e);
+        assert!(engine.entails_goal(&f.arena, goal_through_b));
+
+        // Retract matches modulo orientation and drops goal-term growth.
+        let flipped = Equation::new(e[1].rhs, e[1].lhs);
+        assert_eq!(engine.retract_equations(&f.arena, &[flipped]), 1);
+        assert_eq!(engine.equations(), &[e[0], e[2]][..]);
+        let mut reference = ImplicationEngine::new(&f.arena, &[e[0], e[2]]);
+        assert_eq!(engine.num_arcs(), reference.num_arcs());
+        assert!(!engine.entails_goal(&f.arena, goal_through_b));
+        assert!(!reference.entails_goal(&f.arena, goal_through_b));
+
+        // Retracting something absent is a free no-op.
+        let absent = f.eq("A=A*E");
+        let arcs = engine.num_arcs();
+        assert_eq!(engine.retract_equations(&f.arena, &[absent]), 0);
+        assert_eq!(engine.num_arcs(), arcs);
     }
 }

@@ -22,9 +22,16 @@
 //! | Theorems 6, 7 — weak-instance satisfiability | [`Session::weak_instance`] |
 //! | Example e / Theorem 4 — connectivity | [`Session::connected_components`] |
 //!
+//! Registered sets are *live*: [`Session::add_pd`] / [`Session::add_pds`] /
+//! [`Session::remove_pd`] mutate a set behind its handle.  Each mutation
+//! bumps the set's [`Epoch`] and a dependency tracker invalidates only the
+//! cached artifacts that consumed the edited PD — additions re-saturate the
+//! cached engine incrementally instead of rebuilding it.
+//!
 //! Every query returns an [`Outcome`] carrying the typed answer plus
 //! strategy-independent [`Counters`] (rule firings, row visits, engine
-//! cache hits/misses), and every failure is the single unified [`Error`].
+//! cache hits/misses, and the [`Epoch`] the query ran at), and every
+//! failure is the single unified [`Error`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,7 +41,7 @@ mod outcome;
 mod session;
 
 pub use error::{Error, Result};
-pub use outcome::{Counters, Outcome};
+pub use outcome::{Counters, Epoch, Outcome};
 pub use session::{
     ConsistencyAnswer, ConsistencyMode, ConstraintSetId, Session, SessionDatabaseBuilder,
 };

@@ -1,6 +1,44 @@
 //! Typed query results: an answer plus strategy-independent counters.
 
+use std::fmt;
 use std::ops::AddAssign;
+
+/// A per-constraint-set mutation epoch.
+///
+/// Every successful [`crate::Session::add_pd`] / [`crate::Session::add_pds`]
+/// / [`crate::Session::remove_pd`] bumps the target set's epoch by one; a
+/// set that has never been mutated sits at epoch 0.  The epoch is the
+/// consistency token of the invalidation protocol: every cached artifact
+/// carries the epoch at which it was last built or revalidated, and a query
+/// only consults artifacts stamped with the set's *current* epoch — so an
+/// answer can never mix state from before and after a mutation.  The epoch
+/// a query ran at is reported in [`Counters::epoch`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Epoch(u64);
+
+impl Epoch {
+    /// Wraps a raw epoch number (for report deserialization and tests;
+    /// live epochs come from [`crate::Session::epoch`]).
+    pub fn new(value: u64) -> Self {
+        Epoch(value)
+    }
+
+    /// The raw epoch number.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Advances to the next epoch (one bump per successful mutation).
+    pub(crate) fn bump(&mut self) {
+        self.0 += 1;
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
 
 /// Strategy-independent work counters attached to every session answer and
 /// accumulated session-wide (see [`crate::Session::counters`]).
@@ -15,8 +53,16 @@ use std::ops::AddAssign;
 ///   cell assignments tried by the exact CAD search and rows walked by the
 ///   connectivity evaluator;
 /// * `engine_hits` / `engine_misses` — whether the query found its
-///   constraint set's cached artifacts (implication engine or closed
-///   constraint system) already built.
+///   constraint set's cached artifacts (implication engine, closed
+///   constraint system or CAD FPD view) already built *and* current for
+///   the set's epoch (an incremental engine extension after `add_pd`
+///   counts as a hit: the cache was reused, only the delta was paid);
+/// * `epoch` — the target set's mutation [`Epoch`] at the time the query
+///   ran.  Every artifact the query consulted was stamped with this same
+///   epoch, so equal epochs across an answer certify that no partially
+///   invalidated state was observed.  Unlike the work counters the epoch
+///   is a version, not a quantity: accumulation keeps the newest epoch
+///   observed instead of summing.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counters {
     /// ALG rule firings (derived-order arc insertions).
@@ -27,6 +73,9 @@ pub struct Counters {
     pub engine_hits: u64,
     /// Queries that had to build (and cache) an engine or closure.
     pub engine_misses: u64,
+    /// Mutation epoch of the target set when the query ran ([`Epoch::default`]
+    /// for set-independent queries such as identity and connectivity).
+    pub epoch: Epoch,
 }
 
 impl AddAssign for Counters {
@@ -35,6 +84,8 @@ impl AddAssign for Counters {
         self.row_visits += rhs.row_visits;
         self.engine_hits += rhs.engine_hits;
         self.engine_misses += rhs.engine_misses;
+        // Epochs are versions, not work: keep the newest one observed.
+        self.epoch = self.epoch.max(rhs.epoch);
     }
 }
 
@@ -81,17 +132,23 @@ mod tests {
             row_visits: 5,
             engine_hits: 1,
             engine_misses: 0,
+            epoch: Epoch::new(2),
         };
         total += Counters {
             rule_firings: 2,
             row_visits: 0,
             engine_hits: 0,
             engine_misses: 1,
+            epoch: Epoch::new(1),
         };
         assert_eq!(total.rule_firings, 5);
         assert_eq!(total.row_visits, 5);
         assert_eq!(total.engine_hits, 1);
         assert_eq!(total.engine_misses, 1);
+        // The newest epoch wins; epochs are never summed.
+        assert_eq!(total.epoch, Epoch::new(2));
+        assert_eq!(total.epoch.value(), 2);
+        assert_eq!(total.epoch.to_string(), "2");
 
         let outcome = Outcome::new(21usize, total).map(|v| v * 2);
         assert_eq!(outcome.value, 42);

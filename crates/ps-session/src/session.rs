@@ -17,7 +17,7 @@ use ps_lattice::{
 };
 use ps_relation::{ChaseScratch, Database, DatabaseBuilder, Fd, Relation};
 
-use crate::{Counters, Error, Outcome, Result};
+use crate::{Counters, Epoch, Error, Outcome, Result};
 
 /// A handle to a constraint set registered with [`Session::register`].
 ///
@@ -26,6 +26,11 @@ use crate::{Counters, Error, Outcome, Result};
 /// system behind the handle.  Registering an equal set (same equations up to
 /// order, orientation and duplication) returns the *same* handle, so all
 /// cached artifacts are shared.
+///
+/// Handles stay live across mutations: [`Session::add_pd`] /
+/// [`Session::remove_pd`] evolve the set in place, bumping its [`Epoch`]
+/// and invalidating only the cached artifacts that depended on the edited
+/// PD (see [`Session::artifact_epochs`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ConstraintSetId(u32);
 
@@ -83,16 +88,116 @@ pub struct ConsistencyAnswer {
     pub interpretation: Option<PartitionInterpretation>,
 }
 
-/// One registered constraint set and its lazily built, cached artifacts.
+/// The orientation-normalized term-id pair of a PD — the unit the
+/// dependency tracker and the registration key both work in: `l = r` and
+/// `r = l` are the same constraint, and hash-consing makes structurally
+/// equal terms share ids.
+fn normalized_pair(pd: Equation) -> (u32, u32) {
+    let (a, b) = (pd.lhs.index(), pd.rhs.index());
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// The normalized-set cache key: sorted, deduplicated pairs — syntactic
+/// equality of the set modulo order, orientation and duplication.
+fn normalized_key(pds: &[Equation]) -> Vec<(u32, u32)> {
+    let mut key: Vec<(u32, u32)> = pds.iter().map(|&pd| normalized_pair(pd)).collect();
+    key.sort_unstable();
+    key.dedup();
+    key
+}
+
+/// The dependency tracker's record for one cached artifact: which PDs the
+/// artifact consumed when it was built or last refreshed (as sorted
+/// normalized pairs) and the [`Epoch`] at which it was last certified
+/// current.  `remove_pd` consults `depends_on` to invalidate the minimum
+/// cut; the `ensure_*` functions consult `is_current` / `is_subset_of` to
+/// decide between reuse, incremental extension and rebuild.
+#[derive(Debug, Clone, Default)]
+struct ArtifactDeps {
+    /// Normalized pairs of the PDs the artifact was built from (sorted).
+    pairs: Vec<(u32, u32)>,
+    /// Epoch stamped at the last build or revalidation.
+    epoch: Epoch,
+}
+
+impl ArtifactDeps {
+    /// Did the artifact consume this PD?  (If not, removing the PD cannot
+    /// change the artifact.)
+    fn depends_on(&self, pair: (u32, u32)) -> bool {
+        self.pairs.binary_search(&pair).is_ok()
+    }
+
+    /// Is the artifact built from exactly the current set?
+    fn is_current(&self, key: &[(u32, u32)]) -> bool {
+        self.pairs == key
+    }
+
+    /// Is every consumed PD still in the current set?  (True after pure
+    /// additions: the artifact is extendable rather than poisoned.)
+    fn is_subset_of(&self, key: &[(u32, u32)]) -> bool {
+        self.pairs.iter().all(|p| key.binary_search(p).is_ok())
+    }
+
+    /// Marks the artifact current for `key` at `epoch`.
+    fn certify(&mut self, key: &[(u32, u32)], epoch: Epoch) {
+        if self.pairs != key {
+            self.pairs = key.to_vec();
+        }
+        self.epoch = epoch;
+    }
+}
+
+/// One registered constraint set and its lazily built, cached artifacts,
+/// each paired with the [`ArtifactDeps`] record the mutation API uses to
+/// invalidate the minimum consistent cut.
 struct ConstraintSet {
-    /// The registered PDs, deduplicated, in first-seen order.
+    /// The registered PDs, deduplicated by normalized pair, in first-seen
+    /// order.  Mutable via [`Session::add_pd`] / [`Session::remove_pd`].
     pds: Vec<Equation>,
+    /// The normalized key currently claimed for this set in
+    /// [`Session::keys`] (artifact: the normalized-set cache key, maintained
+    /// eagerly on every mutation).
+    key: Vec<(u32, u32)>,
+    /// Mutation epoch: bumped once per successful add/remove.
+    epoch: Epoch,
+    /// Epoch at which `key` was last recomputed (always equals `epoch`; the
+    /// key is the one eagerly maintained artifact).
+    key_epoch: Epoch,
     /// The cached ALG engine over `pds`, built on first implication-family
-    /// query and incrementally extended by each goal's subterms.
+    /// query, incrementally extended by each goal's subterms and — after
+    /// `add_pd` — by the new equations' arcs.
     engine: Option<ImplicationEngine>,
+    engine_deps: ArtifactDeps,
     /// The cached Section 6.2 closure (normalize once, close once), built on
-    /// first consistency-family query.
+    /// first consistency-family query; the weak-instance pipeline consults
+    /// this same artifact.
     closed: Option<ClosedConstraints>,
+    closed_deps: ArtifactDeps,
+    /// The cached CAD FPD view of `pds` (ExactCadEap mode), built on first
+    /// exact consistency query of an FPD-only set.
+    fpds: Option<Vec<Fpd>>,
+    fpds_deps: ArtifactDeps,
+}
+
+impl ConstraintSet {
+    fn new(pds: Vec<Equation>, key: Vec<(u32, u32)>) -> Self {
+        ConstraintSet {
+            pds,
+            key,
+            epoch: Epoch::default(),
+            key_epoch: Epoch::default(),
+            engine: None,
+            engine_deps: ArtifactDeps::default(),
+            closed: None,
+            closed_deps: ArtifactDeps::default(),
+            fpds: None,
+            fpds_deps: ArtifactDeps::default(),
+        }
+    }
 }
 
 /// A long-lived solver session.
@@ -277,31 +382,30 @@ impl Session {
     ///
     /// The set is keyed by its normalized form (order, orientation and
     /// duplicates ignored): registering an equal set again returns the same
-    /// handle and therefore reuses every cached engine.
+    /// handle and therefore reuses every cached engine.  Mutated sets keep
+    /// participating in this deduplication — after [`Session::add_pd`] /
+    /// [`Session::remove_pd`] the set is re-keyed under its *current*
+    /// normalized form, so registering a set equal to the mutated state
+    /// returns the live (warm) handle, not a cold copy.
     pub fn register(&mut self, pds: &[Equation]) -> Result<ConstraintSetId> {
-        let mut key = Vec::with_capacity(pds.len());
         for &pd in pds {
             self.validate_equation(pd)?;
-            let (a, b) = (pd.lhs.index(), pd.rhs.index());
-            key.push(if a <= b { (a, b) } else { (b, a) });
         }
-        key.sort_unstable();
-        key.dedup();
+        let key = normalized_key(pds);
         if let Some(&idx) = self.keys.get(&key) {
             return Ok(ConstraintSetId(idx as u32));
         }
         let idx = self.sets.len();
         let mut deduped: Vec<Equation> = Vec::new();
         for &pd in pds {
-            if !deduped.contains(&pd) {
+            if !deduped
+                .iter()
+                .any(|&p| normalized_pair(p) == normalized_pair(pd))
+            {
                 deduped.push(pd);
             }
         }
-        self.sets.push(ConstraintSet {
-            pds: deduped,
-            engine: None,
-            closed: None,
-        });
+        self.sets.push(ConstraintSet::new(deduped, key.clone()));
         self.keys.insert(key, idx);
         Ok(ConstraintSetId(idx as u32))
     }
@@ -313,6 +417,155 @@ impl Session {
             .map(|t| self.equation(t))
             .collect::<Result<Vec<_>>>()?;
         self.register(&pds)
+    }
+
+    // ------------------------------------------------------------------
+    // Constraint-set mutation (epoch-based invalidation).
+    // ------------------------------------------------------------------
+
+    /// Adds one PD to a live set.  Returns `true` when the set actually
+    /// grew (`false` if an equal PD — same pair modulo orientation — was
+    /// already registered).  See [`Session::add_pds`] for the semantics.
+    pub fn add_pd(&mut self, set: ConstraintSetId, pd: Equation) -> Result<Outcome<bool>> {
+        self.add_pds(set, std::slice::from_ref(&pd))
+            .map(|outcome| outcome.map(|added| added == 1))
+    }
+
+    /// Adds a batch of PDs to a live set, returning how many were new.
+    ///
+    /// Additions are *monotone* for the ALG engine (Lemma 9.2: saturating a
+    /// superset only adds arcs), so the cached [`ImplicationEngine`] is kept
+    /// and incrementally re-saturated with just the new equations on the
+    /// next implication query — no rebuild, and the delta is reported in
+    /// that query's `rule_firings`.  Derived artifacts that cannot be
+    /// extended in place (the Section 6.2 closure, the CAD FPD view) are
+    /// left untouched here and lazily rebuilt when next consulted.
+    ///
+    /// Every effective call bumps the set's [`Epoch`] (reported in the
+    /// returned counters) and re-keys the set so future registrations of
+    /// the grown set dedup onto this live handle.  A batch where every PD
+    /// was already present is a no-op: no bump, no invalidation.
+    pub fn add_pds(&mut self, set: ConstraintSetId, pds: &[Equation]) -> Result<Outcome<usize>> {
+        for &pd in pds {
+            self.validate_equation(pd)?;
+        }
+        let idx = self.index_of(set)?;
+        let mut added = 0usize;
+        for &pd in pds {
+            let pair = normalized_pair(pd);
+            if !self.sets[idx]
+                .pds
+                .iter()
+                .any(|&p| normalized_pair(p) == pair)
+            {
+                self.sets[idx].pds.push(pd);
+                added += 1;
+            }
+        }
+        if added > 0 {
+            self.bump_and_rekey(idx);
+        }
+        let counters = Counters {
+            epoch: self.sets[idx].epoch,
+            ..Counters::default()
+        };
+        Ok(Outcome::new(added, counters))
+    }
+
+    /// Removes one PD from a live set (matched by normalized pair, so
+    /// orientation does not matter).  Returns `true` when a PD was
+    /// actually removed.
+    ///
+    /// Removal is *not* monotone — retracting an equation can retract
+    /// derived arcs — so no artifact can be patched in place.  Instead the
+    /// dependency tracker drops exactly the cached artifacts that consumed
+    /// the removed PD and keeps the rest: an artifact whose recorded
+    /// dependencies do not include the PD is provably unaffected and
+    /// survives the [`Epoch`] bump as a cache hit (it is re-certified at
+    /// the new epoch when next consulted).  Removing an absent PD is a
+    /// no-op: no bump, no invalidation.
+    pub fn remove_pd(&mut self, set: ConstraintSetId, pd: Equation) -> Result<Outcome<bool>> {
+        self.validate_equation(pd)?;
+        let idx = self.index_of(set)?;
+        let pair = normalized_pair(pd);
+        let before = self.sets[idx].pds.len();
+        self.sets[idx].pds.retain(|&p| normalized_pair(p) != pair);
+        let removed = self.sets[idx].pds.len() < before;
+        if removed {
+            let set_mut = &mut self.sets[idx];
+            if set_mut.engine_deps.depends_on(pair) {
+                set_mut.engine = None;
+                set_mut.engine_deps = ArtifactDeps::default();
+            }
+            // The tracker's verdict must agree with the ps-core provenance
+            // hook on the closure it tracks.
+            debug_assert_eq!(
+                set_mut.closed.as_ref().is_some_and(|c| c.depends_on(pd)),
+                set_mut.closed.is_some() && set_mut.closed_deps.depends_on(pair),
+                "dependency tracker and ClosedConstraints provenance disagree"
+            );
+            if set_mut.closed_deps.depends_on(pair) {
+                set_mut.closed = None;
+                set_mut.closed_deps = ArtifactDeps::default();
+            }
+            if set_mut.fpds_deps.depends_on(pair) {
+                set_mut.fpds = None;
+                set_mut.fpds_deps = ArtifactDeps::default();
+            }
+            self.bump_and_rekey(idx);
+        }
+        let counters = Counters {
+            epoch: self.sets[idx].epoch,
+            ..Counters::default()
+        };
+        Ok(Outcome::new(removed, counters))
+    }
+
+    /// The current mutation [`Epoch`] of a registered set (0 until the
+    /// first successful mutation).
+    pub fn epoch(&self, set: ConstraintSetId) -> Result<Epoch> {
+        Ok(self.set_ref(set)?.epoch)
+    }
+
+    /// The epoch at which each *currently built* artifact of the set was
+    /// last certified current, keyed by artifact name (`"key"` for the
+    /// eagerly maintained normalized-set cache key, then `"engine"`,
+    /// `"closed"`, `"fpds"` as built).  Artifacts a query consulted are
+    /// re-certified at the set's current epoch, so after any query all its
+    /// consulted artifacts report the same epoch as
+    /// [`Counters::epoch`]; an artifact left behind (still stamped with an
+    /// older epoch) is exactly one that the query provably did not read.
+    pub fn artifact_epochs(&self, set: ConstraintSetId) -> Result<Vec<(&'static str, Epoch)>> {
+        let s = self.set_ref(set)?;
+        let mut epochs = vec![("key", s.key_epoch)];
+        if s.engine.is_some() {
+            epochs.push(("engine", s.engine_deps.epoch));
+        }
+        if s.closed.is_some() {
+            epochs.push(("closed", s.closed_deps.epoch));
+        }
+        if s.fpds.is_some() {
+            epochs.push(("fpds", s.fpds_deps.epoch));
+        }
+        Ok(epochs)
+    }
+
+    /// Bumps the set's epoch and moves it to its new normalized key.
+    ///
+    /// The old key is released only if this set owns it; the new key is
+    /// claimed only if free (when a mutation makes the set equal to an
+    /// older registration, the older set keeps the key — first
+    /// registration wins — and both handles stay live and independent).
+    fn bump_and_rekey(&mut self, idx: usize) {
+        let new_key = normalized_key(&self.sets[idx].pds);
+        let old_key = std::mem::replace(&mut self.sets[idx].key, new_key.clone());
+        if self.keys.get(&old_key) == Some(&idx) {
+            self.keys.remove(&old_key);
+        }
+        self.keys.entry(new_key).or_insert(idx);
+        let set = &mut self.sets[idx];
+        set.epoch.bump();
+        set.key_epoch = set.epoch;
     }
 
     /// The PDs registered behind a handle, deduplicated, in first-seen
@@ -363,7 +616,10 @@ impl Session {
             self.validate_equation(goal)?;
         }
         let idx = self.index_of(set)?;
-        let mut counters = Counters::default();
+        let mut counters = Counters {
+            epoch: self.sets[idx].epoch,
+            ..Counters::default()
+        };
         ensure_engine(&self.arena, &mut self.sets[idx], &mut counters);
         let engine = self.sets[idx].engine.as_mut().expect("engine just ensured");
         let before = engine.rule_firings() as u64;
@@ -444,7 +700,10 @@ impl Session {
         mode: ConsistencyMode,
     ) -> Result<Outcome<ConsistencyAnswer>> {
         let idx = self.index_of(set)?;
-        let mut counters = Counters::default();
+        let mut counters = Counters {
+            epoch: self.sets[idx].epoch,
+            ..Counters::default()
+        };
         let answer = match mode {
             ConsistencyMode::Polynomial => {
                 ensure_closed(
@@ -474,13 +733,14 @@ impl Session {
                 }
             }
             ConsistencyMode::ExactCadEap => {
-                let fpds = self.fpds_of_set(idx)?;
-                let outcome = ps_core::cad::consistent_with_cad_eap(db, &fpds)?;
+                self.ensure_fpds(idx, &mut counters)?;
+                let fpds = self.sets[idx].fpds.as_ref().expect("fpds just ensured");
+                let outcome = ps_core::cad::consistent_with_cad_eap(db, fpds)?;
                 counters.row_visits += outcome.stats.assignments as u64;
                 ConsistencyAnswer {
                     consistent: outcome.consistent,
                     mode,
-                    fds: ps_core::dependency::fds_of_fpds(&fpds),
+                    fds: ps_core::dependency::fds_of_fpds(fpds),
                     sums: Vec::new(),
                     witness: outcome.witness,
                     interpretation: outcome.interpretation,
@@ -505,7 +765,10 @@ impl Session {
         db: &Database,
     ) -> Result<Outcome<SatisfiabilityWitness>> {
         let idx = self.index_of(set)?;
-        let mut counters = Counters::default();
+        let mut counters = Counters {
+            epoch: self.sets[idx].epoch,
+            ..Counters::default()
+        };
         ensure_closed(
             &mut self.arena,
             &mut self.universe,
@@ -623,6 +886,28 @@ impl Session {
         Ok(())
     }
 
+    /// Lazily builds the cached CAD FPD view of a set (the third tracked
+    /// artifact), with the same hit/miss accounting and epoch certification
+    /// as the engine and the closure.  Errors (a sum PD in the set) leave
+    /// counters and cache untouched.
+    fn ensure_fpds(&mut self, idx: usize, counters: &mut Counters) -> Result<()> {
+        let current = {
+            let set = &self.sets[idx];
+            set.fpds.is_some() && set.fpds_deps.is_current(&set.key)
+        };
+        if current {
+            counters.engine_hits += 1;
+        } else {
+            let fpds = self.fpds_of_set(idx)?;
+            counters.engine_misses += 1;
+            self.sets[idx].fpds = Some(fpds);
+        }
+        let set = &mut self.sets[idx];
+        let epoch = set.epoch;
+        set.fpds_deps.certify(&set.key, epoch);
+        Ok(())
+    }
+
     /// Converts the set's PDs into FPDs for the CAD path, rejecting sums.
     fn fpds_of_set(&self, idx: usize) -> Result<Vec<Fpd>> {
         let mut fpds = Vec::new();
@@ -666,37 +951,80 @@ fn meet_atoms(arena: &TermArena, term: TermId) -> Option<AttrSet> {
     }
 }
 
-/// Lazily builds the cached ALG engine for a set, counting the build as an
-/// engine miss (and its saturation as rule firings).
+/// Lazily builds — or revalidates — the cached ALG engine for a set.
+///
+/// Three-way freshness decision against the dependency tracker:
+///
+/// 1. deps match the current key exactly → pure hit;
+/// 2. deps are a *subset* of the key (the set only grew since the engine
+///    was built) → incremental hit: the missing equations are fed to
+///    [`ImplicationEngine::add_equations`] and only the saturation delta is
+///    paid (counted in `rule_firings`), per Lemma 9.2 monotonicity;
+/// 3. otherwise (never built, or poisoned by a removal) → full rebuild,
+///    counted as an engine miss.
+///
+/// In every case the tracker is re-certified for the current key at the
+/// current epoch, so the artifact this query consulted reports the query's
+/// epoch in [`Session::artifact_epochs`].
 fn ensure_engine(arena: &TermArena, set: &mut ConstraintSet, counters: &mut Counters) {
-    if set.engine.is_some() {
-        counters.engine_hits += 1;
-        return;
+    match set.engine.as_mut() {
+        Some(_) if set.engine_deps.is_current(&set.key) => {
+            counters.engine_hits += 1;
+        }
+        Some(engine) if set.engine_deps.is_subset_of(&set.key) => {
+            let missing: Vec<Equation> = set
+                .pds
+                .iter()
+                .copied()
+                .filter(|&pd| !set.engine_deps.depends_on(normalized_pair(pd)))
+                .collect();
+            counters.rule_firings += engine.add_equations(arena, &missing) as u64;
+            counters.engine_hits += 1;
+        }
+        _ => {
+            let engine = ImplicationEngine::new(arena, &set.pds);
+            counters.rule_firings += engine.rule_firings() as u64;
+            counters.engine_misses += 1;
+            set.engine = Some(engine);
+        }
     }
-    let engine = ImplicationEngine::new(arena, &set.pds);
-    counters.rule_firings += engine.rule_firings() as u64;
-    counters.engine_misses += 1;
-    set.engine = Some(engine);
+    let epoch = set.epoch;
+    set.engine_deps.certify(&set.key, epoch);
 }
 
-/// Lazily normalizes and closes a set's constraints (Section 6.2 steps 1–3),
-/// counting the closure build as an engine miss.
+/// Lazily normalizes and closes a set's constraints (Section 6.2 steps
+/// 1–3), counting the closure build as an engine miss.
+///
+/// Unlike the ALG engine the closure is not extended in place: normalization
+/// mints definitional `_t` attributes whose numbering depends on the whole
+/// set, so any change to the PDs (addition or removal) rebuilds it.  The
+/// dependency tracker still earns its keep on removals: a closure whose
+/// recorded dependencies avoid the removed PD survives untouched and this
+/// function re-certifies it as a hit at the new epoch.
 fn ensure_closed(
     arena: &mut TermArena,
     universe: &mut Universe,
     set: &mut ConstraintSet,
     counters: &mut Counters,
 ) {
-    if set.closed.is_some() {
+    if set.closed.is_some() && set.closed_deps.is_current(&set.key) {
+        debug_assert!(
+            set.closed
+                .as_ref()
+                .is_some_and(|c| c.is_current_for(&set.pds)),
+            "dependency tracker and ClosedConstraints provenance disagree"
+        );
         counters.engine_hits += 1;
-        return;
+    } else {
+        let normalized = normalize_pds(&set.pds, arena, universe);
+        let mut engine = ImplicationEngine::new(arena, &normalized.equations);
+        let closed = close_constraints_with(&mut engine, &normalized, arena);
+        counters.rule_firings += engine.rule_firings() as u64;
+        counters.engine_misses += 1;
+        set.closed = Some(closed);
     }
-    let normalized = normalize_pds(&set.pds, arena, universe);
-    let mut engine = ImplicationEngine::new(arena, &normalized.equations);
-    let closed = close_constraints_with(&mut engine, &normalized, arena);
-    counters.rule_firings += engine.rule_firings() as u64;
-    counters.engine_misses += 1;
-    set.closed = Some(closed);
+    let epoch = set.epoch;
+    set.closed_deps.certify(&set.key, epoch);
 }
 
 /// A chained database builder writing through the session's interners

@@ -21,6 +21,7 @@ const EXPECTED_PRELUDE: &[&str] = &[
     "Counters",
     "Database",
     "DatabaseBuilder",
+    "Epoch",
     "Equation",
     "Error",
     "Fd",
@@ -80,6 +81,7 @@ const EXPECTED_SESSION: &[&str] = &[
     "ConsistencyMode",
     "ConstraintSetId",
     "Counters",
+    "Epoch",
     "Error",
     "Outcome",
     "Result",
@@ -180,6 +182,7 @@ fn pinned_names_resolve() {
     let goal = session.equation("A+B = B").unwrap();
     let outcome: Outcome<bool> = session.implies(set, goal).unwrap();
     let _: Counters = outcome.counters;
+    let _: Epoch = outcome.counters.epoch;
     let _: ConsistencyMode = ConsistencyMode::default();
     let _: Result<Equation, Error> = session.equation("(");
 }

@@ -318,5 +318,40 @@ fn warm_session_beats_two_cold_sessions_by_rule_firings() {
             "warm session must fire strictly fewer rules: {warm_firings} vs \
              {cold_firings} (seed {seed})"
         );
+
+        // Warm-then-mutated: the same warm session absorbs one new PD via
+        // `add_pd` and answers the second batch again.  The cached engine
+        // is extended in place (a hit paying only the saturation delta),
+        // so the grown set still answers strictly cheaper than a cold
+        // session registering it from scratch.
+        let w = make();
+        let new_pd = w.goals[0];
+        let added = warm.add_pd(set, new_pd).unwrap().value;
+        let warm_mutated = warm.implies_many(set, &w.goals[6..]).unwrap();
+        assert_eq!(
+            warm_mutated.counters.engine_hits, 1,
+            "mutation extends the warm engine instead of rebuilding, seed {seed}"
+        );
+        assert_eq!(warm_mutated.counters.engine_misses, 0);
+        assert_eq!(
+            warm_mutated.counters.epoch.value(),
+            u64::from(added),
+            "an effective mutation bumps the epoch exactly once, seed {seed}"
+        );
+
+        let w = make();
+        let mut grown = w.equations.clone();
+        grown.push(w.goals[0]);
+        let mut cold = Session::from_parts(w.universe, SymbolTable::new(), w.arena);
+        let cold_set = cold.register(&grown).unwrap();
+        let cold_mutated = cold.implies_many(cold_set, &w.goals[6..]).unwrap();
+        assert_eq!(warm_mutated.value, cold_mutated.value, "seed {seed}");
+        assert!(
+            warm_mutated.counters.rule_firings < cold_mutated.counters.rule_firings,
+            "the mutated warm session must pay only the delta: {} vs {} \
+             (seed {seed})",
+            warm_mutated.counters.rule_firings,
+            cold_mutated.counters.rule_firings
+        );
     }
 }
