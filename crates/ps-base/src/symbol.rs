@@ -141,6 +141,61 @@ impl SymbolTable {
     pub fn num_fresh(&self) -> usize {
         self.fresh_count as usize
     }
+
+    /// A detached fresh-symbol source starting just above every fresh symbol
+    /// this table has issued so far.
+    ///
+    /// The source mints symbols in the same tagged namespace as
+    /// [`SymbolTable::fresh`], so [`SymbolTable::is_constant`] /
+    /// [`SymbolTable::is_fresh`] classify them correctly, but it never
+    /// touches the table: many workers can each hold their own source and
+    /// mint nulls against a shared `&SymbolTable`.  Symbols from two sources
+    /// derived from the same table state *may* collide with each other —
+    /// callers that need cross-worker distinctness must keep worker outputs
+    /// separate (null names never influence chase verdicts; each worker only
+    /// needs within-run distinctness).
+    pub fn fresh_source(&self) -> FreshSymbols {
+        FreshSymbols {
+            next: self.fresh_count,
+            start: self.fresh_count,
+        }
+    }
+}
+
+/// A cursor minting fresh symbols without mutating the [`SymbolTable`] it
+/// was derived from (see [`SymbolTable::fresh_source`]).
+///
+/// This is what lets the chase pipeline run against a frozen `&SymbolTable`:
+/// padding nulls and Lemma-12.1 repair values come from a per-worker
+/// `FreshSymbols` instead of `SymbolTable::fresh`.
+///
+/// ```
+/// use ps_base::SymbolTable;
+/// let mut t = SymbolTable::new();
+/// let minted = t.fresh();
+/// let mut source = t.fresh_source();
+/// let detached = source.fresh();
+/// assert_ne!(minted, detached);
+/// assert!(t.is_fresh(detached));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FreshSymbols {
+    next: u32,
+    start: u32,
+}
+
+impl FreshSymbols {
+    /// Mints the next fresh symbol from this source.
+    pub fn fresh(&mut self) -> Symbol {
+        let id = self.next;
+        self.next += 1;
+        Symbol(FRESH_TAG | id)
+    }
+
+    /// Number of symbols this source has minted.
+    pub fn minted(&self) -> usize {
+        (self.next - self.start) as usize
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +248,24 @@ mod tests {
         assert_eq!(t.render(a), "alice");
         assert_eq!(t.render(f), "⊥0");
         assert_eq!(t.name(f), None);
+    }
+
+    #[test]
+    fn fresh_source_is_detached_and_tagged() {
+        let mut t = SymbolTable::new();
+        let before = t.fresh();
+        let mut source = t.fresh_source();
+        let s1 = source.fresh();
+        let s2 = source.fresh();
+        assert_ne!(s1, s2);
+        assert_ne!(before, s1);
+        assert!(t.is_fresh(s1) && t.is_fresh(s2));
+        assert_eq!(source.minted(), 2);
+        // Minting from the source never advances the table.
+        assert_eq!(t.num_fresh(), 1);
+        // A second source from the same state restarts at the same cursor.
+        let mut again = t.fresh_source();
+        assert_eq!(again.fresh(), s1);
     }
 
     #[test]

@@ -508,6 +508,93 @@ pub fn consistency_workload(relations: usize, rows: usize, seed: u64) -> Consist
     }
 }
 
+/// A parallel fan-out consistency workload: many independent databases
+/// sharing one interner family and one PD set — the shape served by
+/// [`ps_session::SetSnapshot`] plus [`ps_session::ParallelExecutor`], where
+/// each database is chased by whichever worker claims it.
+pub struct FanoutConsistencyWorkload {
+    /// Attribute universe shared by every database.
+    pub universe: Universe,
+    /// Symbol table shared by every database.
+    pub symbols: SymbolTable,
+    /// Term arena holding the PD set.
+    pub arena: TermArena,
+    /// The independent databases (odd indices carry an injected FD
+    /// violation, so verdicts are a mix of consistent and inconsistent).
+    pub databases: Vec<Database>,
+    /// The join-path FPDs `A_i → A_{i+1}` as meet equations.
+    pub pds: Vec<Equation>,
+}
+
+/// Builds a [`FanoutConsistencyWorkload`]: `dbs` join-path databases of
+/// `relations` relations × `rows` tuples each, all over one shared
+/// universe/symbol-table/arena, constrained by the FPDs `A_i → A_{i+1}`.
+/// Even-indexed databases keep the right value a function of the left
+/// (consistent); odd-indexed ones get two extra tuples violating the first
+/// FD on named constants (inconsistent).  Deterministic in `seed`.
+pub fn fanout_consistency_workload(
+    relations: usize,
+    dbs: usize,
+    rows: usize,
+    seed: u64,
+) -> FanoutConsistencyWorkload {
+    assert!(relations >= 1 && dbs >= 1);
+    let mut universe = Universe::new();
+    let mut symbols = SymbolTable::new();
+    let mut arena = TermArena::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let attrs: Vec<Attribute> = (0..=relations)
+        .map(|i| universe.attr(&format!("A{i}")))
+        .collect();
+    let mut databases = Vec::with_capacity(dbs);
+    for d in 0..dbs {
+        let mut database = Database::new();
+        for r in 0..relations {
+            let scheme = RelationScheme::new(format!("R{r}"), vec![attrs[r], attrs[r + 1]]);
+            let left_pos = scheme.position(attrs[r]).expect("left in scheme");
+            let right_pos = scheme.position(attrs[r + 1]).expect("right in scheme");
+            let mut relation = Relation::new(scheme);
+            for _ in 0..rows {
+                let left = rng.gen_range(0..rows.max(1));
+                let right = left % 7;
+                let mut values = vec![ps_base::Symbol::from_index(0); 2];
+                values[left_pos] = symbols.symbol(&format!("d{d}_v{r}_{left}"));
+                values[right_pos] = symbols.symbol(&format!("d{d}_v{}_{right}", r + 1));
+                relation.insert_values(&values).expect("arity matches");
+            }
+            if r == 0 && d % 2 == 1 {
+                // Same left constant, two distinct right constants: a direct
+                // A_0 → A_1 violation the chase cannot repair.
+                let clash = symbols.symbol(&format!("d{d}_clash"));
+                for w in 0..2 {
+                    let mut values = vec![ps_base::Symbol::from_index(0); 2];
+                    values[left_pos] = clash;
+                    values[right_pos] = symbols.symbol(&format!("d{d}_w{w}"));
+                    relation.insert_values(&values).expect("arity matches");
+                }
+            }
+            database.add(relation);
+        }
+        databases.push(database);
+    }
+    let pds: Vec<Equation> = (0..relations)
+        .map(|i| {
+            Fpd::new(
+                AttrSet::singleton(attrs[i]),
+                AttrSet::singleton(attrs[i + 1]),
+            )
+            .as_meet_equation(&mut arena)
+        })
+        .collect();
+    FanoutConsistencyWorkload {
+        universe,
+        symbols,
+        arena,
+        databases,
+        pds,
+    }
+}
+
 /// A prepared chase instance: a database plus the FD set to chase it with
 /// (experiment E5, the `chase` bench group and its operation-counter test).
 pub struct ChaseWorkload {
@@ -793,6 +880,29 @@ mod tests {
             &fds,
             &mut w.symbols
         ));
+    }
+
+    #[test]
+    fn fanout_workload_alternates_verdicts() {
+        let mut w = fanout_consistency_workload(3, 4, 8, 5);
+        assert_eq!(w.databases.len(), 4);
+        let fds: Vec<Fd> = w
+            .pds
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let universe = &mut w.universe;
+                ps_relation::fd(
+                    &[universe.attr(&format!("A{i}"))],
+                    &[universe.attr(&format!("A{}", i + 1))],
+                )
+            })
+            .collect();
+        for (d, db) in w.databases.iter().enumerate() {
+            let consistent =
+                ps_relation::consistency::weak_instance_consistent(db, &fds, &mut w.symbols);
+            assert_eq!(consistent, d % 2 == 0, "database {d}");
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@
 use std::time::Instant;
 
 use ps_lattice::BitMatrix;
-use ps_session::{ConsistencyMode, Counters, Epoch, Session};
+use ps_session::{ConsistencyMode, Counters, Epoch, ParallelExecutor, Session};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -30,7 +30,7 @@ use crate::json::Json;
 pub const SCHEMA_VERSION: u64 = 1;
 
 /// The bench id stamped into reports produced by this crate version.
-pub const BENCH_ID: &str = "BENCH_7";
+pub const BENCH_ID: &str = "BENCH_8";
 
 /// The procedures a full report must cover (one per decision procedure of
 /// the paper: Theorems 9, 10, 12, 11 and 4 respectively).
@@ -49,7 +49,8 @@ pub struct WorkloadRecord {
     pub name: String,
     /// Which decision procedure the workload exercises (one of
     /// [`REQUIRED_PROCEDURES`], `"hot_path"` for the optimization
-    /// micro-suites, or `"mutation"` for the live-edit A/B workload).
+    /// micro-suites, `"mutation"` for the live-edit A/B workload, or
+    /// `"parallel"` for the snapshot fan-out thread ladder).
     pub procedure: String,
     /// Work items processed (queries, tuples or operations — per-workload
     /// unit, documented in `docs/BENCHMARKS.md`).
@@ -75,7 +76,7 @@ pub struct TrajectoryReport {
     /// Schema version ([`SCHEMA_VERSION`] for reports written by this
     /// crate).
     pub schema_version: u64,
-    /// The bench id (`"BENCH_7"` for this PR's pinned suite).
+    /// The bench id (`"BENCH_8"` for this PR's pinned suite).
     pub bench_id: String,
     /// `rustc --version` of the producing toolchain (`"unknown"` when
     /// unavailable).
@@ -273,6 +274,7 @@ impl TrajectoryReport {
             }
             let known = w.procedure == "hot_path"
                 || w.procedure == "mutation"
+                || w.procedure == "parallel"
                 || REQUIRED_PROCEDURES.contains(&w.procedure.as_str());
             if !known {
                 return Err(format!(
@@ -447,6 +449,12 @@ struct SuiteScale {
     mutation_initial: usize,
     mutation_goals: usize,
     mutation_script: usize,
+    fanout_attrs: usize,
+    fanout_pds: usize,
+    fanout_goals: usize,
+    fanout_relations: usize,
+    fanout_dbs: usize,
+    fanout_rows: usize,
 }
 
 impl SuiteScale {
@@ -474,6 +482,12 @@ impl SuiteScale {
             mutation_initial: 30,
             mutation_goals: 40,
             mutation_script: 400,
+            fanout_attrs: 24,
+            fanout_pds: 200,
+            fanout_goals: 4_000,
+            fanout_relations: 5,
+            fanout_dbs: 50,
+            fanout_rows: 400,
         }
     }
 
@@ -502,6 +516,12 @@ impl SuiteScale {
             mutation_initial: 7,
             mutation_goals: 10,
             mutation_script: 48,
+            fanout_attrs: 10,
+            fanout_pds: 25,
+            fanout_goals: 80,
+            fanout_relations: 3,
+            fanout_dbs: 6,
+            fanout_rows: 12,
         }
     }
 }
@@ -959,6 +979,141 @@ fn run_mutation(s: &SuiteScale, seed: u64) -> WorkloadRecord {
     rec
 }
 
+/// The thread ladder every parallel fan-out workload is measured at.
+const FANOUT_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The snapshot fan-out ladder: one frozen [`ps_session::SetSnapshot`] per
+/// leg, queried through [`ParallelExecutor`] pools of 1, 2, 4 and 8 workers
+/// on the identical batch.
+///
+/// Two legs: a skewed implication batch (Theorem 9, goals pre-extended into
+/// the frozen vocabulary at freeze time) and a macro consistency batch
+/// (Theorem 12, many independent databases totalling ~10⁵ tuples at full
+/// scale).  The `t1` record is the baseline; each `t>1` record carries
+/// `baseline_wall_ns` = the `t1` wall and `speedup` = its ratio.  The
+/// runner *asserts* the executor's determinism contract: every thread count
+/// must produce identical verdicts and identical merged counters.
+fn run_parallel_fanout(s: &SuiteScale, seed: u64) -> Vec<WorkloadRecord> {
+    let mut records = Vec::new();
+
+    // Leg 1: batched PD implication against one frozen engine.
+    let w = crate::random_word_problem_workload(
+        s.fanout_attrs,
+        s.fanout_pds,
+        3,
+        s.fanout_goals,
+        3,
+        seed ^ 0xFA0,
+    );
+    let mut session = Session::from_parts(w.universe, ps_base::SymbolTable::new(), w.arena);
+    let set = session
+        .register(&w.equations)
+        .expect("generated PDs are valid");
+    let snapshot = session
+        .snapshot_with_goals(set, &w.goals)
+        .expect("goal batch freezes into the snapshot vocabulary");
+    // Untimed warmup so the t1 record is not charged first-touch costs
+    // (allocator growth, cache population) the later thread counts skip.
+    ParallelExecutor::new(1)
+        .implies_many_par(&snapshot, &w.goals)
+        .expect("every goal was pre-extended at freeze time");
+    let mut reference: Option<(Vec<bool>, Counters, u64)> = None;
+    for threads in FANOUT_THREADS {
+        let pool = ParallelExecutor::new(threads);
+        let start = Instant::now();
+        let outcome = pool
+            .implies_many_par(&snapshot, &w.goals)
+            .expect("every goal was pre-extended at freeze time");
+        let wall = start.elapsed().as_nanos() as u64;
+        let mut rec = record(
+            &format!("parallel_fanout_implication_t{threads}"),
+            "parallel",
+            w.goals.len() as u64,
+            wall,
+            outcome.counters,
+        );
+        match &reference {
+            None => reference = Some((outcome.value, outcome.counters, wall)),
+            Some((verdicts, counters, t1_wall)) => {
+                assert_eq!(
+                    &outcome.value, verdicts,
+                    "thread count must not change implication verdicts"
+                );
+                assert_eq!(
+                    &outcome.counters, counters,
+                    "merged implication counters must be thread-count independent"
+                );
+                if wall > 0 {
+                    rec.baseline_wall_ns = Some(*t1_wall);
+                    rec.speedup = Some(*t1_wall as f64 / wall as f64);
+                }
+            }
+        }
+        records.push(rec);
+    }
+
+    // Leg 2: batched Theorem 12 consistency over many independent databases.
+    let w = crate::fanout_consistency_workload(
+        s.fanout_relations,
+        s.fanout_dbs,
+        s.fanout_rows,
+        seed ^ 0xFA2,
+    );
+    let tuples: u64 = w
+        .databases
+        .iter()
+        .flat_map(|db| db.relations())
+        .map(|r| r.len() as u64)
+        .sum();
+    let mut session = Session::from_parts(w.universe, w.symbols, w.arena);
+    let set = session.register(&w.pds).expect("generated PDs are valid");
+    let snapshot = session.snapshot(set).expect("registered set freezes");
+    // Same untimed warmup as leg 1 before the timed ladder starts.
+    ParallelExecutor::new(1)
+        .consistent_many_par(&snapshot, &w.databases)
+        .expect("polynomial consistency is infallible on frozen sets");
+    let mut reference: Option<(Vec<bool>, Counters, u64)> = None;
+    for threads in FANOUT_THREADS {
+        let pool = ParallelExecutor::new(threads);
+        let start = Instant::now();
+        let outcome = pool
+            .consistent_many_par(&snapshot, &w.databases)
+            .expect("polynomial consistency is infallible on frozen sets");
+        let wall = start.elapsed().as_nanos() as u64;
+        let verdicts: Vec<bool> = outcome.value.iter().map(|a| a.consistent).collect();
+        assert!(
+            verdicts.iter().any(|&v| v) && verdicts.iter().any(|&v| !v),
+            "the fan-out fixture mixes consistent and inconsistent databases"
+        );
+        let mut rec = record(
+            &format!("parallel_fanout_consistency_t{threads}"),
+            "parallel",
+            tuples,
+            wall,
+            outcome.counters,
+        );
+        match &reference {
+            None => reference = Some((verdicts, outcome.counters, wall)),
+            Some((expected, counters, t1_wall)) => {
+                assert_eq!(
+                    &verdicts, expected,
+                    "thread count must not change consistency verdicts"
+                );
+                assert_eq!(
+                    &outcome.counters, counters,
+                    "merged consistency counters must be thread-count independent"
+                );
+                if wall > 0 {
+                    rec.baseline_wall_ns = Some(*t1_wall);
+                    rec.speedup = Some(*t1_wall as f64 / wall as f64);
+                }
+            }
+        }
+        records.push(rec);
+    }
+    records
+}
+
 /// `rustc --version` of the building toolchain, or `"unknown"`.
 pub fn toolchain_info() -> String {
     std::process::Command::new("rustc")
@@ -985,16 +1140,16 @@ pub fn commit_info() -> String {
 }
 
 /// Runs the pinned suite — all five decision procedures, the two hot-path
-/// micro-suites and the live-mutation A/B — and packages the report.
-/// Counters in the result are deterministic in `(smoke, seed)`; wall-clock
-/// fields are not.
+/// micro-suites, the live-mutation A/B and the parallel fan-out thread
+/// ladder — and packages the report.  Counters in the result are
+/// deterministic in `(smoke, seed)`; wall-clock fields are not.
 pub fn run_suite(smoke: bool, seed: u64) -> TrajectoryReport {
     let s = if smoke {
         SuiteScale::smoke()
     } else {
         SuiteScale::full()
     };
-    let workloads = vec![
+    let mut workloads = vec![
         run_implication(&s, seed),
         run_identity(&s, seed),
         run_consistency_polynomial(&s, seed),
@@ -1004,6 +1159,7 @@ pub fn run_suite(smoke: bool, seed: u64) -> TrajectoryReport {
         run_chase_hot_path(&s, seed),
         run_mutation(&s, seed),
     ];
+    workloads.extend(run_parallel_fanout(&s, seed));
     TrajectoryReport {
         schema_version: SCHEMA_VERSION,
         bench_id: BENCH_ID.to_owned(),

@@ -24,11 +24,12 @@
 
 use std::collections::HashMap;
 
-use ps_base::{AttrSet, Attribute, Symbol, SymbolTable, Universe};
+use ps_base::{AttrSet, Attribute, FreshSymbols, Symbol, SymbolTable, Universe};
 use ps_lattice::{Algorithm, Equation, TermArena, TermNode};
 use ps_partition::UnionFind;
 use ps_relation::{
-    chase_fds_over_with, fd_closure, ChaseOutcome, ChaseScratch, Database, Fd, Relation,
+    chase_fds_over_frozen, chase_fds_over_with, fd_closure, ChaseOutcome, ChaseScratch, Database,
+    Fd, Relation,
 };
 
 #[cfg(debug_assertions)]
@@ -447,6 +448,37 @@ pub fn consistent_with_closed_scratch(
     }
 
     let chase = chase_fds_over_with(db, &attrs, &closed.fds, symbols, scratch);
+    package_chase_outcome(chase, closed, attrs)
+}
+
+/// [`consistent_with_closed_scratch`] against a *frozen* symbol table:
+/// padding nulls come from the caller's detached [`FreshSymbols`] source, so
+/// the whole Theorem 12 test runs with only `&SymbolTable` — the entry point
+/// snapshot workers use to chase independent databases in parallel against
+/// one shared interner.  Verdict and `row_visits` are identical to the
+/// mutable variant (the chase consults the table only through
+/// `is_constant`, a pure tag-bit test).
+pub fn consistent_with_closed_frozen(
+    db: &Database,
+    closed: &ClosedConstraints,
+    symbols: &SymbolTable,
+    fresh: &mut FreshSymbols,
+    scratch: &mut ChaseScratch,
+) -> ConsistencyOutcome {
+    let mut attrs = db.all_attributes();
+    for a in closed.attributes.iter() {
+        attrs.insert(a);
+    }
+
+    let chase = chase_fds_over_frozen(db, &attrs, &closed.fds, symbols, fresh, scratch);
+    package_chase_outcome(chase, closed, attrs)
+}
+
+fn package_chase_outcome(
+    chase: ChaseOutcome,
+    closed: &ClosedConstraints,
+    attrs: AttrSet,
+) -> ConsistencyOutcome {
     let weak_instance = if chase.consistent {
         chase.weak_instance("weak_instance", &attrs)
     } else {
@@ -533,6 +565,29 @@ pub fn repair_sum_violations(
     symbols: &mut SymbolTable,
     max_rounds: usize,
 ) -> (Relation, bool) {
+    repair_sum_violations_by(weak_instance, fds, sums, || symbols.fresh(), max_rounds)
+}
+
+/// [`repair_sum_violations`] minting the bridging tuples' fresh entries from
+/// a detached [`FreshSymbols`] source instead of the table — the repair step
+/// of the frozen (`&SymbolTable`) pipeline.
+pub fn repair_sum_violations_frozen(
+    weak_instance: &Relation,
+    fds: &[Fd],
+    sums: &[SumConstraint],
+    fresh: &mut FreshSymbols,
+    max_rounds: usize,
+) -> (Relation, bool) {
+    repair_sum_violations_by(weak_instance, fds, sums, || fresh.fresh(), max_rounds)
+}
+
+fn repair_sum_violations_by(
+    weak_instance: &Relation,
+    fds: &[Fd],
+    sums: &[SumConstraint],
+    mut fresh: impl FnMut() -> Symbol,
+    max_rounds: usize,
+) -> (Relation, bool) {
     let mut current = weak_instance.clone();
     for _ in 0..max_rounds {
         match first_sum_violation(&current, sums) {
@@ -556,7 +611,7 @@ pub fn repair_sum_violations(
                             } else if b_plus.contains(attr) {
                                 row2.get(attr).expect("attr in scheme")
                             } else {
-                                symbols.fresh()
+                                fresh()
                             }
                         })
                         .collect()

@@ -14,12 +14,14 @@
 //! `R(I)`, and a weak instance into an interpretation via the canonical
 //! interpretation `I(w)`.
 
-use ps_base::{SymbolTable, Universe};
+use ps_base::{FreshSymbols, SymbolTable, Universe};
 use ps_lattice::{Algorithm, Equation, TermArena};
 use ps_relation::{Database, Relation};
 
 use crate::canonical::{canonical_interpretation, canonical_relation};
-use crate::consistency::{consistent_with_pds, repair_sum_violations, ConsistencyOutcome};
+use crate::consistency::{
+    consistent_with_pds, repair_sum_violations, repair_sum_violations_frozen, ConsistencyOutcome,
+};
 use crate::dependency::{fds_of_fpds, Fpd};
 use crate::{PartitionInterpretation, Result};
 
@@ -106,6 +108,29 @@ pub fn witness_from_consistency(
         .expect("consistent chase produces rows");
     let (weak_instance, converged) =
         repair_sum_violations(&chased, &outcome.fds, &outcome.sums, symbols, 64);
+    witness_from_repair(weak_instance, converged)
+}
+
+/// [`witness_from_consistency`] for the frozen (`&SymbolTable`-free)
+/// pipeline: the Lemma 12.1 repair mints its fresh entries from the caller's
+/// detached [`FreshSymbols`] source.  Verdict and convergence behaviour are
+/// identical; only the numeric identity of repair nulls can differ.
+pub fn witness_from_consistency_frozen(
+    outcome: ConsistencyOutcome,
+    fresh: &mut FreshSymbols,
+) -> Result<SatisfiabilityWitness> {
+    if !outcome.consistent {
+        return Ok(SatisfiabilityWitness::unsatisfiable());
+    }
+    let chased = outcome
+        .weak_instance
+        .expect("consistent chase produces rows");
+    let (weak_instance, converged) =
+        repair_sum_violations_frozen(&chased, &outcome.fds, &outcome.sums, fresh, 64);
+    witness_from_repair(weak_instance, converged)
+}
+
+fn witness_from_repair(weak_instance: Relation, converged: bool) -> Result<SatisfiabilityWitness> {
     if !converged {
         return Ok(SatisfiabilityWitness {
             satisfiable: true,

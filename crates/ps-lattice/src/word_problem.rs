@@ -652,6 +652,26 @@ impl ImplicationEngine {
         self.dense.contains_key(&term)
     }
 
+    /// Read-only `lhs ≤_E rhs` for *frozen* (shared, immutable) engines.
+    ///
+    /// Identical to [`ImplicationEngine::leq`] except that a term outside
+    /// `V` is an *expected* outcome, not a caller bug: `None` means "outside
+    /// the frozen vocabulary" (never "false") and there is no debug
+    /// assertion.  Snapshot layers that pre-extend `V` with a batch's goal
+    /// subterms use this to answer each goal without `&mut` access; a `None`
+    /// surfaces as an outside-vocabulary error instead of silently mutating.
+    pub fn leq_frozen(&self, lhs: TermId, rhs: TermId) -> Option<bool> {
+        let (&i, &j) = (self.dense.get(&lhs)?, self.dense.get(&rhs)?);
+        Some(self.succ.get(i, j))
+    }
+
+    /// Read-only entailment for frozen engines: both `≤` directions of
+    /// `goal` via [`ImplicationEngine::leq_frozen`].  `None` means a goal
+    /// term is outside the frozen vocabulary `V`, never "false".
+    pub fn entails_frozen(&self, goal: Equation) -> Option<bool> {
+        Some(self.leq_frozen(goal.lhs, goal.rhs)? && self.leq_frozen(goal.rhs, goal.lhs)?)
+    }
+
     /// `lhs ≤_E rhs`, extending `V` with both terms first if necessary.
     pub fn leq_goal(&mut self, arena: &TermArena, lhs: TermId, rhs: TermId) -> bool {
         self.add_goal_terms(arena, &[lhs, rhs]);
@@ -1104,6 +1124,31 @@ mod tests {
     }
 
     const BOTH: [Algorithm; 2] = [Algorithm::NaiveFixpoint, Algorithm::Worklist];
+
+    #[test]
+    fn frozen_queries_agree_with_mutable_and_report_outside_v() {
+        let mut f = Fixture::new();
+        let e = vec![f.eq("A=A*B"), f.eq("B=B*C")];
+        let goal = f.eq("A=A*C");
+        let non_goal = f.eq("C=C*A");
+        let outside = f.eq("A=A*D"); // D never added to V.
+        let mut engine = ImplicationEngine::new(&f.arena, &e);
+        engine.add_goal_terms(&f.arena, &[goal.lhs, goal.rhs, non_goal.lhs, non_goal.rhs]);
+        let firings = engine.rule_firings();
+        // Read-only path answers pre-extended goals without &mut…
+        let frozen: &ImplicationEngine = &engine;
+        assert_eq!(frozen.entails_frozen(goal), Some(true));
+        assert_eq!(frozen.entails_frozen(non_goal), Some(false));
+        assert_eq!(frozen.leq_frozen(goal.lhs, goal.rhs), Some(true));
+        // …reports outside-V as None (never false, and no debug assert)…
+        assert_eq!(frozen.entails_frozen(outside), None);
+        assert_eq!(frozen.leq_frozen(outside.lhs, outside.rhs), None);
+        // …and fires no rules.
+        assert_eq!(engine.rule_firings(), firings);
+        // A saturated engine is shareable across threads.
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        assert_send_sync(&engine);
+    }
 
     #[test]
     fn empty_e_entails_exactly_the_identities() {

@@ -28,7 +28,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use ps_base::{AttrSet, Symbol, SymbolTable};
+use ps_base::{AttrSet, FreshSymbols, Symbol, SymbolTable};
 use ps_partition::UnionFind;
 
 use crate::{Database, Fd, Relation, RelationScheme, Tableau};
@@ -508,6 +508,28 @@ pub fn chase_fds_over_with(
     scratch: &mut ChaseScratch,
 ) -> ChaseOutcome {
     let tableau = Tableau::from_database_over(db, attrs, symbols);
+    chase_tableau_with(&tableau, fds, symbols, scratch)
+}
+
+/// [`chase_fds_over_with`] against a *frozen* symbol table: padding nulls
+/// are minted from the caller's detached [`FreshSymbols`] source instead of
+/// mutating the table, so many threads can chase independent databases
+/// against one shared `&SymbolTable`.
+///
+/// The chase itself only consults the table through
+/// [`SymbolTable::is_constant`], a pure tag-bit test, so verdict, step
+/// count and `row_visits` are identical to [`chase_fds_over_with`] — only
+/// the nulls' numeric identities may differ, which
+/// [`canonical_chase_rows`] erases.
+pub fn chase_fds_over_frozen(
+    db: &Database,
+    attrs: &AttrSet,
+    fds: &[Fd],
+    symbols: &SymbolTable,
+    fresh: &mut FreshSymbols,
+    scratch: &mut ChaseScratch,
+) -> ChaseOutcome {
+    let tableau = Tableau::from_database_frozen(db, attrs, fresh);
     chase_tableau_with(&tableau, fds, symbols, scratch)
 }
 

@@ -7,7 +7,7 @@
 //! null.  The chase ([`crate::chase`]) then equates symbols as dictated by
 //! the FDs.
 
-use ps_base::{AttrSet, Attribute, Symbol, SymbolTable};
+use ps_base::{AttrSet, Attribute, FreshSymbols, Symbol, SymbolTable};
 
 use crate::Database;
 
@@ -29,6 +29,22 @@ impl Tableau {
     /// (which must contain every attribute used by `db`); useful when the
     /// constraint set mentions attributes the database does not.
     pub fn from_database_over(db: &Database, attrs: &AttrSet, symbols: &mut SymbolTable) -> Self {
+        Self::build(db, attrs, || symbols.fresh())
+    }
+
+    /// Like [`Tableau::from_database_over`], but pads with nulls minted from
+    /// a detached [`FreshSymbols`] source instead of mutating the table.
+    ///
+    /// This is the entry point used when chasing against a frozen
+    /// (`&`-shared) symbol table, e.g. one snapshot queried by many worker
+    /// threads, each holding its own source.  Null *identity* never affects
+    /// chase verdicts — only within-tableau distinctness matters, which a
+    /// single source guarantees.
+    pub fn from_database_frozen(db: &Database, attrs: &AttrSet, fresh: &mut FreshSymbols) -> Self {
+        Self::build(db, attrs, || fresh.fresh())
+    }
+
+    fn build(db: &Database, attrs: &AttrSet, mut fresh: impl FnMut() -> Symbol) -> Self {
         let mut rows = Vec::with_capacity(db.total_tuples());
         for relation in db.relations() {
             // Resolve each tableau column to the relation's column (or a
@@ -42,7 +58,7 @@ impl Tableau {
                     .iter()
                     .map(|pos| match pos {
                         Some(pos) => row.value_at(*pos),
-                        None => symbols.fresh(),
+                        None => fresh(),
                     })
                     .collect();
                 rows.push(padded);
@@ -163,6 +179,30 @@ mod tests {
         let tableau = Tableau::from_database_over(&db, &attrs, &mut s);
         assert_eq!(tableau.attrs().len(), 4);
         assert!(s.is_fresh(tableau.get(0, d).unwrap()));
+    }
+
+    #[test]
+    fn frozen_construction_matches_mutable_up_to_null_renaming() {
+        let (_, mut s, db) = two_relation_db();
+        let attrs = db.all_attributes();
+        let frozen = {
+            let mut source = s.fresh_source();
+            Tableau::from_database_frozen(&db, &attrs, &mut source)
+        };
+        let mutable = Tableau::from_database_over(&db, &attrs, &mut s);
+        // Same shape, same constants, nulls in the same cells.
+        assert_eq!(frozen.num_rows(), mutable.num_rows());
+        for (fr, mr) in frozen.rows().iter().zip(mutable.rows()) {
+            for (&fv, &mv) in fr.iter().zip(mr) {
+                assert_eq!(s.is_constant(fv), s.is_constant(mv));
+                if s.is_constant(fv) {
+                    assert_eq!(fv, mv);
+                }
+            }
+        }
+        // In fact both start minting at the same cursor, so they agree
+        // symbol-for-symbol here.
+        assert_eq!(frozen.rows(), mutable.rows());
     }
 
     #[test]

@@ -33,6 +33,15 @@ pub enum Error {
         /// The offending PD, rendered in the concrete syntax.
         pd: String,
     },
+    /// A goal queried against a frozen [`crate::SetSnapshot`] mentions a
+    /// subterm outside the snapshot's vocabulary `V`.  A frozen engine
+    /// cannot extend `V` (that would mutate shared state), so the query is
+    /// rejected instead of answered `false` — re-freeze with
+    /// [`crate::Session::snapshot_with_goals`] covering the batch.
+    OutsideVocabulary {
+        /// The offending goal, rendered in the concrete syntax.
+        goal: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -50,6 +59,12 @@ impl fmt::Display for Error {
                 "CAD+EAP consistency (Theorem 11) is defined for functional \
                  partition dependencies only; `{pd}` contains a sum"
             ),
+            Error::OutsideVocabulary { goal } => write!(
+                f,
+                "goal `{goal}` mentions a subterm outside the frozen snapshot's \
+                 vocabulary V; take the snapshot with `snapshot_with_goals` \
+                 covering the batch"
+            ),
         }
     }
 }
@@ -61,7 +76,9 @@ impl std::error::Error for Error {
             Error::Lattice(e) => Some(e),
             Error::Relation(e) => Some(e),
             Error::Partition(e) => Some(e),
-            Error::UnknownConstraintSet(_) | Error::CadRequiresFpds { .. } => None,
+            Error::UnknownConstraintSet(_)
+            | Error::CadRequiresFpds { .. }
+            | Error::OutsideVocabulary { .. } => None,
         }
     }
 }
@@ -120,5 +137,11 @@ mod tests {
 
         let cad = Error::CadRequiresFpds { pd: "C=A+B".into() };
         assert!(cad.to_string().contains("contains a sum"));
+
+        let outside = Error::OutsideVocabulary {
+            goal: "A=A*Z".into(),
+        };
+        assert!(outside.to_string().contains("outside the frozen snapshot"));
+        assert!(outside.source().is_none());
     }
 }

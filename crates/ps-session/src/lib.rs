@@ -32,16 +32,26 @@
 //! strategy-independent [`Counters`] (rule firings, row visits, engine
 //! cache hits/misses, and the [`Epoch`] the query ran at), and every
 //! failure is the single unified [`Error`].
+//!
+//! For parallel fan-out, [`Session::snapshot`] /
+//! [`Session::snapshot_with_goals`] freeze a registered set at its current
+//! epoch into an immutable, `Send + Sync` [`SetSnapshot`], and the
+//! [`ParallelExecutor`] — a dependency-free scoped worker pool — answers
+//! `implies_many_par` / `consistent_many_par` / `weak_instance_many_par`
+//! batches against it with deterministically merged counters (see
+//! [`parallel`](crate::ParallelExecutor)).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
 mod outcome;
+mod parallel;
 mod session;
 
 pub use error::{Error, Result};
 pub use outcome::{Counters, Epoch, Outcome};
+pub use parallel::{ParallelExecutor, SetSnapshot};
 pub use session::{
     ConsistencyAnswer, ConsistencyMode, ConstraintSetId, Session, SessionDatabaseBuilder,
 };

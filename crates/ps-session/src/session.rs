@@ -3,6 +3,7 @@
 //! every decision procedure of the paper.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use ps_base::{AttrSet, Attribute, Symbol, SymbolTable, Universe};
 use ps_core::consistency::{
@@ -591,6 +592,75 @@ impl Session {
     /// stays warm across windows.
     pub fn take_counters(&mut self) -> Counters {
         std::mem::take(&mut self.totals)
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshots (the share-nothing parallel query path).
+    // ------------------------------------------------------------------
+
+    /// Freezes a registered set at its current [`Epoch`] into an immutable,
+    /// `Send + Sync` [`SetSnapshot`](crate::SetSnapshot) for parallel
+    /// querying (see [`crate::ParallelExecutor`]).
+    ///
+    /// The freeze warms the set's cached artifacts first — the saturated
+    /// [`ImplicationEngine`] and the Section 6.2 closure — counting that
+    /// work against the session totals exactly like a query would (one
+    /// hit or miss per artifact, build firings included), then copies them
+    /// out together with the interners.  Copy-on-write discipline: the
+    /// snapshot owns its artifacts, so [`Session::add_pd`] /
+    /// [`Session::remove_pd`] on the live set afterwards (which bump the
+    /// epoch and invalidate live caches) can never disturb a snapshot
+    /// already taken, and snapshot outcomes keep reporting the frozen
+    /// epoch in [`Counters::epoch`].
+    ///
+    /// Implication goals must be inside the frozen vocabulary `V`; freeze
+    /// with [`Session::snapshot_with_goals`] to pre-extend `V` with a
+    /// planned batch (consistency queries need no pre-extension — any
+    /// database over the session's interners works).
+    pub fn snapshot(&mut self, set: ConstraintSetId) -> Result<Arc<crate::SetSnapshot>> {
+        self.snapshot_with_goals(set, &[])
+    }
+
+    /// [`Session::snapshot`], pre-extending the frozen engine's vocabulary
+    /// `V` with every subterm of `goals` so the whole batch is answerable
+    /// read-only.  The extension's saturation delta is paid once, here
+    /// (reported in the session totals' `rule_firings`), not per query.
+    pub fn snapshot_with_goals(
+        &mut self,
+        set: ConstraintSetId,
+        goals: &[Equation],
+    ) -> Result<Arc<crate::SetSnapshot>> {
+        for &goal in goals {
+            self.validate_equation(goal)?;
+        }
+        let idx = self.index_of(set)?;
+        let mut counters = Counters {
+            epoch: self.sets[idx].epoch,
+            ..Counters::default()
+        };
+        ensure_engine(&self.arena, &mut self.sets[idx], &mut counters);
+        let engine = self.sets[idx].engine.as_mut().expect("engine just ensured");
+        let before = engine.rule_firings() as u64;
+        let roots: Vec<TermId> = goals.iter().flat_map(|g| [g.lhs, g.rhs]).collect();
+        engine.add_goal_terms(&self.arena, &roots);
+        counters.rule_firings += engine.rule_firings() as u64 - before;
+        ensure_closed(
+            &mut self.arena,
+            &mut self.universe,
+            &mut self.sets[idx],
+            &mut counters,
+        );
+        self.totals += counters;
+        let set = &self.sets[idx];
+        Ok(Arc::new(crate::SetSnapshot::freeze(
+            set.epoch,
+            set.pds.clone(),
+            self.universe.clone(),
+            self.symbols.clone(),
+            self.arena.clone(),
+            set.engine.clone().expect("engine just ensured"),
+            set.closed.clone().expect("closure just ensured"),
+        )))
     }
 
     // ------------------------------------------------------------------

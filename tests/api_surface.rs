@@ -32,6 +32,7 @@ const EXPECTED_PRELUDE: &[&str] = &[
     "InterpretationLattice",
     "Mvd",
     "Outcome",
+    "ParallelExecutor",
     "Partition",
     "PartitionInterpretation",
     "Pd",
@@ -40,6 +41,7 @@ const EXPECTED_PRELUDE: &[&str] = &[
     "RelationScheme",
     "SatisfiabilityWitness",
     "Session",
+    "SetSnapshot",
     "Symbol",
     "SymbolTable",
     "TermArena",
@@ -84,10 +86,12 @@ const EXPECTED_SESSION: &[&str] = &[
     "Epoch",
     "Error",
     "Outcome",
+    "ParallelExecutor",
     "Result",
     "SatisfiabilityWitness",
     "Session",
     "SessionDatabaseBuilder",
+    "SetSnapshot",
 ];
 
 /// Extracts the leaf identifiers exported by every `pub use …;` statement in
