@@ -480,8 +480,12 @@ pub fn consistency_workload(relations: usize, rows: usize, seed: u64) -> Consist
             let left_symbol = symbols.symbol(&format!("v{r}_{left}"));
             let right_symbol = symbols.symbol(&format!("v{}_{right}", r + 1));
             let mut values = vec![left_symbol; 2];
-            values[scheme.position(attrs[r]).unwrap()] = left_symbol;
-            values[scheme.position(attrs[r + 1]).unwrap()] = right_symbol;
+            values[scheme
+                .position(attrs[r])
+                .expect("scheme was built over attrs[r], attrs[r+1]")] = left_symbol;
+            values[scheme
+                .position(attrs[r + 1])
+                .expect("scheme was built over attrs[r], attrs[r+1]")] = right_symbol;
             relation.insert_values(&values).expect("arity matches");
         }
         database.add(relation);

@@ -96,7 +96,9 @@ impl<'a> Parser<'a> {
         self.input[self.pos..].chars().next()
     }
 
-    fn expect(&mut self, wanted: u8, expected: &[&'static str]) -> Result<()> {
+    // Named `expect_byte` (not `expect`) so call sites cannot be confused
+    // with the panicking `Option::expect` — this one returns a parse error.
+    fn expect_byte(&mut self, wanted: u8, expected: &[&'static str]) -> Result<()> {
         match self.peek_char() {
             Some(c) if c == wanted as char => {
                 self.pos += 1;
@@ -140,7 +142,7 @@ impl<'a> Parser<'a> {
             Some(b'(') => {
                 self.bump();
                 let inner = self.parse_sum()?;
-                self.expect(b')', &["`*`", "`+`", "`)`"])?;
+                self.expect_byte(b')', &["`*`", "`+`", "`)`"])?;
                 Ok(inner)
             }
             Some(c) if c.is_ascii_alphanumeric() || c == b'_' => self.parse_ident(),
@@ -205,7 +207,7 @@ pub fn parse_equation(
 ) -> Result<Equation> {
     let mut parser = Parser::new(input, universe, arena);
     let lhs = parser.parse_sum()?;
-    parser.expect(b'=', &["`*`", "`+`", "`=`"])?;
+    parser.expect_byte(b'=', &["`*`", "`+`", "`=`"])?;
     let rhs = parser.parse_sum()?;
     if !parser.at_end() {
         return Err(parser.error(

@@ -84,14 +84,12 @@ impl TermArena {
         self.intern(TermNode::Atom(attr))
     }
 
-    /// Looks up the atom term for `attr`, panicking if it was never interned.
+    /// Looks up the atom term for `attr`, or `None` if it was never
+    /// interned.
     ///
     /// Useful in contexts holding only a shared reference to the arena.
-    pub fn atom_of(&self, attr: Attribute) -> TermId {
-        *self
-            .index
-            .get(&TermNode::Atom(attr))
-            .unwrap_or_else(|| panic!("atom for attribute {attr} was never interned"))
+    pub fn atom_of(&self, attr: Attribute) -> Option<TermId> {
+        self.index.get(&TermNode::Atom(attr)).copied()
     }
 
     /// Interns `lhs * rhs`.
@@ -327,14 +325,13 @@ mod tests {
     fn atom_of_finds_existing_atoms() {
         let (_, mut arena, a, _, _) = setup();
         let ta = arena.atom(a);
-        assert_eq!(arena.atom_of(a), ta);
+        assert_eq!(arena.atom_of(a), Some(ta));
     }
 
     #[test]
-    #[should_panic(expected = "never interned")]
-    fn atom_of_panics_on_missing_atom() {
+    fn atom_of_returns_none_for_missing_atom() {
         let (_, arena, a, _, _) = setup();
-        let _ = arena.atom_of(a);
+        assert_eq!(arena.atom_of(a), None);
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! The `pslint` command-line driver.
+//!
+//! ```text
+//! pslint check [--root <path>]   lint the workspace; exit 1 on any finding
+//! pslint rules                   print the rule catalog
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error — so the CI
+//! `lint-pass` job (and any pre-commit hook) can gate on the exit status
+//! alone.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode: Option<&str> = None;
+    let mut root = PathBuf::from(".");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "check" | "rules" if mode.is_none() => {
+                mode = Some(match args[i].as_str() {
+                    "check" => "check",
+                    _ => "rules",
+                })
+            }
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => root = PathBuf::from(p),
+                    None => return usage("--root needs a path"),
+                }
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    match mode {
+        Some("rules") => {
+            for rule in ps_lint::rules::registry() {
+                println!("{:<28} {}", rule.name(), rule.description());
+            }
+            println!(
+                "{:<28} a `// ps-lint: allow(…)` pragma that suppressed nothing",
+                ps_lint::pragma::UNUSED_SUPPRESSION
+            );
+            ExitCode::SUCCESS
+        }
+        Some("check") => run_check(&root),
+        _ => usage("expected a subcommand: `check` or `rules`"),
+    }
+}
+
+fn run_check(root: &std::path::Path) -> ExitCode {
+    // Resolve the workspace root: accept being launched from the root or
+    // from inside the crate (cargo sets cwd to the workspace root for
+    // `cargo run`, but direct invocation may not).
+    let root = if root.join("Cargo.toml").is_file() {
+        root.to_path_buf()
+    } else {
+        eprintln!("pslint: no Cargo.toml under {}", root.display());
+        return ExitCode::from(2);
+    };
+    match ps_lint::check_workspace(&root) {
+        Ok(report) => {
+            for diag in &report.diagnostics {
+                println!("{diag}");
+            }
+            if report.is_clean() {
+                println!(
+                    "pslint: {} files scanned, no findings",
+                    report.files_scanned
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "pslint: {} finding(s) in {} files scanned",
+                    report.diagnostics.len(),
+                    report.files_scanned
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("pslint: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("pslint: {problem}");
+    eprintln!("usage: pslint <check [--root <path>] | rules>");
+    ExitCode::from(2)
+}

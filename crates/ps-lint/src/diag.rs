@@ -1,0 +1,75 @@
+//! Diagnostics: what a rule reports and how findings are rendered.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// How serious a finding is.  Under the CI `lint-pass` job both levels gate
+/// (`-D warnings` semantics): the distinction is presentational and lets a
+/// future `--warnings-ok` mode exist without changing rule code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Style/service findings (e.g. an unused suppression pragma).
+    Warning,
+    /// Contract violations (all six invariant rules).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding: a rule, a place, a message.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The rule that fired (kebab-case, e.g. `panic-in-library`).
+    pub rule: &'static str,
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Repo-relative path of the offending file ([`PathBuf::new`] for
+    /// workspace-level findings that have no single file).
+    pub file: PathBuf,
+    /// 1-based line (0 for workspace-level findings).
+    pub line: u32,
+    /// 1-based column (0 for workspace-level findings).
+    pub col: u32,
+    /// What is wrong and why it matters.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.severity, self.rule, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}:{}: {}: [{}] {}",
+                self.file.display(),
+                self.line,
+                self.col,
+                self.severity,
+                self.rule,
+                self.message
+            )
+        }
+    }
+}
+
+impl Diagnostic {
+    /// A stable sort key so reports are deterministic regardless of
+    /// traversal or rule-execution order.
+    pub fn sort_key(&self) -> (PathBuf, u32, u32, &'static str, String) {
+        (
+            self.file.clone(),
+            self.line,
+            self.col,
+            self.rule,
+            self.message.clone(),
+        )
+    }
+}

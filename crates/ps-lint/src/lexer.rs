@@ -1,0 +1,633 @@
+//! A hand-rolled Rust lexer.
+//!
+//! The linter needs exactly one guarantee from its lexer: **tokens never leak
+//! out of comments or string literals, and comments/strings never swallow
+//! code**.  Every rule in [`crate::rules`] matches identifier and punctuation
+//! sequences, so a `"unsafe"` inside a string or a `// TODO: unwrap()` inside
+//! a comment must not produce `unsafe` / `unwrap` identifier tokens, and a
+//! `"` inside a comment must not open a string.  The lexer therefore handles
+//! the full set of Rust lexical edge cases that matter for that guarantee:
+//!
+//! * line comments (`//`, `///`, `//!`) and *nested* block comments;
+//! * string literals with escapes, byte strings, C strings;
+//! * raw strings `r"…"`, `r#"…"#` (any number of `#`s), raw byte strings;
+//! * char literals (with escapes) vs. lifetimes (`'a'` vs. `&'a`);
+//! * raw identifiers `r#match` (which share a prefix with raw strings).
+//!
+//! It does **not** attempt full fidelity on numeric literals or multi-char
+//! operators: numbers come out as single [`TokenKind::Number`] tokens good
+//! enough for position tracking, and operators are emitted as single-char
+//! [`TokenKind::Punct`] tokens that rules match as sequences (`::` is `:`,
+//! `:`).  Comments are *kept* as tokens — the pragma layer
+//! ([`crate::pragma`]) reads suppressions out of them — and filtered out
+//! before rules see the stream.
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `unsafe`, `HashMap`, `r#match`).
+    Ident(String),
+    /// A lifetime (`'a`, `'static`), without the leading quote.
+    Lifetime(String),
+    /// A string-like literal (string, raw string, byte string, C string).
+    /// The payload is the literal's *body* (no quotes/prefix), so tests can
+    /// assert nothing leaked.
+    Str(String),
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char(String),
+    /// A numeric literal (`42`, `0xff_u32`, `1.5e-3`).
+    Number(String),
+    /// A single punctuation character (`{`, `.`, `!`, …).
+    Punct(char),
+    /// A comment, line (`//…`) or block (`/*…*/`); the payload includes the
+    /// comment markers so pragma scanning sees the raw text.
+    Comment(String),
+}
+
+/// A token plus its 1-based source position (position of its first byte).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based column, counted in characters.
+    pub col: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Is this token exactly the identifier `name`?
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.ident() == Some(name)
+    }
+
+    /// Is this token the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// A lexing problem (unterminated string or block comment).  The lexer never
+/// panics on malformed input; it reports and recovers by consuming the rest
+/// of the file into the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line of the offending construct's start.
+    pub line: u32,
+    /// 1-based column of the offending construct's start.
+    pub col: u32,
+}
+
+/// The result of lexing one file: the token stream (comments included) plus
+/// any recoverable errors encountered.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order; comments are included.
+    pub tokens: Vec<Token>,
+    /// Recoverable lexing problems (unterminated constructs).
+    pub errors: Vec<LexError>,
+}
+
+impl Lexed {
+    /// The tokens with comments filtered out — what rules scan.
+    pub fn code_tokens(&self) -> Vec<Token> {
+        self.tokens
+            .iter()
+            .filter(|t| !matches!(t.kind, TokenKind::Comment(_)))
+            .cloned()
+            .collect()
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src,
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+}
+
+/// Lexes Rust source text into a token stream.  Never panics; malformed
+/// input (unterminated strings/comments) is reported in [`Lexed::errors`]
+/// and the offending construct consumes the rest of the file.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+    while !cur.eof() {
+        let line = cur.line;
+        let col = cur.col;
+        let c = match cur.peek() {
+            Some(c) => c,
+            None => break,
+        };
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' && cur.peek_at(1) == Some('/') {
+            lex_line_comment(&mut cur, &mut out, line, col);
+            continue;
+        }
+        if c == '/' && cur.peek_at(1) == Some('*') {
+            lex_block_comment(&mut cur, &mut out, line, col);
+            continue;
+        }
+        // String-family prefixes.  Raw identifiers (`r#match`) begin like raw
+        // strings (`r#"`), so the dispatch below looks one character past the
+        // `#`s before committing.
+        if is_string_start(&cur) {
+            lex_string_family(&mut cur, &mut out, line, col);
+            continue;
+        }
+        if c == '\'' {
+            lex_quote(&mut cur, &mut out, line, col);
+            continue;
+        }
+        if c.is_ascii_digit() {
+            lex_number(&mut cur, &mut out, line, col);
+            continue;
+        }
+        if c == '_' || c.is_alphabetic() {
+            lex_ident(&mut cur, &mut out, line, col);
+            continue;
+        }
+        cur.bump();
+        out.tokens.push(Token {
+            kind: TokenKind::Punct(c),
+            line,
+            col,
+        });
+    }
+    // Keep the raw source alive for the borrow in Cursor; nothing else reads
+    // it after this point.
+    let _ = cur.src;
+    out
+}
+
+fn lex_line_comment(cur: &mut Cursor<'_>, out: &mut Lexed, line: u32, col: u32) {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    out.tokens.push(Token {
+        kind: TokenKind::Comment(text),
+        line,
+        col,
+    });
+}
+
+fn lex_block_comment(cur: &mut Cursor<'_>, out: &mut Lexed, line: u32, col: u32) {
+    let mut text = String::new();
+    let mut depth = 0usize;
+    loop {
+        match (cur.peek(), cur.peek_at(1)) {
+            (Some('/'), Some('*')) => {
+                depth += 1;
+                text.push('/');
+                text.push('*');
+                cur.bump();
+                cur.bump();
+            }
+            (Some('*'), Some('/')) => {
+                depth -= 1;
+                text.push('*');
+                text.push('/');
+                cur.bump();
+                cur.bump();
+                if depth == 0 {
+                    break;
+                }
+            }
+            (Some(c), _) => {
+                text.push(c);
+                cur.bump();
+            }
+            (None, _) => {
+                out.errors.push(LexError {
+                    message: "unterminated block comment".into(),
+                    line,
+                    col,
+                });
+                break;
+            }
+        }
+    }
+    out.tokens.push(Token {
+        kind: TokenKind::Comment(text),
+        line,
+        col,
+    });
+}
+
+/// Does the cursor sit on a string-family literal (plain, raw, byte, C)?
+/// Must *not* match raw identifiers (`r#match`) or plain identifiers that
+/// merely start with `b`/`c`/`r`.
+fn is_string_start(cur: &Cursor<'_>) -> bool {
+    match cur.peek() {
+        Some('"') => true,
+        Some('r') | Some('b') | Some('c') => {
+            // Longest prefixes: br#"…, rb is not legal Rust but harmless to
+            // accept.  Scan the prefix letters, then any #s, then require `"`.
+            let mut i = 0usize;
+            let mut letters = 0usize;
+            while letters < 2 {
+                match cur.peek_at(i) {
+                    Some('r') | Some('b') | Some('c') => {
+                        i += 1;
+                        letters += 1;
+                    }
+                    _ => break,
+                }
+            }
+            let mut saw_hash = false;
+            while cur.peek_at(i) == Some('#') {
+                saw_hash = true;
+                i += 1;
+            }
+            match cur.peek_at(i) {
+                Some('"') => {
+                    // `b#x` is not a raw-string start unless an `r` was in the
+                    // prefix; in practice only `r`-prefixed forms take `#`s.
+                    !saw_hash || prefix_has_r(cur, letters)
+                }
+                _ => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+fn prefix_has_r(cur: &Cursor<'_>, letters: usize) -> bool {
+    (0..letters).any(|i| cur.peek_at(i) == Some('r'))
+}
+
+fn lex_string_family(cur: &mut Cursor<'_>, out: &mut Lexed, line: u32, col: u32) {
+    // Consume prefix letters.
+    let mut raw = false;
+    while let Some(c) = cur.peek() {
+        if c == 'r' {
+            raw = true;
+            cur.bump();
+        } else if c == 'b' || c == 'c' {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while cur.peek() == Some('#') {
+            hashes += 1;
+            cur.bump();
+        }
+        cur.bump(); // opening quote
+        let mut body = String::new();
+        loop {
+            match cur.peek() {
+                Some('"') => {
+                    // Check for closing quote followed by `hashes` #s.
+                    let mut ok = true;
+                    for i in 0..hashes {
+                        if cur.peek_at(1 + i) != Some('#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        cur.bump();
+                        for _ in 0..hashes {
+                            cur.bump();
+                        }
+                        break;
+                    }
+                    body.push('"');
+                    cur.bump();
+                }
+                Some(c) => {
+                    body.push(c);
+                    cur.bump();
+                }
+                None => {
+                    out.errors.push(LexError {
+                        message: "unterminated raw string".into(),
+                        line,
+                        col,
+                    });
+                    break;
+                }
+            }
+        }
+        out.tokens.push(Token {
+            kind: TokenKind::Str(body),
+            line,
+            col,
+        });
+    } else {
+        cur.bump(); // opening quote
+        let mut body = String::new();
+        loop {
+            match cur.peek() {
+                Some('\\') => {
+                    body.push('\\');
+                    cur.bump();
+                    if let Some(esc) = cur.bump() {
+                        body.push(esc);
+                    }
+                }
+                Some('"') => {
+                    cur.bump();
+                    break;
+                }
+                Some(c) => {
+                    body.push(c);
+                    cur.bump();
+                }
+                None => {
+                    out.errors.push(LexError {
+                        message: "unterminated string literal".into(),
+                        line,
+                        col,
+                    });
+                    break;
+                }
+            }
+        }
+        out.tokens.push(Token {
+            kind: TokenKind::Str(body),
+            line,
+            col,
+        });
+    }
+}
+
+/// A single quote starts either a lifetime (`'a`) or a char literal (`'a'`,
+/// `'\n'`).  Disambiguation: after the quote, an identifier character that is
+/// *not* followed by a closing quote is a lifetime.
+fn lex_quote(cur: &mut Cursor<'_>, out: &mut Lexed, line: u32, col: u32) {
+    cur.bump(); // the quote
+    match cur.peek() {
+        Some(c) if (c.is_alphabetic() || c == '_') && cur.peek_at(1) != Some('\'') => {
+            let mut name = String::new();
+            while let Some(c) = cur.peek() {
+                if c.is_alphanumeric() || c == '_' {
+                    name.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Lifetime(name),
+                line,
+                col,
+            });
+        }
+        Some('\\') => {
+            // Escaped char literal: consume the backslash, the escape body,
+            // then everything up to the closing quote.
+            let mut body = String::from("\\");
+            cur.bump();
+            if let Some(esc) = cur.bump() {
+                body.push(esc);
+            }
+            while let Some(c) = cur.peek() {
+                if c == '\'' {
+                    cur.bump();
+                    break;
+                }
+                body.push(c);
+                cur.bump();
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Char(body),
+                line,
+                col,
+            });
+        }
+        Some(c) => {
+            // Plain char literal `'x'` (or a stray quote; recover as a char
+            // token either way).
+            let mut body = String::new();
+            body.push(c);
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Char(body),
+                line,
+                col,
+            });
+        }
+        None => {
+            out.errors.push(LexError {
+                message: "unterminated character literal".into(),
+                line,
+                col,
+            });
+        }
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>, out: &mut Lexed, line: u32, col: u32) {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c.is_alphanumeric() || c == '_' {
+            text.push(c);
+            cur.bump();
+        } else if c == '.' {
+            // A dot continues the number only when followed by a digit
+            // (so `0..n` and `1.max(2)` do not swallow the dot).
+            match cur.peek_at(1) {
+                Some(d) if d.is_ascii_digit() => {
+                    text.push('.');
+                    cur.bump();
+                }
+                _ => break,
+            }
+        } else if (c == '+' || c == '-')
+            && matches!(text.chars().last(), Some('e') | Some('E'))
+            && matches!(cur.peek_at(1), Some(d) if d.is_ascii_digit())
+        {
+            // Exponent sign: `1e-3`, `2.5E+10`.
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    out.tokens.push(Token {
+        kind: TokenKind::Number(text),
+        line,
+        col,
+    });
+}
+
+fn lex_ident(cur: &mut Cursor<'_>, out: &mut Lexed, line: u32, col: u32) {
+    let mut text = String::new();
+    // Raw identifier `r#name`: `is_string_start` already rejected `r#"`,
+    // so an `r` followed by `#` here is a raw identifier prefix.
+    if cur.peek() == Some('r') && cur.peek_at(1) == Some('#') {
+        cur.bump();
+        cur.bump();
+    }
+    while let Some(c) = cur.peek() {
+        if c.is_alphanumeric() || c == '_' {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    out.tokens.push(Token {
+        kind: TokenKind::Ident(text),
+        line,
+        col,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_leak_idents() {
+        let src = r##"
+            // unsafe unwrap() in a line comment
+            /* unsafe /* nested unsafe */ still comment */
+            let x = "unsafe unwrap()";
+            let y = r#"unsafe "quoted" unwrap"#;
+            let z = b"unsafe";
+            let ok = safe_name;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "unsafe" || i == "unwrap"));
+        assert!(ids.iter().any(|i| i == "safe_name"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'a str { x }").tokens;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Lifetime(_)))
+            .collect();
+        assert_eq!(lifetimes.len(), 3);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Char(_)))
+            .collect();
+        assert!(chars.is_empty());
+    }
+
+    #[test]
+    fn char_literals_with_quotes_and_escapes() {
+        let toks = lex(r"let c = '\''; let d = 'x'; let e = '\n';").tokens;
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Char(_)))
+            .collect();
+        assert_eq!(chars.len(), 3);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let ids = idents("let r#match = r#fn; let s = r#\"raw\"#;");
+        assert!(ids.iter().any(|i| i == "match"));
+        assert!(ids.iter().any(|i| i == "fn"));
+        let strs: Vec<_> = lex("let s = r#\"raw\"#;")
+            .tokens
+            .into_iter()
+            .filter(|t| matches!(t.kind, TokenKind::Str(_)))
+            .collect();
+        assert_eq!(strs.len(), 1);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("a\n  b").tokens;
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_constructs_report_errors_not_panics() {
+        assert_eq!(lex("/* never closed").errors.len(), 1);
+        assert_eq!(lex("let s = \"never closed").errors.len(), 1);
+        assert_eq!(lex("let s = r#\"never closed\"").errors.len(), 1);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_method_calls() {
+        let toks = lex("for i in 0..n { x[i].max(1.5e-3); }").tokens;
+        let nums: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Number(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["0", "1.5e-3"]);
+    }
+}

@@ -1,0 +1,187 @@
+//! # ps-lint
+//!
+//! The workspace's own static-analysis pass.  The repo's load-bearing
+//! guarantees are conventions, not types — counters are strategy- and
+//! thread-count-independent, `BENCH_*.json` is byte-stable, every optimized
+//! engine keeps a pinned naive reference, library code never panics, the
+//! tree is `unsafe`-free, and concurrency goes through the one sanctioned
+//! executor.  Clippy can express none of those, so this crate does: a
+//! hand-rolled [`lexer`] (std-only, no `syn`, consistent with the
+//! vendored-shim dependency policy) feeds a token-[`tree`] scanner, and a
+//! small [`rules`] framework runs the six invariant rules over every file
+//! `cargo` would build, honoring inline `// ps-lint: allow(rule)`
+//! suppressions ([`pragma`]) and reporting unused ones.
+//!
+//! The `pslint` binary (`cargo run -p ps-lint --bin pslint -- check`) walks
+//! `crates/ src/ tests/ examples/` (skipping `vendor/` and `target/`) and
+//! exits non-zero on any finding — the CI `lint-pass` job gates on it, and
+//! `tests/self_lint.rs` keeps the committed tree clean by construction.
+//!
+//! The rule catalog, the rationale tying each rule to the contracts in
+//! `docs/BENCHMARKS.md`, and the guide for adding a rule live in
+//! `docs/LINTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod pragma;
+pub mod rules;
+pub mod tree;
+pub mod walk;
+
+use diag::{Diagnostic, Severity};
+use rules::{OwnedFileData, WorkspaceContext};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// The result of a full `check` run.
+#[derive(Debug)]
+pub struct Report {
+    /// All findings, sorted by (file, line, col, rule, message).
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Does the report gate (any finding at all, `-D warnings` semantics)?
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Lints one in-memory file — the entry point fixture tests use.
+///
+/// Runs every per-file rule applicable to `class`, then applies the file's
+/// suppression pragmas (so fixtures exercise the pragma layer too).
+pub fn check_source(path: &Path, class: walk::FileClass, source: &str) -> Vec<Diagnostic> {
+    let data = load_file(
+        walk::SourceFile {
+            path: path.to_path_buf(),
+            class,
+        },
+        source,
+    );
+    let (pragmas, mut diags) = pragma::collect_suppressions(path, &lexer::lex(source));
+    diags.extend(structural_diags(path, source));
+    for rule in rules::registry() {
+        if rule.applies_to(class) {
+            diags.extend(rule.check_file(&data.ctx()));
+        }
+    }
+    let mut out = pragma::apply_suppressions(path, pragmas, diags);
+    out.sort_by_key(|d| d.sort_key());
+    out
+}
+
+/// Lints the whole workspace rooted at `root`.
+pub fn check_workspace(root: &Path) -> std::io::Result<Report> {
+    let files = walk::workspace_files(root)?;
+    let mut loaded: Vec<OwnedFileData> = Vec::with_capacity(files.len());
+    let mut sources: BTreeMap<PathBuf, String> = BTreeMap::new();
+    for file in files {
+        let source = std::fs::read_to_string(root.join(&file.path))?;
+        sources.insert(file.path.clone(), source.clone());
+        loaded.push(load_file(file, &source));
+    }
+
+    // Per-file rules + structural problems, grouped by file.
+    let mut by_file: BTreeMap<PathBuf, Vec<Diagnostic>> = BTreeMap::new();
+    let registry = rules::registry();
+    for data in &loaded {
+        let mut diags = structural_diags(
+            &data.file.path,
+            sources
+                .get(&data.file.path)
+                .map(String::as_str)
+                .unwrap_or(""),
+        );
+        for rule in &registry {
+            if rule.applies_to(data.file.class) {
+                diags.extend(rule.check_file(&data.ctx()));
+            }
+        }
+        by_file
+            .entry(data.file.path.clone())
+            .or_default()
+            .extend(diags);
+    }
+
+    // Workspace rules; their file-anchored findings join the per-file pool
+    // so pragmas can acknowledge them at the definition site.
+    let ws = WorkspaceContext { files: &loaded };
+    let mut unanchored = Vec::new();
+    for rule in &registry {
+        for diag in rule.check_workspace(&ws) {
+            if diag.line == 0 {
+                unanchored.push(diag);
+            } else {
+                by_file.entry(diag.file.clone()).or_default().push(diag);
+            }
+        }
+    }
+
+    // Apply suppressions file by file.
+    let mut diagnostics = unanchored;
+    let files_scanned = loaded.len();
+    for data in &loaded {
+        let source = sources
+            .get(&data.file.path)
+            .map(String::as_str)
+            .unwrap_or("");
+        let (pragmas, parse_diags) =
+            pragma::collect_suppressions(&data.file.path, &lexer::lex(source));
+        let mut diags = by_file.remove(&data.file.path).unwrap_or_default();
+        diags.extend(parse_diags);
+        diagnostics.extend(pragma::apply_suppressions(&data.file.path, pragmas, diags));
+    }
+    diagnostics.sort_by_key(|d| d.sort_key());
+    Ok(Report {
+        diagnostics,
+        files_scanned,
+    })
+}
+
+fn load_file(file: walk::SourceFile, source: &str) -> OwnedFileData {
+    let lexed = lexer::lex(source);
+    let tokens = lexed.code_tokens();
+    let (tree, _) = tree::build_tree(&tokens);
+    let functions = tree::find_functions(&tree);
+    OwnedFileData {
+        file,
+        tokens,
+        tree,
+        functions,
+    }
+}
+
+/// Lexing/tree problems for a file, as `syntax` diagnostics.  The linter
+/// never panics on malformed input; it reports and moves on.
+fn structural_diags(path: &Path, source: &str) -> Vec<Diagnostic> {
+    let lexed = lexer::lex(source);
+    let mut out: Vec<Diagnostic> = lexed
+        .errors
+        .iter()
+        .map(|e| Diagnostic {
+            rule: "syntax",
+            severity: Severity::Error,
+            file: path.to_path_buf(),
+            line: e.line,
+            col: e.col,
+            message: e.message.clone(),
+        })
+        .collect();
+    let (_, tree_errors) = tree::build_tree(&lexed.code_tokens());
+    out.extend(tree_errors.iter().map(|e| Diagnostic {
+        rule: "syntax",
+        severity: Severity::Error,
+        file: path.to_path_buf(),
+        line: e.line,
+        col: e.col,
+        message: e.message.clone(),
+    }));
+    out
+}

@@ -1,0 +1,205 @@
+//! Inline suppression pragmas.
+//!
+//! A finding can be acknowledged in source with a comment pragma:
+//!
+//! ```text
+//! let x = map.len(); // ps-lint: allow(panic-in-library)
+//! // ps-lint: allow(nondeterministic-iteration, counter-discipline)
+//! for k in keys { … }
+//! ```
+//!
+//! Scope is deliberately narrow — a pragma suppresses the named rules on
+//! **its own line and the immediately following source line** only, so a
+//! suppression can never silently blanket a whole function.  Every pragma
+//! must earn its keep: one that suppresses nothing is itself reported by the
+//! `unused-suppression` check, which keeps stale pragmas from accreting as
+//! the tree is fixed.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::{Lexed, TokenKind};
+use std::path::Path;
+
+/// The rule name reported for pragmas that suppressed nothing.
+pub const UNUSED_SUPPRESSION: &str = "unused-suppression";
+
+/// One parsed `// ps-lint: allow(…)` pragma.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// The rules named in the pragma.
+    pub rules: Vec<String>,
+    /// 1-based line the pragma comment starts on.
+    pub line: u32,
+    /// 1-based column of the comment.
+    pub col: u32,
+    /// How many diagnostics this pragma suppressed (filled in by
+    /// [`apply_suppressions`]).
+    pub used: usize,
+}
+
+/// Extracts every suppression pragma from a lexed file's comments.
+///
+/// Malformed pragmas (a comment that mentions `ps-lint:` but is not a
+/// well-formed `allow(rule, …)`) are reported as diagnostics rather than
+/// silently ignored — a typoed suppression that silently stops suppressing
+/// is worse than a loud one.
+pub fn collect_suppressions(file: &Path, lexed: &Lexed) -> (Vec<Suppression>, Vec<Diagnostic>) {
+    let mut pragmas = Vec::new();
+    let mut diags = Vec::new();
+    for tok in &lexed.tokens {
+        let TokenKind::Comment(text) = &tok.kind else {
+            continue;
+        };
+        // Pragmas live in plain comments only.  Doc comments (`///`, `//!`,
+        // `/**`, `/*!`) are prose — they may *mention* pragma syntax (as the
+        // docs in this very crate do) without creating a suppression.
+        if text.starts_with("///")
+            || text.starts_with("//!")
+            || text.starts_with("/**")
+            || text.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(idx) = text.find("ps-lint:") else {
+            continue;
+        };
+        let body = text[idx + "ps-lint:".len()..].trim();
+        match parse_allow(body) {
+            Some(rules) if !rules.is_empty() => pragmas.push(Suppression {
+                rules,
+                line: tok.line,
+                col: tok.col,
+                used: 0,
+            }),
+            _ => diags.push(Diagnostic {
+                rule: UNUSED_SUPPRESSION,
+                severity: Severity::Warning,
+                file: file.to_path_buf(),
+                line: tok.line,
+                col: tok.col,
+                message: format!(
+                    "malformed ps-lint pragma (expected `ps-lint: allow(rule, …)`): `{}`",
+                    text.trim()
+                ),
+            }),
+        }
+    }
+    (pragmas, diags)
+}
+
+fn parse_allow(body: &str) -> Option<Vec<String>> {
+    let rest = body.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let inner = &rest[..close];
+    let rules: Vec<String> = inner
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    Some(rules)
+}
+
+/// Filters `diags`, dropping any diagnostic suppressed by a pragma on its
+/// line or the line above, and appends an `unused-suppression` finding for
+/// every pragma that suppressed nothing.
+pub fn apply_suppressions(
+    file: &Path,
+    mut pragmas: Vec<Suppression>,
+    diags: Vec<Diagnostic>,
+) -> Vec<Diagnostic> {
+    let mut kept = Vec::new();
+    for diag in diags {
+        let mut suppressed = false;
+        for pragma in pragmas.iter_mut() {
+            let in_scope = diag.line == pragma.line || diag.line == pragma.line + 1;
+            if in_scope && pragma.rules.iter().any(|r| r == diag.rule) {
+                pragma.used += 1;
+                suppressed = true;
+                break;
+            }
+        }
+        if !suppressed {
+            kept.push(diag);
+        }
+    }
+    for pragma in &pragmas {
+        if pragma.used == 0 {
+            kept.push(Diagnostic {
+                rule: UNUSED_SUPPRESSION,
+                severity: Severity::Warning,
+                file: file.to_path_buf(),
+                line: pragma.line,
+                col: pragma.col,
+                message: format!(
+                    "suppression `allow({})` did not match any finding; remove it",
+                    pragma.rules.join(", ")
+                ),
+            });
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use std::path::PathBuf;
+
+    fn diag(rule: &'static str, line: u32) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: Severity::Error,
+            file: PathBuf::from("x.rs"),
+            line,
+            col: 1,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn pragma_suppresses_same_and_next_line_only() {
+        let src = "// ps-lint: allow(panic-in-library)\nlet x = y.unwrap();\nlet z = q.unwrap();";
+        let lexed = lex(src);
+        let (pragmas, parse_diags) = collect_suppressions(Path::new("x.rs"), &lexed);
+        assert!(parse_diags.is_empty());
+        assert_eq!(pragmas.len(), 1);
+        let out = apply_suppressions(
+            Path::new("x.rs"),
+            pragmas,
+            vec![diag("panic-in-library", 2), diag("panic-in-library", 3)],
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn unused_pragma_is_reported() {
+        let lexed = lex("// ps-lint: allow(forbid-unsafe)\nlet x = 1;");
+        let (pragmas, _) = collect_suppressions(Path::new("x.rs"), &lexed);
+        let out = apply_suppressions(Path::new("x.rs"), pragmas, vec![]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, UNUSED_SUPPRESSION);
+    }
+
+    #[test]
+    fn malformed_pragma_is_reported() {
+        let lexed = lex("// ps-lint: alow(typo)\n");
+        let (pragmas, diags) = collect_suppressions(Path::new("x.rs"), &lexed);
+        assert!(pragmas.is_empty());
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn multi_rule_pragma_counts_each_use() {
+        let lexed = lex("// ps-lint: allow(a-rule, b-rule)\ncode();");
+        let (pragmas, _) = collect_suppressions(Path::new("x.rs"), &lexed);
+        let out = apply_suppressions(
+            Path::new("x.rs"),
+            pragmas,
+            vec![diag("a-rule", 2), diag("b-rule", 2), diag("c-rule", 2)],
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "c-rule");
+    }
+}

@@ -1,0 +1,128 @@
+//! `counter-discipline`: counters are produced by their owners and only
+//! read everywhere else.
+//!
+//! The certified contract of BENCHMARKS.md is that `Counters` values are
+//! strategy- and thread-count-independent: the same query reports the same
+//! `rule_firings`/`row_visits`/`engine_hits`/`engine_misses` whether it ran
+//! sequentially, in parallel, cached or cold.  That only holds because the
+//! counters are *work* tallies incremented at the algorithmic event sites —
+//! never adjusted after the fact, and never derived from the environment.
+//! Two failure modes are policed:
+//!
+//! * **mutation outside the owner** — `something.rule_firings += …` in any
+//!   file outside [`crate::config::COUNTER_OWNER_PATHS`] (the session
+//!   layer, which owns the `Counters` contract) or
+//!   [`crate::config::COUNTER_PRODUCER_PATHS`] (engine modules tallying
+//!   their own local counter of the same name, always through `self`);
+//! * **wall-clock contamination** — `Instant`/`SystemTime` appearing in a
+//!   function that also writes counter fields: time is the canonical
+//!   environment-dependent value, and folding it into a counter silently
+//!   destroys run-to-run comparability.  Wall time belongs in `wall_ns`
+//!   bench fields, beside — never inside — the counters.
+
+use super::{scan_nodes, FileContext, Rule};
+use crate::config::{COUNTER_FIELDS, COUNTER_OWNER_PATHS, COUNTER_PRODUCER_PATHS};
+use crate::diag::Diagnostic;
+use crate::tree::Node;
+use crate::walk::FileClass;
+
+/// See the module docs.
+pub struct CounterDiscipline;
+
+const NAME: &str = "counter-discipline";
+
+impl Rule for CounterDiscipline {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn description(&self) -> &'static str {
+        "counter fields mutate only in their owning modules; wall-clock never flows into counters"
+    }
+
+    fn applies_to(&self, class: FileClass) -> bool {
+        matches!(class, FileClass::Lib | FileClass::Bin)
+    }
+
+    fn check_file(&self, ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+        let path = ctx.file.path.to_string_lossy().replace('\\', "/");
+        let is_owner = COUNTER_OWNER_PATHS.iter().any(|p| path.starts_with(p));
+        let is_producer = COUNTER_PRODUCER_PATHS.iter().any(|p| path == *p);
+        let mut diags = Vec::new();
+        for func in ctx.functions {
+            if func.is_test_only {
+                continue;
+            }
+            let mut writes_counters = false;
+            scan_nodes(&func.body.children, &mut |nodes, i| {
+                if let Some((field_tok, via_self)) = counter_mutation(nodes, i) {
+                    writes_counters = true;
+                    let allowed = is_owner || (is_producer && via_self);
+                    if !allowed {
+                        diags.push(ctx.diag(
+                            NAME,
+                            CounterDiscipline.severity(),
+                            field_tok.line,
+                            field_tok.col,
+                            format!(
+                                "counter field `{}` mutated outside its owning module; \
+                                 counters are produced at algorithmic event sites only \
+                                 (see COUNTER_OWNER_PATHS in ps-lint's config.rs)",
+                                field_tok.ident().unwrap_or_default()
+                            ),
+                        ));
+                    }
+                }
+            });
+            if writes_counters {
+                let wall_clock = super::any_token(&func.body.children, &|t| {
+                    t.is_ident("Instant") || t.is_ident("SystemTime")
+                });
+                if wall_clock {
+                    diags.push(ctx.diag(
+                        NAME,
+                        CounterDiscipline.severity(),
+                        func.line,
+                        1,
+                        format!(
+                            "`{}` reads wall-clock time and writes counter fields; time is \
+                             environment-dependent and must never flow into the \
+                             strategy-independent counters",
+                            func.name
+                        ),
+                    ));
+                }
+            }
+        }
+        diags
+    }
+}
+
+/// Matches `<expr> . <counter-field> (+=|-=|=)` at `nodes[i]`, returning the
+/// field token and whether the receiver is literally `self`.
+fn counter_mutation(nodes: &[Node], i: usize) -> Option<(&crate::lexer::Token, bool)> {
+    let dot = nodes[i].leaf()?;
+    if !dot.is_punct('.') {
+        return None;
+    }
+    let field = nodes.get(i + 1)?.leaf()?;
+    let name = field.ident()?;
+    if !COUNTER_FIELDS.contains(&name) {
+        return None;
+    }
+    // What follows decides read vs. write: `+=`, `-=`, or `=` (not `==`).
+    let is_write = match nodes.get(i + 2).and_then(|n| n.leaf()) {
+        Some(t) if t.is_punct('+') || t.is_punct('-') => {
+            matches!(nodes.get(i + 3).and_then(|n| n.leaf()), Some(eq) if eq.is_punct('='))
+        }
+        Some(t) if t.is_punct('=') => {
+            !matches!(nodes.get(i + 3).and_then(|n| n.leaf()), Some(eq) if eq.is_punct('='))
+        }
+        _ => false,
+    };
+    if !is_write {
+        return None;
+    }
+    let via_self = i > 0 && matches!(nodes[i - 1].leaf(), Some(t) if t.is_ident("self"));
+    Some((field, via_self))
+}

@@ -1,0 +1,141 @@
+//! The rule framework: the [`Rule`] trait, per-file/workspace contexts, and
+//! the registry of shipped rules.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::Token;
+use crate::tree::{FnInfo, Node};
+use crate::walk::{FileClass, SourceFile};
+
+mod counter_discipline;
+mod forbid_unsafe;
+mod naive_reference_pairing;
+mod nondeterministic_iteration;
+mod panic_in_library;
+mod thread_hygiene;
+
+pub use counter_discipline::CounterDiscipline;
+pub use forbid_unsafe::ForbidUnsafe;
+pub use naive_reference_pairing::NaiveReferencePairing;
+pub use nondeterministic_iteration::NondeterministicIteration;
+pub use panic_in_library::PanicInLibrary;
+pub use thread_hygiene::ThreadHygiene;
+
+/// Everything a rule can see about one file.
+pub struct FileContext<'a> {
+    /// The file's path and classification.
+    pub file: &'a SourceFile,
+    /// Code tokens (comments stripped).
+    pub tokens: &'a [Token],
+    /// The token tree built from `tokens`.
+    pub tree: &'a [Node],
+    /// Function items found in the tree, with impl/test context.
+    pub functions: &'a [FnInfo],
+}
+
+impl FileContext<'_> {
+    /// Starts a diagnostic for this rule anchored at a source position.
+    pub fn diag(
+        &self,
+        rule: &'static str,
+        severity: Severity,
+        line: u32,
+        col: u32,
+        message: String,
+    ) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity,
+            file: self.file.path.clone(),
+            line,
+            col,
+            message,
+        }
+    }
+}
+
+/// Everything a workspace-level rule can see: every file's context, in
+/// path order.
+pub struct WorkspaceContext<'a> {
+    /// One entry per scanned file.
+    pub files: &'a [OwnedFileData],
+}
+
+/// The owned per-file data the driver builds once and shares between the
+/// per-file and workspace passes.
+pub struct OwnedFileData {
+    /// The file's path and classification.
+    pub file: SourceFile,
+    /// Code tokens (comments stripped).
+    pub tokens: Vec<Token>,
+    /// Token tree.
+    pub tree: Vec<Node>,
+    /// Function items.
+    pub functions: Vec<FnInfo>,
+}
+
+impl OwnedFileData {
+    /// A borrowed [`FileContext`] over this data.
+    pub fn ctx(&self) -> FileContext<'_> {
+        FileContext {
+            file: &self.file,
+            tokens: &self.tokens,
+            tree: &self.tree,
+            functions: &self.functions,
+        }
+    }
+}
+
+/// A lint rule.  Per-file rules implement [`Rule::check_file`]; rules that
+/// need the whole tree at once (pairing manifests, crate-root attributes)
+/// implement [`Rule::check_workspace`].
+pub trait Rule {
+    /// Kebab-case rule name, used in diagnostics and `allow(…)` pragmas.
+    fn name(&self) -> &'static str;
+    /// One-line description for `pslint rules`.
+    fn description(&self) -> &'static str;
+    /// Default severity of this rule's findings.
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    /// Which file classes the per-file check runs on.
+    fn applies_to(&self, class: FileClass) -> bool;
+    /// Per-file check.
+    fn check_file(&self, _ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+        Vec::new()
+    }
+    /// Whole-workspace check, run once after every file is loaded.
+    fn check_workspace(&self, _ws: &WorkspaceContext<'_>) -> Vec<Diagnostic> {
+        Vec::new()
+    }
+}
+
+/// The shipped rule set, in catalog order.
+pub fn registry() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NondeterministicIteration),
+        Box::new(CounterDiscipline),
+        Box::new(NaiveReferencePairing),
+        Box::new(PanicInLibrary),
+        Box::new(ForbidUnsafe),
+        Box::new(ThreadHygiene),
+    ]
+}
+
+/// Walks every node (depth-first, pre-order), handing the callback each
+/// sibling slice and index so rules can pattern-match on lookahead.
+pub fn scan_nodes(nodes: &[Node], f: &mut impl FnMut(&[Node], usize)) {
+    for (i, node) in nodes.iter().enumerate() {
+        f(nodes, i);
+        if let Node::Group(g) = node {
+            scan_nodes(&g.children, f);
+        }
+    }
+}
+
+/// Does any leaf in `nodes` (recursively) satisfy `pred`?
+pub fn any_token(nodes: &[Node], pred: &impl Fn(&Token) -> bool) -> bool {
+    nodes.iter().any(|n| match n {
+        Node::Leaf(t) => pred(t),
+        Node::Group(g) => any_token(&g.children, pred),
+    })
+}

@@ -1,0 +1,147 @@
+//! `naive-reference-pairing`: every optimized engine keeps its pinned
+//! reference, and every reference is actually exercised.
+//!
+//! The repo's performance story rests on differential testing: each
+//! optimized path (worklist chase, semi-naive closure, word-parallel
+//! BitMatrix kernels, …) is pinned to a naive reference implementation by
+//! proptests.  That discipline is only as strong as the pairing — delete a
+//! `*_naive` twin, or stop testing against it, and the optimized engine
+//! drifts unchecked.  Enforced against the checked-in manifest
+//! ([`crate::config::NAIVE_PAIRS`]):
+//!
+//! * every manifest pair's optimized function and reference function must
+//!   both still exist as `pub fn`s in library code;
+//! * every reference function must be mentioned by at least one test —
+//!   a file under `tests/` or a `#[cfg(test)]` region of a library file;
+//! * conversely, every `pub fn` whose name carries a reference suffix
+//!   ([`crate::config::REFERENCE_SUFFIXES`]) must be registered in the
+//!   manifest, so new reference implementations cannot bypass the pairing
+//!   discipline.
+
+use super::{Rule, WorkspaceContext};
+use crate::config::{NAIVE_PAIRS, REFERENCE_SUFFIXES};
+use crate::diag::{Diagnostic, Severity};
+use crate::walk::FileClass;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// See the module docs.
+pub struct NaiveReferencePairing;
+
+const NAME: &str = "naive-reference-pairing";
+
+impl Rule for NaiveReferencePairing {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn description(&self) -> &'static str {
+        "optimized entry points keep pinned naive references, and tests exercise every reference"
+    }
+
+    fn applies_to(&self, _class: FileClass) -> bool {
+        false // workspace-level only
+    }
+
+    fn check_workspace(&self, ws: &WorkspaceContext<'_>) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+
+        // Pass 1: collect pub fn definitions in library code (name → file,
+        // line) and the set of identifiers mentioned anywhere in test code.
+        let mut pub_fns: BTreeMap<String, (PathBuf, u32)> = BTreeMap::new();
+        let mut test_idents: std::collections::BTreeSet<String> = Default::default();
+        for data in ws.files {
+            let is_libish = matches!(data.file.class, FileClass::Lib | FileClass::Bin);
+            if is_libish {
+                for func in &data.functions {
+                    if func.is_pub && !func.is_test_only {
+                        pub_fns
+                            .entry(func.name.clone())
+                            .or_insert_with(|| (data.file.path.clone(), func.line));
+                    }
+                }
+            }
+            let file_is_test = data.file.class == FileClass::Test;
+            if file_is_test {
+                for tok in &data.tokens {
+                    if let Some(id) = tok.ident() {
+                        test_idents.insert(id.to_string());
+                    }
+                }
+            } else {
+                // `#[cfg(test)]` regions of library files count as tests.
+                for func in &data.functions {
+                    if func.is_test_only {
+                        for tok in func.body.flat_tokens() {
+                            if let Some(id) = tok.ident() {
+                                test_idents.insert(id.to_string());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Pass 2: the manifest must match reality.
+        for (optimized, reference) in NAIVE_PAIRS {
+            if !pub_fns.contains_key(*optimized) {
+                diags.push(workspace_diag(format!(
+                    "manifest entry `{optimized}` (pinned to `{reference}`) no longer exists \
+                     as a pub fn; update NAIVE_PAIRS in ps-lint's config.rs"
+                )));
+            }
+            match pub_fns.get(*reference) {
+                None => diags.push(workspace_diag(format!(
+                    "pinned reference `{reference}` for optimized `{optimized}` no longer \
+                     exists as a pub fn; the optimized engine is unpinned"
+                ))),
+                Some((file, line)) => {
+                    if !test_idents.contains(*reference) {
+                        diags.push(Diagnostic {
+                            rule: NAME,
+                            severity: Severity::Error,
+                            file: file.clone(),
+                            line: *line,
+                            col: 1,
+                            message: format!(
+                                "reference `{reference}` is not mentioned by any test; the \
+                                 differential pin for `{optimized}` is dead"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Pass 3: no unregistered reference implementations.
+        for (name, (file, line)) in &pub_fns {
+            let is_reference = REFERENCE_SUFFIXES.iter().any(|s| name.ends_with(s));
+            if is_reference && !NAIVE_PAIRS.iter().any(|(_, r)| r == name) {
+                diags.push(Diagnostic {
+                    rule: NAME,
+                    severity: Severity::Error,
+                    file: file.clone(),
+                    line: *line,
+                    col: 1,
+                    message: format!(
+                        "`{name}` looks like a reference implementation but is not \
+                         registered in NAIVE_PAIRS; add it with its optimized twin"
+                    ),
+                });
+            }
+        }
+
+        diags
+    }
+}
+
+fn workspace_diag(message: String) -> Diagnostic {
+    Diagnostic {
+        rule: NAME,
+        severity: Severity::Error,
+        file: PathBuf::new(),
+        line: 0,
+        col: 0,
+        message,
+    }
+}

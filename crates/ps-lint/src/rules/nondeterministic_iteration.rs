@@ -1,0 +1,132 @@
+//! `nondeterministic-iteration`: hash-order must never reach ordered
+//! output.
+//!
+//! `BENCH_*.json` is byte-stable, `Display` output is golden-tested, and
+//! merged counters are order-independent — those contracts die the moment a
+//! `HashMap`/`HashSet` is iterated straight into them, because hash
+//! iteration order varies run to run (and `RandomState` makes it
+//! deliberately so).  This rule flags functions that sit on an
+//! order-sensitive path **and** iterate a hash container **without** any
+//! evidence of ordering in the same function.
+//!
+//! Order-sensitive paths are recognized structurally (a function inside an
+//! `impl … Display`/`Debug` block) or by name (serialization, report
+//! emission, and merge functions — see [`SENSITIVE_NAME_PARTS`]).
+//! Evidence of ordering is a `sort*` call or a `BTreeMap`/`BTreeSet`
+//! (whose iteration order is defined) in the same function.
+//!
+//! The rule is deliberately a *per-function* heuristic: hash containers are
+//! fine as lookup structures anywhere, including on sensitive paths — the
+//! violation is iterating one into output without ordering it first.
+
+use super::{any_token, FileContext, Rule};
+use crate::diag::Diagnostic;
+use crate::lexer::Token;
+use crate::tree::FnInfo;
+use crate::walk::FileClass;
+
+/// See the module docs.
+pub struct NondeterministicIteration;
+
+const NAME: &str = "nondeterministic-iteration";
+
+/// Name fragments that put a function on an order-sensitive path.
+pub const SENSITIVE_NAME_PARTS: &[&str] = &[
+    "fmt",
+    "display",
+    "serialize",
+    "json",
+    "report",
+    "record",
+    "emit",
+    "render",
+    "merge",
+    "write_output",
+];
+
+/// Impl-header segments that put a function on an order-sensitive path.
+pub const SENSITIVE_IMPLS: &[&str] = &["Display", "Debug"];
+
+impl Rule for NondeterministicIteration {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn description(&self) -> &'static str {
+        "no HashMap/HashSet iteration on Display/serialization/report/merge paths without sorting"
+    }
+
+    fn applies_to(&self, class: FileClass) -> bool {
+        matches!(class, FileClass::Lib | FileClass::Bin)
+    }
+
+    fn check_file(&self, ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        for func in ctx.functions {
+            if func.is_test_only || !is_sensitive(func) {
+                continue;
+            }
+            let body = &func.body.children;
+            // A hash container is in play if it is named in the body *or*
+            // in the signature (a `&HashSet<_>` parameter iterated in the
+            // body never names the type inside the braces).
+            let is_hash = |t: &Token| t.is_ident("HashMap") || t.is_ident("HashSet");
+            let mentions_hash = any_token(body, &is_hash) || func.signature.iter().any(is_hash);
+            if !mentions_hash {
+                continue;
+            }
+            let iterates = any_token(body, &|t: &Token| {
+                t.is_ident("for")
+                    || t.is_ident("iter")
+                    || t.is_ident("into_iter")
+                    || t.is_ident("keys")
+                    || t.is_ident("values")
+                    || t.is_ident("drain")
+            });
+            if !iterates {
+                continue;
+            }
+            let ordered = any_token(body, &|t: &Token| {
+                matches!(
+                    t.ident(),
+                    Some(
+                        "sort"
+                            | "sort_by"
+                            | "sort_by_key"
+                            | "sort_unstable"
+                            | "sort_unstable_by"
+                            | "sort_unstable_by_key"
+                            | "BTreeMap"
+                            | "BTreeSet"
+                            | "sorted"
+                    )
+                )
+            });
+            if !ordered {
+                diags.push(ctx.diag(
+                    NAME,
+                    NondeterministicIteration.severity(),
+                    func.line,
+                    1,
+                    format!(
+                        "`{}` is on an order-sensitive path and iterates a HashMap/HashSet \
+                         without sorting; hash order varies run-to-run — sort first or use a \
+                         BTree collection",
+                        func.name
+                    ),
+                ));
+            }
+        }
+        diags
+    }
+}
+
+fn is_sensitive(func: &FnInfo) -> bool {
+    if SENSITIVE_IMPLS.iter().any(|s| func.impl_mentions(s)) {
+        return true;
+    }
+    let name = func.name.to_ascii_lowercase();
+    SENSITIVE_NAME_PARTS
+        .iter()
+        .any(|part| name == *part || name.contains(part))
+}

@@ -1,0 +1,84 @@
+//! `thread-hygiene`: library crates use the sanctioned concurrency
+//! substrate, nothing ad hoc.
+//!
+//! PR 8's `ParallelExecutor` is the one concurrency primitive: a scoped
+//! worker pool over `std::thread::scope` with deterministic counter
+//! merging.  Library code therefore must not:
+//!
+//! * call `thread::sleep` — timing-based coordination is nondeterministic
+//!   by construction and would break the counter-identity contract;
+//! * call raw `thread::spawn` — detached threads escape the scope
+//!   discipline (no join guarantee, counters lost).  `scope.spawn(…)`
+//!   inside `std::thread::scope` is fine and is what the executor uses.
+
+use super::{scan_nodes, FileContext, Rule};
+use crate::diag::Diagnostic;
+use crate::walk::FileClass;
+
+/// See the module docs.
+pub struct ThreadHygiene;
+
+const NAME: &str = "thread-hygiene";
+
+impl Rule for ThreadHygiene {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn description(&self) -> &'static str {
+        "no thread::sleep or raw thread::spawn in library crates; use ParallelExecutor"
+    }
+
+    fn applies_to(&self, class: FileClass) -> bool {
+        matches!(class, FileClass::Lib | FileClass::Bin)
+    }
+
+    fn check_file(&self, ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        for func in ctx.functions {
+            if func.is_test_only {
+                continue;
+            }
+            scan_nodes(&func.body.children, &mut |nodes, i| {
+                // `thread :: sleep` / `thread :: spawn` — path calls only;
+                // `scope.spawn(…)` (method syntax) is the sanctioned form.
+                let Some(t0) = nodes[i].leaf() else { return };
+                if !t0.is_ident("thread") {
+                    return;
+                }
+                let path_sep = matches!(nodes.get(i + 1).and_then(|n| n.leaf()), Some(t) if t.is_punct(':'))
+                    && matches!(nodes.get(i + 2).and_then(|n| n.leaf()), Some(t) if t.is_punct(':'));
+                if !path_sep {
+                    return;
+                }
+                match nodes.get(i + 3).and_then(|n| n.leaf()) {
+                    Some(t) if t.is_ident("sleep") => diags.push(
+                        ctx.diag(
+                            NAME,
+                            ThreadHygiene.severity(),
+                            t.line,
+                            t.col,
+                            "`thread::sleep` in library code: timing-based coordination breaks \
+                         the deterministic counter contract"
+                                .into(),
+                        ),
+                    ),
+                    Some(t) if t.is_ident("spawn") => diags.push(
+                        ctx.diag(
+                            NAME,
+                            ThreadHygiene.severity(),
+                            t.line,
+                            t.col,
+                            "raw `thread::spawn` in library code: use `std::thread::scope` via \
+                         `ps_session::ParallelExecutor` so threads are joined and counters \
+                         merged deterministically"
+                                .into(),
+                        ),
+                    ),
+                    _ => {}
+                }
+            });
+        }
+        diags
+    }
+}

@@ -1,0 +1,417 @@
+//! Token trees and the structural model rules scan.
+//!
+//! Rules do not want a flat token stream: `panic-in-library` must skip
+//! `#[cfg(test)]` modules, `nondeterministic-iteration` needs to know which
+//! `impl` block a function lives in, and every rule anchors diagnostics to
+//! functions.  This module turns the lexer's flat stream into:
+//!
+//! 1. a **token tree** — tokens grouped by their `()` / `[]` / `{}`
+//!    delimiters, with unbalanced files reported instead of panicking; and
+//! 2. a **model** — the list of [`FnInfo`]s found by walking the tree,
+//!    each carrying its name, body group, enclosing `impl` header, and
+//!    whether it is test-only code (`#[cfg(test)]` module or `#[test]` fn).
+
+use crate::lexer::{Token, TokenKind};
+
+/// One node of a token tree: a leaf token or a delimited group.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// A non-delimiter token.
+    Leaf(Token),
+    /// A `(…)`, `[…]` or `{…}` group.
+    Group(Group),
+}
+
+impl Node {
+    /// The source line this node starts on.
+    pub fn line(&self) -> u32 {
+        match self {
+            Node::Leaf(t) => t.line,
+            Node::Group(g) => g.line,
+        }
+    }
+
+    /// The leaf token, if this node is a leaf.
+    pub fn leaf(&self) -> Option<&Token> {
+        match self {
+            Node::Leaf(t) => Some(t),
+            Node::Group(_) => None,
+        }
+    }
+}
+
+/// A delimited group of nodes.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// The opening delimiter: `(`, `[` or `{`.
+    pub delim: char,
+    /// 1-based line of the opening delimiter.
+    pub line: u32,
+    /// 1-based column of the opening delimiter.
+    pub col: u32,
+    /// The nodes between the delimiters.
+    pub children: Vec<Node>,
+}
+
+impl Group {
+    /// Every leaf token in this group, recursively, in source order.
+    pub fn flat_tokens(&self) -> Vec<&Token> {
+        let mut out = Vec::new();
+        collect_tokens(&self.children, &mut out);
+        out
+    }
+}
+
+fn collect_tokens<'a>(nodes: &'a [Node], out: &mut Vec<&'a Token>) {
+    for node in nodes {
+        match node {
+            Node::Leaf(t) => out.push(t),
+            Node::Group(g) => collect_tokens(&g.children, out),
+        }
+    }
+}
+
+/// A structural problem found while building the tree (unbalanced
+/// delimiters).  Like lexing errors these are reported, never panicked on.
+#[derive(Debug, Clone)]
+pub struct TreeError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Builds a token tree from comment-free code tokens.
+pub fn build_tree(tokens: &[Token]) -> (Vec<Node>, Vec<TreeError>) {
+    let mut errors = Vec::new();
+    let mut stack: Vec<Group> = Vec::new();
+    let mut top: Vec<Node> = Vec::new();
+    for tok in tokens {
+        match tok.kind {
+            TokenKind::Punct(c @ ('(' | '[' | '{')) => {
+                stack.push(Group {
+                    delim: c,
+                    line: tok.line,
+                    col: tok.col,
+                    children: Vec::new(),
+                });
+            }
+            TokenKind::Punct(c @ (')' | ']' | '}')) => {
+                let expected = match c {
+                    ')' => '(',
+                    ']' => '[',
+                    _ => '{',
+                };
+                match stack.pop() {
+                    Some(group) if group.delim == expected => {
+                        let node = Node::Group(group);
+                        match stack.last_mut() {
+                            Some(parent) => parent.children.push(node),
+                            None => top.push(node),
+                        }
+                    }
+                    Some(group) => {
+                        errors.push(TreeError {
+                            message: format!(
+                                "mismatched delimiter: `{}` closed by `{}`",
+                                group.delim, c
+                            ),
+                            line: tok.line,
+                            col: tok.col,
+                        });
+                        // Recover: reattach the group where it belongs.
+                        let node = Node::Group(group);
+                        match stack.last_mut() {
+                            Some(parent) => parent.children.push(node),
+                            None => top.push(node),
+                        }
+                    }
+                    None => errors.push(TreeError {
+                        message: format!("unmatched closing `{c}`"),
+                        line: tok.line,
+                        col: tok.col,
+                    }),
+                }
+            }
+            _ => {
+                let node = Node::Leaf(tok.clone());
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(node),
+                    None => top.push(node),
+                }
+            }
+        }
+    }
+    while let Some(group) = stack.pop() {
+        errors.push(TreeError {
+            message: format!("unclosed `{}`", group.delim),
+            line: group.line,
+            col: group.col,
+        });
+        let node = Node::Group(group);
+        match stack.last_mut() {
+            Some(parent) => parent.children.push(node),
+            None => top.push(node),
+        }
+    }
+    (top, errors)
+}
+
+/// A function item found in the tree.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the `fn` is `pub` (any `pub`/`pub(crate)` visibility).
+    pub is_pub: bool,
+    /// The tokens of the enclosing `impl` header (between `impl` and the
+    /// body `{`), empty when the function is free.  `impl fmt::Display for
+    /// Foo` yields `["fmt", "Display", "for", "Foo"]` (punctuation dropped).
+    pub impl_header: Vec<String>,
+    /// True inside a `#[cfg(test)]` module or for a `#[test]` function.
+    pub is_test_only: bool,
+    /// Flat tokens of the signature (everything between the function's
+    /// name and its body group: parameters, generics, return type).
+    pub signature: Vec<Token>,
+    /// The function's body group (`{…}`).
+    pub body: Group,
+}
+
+impl FnInfo {
+    /// Does the enclosing `impl` header mention this path segment (e.g.
+    /// `"Display"`)?
+    pub fn impl_mentions(&self, segment: &str) -> bool {
+        self.impl_header.iter().any(|s| s == segment)
+    }
+}
+
+/// Walks a token tree and returns every function item with its context.
+pub fn find_functions(nodes: &[Node]) -> Vec<FnInfo> {
+    let mut out = Vec::new();
+    walk(nodes, &[], false, &mut out);
+    out
+}
+
+/// Attribute groups (`#[…]`) immediately preceding index `i`, scanning
+/// backwards over other attributes.
+fn is_cfg_test_attr(group: &Group) -> bool {
+    // Matches `cfg(test)` and `cfg(any(test, …))` — any attribute whose
+    // tokens include both `cfg` and `test`.
+    let tokens = group.flat_tokens();
+    let has_cfg = tokens.iter().any(|t| t.is_ident("cfg"));
+    let has_test = tokens.iter().any(|t| t.is_ident("test"));
+    has_cfg && has_test
+}
+
+fn is_test_attr(group: &Group) -> bool {
+    // `#[test]`, `#[bench]`, and proptest-macro expansions are test-only.
+    let tokens = group.flat_tokens();
+    tokens
+        .iter()
+        .any(|t| t.is_ident("test") || t.is_ident("bench"))
+}
+
+/// Scans backwards from `i` over `# [ … ]` attribute sequences, returning
+/// whether any attribute satisfies `pred`.
+fn preceded_by_attr(nodes: &[Node], mut i: usize, pred: fn(&Group) -> bool) -> bool {
+    while i >= 2 {
+        let (hash, group) = (&nodes[i - 2], &nodes[i - 1]);
+        let is_attr = matches!(hash.leaf(), Some(t) if t.is_punct('#'))
+            && matches!(&group, Node::Group(g) if g.delim == '[');
+        if !is_attr {
+            // Also step over a `!` for inner attributes `#![…]`.
+            return false;
+        }
+        if let Node::Group(g) = group {
+            if pred(g) {
+                return true;
+            }
+        }
+        i -= 2;
+    }
+    false
+}
+
+fn walk(nodes: &[Node], impl_header: &[String], in_test: bool, out: &mut Vec<FnInfo>) {
+    let mut i = 0;
+    while i < nodes.len() {
+        let node = &nodes[i];
+        let Some(tok) = node.leaf() else {
+            // A bare group at item level: recurse to catch nested items
+            // (e.g. statements inside a function defining a local fn are
+            // found via the body scan instead; harmless to recurse here).
+            if let Node::Group(g) = node {
+                if g.delim == '{' {
+                    walk(&g.children, impl_header, in_test, out);
+                }
+            }
+            i += 1;
+            continue;
+        };
+        match tok.ident() {
+            Some("mod") => {
+                let test_mod = in_test || preceded_by_attr(nodes, i, is_cfg_test_attr);
+                // `mod name { … }` — find the body group before a `;`.
+                let mut j = i + 1;
+                while j < nodes.len() {
+                    match &nodes[j] {
+                        Node::Group(g) if g.delim == '{' => {
+                            walk(&g.children, &[], test_mod, out);
+                            break;
+                        }
+                        Node::Leaf(t) if t.is_punct(';') => break,
+                        _ => j += 1,
+                    }
+                }
+                i = j + 1;
+            }
+            Some("impl") => {
+                // Collect header idents up to the body `{`.
+                let mut header = Vec::new();
+                let mut j = i + 1;
+                let mut body: Option<&Group> = None;
+                while j < nodes.len() {
+                    match &nodes[j] {
+                        Node::Group(g) if g.delim == '{' => {
+                            body = Some(g);
+                            break;
+                        }
+                        Node::Leaf(t) => {
+                            if let Some(id) = t.ident() {
+                                header.push(id.to_string());
+                            }
+                            if t.is_punct(';') {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(g) = body {
+                    let test_impl = in_test || preceded_by_attr(nodes, i, is_cfg_test_attr);
+                    walk(&g.children, &header, test_impl, out);
+                }
+                i = j + 1;
+            }
+            Some("fn") => {
+                let name = match nodes
+                    .get(i + 1)
+                    .and_then(|n| n.leaf())
+                    .and_then(|t| t.ident())
+                {
+                    Some(n) => n.to_string(),
+                    None => {
+                        i += 1;
+                        continue;
+                    }
+                };
+                // Scan backwards over the qualifier sequence (`pub(crate)
+                // const unsafe extern "C" fn`) looking for `pub`.
+                let mut is_pub = false;
+                for n in nodes[..i].iter().rev().take(6) {
+                    match n {
+                        Node::Leaf(t) => match t.ident() {
+                            Some("pub") => {
+                                is_pub = true;
+                                break;
+                            }
+                            Some("const" | "async" | "unsafe" | "extern") => continue,
+                            _ => match &t.kind {
+                                TokenKind::Str(_) => continue,
+                                _ => break,
+                            },
+                        },
+                        Node::Group(g) if g.delim == '(' => continue,
+                        _ => break,
+                    }
+                }
+                let fn_test = in_test || preceded_by_attr(nodes, i, is_test_attr);
+                // Find the body `{…}` after the signature; stop at `;`
+                // (trait method declarations have no body).
+                let mut j = i + 2;
+                let mut body: Option<&Group> = None;
+                while j < nodes.len() {
+                    match &nodes[j] {
+                        Node::Group(g) if g.delim == '{' => {
+                            body = Some(g);
+                            break;
+                        }
+                        Node::Leaf(t) if t.is_punct(';') => break,
+                        _ => j += 1,
+                    }
+                }
+                if let Some(g) = body {
+                    let mut signature = Vec::new();
+                    collect_tokens(&nodes[i + 1..j], &mut signature);
+                    out.push(FnInfo {
+                        name,
+                        line: tok.line,
+                        is_pub,
+                        impl_header: impl_header.to_vec(),
+                        is_test_only: fn_test,
+                        signature: signature.into_iter().cloned().collect(),
+                        body: g.clone(),
+                    });
+                    // Nested fns inside this body are found by a dedicated
+                    // inner walk so closures/local fns are not lost.
+                    walk(&g.children, impl_header, fn_test, out);
+                }
+                i = j + 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn functions(src: &str) -> Vec<FnInfo> {
+        let lexed = lex(src);
+        let (tree, errors) = build_tree(&lexed.code_tokens());
+        assert!(errors.is_empty(), "{errors:?}");
+        find_functions(&tree)
+    }
+
+    #[test]
+    fn finds_free_impl_and_test_functions() {
+        let src = r#"
+            pub fn free() { body(); }
+            impl fmt::Display for Foo {
+                fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { write!(f, "x") }
+            }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn in_tests() { assert!(true); }
+            }
+        "#;
+        let fns = functions(src);
+        let free = fns.iter().find(|f| f.name == "free").unwrap();
+        assert!(free.is_pub && !free.is_test_only && free.impl_header.is_empty());
+        let fmt = fns.iter().find(|f| f.name == "fmt").unwrap();
+        assert!(fmt.impl_mentions("Display") && !fmt.is_test_only);
+        let t = fns.iter().find(|f| f.name == "in_tests").unwrap();
+        assert!(t.is_test_only);
+    }
+
+    #[test]
+    fn test_attribute_marks_fn_without_module() {
+        let fns = functions("#[test]\nfn standalone() { x.unwrap(); }");
+        assert!(fns[0].is_test_only);
+    }
+
+    #[test]
+    fn unbalanced_input_reports_errors() {
+        let lexed = lex("fn f() { (");
+        let (_, errors) = build_tree(&lexed.code_tokens());
+        assert!(!errors.is_empty());
+    }
+}

@@ -1,0 +1,106 @@
+//! Anti-drift checks between ps-lint's compiled-in config and the rest of
+//! the repo's configuration surface.
+//!
+//! ps-lint cannot read `clippy.toml` at lint time (it lints sources, not
+//! config), so the interior-mutability allowlist is mirrored as a constant.
+//! Mirrors rot; these tests make the build fail the moment either side
+//! moves without the other.
+
+use ps_lint::config;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+fn repo_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+/// Extracts the string-array value of a `key = ["a", "b"]` TOML line.  Not
+/// a TOML parser — just enough for clippy.toml's flat key/value shape, and
+/// it fails loudly if the key is missing.
+fn toml_string_array(toml: &str, key: &str) -> Vec<String> {
+    for line in toml.lines() {
+        let line = line.trim();
+        if line.starts_with('#') {
+            continue;
+        }
+        let Some((lhs, rhs)) = line.split_once('=') else {
+            continue;
+        };
+        if lhs.trim() != key {
+            continue;
+        }
+        let rhs = rhs.trim();
+        assert!(
+            rhs.starts_with('[') && rhs.ends_with(']'),
+            "`{key}` is not an inline array: {rhs}"
+        );
+        return rhs[1..rhs.len() - 1]
+            .split(',')
+            .map(|s| s.trim().trim_matches('"').to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+    }
+    panic!("`{key}` not found in clippy.toml");
+}
+
+#[test]
+fn interior_mutability_allowlist_matches_clippy_toml() {
+    let toml = std::fs::read_to_string(repo_root().join("clippy.toml"))
+        .expect("clippy.toml exists at the workspace root");
+    let clippy: BTreeSet<String> = toml_string_array(&toml, "ignore-interior-mutability")
+        .into_iter()
+        .collect();
+    let ours: BTreeSet<String> = config::INTERIOR_MUTABILITY_ALLOWLIST
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    assert_eq!(
+        clippy, ours,
+        "clippy.toml's ignore-interior-mutability and \
+         config::INTERIOR_MUTABILITY_ALLOWLIST have drifted apart"
+    );
+}
+
+#[test]
+fn forbid_unsafe_roots_cover_every_workspace_crate() {
+    let root = repo_root();
+    let mut expected: BTreeSet<String> = BTreeSet::new();
+    expected.insert("src/lib.rs".to_string());
+    for entry in std::fs::read_dir(root.join("crates")).expect("crates/ dir") {
+        let entry = entry.expect("readable dir entry");
+        if entry.path().join("Cargo.toml").exists() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            expected.insert(format!("crates/{name}/src/lib.rs"));
+        }
+    }
+    let listed: BTreeSet<String> = config::FORBID_UNSAFE_CRATE_ROOTS
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    assert_eq!(
+        listed, expected,
+        "a crate was added or removed without updating \
+         config::FORBID_UNSAFE_CRATE_ROOTS"
+    );
+    for rel in &listed {
+        assert!(root.join(rel).exists(), "{rel} listed but missing on disk");
+    }
+}
+
+#[test]
+fn naive_pair_manifest_has_no_duplicates_and_sane_suffixes() {
+    let mut seen = BTreeSet::new();
+    for (optimized, reference) in config::NAIVE_PAIRS {
+        assert!(seen.insert(optimized), "duplicate optimized fn {optimized}");
+        assert!(seen.insert(reference), "duplicate reference fn {reference}");
+        assert!(
+            config::REFERENCE_SUFFIXES
+                .iter()
+                .any(|s| reference.ends_with(s)),
+            "reference `{reference}` lacks a recognized suffix"
+        );
+    }
+}

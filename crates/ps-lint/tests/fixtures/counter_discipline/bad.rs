@@ -1,0 +1,23 @@
+//! Failing fixture for `counter-discipline`: counter mutation outside the
+//! owning module, and wall-clock flowing into counter values.
+
+use std::time::Instant;
+
+pub struct Counters {
+    pub rule_firings: u64,
+    pub row_visits: u64,
+}
+
+pub fn pad_counters(counters: &mut Counters) {
+    // Adjusting a counter after the fact, outside the owning module.
+    counters.rule_firings += 100;
+}
+
+pub fn time_as_work(counters: &mut Counters) {
+    let start = Instant::now();
+    expensive();
+    // Wall time is environment-dependent; counters must stay pure work.
+    counters.row_visits = start.elapsed().as_nanos() as u64;
+}
+
+fn expensive() {}

@@ -1,0 +1,35 @@
+//! Passing fixture for `counter-discipline`: counters are read, compared
+//! and reported; wall time lives beside — never inside — them.
+
+use std::time::Instant;
+
+pub struct Counters {
+    pub rule_firings: u64,
+    pub row_visits: u64,
+}
+
+pub struct BenchRecord {
+    pub wall_ns: u64,
+    pub rule_firings: u64,
+}
+
+/// Reading counter fields is always fine.
+pub fn total_work(counters: &Counters) -> u64 {
+    counters.rule_firings + counters.row_visits
+}
+
+/// Comparisons are reads too (`==` must not parse as an assignment).
+pub fn same_work(a: &Counters, b: &Counters) -> bool {
+    a.rule_firings == b.rule_firings && a.row_visits == b.row_visits
+}
+
+/// Wall time measured around a query goes in its own field, beside the
+/// counters copied out of the outcome — construction, not mutation.
+pub fn measure(counters: &Counters) -> BenchRecord {
+    let start = Instant::now();
+    let _ = total_work(counters);
+    BenchRecord {
+        wall_ns: start.elapsed().as_nanos() as u64,
+        rule_firings: counters.rule_firings,
+    }
+}

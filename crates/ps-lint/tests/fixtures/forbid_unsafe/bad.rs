@@ -1,0 +1,5 @@
+//! Failing fixture for `forbid-unsafe`: an `unsafe` block in code.
+
+pub fn reads_raw(ptr: *const u32) -> u32 {
+    unsafe { *ptr }
+}

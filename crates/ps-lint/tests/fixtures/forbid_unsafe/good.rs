@@ -1,0 +1,9 @@
+//! Passing fixture for `forbid-unsafe`: the word only ever appears in
+//! comments and strings, which the lexer keeps out of the token stream.
+
+// A comment may discuss unsafe code without tripping the rule.
+
+/// Docs may mention `unsafe` too.
+pub fn describes() -> &'static str {
+    "this crate contains no unsafe code"
+}

@@ -1,0 +1,13 @@
+//! Failing fixture for `naive-reference-pairing`: a reference-suffixed
+//! pub fn that is not registered in the NAIVE_PAIRS manifest.
+
+/// An optimized engine…
+pub fn rogue_search(haystack: &[u64], needle: u64) -> bool {
+    haystack.binary_search(&needle).is_ok()
+}
+
+/// …whose reference twin skipped manifest registration, so nothing forces
+/// a differential test to pin the pair together.
+pub fn rogue_search_naive(haystack: &[u64], needle: u64) -> bool {
+    haystack.iter().any(|&x| x == needle)
+}

@@ -1,0 +1,20 @@
+//! Passing fixture for `naive-reference-pairing`: library code with no
+//! unregistered reference implementations.  The fixture harness appends
+//! stub definitions for every manifest pair (generated from ps-lint's
+//! config so this fixture can never drift from it) plus a test file
+//! mentioning each reference.
+
+/// Plain library code, no reference suffix anywhere.
+pub fn frontier_walk(edges: &[(u32, u32)], start: u32) -> Vec<u32> {
+    let mut seen = vec![start];
+    let mut frontier = vec![start];
+    while let Some(node) = frontier.pop() {
+        for &(from, to) in edges {
+            if from == node && !seen.contains(&to) {
+                seen.push(to);
+                frontier.push(to);
+            }
+        }
+    }
+    seen
+}

@@ -1,0 +1,41 @@
+//! Failing fixture for `nondeterministic-iteration`: hash order reaching
+//! ordered output on three sensitive paths.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+pub struct Report {
+    pub labels: Vec<String>,
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut histogram: HashMap<&str, u64> = HashMap::new();
+        for label in &self.labels {
+            *histogram.entry(label).or_insert(0) += 1;
+        }
+        for (key, value) in histogram.iter() {
+            writeln!(f, "{key}: {value}")?;
+        }
+        Ok(())
+    }
+}
+
+pub fn serialize_tags(tags: &HashSet<String>) -> String {
+    let mut out = String::new();
+    for tag in tags {
+        out.push_str(tag);
+        out.push(',');
+    }
+    out
+}
+
+pub fn merge_counts(maps: &[HashMap<String, u64>]) -> Vec<(String, u64)> {
+    let mut merged: HashMap<String, u64> = HashMap::new();
+    for map in maps {
+        for (k, v) in map.iter() {
+            *merged.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+    merged.into_iter().collect()
+}

@@ -1,0 +1,47 @@
+//! Passing fixture for `nondeterministic-iteration`: hash containers are
+//! fine on sensitive paths when the output is ordered first (or ordered
+//! collections are used throughout).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+pub struct Report {
+    pub counts: HashMap<String, u64>,
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut ordered: Vec<(&String, &u64)> = self.counts.iter().collect();
+        ordered.sort_unstable();
+        for (key, value) in ordered {
+            writeln!(f, "{key}: {value}")?;
+        }
+        Ok(())
+    }
+}
+
+pub fn serialize_tags(tags: &HashSet<String>) -> String {
+    let mut sorted: Vec<&String> = tags.iter().collect();
+    sorted.sort_unstable();
+    sorted.iter().fold(String::new(), |mut acc, tag| {
+        acc.push_str(tag);
+        acc.push(',');
+        acc
+    })
+}
+
+pub fn merge_counts(maps: &[HashMap<String, u64>]) -> Vec<(String, u64)> {
+    // Accumulating into a BTreeMap gives a defined iteration order.
+    let mut merged: BTreeMap<String, u64> = BTreeMap::new();
+    for map in maps {
+        for (k, v) in map.iter() {
+            *merged.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+    merged.into_iter().collect()
+}
+
+/// Hash lookups on a non-sensitive path never fire the rule.
+pub fn lookup_only(index: &HashMap<String, u64>, key: &str) -> Option<u64> {
+    index.get(key).copied()
+}

@@ -1,0 +1,30 @@
+//! Failing fixture for `panic-in-library`: every flagged form.
+
+pub fn bare_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn expect_without_message(v: Option<u32>) -> u32 {
+    v.expect(msg())
+}
+
+fn msg() -> &'static str {
+    "computed at runtime, documents nothing at the call site"
+}
+
+pub fn explicit_panic(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}
+
+pub fn not_done() {
+    todo!()
+}
+
+pub fn bare_unreachable(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}

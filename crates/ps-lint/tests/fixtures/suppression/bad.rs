@@ -1,0 +1,7 @@
+//! Failing fixture for `unused-suppression`: a pragma that acknowledges
+//! nothing (the line below it is clean), which must itself be reported.
+
+// ps-lint: allow(panic-in-library)
+pub fn perfectly_fine() -> u32 {
+    42
+}

@@ -1,0 +1,9 @@
+//! Passing fixture for the suppression layer: a pragma that earns its keep
+//! by acknowledging a real finding on the next line.
+
+/// The unwrap below is a deliberate, reviewed exception; the pragma keeps
+/// it visible instead of silently exempt.
+pub fn acknowledged(v: Option<u32>) -> u32 {
+    // ps-lint: allow(panic-in-library)
+    v.unwrap()
+}

@@ -1,0 +1,15 @@
+//! Failing fixture for `thread-hygiene`: raw spawn and sleep in library
+//! code.
+
+use std::thread;
+use std::time::Duration;
+
+pub fn fire_and_forget(work: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(work);
+}
+
+pub fn poll_with_sleep(ready: &dyn Fn() -> bool) {
+    while !ready() {
+        thread::sleep(Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,18 @@
+//! Passing fixture for `thread-hygiene`: scoped threads join before the
+//! scope ends, so counters are merged deterministically.
+
+use std::thread;
+
+pub fn scoped_fanout(chunks: &[Vec<u64>]) -> u64 {
+    let mut totals = vec![0u64; chunks.len()];
+    thread::scope(|scope| {
+        for (slot, chunk) in totals.iter_mut().zip(chunks) {
+            // `scope.spawn` is method syntax, not `thread::spawn` — the
+            // sanctioned form the ParallelExecutor uses.
+            scope.spawn(move || {
+                *slot = chunk.iter().sum();
+            });
+        }
+    });
+    totals.iter().sum()
+}

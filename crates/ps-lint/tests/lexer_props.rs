@@ -1,0 +1,113 @@
+//! Property tests for the hand-rolled lexer.
+//!
+//! The vendored proptest shim has no `String`/`char` strategies, so inputs
+//! are composed from a fragment table indexed by `usize` strategies: random
+//! "token soup" built from realistic Rust fragments, including the nasty
+//! ones (raw strings, nested comments, lifetimes vs char literals).
+//!
+//! Two guarantees are pinned:
+//! 1. `lex` never panics and its spans stay inside the input, and
+//! 2. identifiers inside comments and string literals never leak out as
+//!    code tokens — that is the load-bearing property every rule relies on.
+
+use proptest::prelude::*;
+use ps_lint::lexer::{lex, TokenKind};
+
+/// The sentinel never appears in any fragment below except the quoted /
+/// commented ones, so seeing it as a code identifier is proof of a leak.
+const SENTINEL: &str = "zqleak";
+
+/// Plain code fragments: safe to appear as code tokens.
+const CODE: &[&str] = &[
+    "fn f",
+    "let x = 1;",
+    "pub struct S",
+    "impl T for U",
+    "x.unwrap()",
+    "'a",
+    "'\\n'",
+    "'x'",
+    "r#type",
+    "1_000u64",
+    "0xFFu8",
+    "1.5e-3",
+    "a..=b",
+    "::<>",
+    "#[derive(Debug)]",
+    "match x { _ => () }",
+    "&mut v",
+    "|a, b| a + b",
+];
+
+/// Fragments that *contain* the sentinel but only inside comments or
+/// strings — the lexer must never surface it as a code identifier.
+const QUARANTINED: &[&str] = &[
+    "// zqleak\n",
+    "/* zqleak */",
+    "/* a /* zqleak */ b */",
+    "/// zqleak\n",
+    "\"zqleak\"",
+    "\" zqleak \\\" zqleak \"",
+    "r\"zqleak\"",
+    "r#\"zqleak \" zqleak\"#",
+    "'z'",
+    "b\"zqleak\"",
+];
+
+fn assemble(picks: &[(usize, usize)]) -> String {
+    let mut src = String::new();
+    for &(table, idx) in picks {
+        let frag = if table % 2 == 0 {
+            CODE[idx % CODE.len()]
+        } else {
+            QUARANTINED[idx % QUARANTINED.len()]
+        };
+        src.push_str(frag);
+        src.push(' ');
+    }
+    src
+}
+
+proptest! {
+    #[test]
+    fn lexing_token_soup_never_panics_and_spans_stay_in_bounds(
+        picks in proptest::collection::vec((0usize..2, 0usize..32), 0..40)
+    ) {
+        let src = assemble(&picks);
+        let line_count = src.lines().count() as u32 + 1;
+        let lexed = lex(&src);
+        for tok in &lexed.tokens {
+            prop_assert!(tok.line >= 1 && tok.line <= line_count);
+            prop_assert!(tok.col >= 1);
+        }
+    }
+
+    #[test]
+    fn comments_and_strings_never_leak_identifiers(
+        picks in proptest::collection::vec((0usize..2, 0usize..32), 0..40)
+    ) {
+        let src = assemble(&picks);
+        let lexed = lex(&src);
+        prop_assert!(lexed.errors.is_empty(), "fragments are well-formed: {:?}", lexed.errors);
+        for tok in lexed.code_tokens() {
+            if let TokenKind::Ident(name) = &tok.kind {
+                prop_assert!(
+                    name != SENTINEL,
+                    "sentinel leaked out of a comment/string at {}:{} in {src:?}",
+                    tok.line,
+                    tok.col
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lexing_arbitrary_byte_soup_never_panics(
+        bytes in proptest::collection::vec(0u8..=255, 0..200)
+    ) {
+        // Even invalid UTF-8 turned lossy, or valid-but-degenerate input
+        // (unterminated strings, stray quotes), must lex without panicking.
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = lex(&src);
+    }
+}

@@ -1,0 +1,229 @@
+//! Per-rule fixture tests: every shipped rule has at least one failing and
+//! one passing fixture under `tests/fixtures/`, and the failing fixture
+//! fails for the expected rule only.
+
+use ps_lint::config::NAIVE_PAIRS;
+use ps_lint::diag::Diagnostic;
+use ps_lint::lexer;
+use ps_lint::rules::{NaiveReferencePairing, OwnedFileData, Rule, WorkspaceContext};
+use ps_lint::tree;
+use ps_lint::walk::{FileClass, SourceFile};
+use std::path::{Path, PathBuf};
+
+fn fixture(rule_dir: &str, name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rule_dir)
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Lints a fixture as library code of a fictitious crate (so owner-path
+/// allowlists do not apply).
+fn lint(rule_dir: &str, name: &str) -> Vec<Diagnostic> {
+    let source = fixture(rule_dir, name);
+    ps_lint::check_source(
+        Path::new("crates/ps-fixture/src/lib.rs"),
+        FileClass::Lib,
+        &source,
+    )
+}
+
+fn rules_hit(diags: &[Diagnostic]) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = diags.iter().map(|d| d.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+#[track_caller]
+fn assert_fixture_pair(rule_dir: &str, rule: &str, expected_bad: usize) {
+    let bad = lint(rule_dir, "bad.rs");
+    assert_eq!(
+        rules_hit(&bad),
+        vec![rule],
+        "bad fixture must fail for exactly `{rule}`: {bad:?}"
+    );
+    assert_eq!(bad.len(), expected_bad, "{bad:?}");
+    let good = lint(rule_dir, "good.rs");
+    assert!(good.is_empty(), "good fixture must be clean: {good:?}");
+}
+
+#[test]
+fn panic_in_library_fixtures() {
+    // unwrap, expect-without-message, panic!, todo!, bare unreachable!.
+    assert_fixture_pair("panic_in_library", "panic-in-library", 5);
+}
+
+#[test]
+fn forbid_unsafe_fixtures() {
+    assert_fixture_pair("forbid_unsafe", "forbid-unsafe", 1);
+}
+
+#[test]
+fn thread_hygiene_fixtures() {
+    // raw spawn + sleep.
+    assert_fixture_pair("thread_hygiene", "thread-hygiene", 2);
+}
+
+#[test]
+fn nondeterministic_iteration_fixtures() {
+    // Display impl, serialize fn, merge fn.
+    assert_fixture_pair(
+        "nondeterministic_iteration",
+        "nondeterministic-iteration",
+        3,
+    );
+}
+
+#[test]
+fn counter_discipline_fixtures() {
+    // Mutation outside the owner (×2 sites) + wall-clock contamination.
+    assert_fixture_pair("counter_discipline", "counter-discipline", 3);
+}
+
+#[test]
+fn suppression_fixtures() {
+    let bad = lint("suppression", "bad.rs");
+    assert_eq!(rules_hit(&bad), vec!["unused-suppression"], "{bad:?}");
+    let good = lint("suppression", "good.rs");
+    assert!(
+        good.is_empty(),
+        "an earned pragma suppresses its finding and is not itself reported: {good:?}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// naive-reference-pairing is a workspace rule: build a tiny in-memory
+// workspace around the fixture files.
+// ---------------------------------------------------------------------
+
+fn load(path: &str, class: FileClass, source: &str) -> OwnedFileData {
+    let lexed = lexer::lex(source);
+    let tokens = lexed.code_tokens();
+    let (tr, errors) = tree::build_tree(&tokens);
+    assert!(errors.is_empty(), "{errors:?}");
+    let functions = tree::find_functions(&tr);
+    OwnedFileData {
+        file: SourceFile {
+            path: PathBuf::from(path),
+            class,
+        },
+        tokens,
+        tree: tr,
+        functions,
+    }
+}
+
+/// Stub definitions for every manifest pair, generated from the config so
+/// the good-case workspace always satisfies the manifest side of the rule.
+fn manifest_stub_lib() -> String {
+    let mut out = String::from("//! Generated manifest stubs.\n");
+    for (optimized, reference) in NAIVE_PAIRS {
+        out.push_str(&format!(
+            "/// Optimized.\npub fn {optimized}() {{}}\n/// Reference.\npub fn {reference}() {{}}\n"
+        ));
+    }
+    out
+}
+
+/// A test file mentioning every manifest reference.
+fn manifest_stub_tests() -> String {
+    let mut out = String::from("fn pin_references() {\n");
+    for (_, reference) in NAIVE_PAIRS {
+        out.push_str(&format!("    {reference}();\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[test]
+fn naive_reference_pairing_good_workspace_is_clean() {
+    let files = vec![
+        load(
+            "crates/ps-fixture/src/lib.rs",
+            FileClass::Lib,
+            &fixture("naive_reference_pairing", "good_lib.rs"),
+        ),
+        load(
+            "crates/ps-fixture/src/stubs.rs",
+            FileClass::Lib,
+            &manifest_stub_lib(),
+        ),
+        load(
+            "crates/ps-fixture/tests/pins.rs",
+            FileClass::Test,
+            &manifest_stub_tests(),
+        ),
+    ];
+    let diags = NaiveReferencePairing.check_workspace(&WorkspaceContext { files: &files });
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn unregistered_reference_fn_is_flagged() {
+    let files = vec![
+        load(
+            "crates/ps-fixture/src/lib.rs",
+            FileClass::Lib,
+            &fixture("naive_reference_pairing", "bad_lib.rs"),
+        ),
+        load(
+            "crates/ps-fixture/src/stubs.rs",
+            FileClass::Lib,
+            &manifest_stub_lib(),
+        ),
+        load(
+            "crates/ps-fixture/tests/pins.rs",
+            FileClass::Test,
+            &manifest_stub_tests(),
+        ),
+    ];
+    let diags = NaiveReferencePairing.check_workspace(&WorkspaceContext { files: &files });
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].message.contains("rogue_search_naive"));
+    assert!(diags[0].message.contains("not"));
+}
+
+#[test]
+fn deleted_reference_is_flagged() {
+    // Manifest stubs minus one reference definition: the optimized twin
+    // survives but its pin is gone.
+    let (optimized, reference) = NAIVE_PAIRS[0];
+    let pruned: String = manifest_stub_lib()
+        .lines()
+        .filter(|l| *l != format!("pub fn {reference}() {{}}"))
+        .fold(String::new(), |mut acc, l| {
+            acc.push_str(l);
+            acc.push('\n');
+            acc
+        });
+    let files = vec![
+        load("crates/ps-fixture/src/stubs.rs", FileClass::Lib, &pruned),
+        load(
+            "crates/ps-fixture/tests/pins.rs",
+            FileClass::Test,
+            &manifest_stub_tests(),
+        ),
+    ];
+    let diags = NaiveReferencePairing.check_workspace(&WorkspaceContext { files: &files });
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains(reference) && d.message.contains(optimized)),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn untested_reference_is_flagged() {
+    // All definitions present, but no test file mentions the references.
+    let files = vec![load(
+        "crates/ps-fixture/src/stubs.rs",
+        FileClass::Lib,
+        &manifest_stub_lib(),
+    )];
+    let diags = NaiveReferencePairing.check_workspace(&WorkspaceContext { files: &files });
+    assert_eq!(diags.len(), NAIVE_PAIRS.len(), "{diags:?}");
+    assert!(diags.iter().all(|d| d.message.contains("not mentioned")));
+}

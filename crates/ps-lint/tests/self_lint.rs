@@ -1,0 +1,31 @@
+//! Self-application: the committed workspace must be lint-clean.
+//!
+//! This is the same check CI's `lint-pass` job runs via the `pslint`
+//! binary; having it in the test suite too means `cargo test --workspace`
+//! alone catches a regression.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let report = ps_lint::check_workspace(&root).expect("workspace scan succeeds");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — walk roots broken?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "workspace has lint findings:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
