@@ -1,16 +1,50 @@
 //! A minimal, dependency-free JSON tree with a deterministic pretty
-//! serializer and a recursive-descent parser.
+//! serializer, a compact single-line serializer and a recursive-descent
+//! parser.
 //!
-//! The repo vendors no serde, so the trajectory reports (`BENCH_*.json`)
-//! are written and read through this module instead.  The subset is exactly
-//! what the reports need: objects keep insertion order (serialization is
-//! byte-for-byte deterministic for a given tree), numbers are `f64` with
-//! integers printed without a decimal point, and strings escape the JSON
-//! control set.  The parser accepts any document this serializer emits plus
-//! ordinary interchange JSON (whitespace, nested containers, escapes,
-//! scientific notation); it rejects trailing garbage.
+//! The repo vendors no serde, so both the trajectory reports
+//! (`BENCH_*.json`, written by `ps-bench`) and the `ps-server` wire
+//! protocol read and write JSON through this module.  The subset is
+//! exactly what those consumers need: objects keep insertion order
+//! (serialization is byte-for-byte deterministic for a given tree),
+//! numbers are `f64` with integers printed without a decimal point, and
+//! strings escape the JSON control set.  The parser accepts any document
+//! either serializer emits plus ordinary interchange JSON (whitespace,
+//! nested containers, escapes, scientific notation); it rejects trailing
+//! garbage.  [`Json::parse_located`] reports the byte offset of a parse
+//! failure, which the wire protocol surfaces as a span-carrying error
+//! frame.
 
 use std::fmt::Write as _;
+
+/// A parse failure with the byte offset at which it was detected.
+///
+/// Produced by [`Json::parse_located`]; [`Json::parse`] flattens it to a
+/// plain string for callers that only need a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input at which parsing failed.
+    pub pos: usize,
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl JsonError {
+    fn new(pos: usize, message: impl Into<String>) -> Self {
+        JsonError {
+            pos,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.pos)
+    }
+}
+
+impl std::error::Error for JsonError {}
 
 /// A parsed or constructed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,6 +127,47 @@ impl Json {
         out
     }
 
+    /// Serializes onto a single line with no whitespace — the newline-
+    /// delimited frame format of the `ps-server` wire protocol.  Escaping
+    /// guarantees the output itself contains no `\n`, so one frame is
+    /// always exactly one line.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_num(out, *n),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -130,12 +205,18 @@ impl Json {
 
     /// Parses a complete JSON document (rejects trailing non-whitespace).
     pub fn parse(text: &str) -> Result<Json, String> {
+        Json::parse_located(text).map_err(|e| e.to_string())
+    }
+
+    /// [`Json::parse`], reporting the byte offset of the failure so the
+    /// caller can attach a span to its diagnostic.
+    pub fn parse_located(text: &str) -> Result<Json, JsonError> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
         let value = parse_value(bytes, &mut pos)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
-            return Err(format!("trailing garbage at byte {pos}"));
+            return Err(JsonError::new(pos, "trailing garbage"));
         }
         Ok(value)
     }
@@ -179,19 +260,19 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn expect(bytes: &[u8], pos: &mut usize, what: u8) -> Result<(), String> {
+fn expect(bytes: &[u8], pos: &mut usize, what: u8) -> Result<(), JsonError> {
     if *pos < bytes.len() && bytes[*pos] == what {
         *pos += 1;
         Ok(())
     } else {
-        Err(format!("expected '{}' at byte {}", what as char, *pos))
+        Err(JsonError::new(*pos, format!("expected '{}'", what as char)))
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
-        None => Err("unexpected end of input".to_owned()),
+        None => Err(JsonError::new(*pos, "unexpected end of input")),
         Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
         Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
@@ -213,7 +294,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                         *pos += 1;
                         return Ok(Json::Arr(items));
                     }
-                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                    _ => return Err(JsonError::new(*pos, "expected ',' or ']'")),
                 }
             }
         }
@@ -239,7 +320,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                         *pos += 1;
                         return Ok(Json::Obj(pairs));
                     }
-                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                    _ => return Err(JsonError::new(*pos, "expected ',' or '}'")),
                 }
             }
         }
@@ -247,21 +328,21 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, JsonError> {
     if bytes[*pos..].starts_with(lit.as_bytes()) {
         *pos += lit.len();
         Ok(value)
     } else {
-        Err(format!("invalid literal at byte {}", *pos))
+        Err(JsonError::new(*pos, "invalid literal"))
     }
 }
 
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
     expect(bytes, pos, b'"')?;
     let mut out = String::new();
     loop {
         match bytes.get(*pos) {
-            None => return Err("unterminated string".to_owned()),
+            None => return Err(JsonError::new(*pos, "unterminated string")),
             Some(b'"') => {
                 *pos += 1;
                 return Ok(out);
@@ -280,18 +361,19 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'u') => {
                         let hex = bytes
                             .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
+                            .ok_or_else(|| JsonError::new(*pos, "truncated \\u escape"))?;
                         let code = u32::from_str_radix(
-                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                            std::str::from_utf8(hex)
+                                .map_err(|_| JsonError::new(*pos, "bad \\u escape"))?,
                             16,
                         )
-                        .map_err(|_| "bad \\u escape")?;
+                        .map_err(|_| JsonError::new(*pos, "bad \\u escape"))?;
                         // Surrogates are not produced by our serializer;
                         // map unpaired ones to the replacement character.
                         out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         *pos += 4;
                     }
-                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                    _ => return Err(JsonError::new(*pos, "bad escape")),
                 }
                 *pos += 1;
             }
@@ -303,13 +385,16 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 while *pos < bytes.len() && (bytes[*pos] & 0xC0) == 0x80 {
                     *pos += 1;
                 }
-                out.push_str(std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?);
+                out.push_str(
+                    std::str::from_utf8(&bytes[start..*pos])
+                        .map_err(|e| JsonError::new(start, e.to_string()))?,
+                );
             }
         }
     }
 }
 
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, JsonError> {
     let start = *pos;
     if bytes.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -322,7 +407,7 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
     std::str::from_utf8(&bytes[start..*pos])
         .ok()
         .and_then(|s| s.parse::<f64>().ok())
-        .ok_or_else(|| format!("invalid number at byte {start}"))
+        .ok_or_else(|| JsonError::new(start, "invalid number"))
 }
 
 #[cfg(test)]
@@ -351,6 +436,24 @@ mod tests {
     }
 
     #[test]
+    fn compact_form_is_one_line_and_round_trips() {
+        let doc = Json::obj(vec![
+            ("op", Json::Str("implies".to_owned())),
+            ("goal", Json::Str("A = A*B\tπ→\u{1}".to_owned())),
+            ("ids", Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])),
+            ("empty", Json::Obj(vec![])),
+        ]);
+        let line = doc.to_compact();
+        assert!(!line.contains('\n'), "{line:?}");
+        assert_eq!(Json::parse(&line).unwrap(), doc);
+        assert_eq!(
+            Json::Arr(vec![]).to_compact(),
+            "[]",
+            "empty containers stay bare"
+        );
+    }
+
+    #[test]
     fn parses_interchange_json() {
         let parsed = Json::parse(r#" { "a" : [ 1 , 2.5e2 , "xA" ] , "b" : { } } "#).unwrap();
         assert_eq!(
@@ -372,6 +475,15 @@ mod tests {
         for bad in ["", "{", "[1,]", "{\"a\":}", "1 2", "nul", "\"abc"] {
             assert!(Json::parse(bad).is_err(), "{bad:?} must be rejected");
         }
+    }
+
+    #[test]
+    fn located_errors_carry_the_failing_byte() {
+        let err = Json::parse_located("{\"a\": nope}").unwrap_err();
+        assert_eq!(err.pos, 6);
+        let err = Json::parse_located("[1, 2] trailing").unwrap_err();
+        assert_eq!(err.pos, 7);
+        assert!(err.to_string().contains("at byte 7"));
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! * [`AttrSet`] — a compact ordered set of attributes, the `X`, `Y`, `U`
 //!   of functional dependencies and relation schemes.
 //! * [`Interner`] — the string-interning engine behind both catalogs.
+//! * [`json`] — the dependency-free JSON tree shared by the `ps-bench`
+//!   trajectory reports and the `ps-server` wire protocol.
 //!
 //! All identifiers are `u32` newtypes: cheap to copy, hash and index, so the
 //! closure algorithms in `ps-lattice` / `ps-relation` can use dense vectors
@@ -29,6 +31,7 @@
 mod attribute;
 mod error;
 mod interner;
+pub mod json;
 mod symbol;
 
 pub use attribute::{AttrSet, Attribute, Universe};

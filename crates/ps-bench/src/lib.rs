@@ -20,8 +20,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod json;
 pub mod trajectory;
+
+/// The dependency-free JSON tree (re-exported from [`ps_base::json`], its
+/// shared home since the `ps-server` wire protocol also speaks it); the
+/// trajectory reports keep reading and writing through `ps_bench::json`.
+pub use ps_base::json;
 
 use ps_base::{AttrSet, Attribute, SymbolTable, Universe};
 use ps_core::Fpd;

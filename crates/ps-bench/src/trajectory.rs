@@ -1,6 +1,6 @@
 //! The macro-scale benchmark trajectory: a pinned workload suite across
-//! all five decision procedures, serialized as schema-versioned
-//! `BENCH_*.json` reports that later PRs diff against.
+//! all five decision procedures and the solver service layer, serialized
+//! as schema-versioned `BENCH_*.json` reports that later PRs diff against.
 //!
 //! See `docs/BENCHMARKS.md` for the methodology: what each workload
 //! measures, what the counters mean, how to read and compare reports.  The
@@ -30,17 +30,29 @@ use crate::json::Json;
 pub const SCHEMA_VERSION: u64 = 1;
 
 /// The bench id stamped into reports produced by this crate version.
-pub const BENCH_ID: &str = "BENCH_8";
+pub const BENCH_ID: &str = "BENCH_9";
 
-/// The procedures a full report must cover (one per decision procedure of
-/// the paper: Theorems 9, 10, 12, 11 and 4 respectively).
-pub const REQUIRED_PROCEDURES: [&str; 5] = [
+/// The procedures a full report must cover: one per decision procedure of
+/// the paper (Theorems 9, 10, 12, 11 and 4 respectively) plus, from
+/// `BENCH_9` on, the solver service layer.
+pub const REQUIRED_PROCEDURES: [&str; 6] = [
     "implication",
     "identity",
     "consistency_polynomial",
     "consistency_cad_eap",
     "connectivity",
+    "service",
 ];
+
+/// The bench id from which `"service"` coverage became mandatory (the
+/// `ps-server` crate did not exist before; committed `BENCH_6`–`BENCH_8`
+/// reports must keep validating).
+const SERVICE_REQUIRED_FROM: u64 = 9;
+
+/// Numeric suffix of a `BENCH_N` id, if it has that form.
+fn bench_index(bench_id: &str) -> Option<u64> {
+    bench_id.strip_prefix("BENCH_")?.parse().ok()
+}
 
 /// One measured workload inside a trajectory report.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,7 +60,8 @@ pub struct WorkloadRecord {
     /// Unique workload name (the comparator joins on it).
     pub name: String,
     /// Which decision procedure the workload exercises (one of
-    /// [`REQUIRED_PROCEDURES`], `"hot_path"` for the optimization
+    /// [`REQUIRED_PROCEDURES`] — including `"service"` for the loopback
+    /// solver-service ladder — `"hot_path"` for the optimization
     /// micro-suites, `"mutation"` for the live-edit A/B workload, or
     /// `"parallel"` for the snapshot fan-out thread ladder).
     pub procedure: String,
@@ -76,7 +89,7 @@ pub struct TrajectoryReport {
     /// Schema version ([`SCHEMA_VERSION`] for reports written by this
     /// crate).
     pub schema_version: u64,
-    /// The bench id (`"BENCH_8"` for this PR's pinned suite).
+    /// The bench id (`"BENCH_9"` for this PR's pinned suite).
     pub bench_id: String,
     /// `rustc --version` of the producing toolchain (`"unknown"` when
     /// unavailable).
@@ -295,7 +308,14 @@ impl TrajectoryReport {
                 }
             }
         }
+        // Reports older than BENCH_9 predate the service layer.
+        let service_required = bench_index(&self.bench_id)
+            .map(|n| n >= SERVICE_REQUIRED_FROM)
+            .unwrap_or(true);
         for required in REQUIRED_PROCEDURES {
+            if required == "service" && !service_required {
+                continue;
+            }
             if !self.workloads.iter().any(|w| w.procedure == required) {
                 return Err(format!("no workload covers procedure {required:?}"));
             }
@@ -455,6 +475,8 @@ struct SuiteScale {
     fanout_relations: usize,
     fanout_dbs: usize,
     fanout_rows: usize,
+    service_pds: usize,
+    service_queries: usize,
 }
 
 impl SuiteScale {
@@ -488,6 +510,8 @@ impl SuiteScale {
             fanout_relations: 5,
             fanout_dbs: 50,
             fanout_rows: 400,
+            service_pds: 24,
+            service_queries: 160,
         }
     }
 
@@ -522,6 +546,8 @@ impl SuiteScale {
             fanout_relations: 3,
             fanout_dbs: 6,
             fanout_rows: 12,
+            service_pds: 6,
+            service_queries: 20,
         }
     }
 }
@@ -1114,6 +1140,222 @@ fn run_parallel_fanout(s: &SuiteScale, seed: u64) -> Vec<WorkloadRecord> {
     records
 }
 
+/// Clients of the service ladder: four disjoint scripts over four
+/// client-private vocabularies, spread over 1, 2 or 4 live connections.
+const SERVICE_CLIENTS: usize = 4;
+
+/// The connection-count ladder of the service workload.
+const SERVICE_THREADS: [usize; 3] = [1, 2, 4];
+
+/// Generates [`SERVICE_CLIENTS`] wire scripts, one per client, each over a
+/// client-private vocabulary (`S{c}A{j}` attributes) so the sets cannot
+/// alias through the session's content dedup.  Every script is a skewed
+/// mix: mostly single implications against a chain of FPDs, some batched
+/// implications, occasional live add/remove of a chain-closing PD, and an
+/// occasional Theorem 12 consistency check of a small database.
+fn service_scripts(s: &SuiteScale, seed: u64) -> Vec<Vec<String>> {
+    use ps_server::proto::{DatabaseSpec, Op, RelationSpec, Request};
+    (0..SERVICE_CLIENTS)
+        .map(|client| {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5E41CE ^ ((client as u64) << 8));
+            let attr = |j: usize| format!("S{client}A{j}");
+            let set = format!("S{client}");
+            let n = s.service_pds;
+            let fpd = |i: usize, k: usize| format!("{} = {}*{}", attr(i), attr(i), attr(k));
+            let mut lines = Vec::with_capacity(s.service_queries + 1);
+            let push = |lines: &mut Vec<String>, op: Op| {
+                let id = Some(lines.len() as u64 + 1);
+                lines.push(Request { id, op }.to_line());
+            };
+            push(
+                &mut lines,
+                Op::Register {
+                    set: set.clone(),
+                    pds: (0..n).map(|j| fpd(j, j + 1)).collect(),
+                },
+            );
+            for _ in 0..s.service_queries {
+                let goal = |rng: &mut StdRng| {
+                    let i = rng.gen_range(0..n);
+                    fpd(i, rng.gen_range(0..=n))
+                };
+                let op = match rng.gen_range(0..10u32) {
+                    0..=5 => Op::Implies {
+                        set: set.clone(),
+                        goal: goal(&mut rng),
+                    },
+                    6..=7 => Op::ImpliesMany {
+                        set: set.clone(),
+                        goals: (0..3).map(|_| goal(&mut rng)).collect(),
+                    },
+                    8 => {
+                        // Toggle a chain-closing PD: epoch churn under load.
+                        let pd = fpd(n, 0);
+                        if rng.gen_bool(0.5) {
+                            Op::AddPd {
+                                set: set.clone(),
+                                pd,
+                            }
+                        } else {
+                            Op::RemovePd {
+                                set: set.clone(),
+                                pd,
+                            }
+                        }
+                    }
+                    _ => Op::Consistent {
+                        set: set.clone(),
+                        database: DatabaseSpec {
+                            relations: vec![RelationSpec {
+                                name: "R".to_owned(),
+                                attrs: vec![attr(0), attr(1)],
+                                rows: vec![
+                                    vec![format!("x{client}1"), format!("y{client}")],
+                                    vec![format!("x{client}2"), format!("y{client}")],
+                                ],
+                            }],
+                        },
+                    },
+                };
+                push(&mut lines, op);
+            }
+            lines
+        })
+        .collect()
+}
+
+/// Plays `lines` over one loopback connection in lock-step, returning the
+/// response frames.
+fn drive_service_connection(addr: std::net::SocketAddr, lines: &[String]) -> Vec<String> {
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(addr).expect("connect to the loopback service");
+    stream.set_nodelay(true).expect("disable Nagle on loopback");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone the client stream"));
+    let mut writer = stream;
+    lines
+        .iter()
+        .map(|line| {
+            writeln!(writer, "{line}").expect("send a frame");
+            writer.flush().expect("flush a frame");
+            let mut reply = String::new();
+            assert!(
+                reader.read_line(&mut reply).expect("read a reply") > 0,
+                "service closed the connection mid-script"
+            );
+            reply.trim_end().to_owned()
+        })
+        .collect()
+}
+
+/// The service-loopback ladder: one `psserve`-shaped TCP server over a
+/// shared session, the four client scripts spread across 1, 2 and 4 live
+/// connections.  The certified contract (the reason this workload may pin
+/// counters at all): every response — verdicts *and* counters — must be
+/// byte-identical to a sequential replay of that client's script alone
+/// through [`ServerCore::handle`], at every connection count.  The runner
+/// asserts that identity per frame, so the recorded counters are exactly
+/// the replay's counter totals and are deterministic in the seed.
+///
+/// [`ServerCore::handle`]: ps_server::state::ServerCore::handle
+fn run_service(s: &SuiteScale, seed: u64) -> Vec<WorkloadRecord> {
+    use ps_server::proto::{Op, Request, Response};
+    use ps_server::state::ServerCore;
+    use ps_server::{serve_tcp, ServeConfig};
+
+    let scripts = service_scripts(s, seed);
+    // The sequential reference: each client against a fresh solver core.
+    let mut expected: Vec<Vec<String>> = Vec::with_capacity(scripts.len());
+    let mut totals = Counters::default();
+    for lines in &scripts {
+        let mut core = ServerCore::new(2);
+        let mut replies = Vec::with_capacity(lines.len());
+        for line in lines {
+            let request = Request::parse_line(line).expect("generated frames are valid");
+            let response = core.handle(&request);
+            if let Ok((_, counters)) = &response.result {
+                totals += *counters;
+            }
+            replies.push(response.to_line());
+        }
+        expected.push(replies);
+    }
+    let frames: u64 = scripts.iter().map(|s| s.len() as u64).sum();
+
+    let mut records = Vec::new();
+    let mut t1_wall: Option<u64> = None;
+    for connections in SERVICE_THREADS {
+        let listener =
+            std::net::TcpListener::bind("127.0.0.1:0").expect("bind a loopback listener");
+        let addr = listener
+            .local_addr()
+            .expect("loopback listener has an address");
+        let config = ServeConfig {
+            threads: 2,
+            queue: 64,
+        };
+        let wall = std::thread::scope(|sc| {
+            let server = sc.spawn(move || serve_tcp(listener, config));
+            let start = Instant::now();
+            let clients: Vec<_> = (0..connections)
+                .map(|k| {
+                    let scripts = &scripts;
+                    let expected = &expected;
+                    sc.spawn(move || {
+                        for idx in (k..scripts.len()).step_by(connections) {
+                            let live = drive_service_connection(addr, &scripts[idx]);
+                            assert_eq!(
+                                live, expected[idx],
+                                "live responses must be byte-identical to the \
+                                 sequential replay (client {idx}, {connections} connections)"
+                            );
+                        }
+                    })
+                })
+                .collect();
+            for client in clients {
+                client.join().expect("client thread");
+            }
+            let wall = start.elapsed().as_nanos() as u64;
+            let ack = drive_service_connection(
+                addr,
+                &[Request {
+                    id: None,
+                    op: Op::Shutdown,
+                }
+                .to_line()],
+            );
+            assert!(
+                Response::parse_line(&ack[0])
+                    .expect("well-formed shutdown ack")
+                    .is_shutdown_ack(),
+                "{ack:?}"
+            );
+            server
+                .join()
+                .expect("server thread")
+                .expect("clean service shutdown");
+            wall
+        });
+        let mut rec = record(
+            &format!("service_loopback_t{connections}"),
+            "service",
+            frames,
+            wall,
+            totals,
+        );
+        match t1_wall {
+            None => t1_wall = Some(wall),
+            Some(base) if wall > 0 => {
+                rec.baseline_wall_ns = Some(base);
+                rec.speedup = Some(base as f64 / wall as f64);
+            }
+            Some(_) => {}
+        }
+        records.push(rec);
+    }
+    records
+}
+
 /// `rustc --version` of the building toolchain, or `"unknown"`.
 pub fn toolchain_info() -> String {
     std::process::Command::new("rustc")
@@ -1140,9 +1382,10 @@ pub fn commit_info() -> String {
 }
 
 /// Runs the pinned suite — all five decision procedures, the two hot-path
-/// micro-suites, the live-mutation A/B and the parallel fan-out thread
-/// ladder — and packages the report.  Counters in the result are
-/// deterministic in `(smoke, seed)`; wall-clock fields are not.
+/// micro-suites, the live-mutation A/B, the parallel fan-out thread ladder
+/// and the service-loopback connection ladder — and packages the report.
+/// Counters in the result are deterministic in `(smoke, seed)`; wall-clock
+/// fields are not.
 pub fn run_suite(smoke: bool, seed: u64) -> TrajectoryReport {
     let s = if smoke {
         SuiteScale::smoke()
@@ -1160,6 +1403,7 @@ pub fn run_suite(smoke: bool, seed: u64) -> TrajectoryReport {
         run_mutation(&s, seed),
     ];
     workloads.extend(run_parallel_fanout(&s, seed));
+    workloads.extend(run_service(&s, seed));
     TrajectoryReport {
         schema_version: SCHEMA_VERSION,
         bench_id: BENCH_ID.to_owned(),

@@ -104,9 +104,12 @@ fn smoke_suite_counters_are_stable_under_rerun() {
         assert_eq!(wa.scale, wb.scale, "workload {}", wa.name);
         assert_eq!(wa.counters, wb.counters, "workload {}", wa.name);
     }
+    // Counters-only: the service-loopback legs wait on real TCP round
+    // trips, whose debug-mode wall-clock can jitter far beyond any fixed
+    // tolerance under parallel test load.
     assert!(
-        TrajectoryReport::compare(&a, &b, 10.0).is_empty(),
-        "identical-seed runs must not regress each other"
+        TrajectoryReport::compare(&a, &b, f64::INFINITY).is_empty(),
+        "identical-seed runs must not regress each other's counters"
     );
 }
 

@@ -10,8 +10,15 @@
 //! * call raw `thread::spawn` — detached threads escape the scope
 //!   discipline (no join guarantee, counters lost).  `scope.spawn(…)`
 //!   inside `std::thread::scope` is fine and is what the executor uses.
+//!
+//! One carve-out: files on [`crate::config::IO_THREAD_ALLOWLIST`] (the
+//! `ps-server` serving layer) may spawn raw threads — their writer,
+//! acceptor and per-connection handler lifetimes span the whole serve
+//! call, which a scope cannot express — but `thread::sleep` stays banned
+//! there too.
 
 use super::{scan_nodes, FileContext, Rule};
+use crate::config::IO_THREAD_ALLOWLIST;
 use crate::diag::Diagnostic;
 use crate::walk::FileClass;
 
@@ -34,6 +41,8 @@ impl Rule for ThreadHygiene {
     }
 
     fn check_file(&self, ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+        let path = ctx.file.path.to_string_lossy().replace('\\', "/");
+        let spawn_allowed = IO_THREAD_ALLOWLIST.iter().any(|allowed| path == *allowed);
         let mut diags = Vec::new();
         for func in ctx.functions {
             if func.is_test_only {
@@ -63,7 +72,7 @@ impl Rule for ThreadHygiene {
                                 .into(),
                         ),
                     ),
-                    Some(t) if t.is_ident("spawn") => diags.push(
+                    Some(t) if t.is_ident("spawn") && !spawn_allowed => diags.push(
                         ctx.diag(
                             NAME,
                             ThreadHygiene.severity(),

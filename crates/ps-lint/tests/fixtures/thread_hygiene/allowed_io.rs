@@ -1,0 +1,19 @@
+//! Allowlist fixture for `thread-hygiene`: the serving-layer shape — a
+//! raw writer-thread spawn plus a dynamic per-connection spawn.  Clean
+//! when linted under a path on `IO_THREAD_ALLOWLIST`, two findings under
+//! any other path.
+
+use std::sync::mpsc::Receiver;
+
+/// Long-lived writer: outlives any scope the caller could open.
+pub fn spawn_writer(jobs: Receiver<u64>) -> std::thread::JoinHandle<u64> {
+    std::thread::spawn(move || jobs.iter().sum())
+}
+
+/// Acceptor shape: spawns one handler per incoming unit of work.
+pub fn spawn_handlers(conns: Vec<u64>) -> Vec<std::thread::JoinHandle<u64>> {
+    conns
+        .into_iter()
+        .map(|conn| std::thread::spawn(move || conn * 2))
+        .collect()
+}

@@ -67,6 +67,29 @@ fn thread_hygiene_fixtures() {
 }
 
 #[test]
+fn thread_hygiene_io_allowlist_is_per_path() {
+    use ps_lint::config::IO_THREAD_ALLOWLIST;
+    let source = fixture("thread_hygiene", "allowed_io.rs");
+    // The same source is clean under an allowlisted path …
+    for allowed in IO_THREAD_ALLOWLIST {
+        let diags = ps_lint::check_source(Path::new(allowed), FileClass::Lib, &source);
+        assert!(
+            diags.is_empty(),
+            "raw spawns must be allowed under {allowed}: {diags:?}"
+        );
+    }
+    // … and flagged (one finding per spawn site) everywhere else, so the
+    // allowance cannot leak past the serving layer.
+    let diags = lint("thread_hygiene", "allowed_io.rs");
+    assert_eq!(rules_hit(&diags), vec!["thread-hygiene"], "{diags:?}");
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    // `thread::sleep` stays banned even on the allowlisted path.
+    let sleeping = "pub fn nap() { std::thread::sleep(std::time::Duration::from_millis(1)); }\n";
+    let diags = ps_lint::check_source(Path::new(IO_THREAD_ALLOWLIST[0]), FileClass::Lib, sleeping);
+    assert_eq!(rules_hit(&diags), vec!["thread-hygiene"], "{diags:?}");
+}
+
+#[test]
 fn nondeterministic_iteration_fixtures() {
     // Display impl, serialize fn, merge fn.
     assert_fixture_pair(

@@ -1,0 +1,84 @@
+//! `psserve` — the partition-semantics solver service.
+//!
+//! ```text
+//! psserve [--listen ADDR:PORT] [--threads N] [--queue N]
+//! ```
+//!
+//! Without `--listen`, serves newline-delimited JSON over stdin/stdout
+//! (end of input is a clean shutdown).  With `--listen`, accepts TCP
+//! connections until a client sends `{"op":"shutdown"}`; the server
+//! drains in-flight work and exits 0.  Exit codes: 0 clean shutdown,
+//! 1 I/O failure, 2 usage error.  See `docs/SERVICE.md` for the protocol.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+use ps_server::{serve_stdio, serve_tcp, ServeConfig};
+
+struct Args {
+    listen: Option<String>,
+    config: ServeConfig,
+}
+
+const USAGE: &str = "usage: psserve [--listen ADDR:PORT] [--threads N] [--queue N]";
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut listen = None;
+    let mut config = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--listen" => {
+                listen = Some(
+                    it.next()
+                        .ok_or("--listen requires an ADDR:PORT argument")?
+                        .clone(),
+                );
+            }
+            "--threads" => {
+                config.threads = parse_count(it.next(), "--threads")?;
+            }
+            "--queue" => {
+                config.queue = parse_count(it.next(), "--queue")?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(Args { listen, config })
+}
+
+fn parse_count(value: Option<&String>, flag: &str) -> Result<usize, String> {
+    let text = value.ok_or_else(|| format!("{flag} requires a positive integer"))?;
+    match text.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!("{flag} requires a positive integer, got `{text}`")),
+    }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    let served = match &args.listen {
+        Some(addr) => TcpListener::bind(addr).and_then(|listener| {
+            if let Ok(local) = listener.local_addr() {
+                eprintln!("psserve: listening on {local}");
+            }
+            serve_tcp(listener, args.config)
+        }),
+        None => serve_stdio(args.config),
+    };
+    match served {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("psserve: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! The threaded serving layer: one writer thread owning the
+//! [`ServerCore`], reader threads per connection, a bounded request queue
+//! in between.
+//!
+//! ## Threading model
+//!
+//! * The **writer thread** runs [`ServerCore::resolve`] on every queued
+//!   request in arrival order — the only thread that ever touches the
+//!   mutable [`ps_session::Session`].
+//! * Each **connection handler** (the calling thread for stdio, one
+//!   spawned thread per TCP connection) parses frames, enqueues jobs, and
+//!   finishes [`ServerCore::compute`] work itself — so concurrent queries
+//!   overlap even though mutations serialize, and a query batch
+//!   additionally fans out over the handler's
+//!   [`ps_session::ParallelExecutor`].
+//! * The queue is a bounded [`std::sync::mpsc::sync_channel`]: a full
+//!   queue answers a typed `overloaded` error immediately (backpressure,
+//!   never a hang), a disconnected one answers `shutting_down`.
+//!
+//! ## Shutdown contract
+//!
+//! A `shutdown` request makes the writer stop accepting *new* jobs, drain
+//! every job already queued (each still gets its real answer), and exit;
+//! jobs enqueued during the drain race get a typed `shutting_down` error.
+//! [`serve_tcp`] then unblocks the acceptor, closes the read half of every
+//! live connection, joins every handler and returns `Ok(())` — so a clean
+//! shutdown is observable as exit code 0.  On stdio, end of input is an
+//! implicit clean shutdown.
+//!
+//! This file is the one place in the workspace allowed to spawn raw
+//! (non-scoped) threads: the writer, acceptor and handler lifetimes span
+//! the whole serve call, which `std::thread::scope` cannot express across
+//! the acceptor's dynamic spawns.  The allowance is pinned by name in
+//! `ps-lint`'s `IO_THREAD_ALLOWLIST`; `thread::sleep` stays banned here
+//! like everywhere else.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use ps_session::{Counters, ParallelExecutor};
+
+use crate::proto::{ErrorKind, Op, Payload, Request, Response, StatsReport, WireError};
+use crate::state::{ServerCore, Step};
+
+/// Serving knobs; the `psserve` CLI maps `--threads` / `--queue` here.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads each query batch fans out over.
+    pub threads: usize,
+    /// Capacity of the bounded writer queue (backpressure bound).
+    pub queue: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: 4,
+            queue: 64,
+        }
+    }
+}
+
+/// One queued unit of writer work: the request plus the reply slot its
+/// handler blocks on.  Dropping an unprocessed job drops the reply sender,
+/// which the waiting handler observes as `shutting_down` — never a hang.
+struct Job {
+    request: Request,
+    reply: SyncSender<Step>,
+}
+
+/// Shared request-accounting state behind the `stats` op.
+struct StatsInner {
+    started: Instant,
+    requests_total: u64,
+    responses_ok: u64,
+    responses_err: u64,
+    per_op: BTreeMap<String, u64>,
+    totals: Counters,
+}
+
+impl StatsInner {
+    fn new() -> Self {
+        StatsInner {
+            started: Instant::now(),
+            requests_total: 0,
+            responses_ok: 0,
+            responses_err: 0,
+            per_op: BTreeMap::new(),
+            totals: Counters::default(),
+        }
+    }
+
+    fn record_request(&mut self, op: &str) {
+        self.requests_total += 1;
+        *self.per_op.entry(op.to_owned()).or_insert(0) += 1;
+    }
+
+    fn record_response(&mut self, response: &Response) {
+        match &response.result {
+            Ok((_, counters)) => {
+                self.responses_ok += 1;
+                self.totals += *counters;
+            }
+            Err(_) => self.responses_err += 1,
+        }
+    }
+
+    fn report(&self) -> StatsReport {
+        StatsReport {
+            uptime_ns: u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            requests_total: self.requests_total,
+            responses_ok: self.responses_ok,
+            responses_err: self.responses_err,
+            per_op: self.per_op.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            totals: self.totals,
+        }
+    }
+}
+
+type SharedStats = Arc<Mutex<StatsInner>>;
+
+fn lock_stats(stats: &SharedStats) -> std::sync::MutexGuard<'_, StatsInner> {
+    stats.lock().expect("stats mutex poisoned")
+}
+
+/// The writer loop: resolves queued jobs in order until a `shutdown`
+/// request arrives (or every sender hangs up), then drains the queue so
+/// in-flight work still gets real answers.
+fn writer_loop(mut core: ServerCore, jobs: Receiver<Job>) {
+    while let Ok(job) = jobs.recv() {
+        let stop = matches!(job.request.op, Op::Shutdown);
+        let step = core.resolve(&job.request);
+        let _ = job.reply.send(step);
+        if stop {
+            break;
+        }
+    }
+    // Drain: everything already queued is resolved and answered.  After
+    // this loop the receiver drops, so late senders observe disconnection
+    // and answer `shutting_down` themselves.
+    while let Ok(job) = jobs.try_recv() {
+        let step = core.resolve(&job.request);
+        let _ = job.reply.send(step);
+    }
+}
+
+/// Serves one connection: reads newline-delimited frames from `reader`,
+/// writes one response line per frame to `writer`.  Returns `true` when
+/// the connection requested (and was acknowledged) a server shutdown.
+fn serve_connection<R: BufRead, W: Write>(
+    reader: R,
+    mut writer: W,
+    jobs: &SyncSender<Job>,
+    stats: &SharedStats,
+    executor: ParallelExecutor,
+) -> io::Result<bool> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = answer_frame(&line, jobs, stats, executor);
+        let shutdown = response.is_shutdown_ack();
+        writer.write_all(response.to_line().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Produces the response for one raw frame: parse, tally, route.
+fn answer_frame(
+    line: &str,
+    jobs: &SyncSender<Job>,
+    stats: &SharedStats,
+    executor: ParallelExecutor,
+) -> Response {
+    let request = match Request::parse_line(line) {
+        Ok(request) => request,
+        Err(error) => {
+            // A malformed frame is answered in place (with its span) and
+            // the connection stays up.
+            let mut guard = lock_stats(stats);
+            guard.record_request("(malformed)");
+            let response = Response::err(None, "", error);
+            guard.record_response(&response);
+            return response;
+        }
+    };
+    lock_stats(stats).record_request(request.op.name());
+    let response = match &request.op {
+        // `stats` never queues: the serving layer owns the tallies, and an
+        // overloaded server must still answer it (that is when operators
+        // ask).
+        Op::Stats => {
+            let report = lock_stats(stats).report();
+            Response::ok(
+                request.id,
+                "stats",
+                Payload::Stats(report),
+                Counters::default(),
+            )
+        }
+        _ => route_to_writer(request, jobs, executor),
+    };
+    lock_stats(stats).record_response(&response);
+    response
+}
+
+/// Enqueues a request for the writer and finishes the resulting step,
+/// mapping queue conditions to the typed backpressure errors.
+fn route_to_writer(
+    request: Request,
+    jobs: &SyncSender<Job>,
+    executor: ParallelExecutor,
+) -> Response {
+    let id = request.id;
+    let op = request.op.name();
+    let (reply_tx, reply_rx) = mpsc::sync_channel::<Step>(1);
+    let job = Job {
+        request,
+        reply: reply_tx,
+    };
+    match jobs.try_send(job) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            return Response::err(
+                id,
+                op,
+                WireError::new(
+                    ErrorKind::Overloaded,
+                    "request queue is full; retry after in-flight work drains",
+                ),
+            );
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            return Response::err(
+                id,
+                op,
+                WireError::new(ErrorKind::ShuttingDown, "server is shutting down"),
+            );
+        }
+    }
+    match reply_rx.recv() {
+        Ok(step) => step.finish(executor),
+        // The writer drained and dropped the job before resolving it.
+        Err(_) => Response::err(
+            id,
+            op,
+            WireError::new(ErrorKind::ShuttingDown, "server is shutting down"),
+        ),
+    }
+}
+
+/// Serves newline-delimited JSON over stdin/stdout until end of input or a
+/// `shutdown` request, then drains and returns.
+pub fn serve_stdio(config: ServeConfig) -> io::Result<()> {
+    let core = ServerCore::new(config.threads);
+    let executor = core.executor();
+    let (jobs_tx, jobs_rx) = mpsc::sync_channel::<Job>(config.queue);
+    let stats: SharedStats = Arc::new(Mutex::new(StatsInner::new()));
+    let writer = std::thread::spawn(move || writer_loop(core, jobs_rx));
+
+    let stdin = io::stdin().lock();
+    let stdout = io::stdout().lock();
+    let result = serve_connection(BufReader::new(stdin), stdout, &jobs_tx, &stats, executor);
+
+    // End of input (or shutdown ack): release the queue so the writer's
+    // recv unblocks, then let it finish draining.
+    drop(jobs_tx);
+    writer.join().expect("writer thread panicked");
+    result.map(|_| ())
+}
+
+/// Serves newline-delimited JSON over TCP: one handler thread per
+/// connection, all sharing the single writer.  Returns `Ok(())` after a
+/// `shutdown` request has been acknowledged, the queue drained, and every
+/// handler joined.
+pub fn serve_tcp(listener: TcpListener, config: ServeConfig) -> io::Result<()> {
+    let local_addr = listener.local_addr()?;
+    let core = ServerCore::new(config.threads);
+    let executor = core.executor();
+    let (jobs_tx, jobs_rx) = mpsc::sync_channel::<Job>(config.queue);
+    let stats: SharedStats = Arc::new(Mutex::new(StatsInner::new()));
+    let writer = std::thread::spawn(move || writer_loop(core, jobs_rx));
+
+    let accepting = Arc::new(AtomicBool::new(true));
+    let streams: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+    let handles: Arc<Mutex<Vec<JoinHandle<io::Result<bool>>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let acceptor = {
+        let accepting = Arc::clone(&accepting);
+        let streams = Arc::clone(&streams);
+        let handles = Arc::clone(&handles);
+        let jobs_tx = jobs_tx.clone();
+        let stats = Arc::clone(&stats);
+        std::thread::spawn(move || {
+            for incoming in listener.incoming() {
+                if !accepting.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = incoming else { continue };
+                // Frames are small and strictly request/reply; leaving
+                // Nagle on would serialize every exchange behind a
+                // delayed-ACK round trip.
+                let _ = stream.set_nodelay(true);
+                let Ok(read_half) = stream.try_clone() else {
+                    continue;
+                };
+                streams
+                    .lock()
+                    .expect("streams mutex poisoned")
+                    .push(read_half);
+                let jobs_tx = jobs_tx.clone();
+                let stats = Arc::clone(&stats);
+                let handle = std::thread::spawn(move || {
+                    let reader = BufReader::new(stream.try_clone()?);
+                    serve_connection(reader, stream, &jobs_tx, &stats, executor)
+                });
+                handles.lock().expect("handles mutex poisoned").push(handle);
+            }
+        })
+    };
+
+    // The writer exits only after a `shutdown` request (this thread keeps a
+    // live sender, so EOF on every connection alone never disconnects it).
+    writer.join().expect("writer thread panicked");
+
+    // Unblock the acceptor: flip the flag, then poke the listener with a
+    // throwaway connection so its blocking accept returns.
+    accepting.store(false, Ordering::Release);
+    let _ = TcpStream::connect(local_addr);
+    acceptor.join().expect("acceptor thread panicked");
+
+    // Close the read half of every connection so handler loops see EOF
+    // (their queued sends already resolved as `shutting_down`), then join.
+    for stream in streams.lock().expect("streams mutex poisoned").iter() {
+        let _ = stream.shutdown(Shutdown::Read);
+    }
+    let joined = std::mem::take(&mut *handles.lock().expect("handles mutex poisoned"));
+    for handle in joined {
+        let _ = handle.join().expect("connection handler panicked");
+    }
+    drop(jobs_tx);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives `serve_connection` over in-memory buffers — the stdio path
+    /// without a process boundary.
+    fn run_script(script: &str, config: ServeConfig) -> Vec<Response> {
+        let core = ServerCore::new(config.threads);
+        let executor = core.executor();
+        let (jobs_tx, jobs_rx) = mpsc::sync_channel::<Job>(config.queue);
+        let stats: SharedStats = Arc::new(Mutex::new(StatsInner::new()));
+        let writer = std::thread::spawn(move || writer_loop(core, jobs_rx));
+        let mut out: Vec<u8> = Vec::new();
+        serve_connection(script.as_bytes(), &mut out, &jobs_tx, &stats, executor)
+            .expect("in-memory serve failed");
+        drop(jobs_tx);
+        writer.join().expect("writer panicked");
+        String::from_utf8(out)
+            .expect("responses are UTF-8")
+            .lines()
+            .map(|l| Response::parse_line(l).expect("well-formed response"))
+            .collect()
+    }
+
+    #[test]
+    fn a_malformed_frame_answers_with_a_span_and_keeps_the_connection() {
+        let script = "\
+{\"id\":1,\"op\":\"register\",\"set\":\"s\",\"pds\":[\"A = A*B\"]}\n\
+this is not json\n\
+{\"id\":2,\"op\":\"implies\",\"set\":\"s\",\"goal\":\"A*B = A\"}\n";
+        let responses = run_script(script, ServeConfig::default());
+        assert_eq!(responses.len(), 3);
+        assert!(responses[0].result.is_ok());
+        let Err(e) = &responses[1].result else {
+            panic!("malformed frame must error");
+        };
+        assert_eq!(e.kind, ErrorKind::Parse);
+        assert!(e.span.is_some());
+        // The connection survived: the third request got its real answer.
+        assert!(
+            matches!(
+                &responses[2].result,
+                Ok((Payload::Implies { implied: true }, _))
+            ),
+            "{:?}",
+            responses[2]
+        );
+    }
+
+    #[test]
+    fn stats_counts_requests_and_accumulates_counters() {
+        let script = "\
+{\"op\":\"register\",\"set\":\"s\",\"pds\":[\"A = A*B\"]}\n\
+{\"op\":\"implies\",\"set\":\"s\",\"goal\":\"A*B = A\"}\n\
+{\"op\":\"implies\",\"set\":\"s\",\"goal\":\"A*B = A\"}\n\
+nonsense\n\
+{\"op\":\"stats\"}\n";
+        let responses = run_script(script, ServeConfig::default());
+        let Ok((Payload::Stats(report), _)) = &responses[4].result else {
+            panic!("expected a stats payload, got {:?}", responses[4]);
+        };
+        assert_eq!(report.requests_total, 5);
+        assert_eq!(report.responses_ok, 3);
+        assert_eq!(report.responses_err, 1);
+        assert_eq!(
+            report.per_op,
+            vec![
+                ("(malformed)".to_owned(), 1),
+                ("implies".to_owned(), 2),
+                ("register".to_owned(), 1),
+                ("stats".to_owned(), 1),
+            ]
+        );
+        assert!(
+            report.totals.engine_misses >= 2,
+            "first implies paid the freeze"
+        );
+    }
+
+    #[test]
+    fn a_full_queue_answers_overloaded_without_blocking() {
+        // A queue of capacity 1 that nothing ever drains: the first
+        // enqueue occupies it, the second must bounce immediately.
+        let (jobs_tx, jobs_rx) = mpsc::sync_channel::<Job>(1);
+        let request = Request {
+            id: Some(9),
+            op: Op::Stats,
+        };
+        let (reply_tx, _reply_rx) = mpsc::sync_channel::<Step>(1);
+        jobs_tx
+            .try_send(Job {
+                request: request.clone(),
+                reply: reply_tx,
+            })
+            .expect("first enqueue fits");
+        let response = route_to_writer(
+            Request {
+                id: Some(10),
+                op: Op::Implies {
+                    set: "s".into(),
+                    goal: "A = A".into(),
+                },
+            },
+            &jobs_tx,
+            ParallelExecutor::new(1),
+        );
+        assert!(matches!(&response.result, Err(e) if e.kind == ErrorKind::Overloaded));
+        // A disconnected queue answers `shutting_down` instead.
+        drop(jobs_rx);
+        let response = route_to_writer(
+            Request {
+                id: Some(11),
+                op: Op::Stats,
+            },
+            &jobs_tx,
+            ParallelExecutor::new(1),
+        );
+        assert!(matches!(&response.result, Err(e) if e.kind == ErrorKind::ShuttingDown));
+    }
+
+    #[test]
+    fn shutdown_acknowledges_then_ends_the_connection() {
+        let script = "\
+{\"id\":1,\"op\":\"register\",\"set\":\"s\",\"pds\":[\"A = A*B\"]}\n\
+{\"id\":2,\"op\":\"shutdown\"}\n\
+{\"id\":3,\"op\":\"stats\"}\n";
+        let responses = run_script(script, ServeConfig::default());
+        // The frame after the shutdown ack is never read.
+        assert_eq!(responses.len(), 2);
+        assert!(responses[1].is_shutdown_ack());
+    }
+}
